@@ -1,0 +1,150 @@
+// Experiment E8: cost of the cryptographic substrate.
+//
+// Protocol I's per-operation signature and Protocol III's per-epoch blob
+// signatures ride on the hash-based schemes built here; this bench gives
+// the primitive costs behind the protocol overheads of E6, plus the
+// Winternitz-w ablation from DESIGN.md §5 (signature size vs time).
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.h"
+#include "crypto/lamport.h"
+#include "crypto/merkle_sig.h"
+#include "crypto/sha256.h"
+#include "crypto/winternitz.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace tcvs;
+using namespace tcvs::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  util::Rng rng(1);
+  Bytes data = rng.RandomBytes(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(32)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  util::Rng rng(2);
+  Bytes key = rng.RandomBytes(32);
+  Bytes data = rng.RandomBytes(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(32)->Arg(4096);
+
+void BM_LamportKeygen(benchmark::State& state) {
+  util::Rng rng(3);
+  for (auto _ : state) {
+    LamportSigner signer(rng.RandomBytes(32));
+    benchmark::DoNotOptimize(signer.public_key());
+  }
+}
+BENCHMARK(BM_LamportKeygen);
+
+void BM_LamportSignVerify(benchmark::State& state) {
+  util::Rng rng(4);
+  Bytes msg = util::ToBytes("root digest to sign");
+  size_t sig_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    LamportSigner signer(rng.RandomBytes(32));
+    state.ResumeTiming();
+    Bytes sig = *signer.Sign(msg);
+    benchmark::DoNotOptimize(
+        LamportSigner::VerifySignature(signer.public_key(), msg, sig));
+    sig_bytes = sig.size() + signer.public_key().size();
+  }
+  state.counters["sig_plus_pk_bytes"] = double(sig_bytes);
+}
+BENCHMARK(BM_LamportSignVerify);
+
+void BM_WotsKeygen(benchmark::State& state) {
+  WotsParams params{.w = static_cast<int>(state.range(0))};
+  util::Rng rng(5);
+  for (auto _ : state) {
+    WinternitzSigner signer(rng.RandomBytes(32), params);
+    benchmark::DoNotOptimize(signer.public_key());
+  }
+  WinternitzSigner probe(util::ToBytes("probe"), params);
+  Bytes sig = *probe.Sign(util::ToBytes("m"));
+  state.counters["sig_bytes"] = double(sig.size());
+}
+BENCHMARK(BM_WotsKeygen)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_WotsSign(benchmark::State& state) {
+  WotsParams params{.w = static_cast<int>(state.range(0))};
+  util::Rng rng(6);
+  Bytes msg = util::ToBytes("root digest");
+  for (auto _ : state) {
+    state.PauseTiming();
+    WinternitzSigner signer(rng.RandomBytes(32), params);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(*signer.Sign(msg));
+  }
+}
+BENCHMARK(BM_WotsSign)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_WotsVerify(benchmark::State& state) {
+  WotsParams params{.w = static_cast<int>(state.range(0))};
+  WinternitzSigner signer(util::ToBytes("wots-bench"), params);
+  Bytes msg = util::ToBytes("root digest");
+  Bytes sig = *signer.Sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        WinternitzSigner::VerifySignature(signer.public_key(), msg, sig, params));
+  }
+}
+BENCHMARK(BM_WotsVerify)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MssKeygen(benchmark::State& state) {
+  const int height = static_cast<int>(state.range(0));
+  util::Rng rng(7);
+  for (auto _ : state) {
+    MerkleSigner signer(rng.RandomBytes(32), height);
+    benchmark::DoNotOptimize(signer.public_key());
+  }
+  state.counters["signatures_per_key"] = double(1ULL << height);
+}
+BENCHMARK(BM_MssKeygen)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_MssSign(benchmark::State& state) {
+  MerkleSigner signer(util::ToBytes("mss-bench"), /*height=*/12);
+  Bytes msg = util::ToBytes("h(M(D) || ctr)");
+  size_t sig_bytes = 0;
+  for (auto _ : state) {
+    auto sig = signer.Sign(msg);
+    if (!sig.ok()) {  // Exhausted: restart with a fresh key outside timing.
+      state.PauseTiming();
+      signer = MerkleSigner(util::ToBytes("mss-bench"), 12);
+      state.ResumeTiming();
+      continue;
+    }
+    sig_bytes = sig->size();
+    benchmark::DoNotOptimize(*sig);
+  }
+  state.counters["sig_bytes"] = double(sig_bytes);
+}
+BENCHMARK(BM_MssSign);
+
+void BM_MssVerify(benchmark::State& state) {
+  MerkleSigner signer(util::ToBytes("mss-bench2"), /*height=*/8);
+  Bytes msg = util::ToBytes("h(M(D) || ctr)");
+  Bytes sig = *signer.Sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MerkleSigner::VerifySignature(signer.public_key(), msg, sig));
+  }
+}
+BENCHMARK(BM_MssVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

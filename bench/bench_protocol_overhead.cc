@@ -1,0 +1,94 @@
+// Experiment E6 (paper §4.2 vs §4.3): per-operation protocol overhead.
+//
+// All users commit concurrently against an honest server. Reproduced
+// claims:
+//
+//   * Protocol I adds one extra (signed) message per operation and blocks
+//     the server on it, so under concurrency its completion time and
+//     latency degrade ("This additional blocking step affects throughput in
+//     systems with frequent updates");
+//   * Protocol II has no extra message and no signatures: its cost over the
+//     plain unverified server is VO bytes + client hashing only;
+//   * message and byte counts quantify c, the verification overhead per
+//     ordinary transaction (bounded workload preservation).
+
+#include <cstdio>
+
+#include "bench/table.h"
+#include "core/scenario.h"
+#include "workload/workload.h"
+
+using namespace tcvs;
+using namespace tcvs::core;
+using tcvs::bench::Num;
+using tcvs::bench::Table;
+
+namespace {
+
+struct Row {
+  uint64_t rounds;
+  double avg_latency;
+  uint64_t p50;
+  uint64_t p99;
+  uint64_t messages;
+  uint64_t bytes;
+  double bytes_per_op;
+};
+
+Row RunConcurrent(ProtocolKind protocol, uint32_t num_users, uint32_t ops_each) {
+  ScenarioConfig config;
+  config.protocol = protocol;
+  config.num_users = num_users;
+  config.sync_k = 100000;  // Sync cost measured separately in E7.
+  config.user_key_height = 6;
+  workload::Workload w;
+  for (uint32_t u = 1; u <= num_users; ++u) {
+    workload::UserScript s;
+    s.user = u;
+    for (uint32_t i = 0; i < ops_each; ++i) {
+      s.ops.push_back({1, sim::OpKind::kCommit,
+                       util::ToBytes("f" + std::to_string(u * 100 + i % 10)),
+                       util::ToBytes("content " + std::to_string(i))});
+    }
+    w.push_back(std::move(s));
+  }
+  Scenario scenario(config, std::move(w));
+  ScenarioReport r = scenario.RunUntilDone(40000);
+  uint64_t total_ops = uint64_t(num_users) * ops_each;
+  // Rounds until the last scripted op completed ≈ rounds_executed only if we
+  // stop then; approximate with max latency + 1 (all eligible at round 1).
+  return Row{r.max_latency_rounds + 1, r.avg_latency_rounds, r.latency.p50(),
+             r.latency.p99(),          r.traffic.messages,
+             r.traffic.bytes,          double(r.traffic.bytes) / total_ops};
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t kUsers = 6, kOps = 15;
+  std::printf("E6: protocol overhead under concurrency\n");
+  std::printf("(%u users x %u commits, all eligible at round 1, honest server)\n\n",
+              kUsers, kOps);
+
+  Table table({"protocol", "completion (rounds)", "avg latency", "p50", "p99",
+               "messages", "total bytes", "bytes/op"});
+  for (ProtocolKind p :
+       {ProtocolKind::kPlain, ProtocolKind::kNoExternalComm,
+        ProtocolKind::kProtocolII, ProtocolKind::kProtocolI,
+        ProtocolKind::kTokenBaseline}) {
+    Row row = RunConcurrent(p, kUsers, kOps);
+    table.AddRow({std::string(ProtocolKindToString(p)), Num(row.rounds),
+                  Num(row.avg_latency), Num(row.p50), Num(row.p99),
+                  Num(row.messages), Num(row.bytes), Num(row.bytes_per_op)});
+  }
+  table.Print();
+
+  std::printf(
+      "Expected shape: Plain and NoExternalComm/ProtocolII complete in the\n"
+      "same (small) number of rounds — the VO costs bytes, not rounds.\n"
+      "ProtocolI's blocking signature serializes the server (completion\n"
+      "scales with total ops, messages ~1.5x). TokenBaseline is slowest:\n"
+      "one op per slot. Bytes/op for verifying protocols = VO size +\n"
+      "envelope; ProtocolI adds the signature payloads.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Experiment F3 (paper Figure 3): the state-replay attack and the
+// user-tagging ablation.
+//
+// The scripted scenario duplicates two honest transitions to two mirror
+// users (see core::MakeReplayScenario for the construction and the XOR
+// arithmetic). Reproduced claims:
+//
+//   * untagged registers h(M ‖ ctr): the duplicated states cancel pairwise,
+//     the sync-up passes, the availability violation goes undetected;
+//   * tagged registers h(M ‖ ctr ‖ user) (Protocol II proper): in-degree >1
+//     states get distinct fingerprints, parity breaks, sync-up detects.
+
+#include <cstdio>
+
+#include "bench/table.h"
+#include "core/scenario.h"
+
+using namespace tcvs;
+using namespace tcvs::core;
+using tcvs::bench::Num;
+using tcvs::bench::Table;
+using tcvs::bench::YesNo;
+
+int main() {
+  std::printf("F3: Figure-3 replay attack — fingerprint tagging ablation\n");
+  std::printf("(5 users; transitions 3 and 4 replayed to users 4 and 5)\n\n");
+
+  Table table({"fingerprint", "ground-truth deviation", "sync-up detects",
+               "detection round"});
+  {
+    Scenario scenario = MakeReplayScenario(/*naive=*/true);
+    ScenarioReport r = scenario.Run(300);
+    table.AddRow({"h(M||ctr)  [untagged]", YesNo(r.ground_truth_deviation),
+                  YesNo(r.detected), r.detected ? Num(r.detection_round) : "-"});
+  }
+  {
+    Scenario scenario = MakeReplayScenario(/*naive=*/false);
+    ScenarioReport r = scenario.Run(300);
+    table.AddRow({"h(M||ctr||user) [tagged]", YesNo(r.ground_truth_deviation),
+                  YesNo(r.detected), r.detected ? Num(r.detection_round) : "-"});
+  }
+  table.Print();
+
+  std::printf(
+      "Expected shape: both rows show a real deviation (two transactions per\n"
+      "counter value); only the tagged variant detects it. This is the\n"
+      "design-choice ablation of DESIGN.md section 5 and the reason Protocol\n"
+      "II tags states with their creating user.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment E7 (paper §4.2 sync-up, future-work item 2): synchronization
+// cost as the user population grows.
+//
+// Honest Protocol II runs with a fixed per-user op budget; we count the
+// external (user-to-user broadcast) traffic. Each sync-up costs one
+// announce plus n reports, each broadcast to n−1 peers: Θ(n²) messages —
+// the paper's future-work point that clients do work proportional to the
+// number of users.
+
+#include <cstdio>
+
+#include "bench/table.h"
+#include "core/scenario.h"
+#include "workload/workload.h"
+
+using namespace tcvs;
+using namespace tcvs::core;
+using tcvs::bench::Num;
+using tcvs::bench::Table;
+
+namespace {
+
+ScenarioReport RunHonest(uint32_t num_users, uint32_t k, uint32_t ops_per_user,
+                         SyncMode mode = SyncMode::kBroadcast) {
+  ScenarioConfig config;
+  config.protocol = ProtocolKind::kProtocolII;
+  config.num_users = num_users;
+  config.sync_k = k;
+  config.sync_mode = mode;
+  workload::CvsWorkloadOptions opts;
+  opts.num_users = num_users;
+  opts.ops_per_user = ops_per_user;
+  opts.num_files = 3 * num_users;
+  opts.mean_think_rounds = 2;
+  opts.offline_probability = 0.0;
+  opts.seed = 17;
+  Scenario scenario(config, workload::MakeCvsWorkload(opts));
+  return scenario.RunUntilDone(60000);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7: sync-up cost vs population size (Protocol II, honest)\n");
+  std::printf("(24 ops per user; k = 8 unless noted)\n\n");
+
+  Table table({"n users", "k", "external msgs", "external bytes",
+               "per-sync msgs (n^2-1)", "syncs (measured)"});
+  for (uint32_t n : {2u, 4u, 8u, 16u, 32u}) {
+    ScenarioReport r = RunHonest(n, 8, 24);
+    // One sync-up costs: 1 announce to n−1 peers + n reports to n−1 peers
+    // each = (n+1)(n−1) = n²−1 broadcast messages.
+    uint64_t per_sync = uint64_t(n) * n - 1;
+    table.AddRow({Num(uint64_t(n)), "8", Num(r.traffic.external_messages),
+                  Num(r.traffic.external_bytes), Num(per_sync),
+                  Num(double(r.traffic.external_messages) / per_sync)});
+  }
+  table.Print();
+
+  Table ktable({"k", "external msgs", "external bytes", "syncs (approx)"});
+  for (uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
+    ScenarioReport r = RunHonest(8, k, 24);
+    ktable.AddRow({Num(uint64_t(k)), Num(r.traffic.external_messages),
+                   Num(r.traffic.external_bytes), Num(uint64_t(8 * 24 / k))});
+  }
+  ktable.Print();
+
+  // Future-work extension (paper §6, item 2): aggregation-tree sync brings
+  // the per-sync cost from Θ(n²) broadcast messages to Θ(n), with O(1) work
+  // per client (XOR of at most two child aggregates).
+  std::printf("Aggregation-tree extension (same workloads):\n\n");
+  Table mtable({"n users", "broadcast msgs", "tree msgs", "reduction"});
+  for (uint32_t n : {4u, 8u, 16u, 32u}) {
+    ScenarioReport b = RunHonest(n, 8, 24, SyncMode::kBroadcast);
+    ScenarioReport t = RunHonest(n, 8, 24, SyncMode::kAggregationTree);
+    double reduction = t.traffic.external_messages == 0
+                           ? 0
+                           : double(b.traffic.external_messages) /
+                                 double(t.traffic.external_messages);
+    mtable.AddRow({Num(uint64_t(n)), Num(b.traffic.external_messages),
+                   Num(t.traffic.external_messages),
+                   Num(reduction) + "x"});
+  }
+  mtable.Print();
+
+  std::printf(
+      "Expected shape: per-sync messages grow ~n^2 (every user broadcasts a\n"
+      "report to every other); total sync traffic falls ~1/k as the sync\n"
+      "period k grows — the detection-delay/overhead trade-off of F1.\n");
+  return 0;
+}

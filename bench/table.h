@@ -1,0 +1,61 @@
+#pragma once
+
+// Minimal fixed-width table printer for the scenario-driven experiment
+// binaries (the paper has no numeric tables of its own; these regenerate
+// the quantitative claims behind its figures and prose).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tcvs {
+namespace bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (size_t c = 0; c < width.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(width[c]), s.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < width.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Num(uint64_t v) { return std::to_string(v); }
+inline std::string Num(double v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+inline std::string YesNo(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace bench
+}  // namespace tcvs

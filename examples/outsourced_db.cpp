@@ -1,0 +1,86 @@
+// The outsourcing model (paper §1): a database owned jointly by several
+// clients but operated by an untrusted third-party vendor. This example
+// exercises the full application stack:
+//
+//   * CVS semantics (checkout / commit / update-merge / conflict) from
+//     src/cvs, including the Myers diff engine,
+//   * authenticated range scans over the vendor's Merkle B⁺-tree, with the
+//     completeness check that catches a vendor hiding rows.
+//
+// Build & run:  ./build/examples/outsourced_db
+
+#include <cstdio>
+
+#include "cvs/repository.h"
+#include "mtree/client.h"
+#include "util/bytes.h"
+
+using namespace tcvs;
+
+int main() {
+  std::printf("== Outsourced multi-user database ==\n\n");
+
+  // The vendor hosts the repository; clients keep only the root digest.
+  cvs::Repository vendor;
+  mtree::TreeClient alice = mtree::TreeClient::ForEmptyDatabase();
+
+  // --- CVS flow: commit, concurrent edit, merge -----------------------------
+  auto r1 = vendor.Commit("orders/2026-Q3.csv", "id,qty\n1,10\n2,20\n", 0);
+  std::printf("alice creates orders/2026-Q3.csv -> revision %llu\n",
+              static_cast<unsigned long long>(*r1));
+
+  // Bob checks out, edits line 2; Alice concurrently edits line 3.
+  cvs::WorkingCopy bob;
+  bob.OnCheckout("orders/2026-Q3.csv", *vendor.Checkout("orders/2026-Q3.csv"));
+  (void)bob.Edit("orders/2026-Q3.csv", "id,qty\n1,15\n2,20\n");
+
+  auto r2 = vendor.Commit("orders/2026-Q3.csv", "id,qty\n1,10\n2,25\n", 1);
+  std::printf("alice commits qty change         -> revision %llu\n",
+              static_cast<unsigned long long>(*r2));
+
+  // Bob's commit against revision 1 is stale — classic CVS conflict flow.
+  auto stale = vendor.Commit("orders/2026-Q3.csv", *bob.Content("orders/2026-Q3.csv"), 1);
+  std::printf("bob's stale commit rejected      : %s\n",
+              stale.ok() ? "NO (broken)" : stale.status().ToString().c_str());
+
+  // Bob updates (three-way merge) and retries.
+  auto merged = bob.Update("orders/2026-Q3.csv", *vendor.Checkout("orders/2026-Q3.csv"));
+  std::printf("bob merges upstream              : conflicts=%s\n",
+              merged->had_conflicts ? "yes" : "no");
+  auto r3 = vendor.Commit("orders/2026-Q3.csv", *bob.Content("orders/2026-Q3.csv"), 2);
+  std::printf("bob's merged commit              -> revision %llu\n",
+              static_cast<unsigned long long>(*r3));
+  std::printf("final content:\n%s\n", vendor.Checkout("orders/2026-Q3.csv")->content.c_str());
+
+  // --- Authenticated range scan ---------------------------------------------
+  // Sync alice's trusted root by replaying the commits through the VO path
+  // would be the protocol layer's job; here we hand her the current digest
+  // as if a verified sync just completed.
+  for (const char* path : {"orders/2026-Q1.csv", "orders/2026-Q2.csv",
+                           "orders/2026-Q4.csv", "users/admins.txt"}) {
+    (void)vendor.Commit(path, std::string("data for ") + path + "\n", 0);
+  }
+  alice.ResetRoot(vendor.tree().root_digest());
+
+  Bytes lo = util::ToBytes("orders/");
+  Bytes hi = util::ToBytes("orders/\xFF");
+  mtree::RangeVO range_vo = vendor.tree().ProveRange(lo, hi);
+  auto rows = alice.ReadRange(lo, hi, range_vo);
+  std::printf("verified range scan of orders/*  : %zu rows\n", rows->size());
+  for (const auto& [k, v] : *rows) {
+    std::printf("  %s\n", util::ToString(k).c_str());
+  }
+
+  // A vendor that hides a row is caught by the completeness check.
+  mtree::RangeVO forged = range_vo;
+  if (!forged.root.is_leaf && !forged.root.expanded.empty()) {
+    forged.root.expanded.erase(forged.root.expanded.begin());
+  } else {
+    forged.root.entries.clear();
+  }
+  auto cheated = alice.ReadRange(lo, hi, forged);
+  std::printf("vendor hiding rows rejected      : %s (%s)\n",
+              cheated.ok() ? "NO (broken)" : "yes",
+              cheated.status().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// The Figure-1 partition attack, told as the paper tells it (§3.1):
+//
+//   A programmer in the US commits Common.h (t1) and goes offline. A
+//   programmer in China then checks out Common.h (t2, causally dependent on
+//   t1) and keeps committing. A malicious server shows the Chinese side a
+//   fork that never contained t1. Each side's view is perfectly
+//   self-consistent, so without communication between users (Theorem 3.1)
+//   the fork is undetectable — and with a broadcast sync-up (Protocols I/II)
+//   it is caught as soon as the first user completes k more operations.
+//
+// Build & run:  ./build/examples/partition_attack
+
+#include <cstdio>
+
+#include "core/scenario.h"
+#include "workload/workload.h"
+
+using namespace tcvs;
+
+namespace {
+
+core::ScenarioReport RunWith(core::ProtocolKind protocol, uint32_t k) {
+  core::ScenarioConfig config;
+  config.protocol = protocol;
+  config.num_users = 4;
+  config.sync_k = k;
+  config.user_key_height = 8;
+  config.attack.kind = core::AttackKind::kFork;
+  config.attack.trigger_round = 60;   // Before t1 lands at round ~82.
+  config.attack.partition_a = {3, 4};  // The offshore team gets the fork.
+
+  workload::PartitionableOptions opts;
+  opts.users_in_a = 2;
+  opts.users_in_b = 2;
+  opts.prefix_ops_per_user = 3;
+  opts.partition_round = 80;  // t1: the US programmer's commit to Common.h.
+  opts.b_ops_after_dependency = 3 * k;  // B works on: > k ops by one user.
+  core::Scenario scenario(config, workload::MakePartitionableWorkload(opts));
+  return scenario.Run(20000);
+}
+
+void Report(const char* name, const core::ScenarioReport& r) {
+  std::printf("%-18s deviation(ground truth)=%-3s detected=%-3s", name,
+              r.ground_truth_deviation ? "yes" : "no", r.detected ? "yes" : "no");
+  if (r.detected) {
+    std::printf("  round=%-6llu ops-after-attack=%llu",
+                static_cast<unsigned long long>(r.detection_round),
+                static_cast<unsigned long long>(r.detection_delay_ops));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Partition attack (paper Figure 1), k = 8\n");
+  std::printf("-----------------------------------------\n");
+
+  // No protocol at all: the attack simply works.
+  Report("Plain", RunWith(core::ProtocolKind::kPlain, 8));
+
+  // Theorem 3.1: per-operation local verification without any user-to-user
+  // communication cannot detect the fork — ever.
+  Report("NoExternalComm", RunWith(core::ProtocolKind::kNoExternalComm, 8));
+
+  // Protocol I: signed roots + sync-up. Detected at the first sync after
+  // the fork.
+  Report("ProtocolI", RunWith(core::ProtocolKind::kProtocolI, 8));
+
+  // Protocol II: XOR registers, no signatures, no blocking message.
+  Report("ProtocolII", RunWith(core::ProtocolKind::kProtocolII, 8));
+
+  std::printf(
+      "\nNote how both sides of the fork verified every operation locally\n"
+      "and still the histories diverged: detection requires the sync-up's\n"
+      "external communication, exactly as Theorem 3.1 demands.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// The Figure-3 replay attack: why Protocol II tags state fingerprints with
+// the user that produced them.
+//
+// A first-attempt design accumulates untagged fingerprints h(M(D) ‖ ctr) in
+// each user's XOR register. The server can then replay an already-executed
+// segment of history to a second set of users: every duplicated state
+// cancels pairwise in the combined XOR and the sync-up check passes, even
+// though two transactions were executed per counter value and the mirrored
+// users never see the live branch — an availability violation.
+//
+// Tagging each state with the id of the user whose operation created it —
+// h(M(D) ‖ ctr ‖ j) — forces in-degree ≤ 1 in the state-transition graph
+// (Lemma 4.1), so the same replay leaves unmatched fingerprints and the
+// sync-up fails.
+//
+// Build & run:  ./build/examples/replay_attack
+
+#include <cstdio>
+
+#include "core/scenario.h"
+
+using namespace tcvs;
+
+int main() {
+  std::printf("Figure-3 replay attack: tagged vs untagged XOR registers\n");
+  std::printf("--------------------------------------------------------\n\n");
+
+  {
+    core::Scenario scenario = core::MakeReplayScenario(/*naive=*/true);
+    core::ScenarioReport r = scenario.Run(300);
+    std::printf("untagged h(M||ctr)      : ground-truth deviation=%s, "
+                "detected=%s   <-- fooled!\n",
+                r.ground_truth_deviation ? "yes" : "no",
+                r.detected ? "yes" : "no");
+  }
+  {
+    core::Scenario scenario = core::MakeReplayScenario(/*naive=*/false);
+    core::ScenarioReport r = scenario.Run(300);
+    std::printf("tagged   h(M||ctr||user): ground-truth deviation=%s, "
+                "detected=%s (round %llu: %s)\n",
+                r.ground_truth_deviation ? "yes" : "no",
+                r.detected ? "yes" : "no",
+                static_cast<unsigned long long>(r.detection_round),
+                r.detection_reason.c_str());
+  }
+
+  std::printf(
+      "\nThe replayed transitions duplicate (state, ctr) pairs across users.\n"
+      "Untagged, each duplicate cancels in the XOR and the check collapses\n"
+      "to initial ⊕ last as if the history were a single path. Tagged, the\n"
+      "duplicates carry different creator ids, parity breaks, and the\n"
+      "sync-up reports the deviation.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "mtree/vo.h"
+#include "sim/types.h"
+
+namespace tcvs {
+namespace core {
+
+/// Which protocol the scenario runs.
+enum class ProtocolKind : uint8_t {
+  /// No verification at all: plain client/server. Performance floor.
+  kPlain = 0,
+  /// Per-operation local checks only (VO consistency, per-user counter
+  /// monotonicity) with NO external communication — everything a user can do
+  /// alone. Exists to demonstrate Theorem 3.1: it cannot detect forks.
+  kNoExternalComm = 1,
+  /// The §2.2.3 token-passing baseline: pre-specified slots in a fixed user
+  /// order, null records when idle. Correct but destroys workload
+  /// preservation.
+  kTokenBaseline = 2,
+  /// Protocol I (§4.2): signed root digests + broadcast sync every k ops.
+  kProtocolI = 3,
+  /// Protocol II (§4.3): user-tagged XOR state registers, no signatures, no
+  /// blocking message.
+  kProtocolII = 4,
+  /// Protocol II with UNTAGGED fingerprints — the insecure first attempt of
+  /// §4.3, vulnerable to the Figure-3 replay. Ablation arm only.
+  kProtocolIINaive = 5,
+  /// Protocol III (§4.4): epoch-based audit through the server, no broadcast
+  /// channel.
+  kProtocolIII = 6,
+};
+
+std::string_view ProtocolKindToString(ProtocolKind kind);
+
+/// How sync-up reports travel between users (Protocols I/II).
+enum class SyncMode : uint8_t {
+  /// The paper's scheme: every user broadcasts its report to every other —
+  /// Θ(n²) messages per sync-up, O(n) work per client.
+  kBroadcast = 0,
+  /// Future-work item (2) of the paper: reports are XOR/sum-aggregated up a
+  /// static binary tree of users, the root broadcasts the aggregate, and
+  /// only matching users answer — Θ(n) messages per sync-up, O(1) work per
+  /// client.
+  kAggregationTree = 1,
+};
+
+std::string_view SyncModeToString(SyncMode mode);
+
+/// Malicious server strategy.
+enum class AttackKind : uint8_t {
+  kHonest = 0,
+  /// Fork / partition attack (Figure 1): from `trigger_round` on, users in
+  /// `partition_a` are served one fork and everyone else the other.
+  kFork = 1,
+  /// Tamper with a committed value (single-user integrity violation): the
+  /// first commit at/after `trigger_round` is applied with altered content.
+  kTamper = 2,
+  /// Drop a committed update (single-user availability violation): the first
+  /// commit at/after `trigger_round` is acknowledged but not applied; the
+  /// server then forks the victim off the main branch to keep both views
+  /// self-consistent.
+  kDrop = 3,
+  /// Figure-3 replay: transitions of `mirror_source_ops` honest operations
+  /// are replayed to the users in `mirror_users`, duplicating (state, ctr)
+  /// pairs across users. Defeats untagged XOR registers; caught by tagging.
+  kReplaySegment = 4,
+  /// Protocol III: withhold one user's stored epoch state from the auditor.
+  kOmitEpochState = 5,
+  /// Protocol III: substitute a stale (previous-epoch) blob for one user.
+  kStaleEpochState = 6,
+  /// Availability violation by silence: the server stops answering queries
+  /// at the trigger round. Only the b*-bounded-transaction liveness check
+  /// can catch this (no response ever arrives to verify).
+  kStall = 7,
+};
+
+std::string_view AttackKindToString(AttackKind kind);
+
+struct AttackConfig {
+  AttackKind kind = AttackKind::kHonest;
+  /// Round at/after which the attack engages.
+  sim::Round trigger_round = 0;
+  /// kFork: users served the secondary fork.
+  std::set<sim::AgentId> partition_a;
+  /// kReplaySegment: users whose operations are served from the replay
+  /// cursor instead of the live state.
+  std::set<sim::AgentId> mirror_users;
+  /// kReplaySegment: number of initial honest transitions the replay skips —
+  /// the duplicated segment must end at the live head and start at a state
+  /// that is still some user's `last` for the untagged evasion to work.
+  uint32_t replay_skip = 0;
+  /// kOmitEpochState / kStaleEpochState: whose blob to suppress/staleify.
+  sim::AgentId victim = 0;
+};
+
+/// Per-user local clock period for p-partial synchrony (§2.1): a user with
+/// period p acts (processes messages, issues operations) only every p-th
+/// round. The map is sparse; absent users act every round.
+using UserPeriods = std::map<sim::AgentId, sim::Round>;
+
+/// \brief Everything needed to instantiate a scenario: protocol, population,
+/// protocol parameters, and the server's (mis)behaviour.
+struct ScenarioConfig {
+  ProtocolKind protocol = ProtocolKind::kProtocolII;
+  uint32_t num_users = 4;
+  /// Protocol I/II: sync-up after a user completes k operations since the
+  /// last sync (the k of k-bounded deviation detection).
+  uint32_t sync_k = 8;
+  /// Protocol III / token baseline: rounds per epoch / slot.
+  sim::Round epoch_rounds = 50;
+  sim::Round slot_rounds = 4;
+  mtree::TreeParams tree_params;
+  AttackConfig attack;
+  /// MSS tree height for user signing keys (2^h signatures per user).
+  int user_key_height = 10;
+  /// Rounds at which user 1 announces an extra sync-up regardless of k —
+  /// experiment control for scripted scenarios (e.g. Figure 3).
+  std::vector<sim::Round> forced_syncs;
+  /// Report dissemination at sync-up (broadcast vs aggregation tree).
+  SyncMode sync_mode = SyncMode::kBroadcast;
+  /// Fault localization (paper future-work item 1): each user keeps a ring
+  /// buffer of its last `journal_len` transitions and attaches it to sync
+  /// reports; on sync failure the evaluator reconstructs the transition
+  /// graph and names the earliest inconsistent counter. 0 disables.
+  /// Local state stays bounded: the journal length is a constant.
+  uint32_t journal_len = 0;
+  /// p-partial synchrony bound (§2.1): no user's local clock is slower than
+  /// one tick per p rounds. Used to scale protocol timeouts. Per-user actual
+  /// periods come from `user_periods`.
+  sim::Round partial_sync_p = 1;
+  /// Per-user local clock periods (≤ partial_sync_p each); sparse.
+  UserPeriods user_periods;
+  /// b*-bounded transaction time (§2.1): when nonzero, a user whose
+  /// transaction has been outstanding for more than this many rounds reports
+  /// an availability violation (the trusted server answers within b*; a
+  /// stalling server is deviating). 0 disables the liveness check.
+  sim::Round b_star = 0;
+};
+
+}  // namespace core
+}  // namespace tcvs

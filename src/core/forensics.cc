@@ -1,0 +1,60 @@
+#include "core/forensics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tcvs {
+namespace core {
+
+std::optional<FaultHypothesis> LocalizeFault(
+    const std::vector<TransitionRecord>& transitions) {
+  std::vector<const TransitionRecord*> ordered;
+  ordered.reserve(transitions.size());
+  for (const auto& t : transitions) ordered.push_back(&t);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TransitionRecord* a, const TransitionRecord* b) {
+                     return a->ctr < b->ctr;
+                   });
+
+  std::optional<FaultHypothesis> best;
+  auto propose = [&](uint64_t ctr, std::string why) {
+    if (!best.has_value() || ctr < best->first_bad_ctr) {
+      best = FaultHypothesis{ctr, std::move(why)};
+    }
+  };
+
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const TransitionRecord& t = *ordered[i];
+    // Duplicate counter: two transactions in the same serial position.
+    if (i + 1 < ordered.size() && ordered[i + 1]->ctr == t.ctr) {
+      const TransitionRecord& u = *ordered[i + 1];
+      if (!(t == u)) {
+        propose(t.ctr, "two different transitions at counter " +
+                           std::to_string(t.ctr) + " (users " +
+                           std::to_string(t.user) + " and " +
+                           std::to_string(u.user) + "): fork or replay");
+      }
+    }
+    // Chain check against the next retained counter.
+    if (i + 1 < ordered.size() && ordered[i + 1]->ctr == t.ctr + 1) {
+      const TransitionRecord& next = *ordered[i + 1];
+      if (next.pre != t.post) {
+        propose(t.ctr + 1,
+                "state entering counter " + std::to_string(t.ctr + 1) +
+                    " does not match the state produced at counter " +
+                    std::to_string(t.ctr) + ": tampered or dropped update");
+      }
+      if (next.claimed_creator != t.user) {
+        propose(t.ctr + 1,
+                "server claimed user " + std::to_string(next.claimed_creator) +
+                    " created the state at counter " +
+                    std::to_string(t.ctr + 1) + " but user " +
+                    std::to_string(t.user) + " performed that transition");
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace core
+}  // namespace tcvs

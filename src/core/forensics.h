@@ -1,0 +1,45 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/wire.h"
+
+namespace tcvs {
+namespace core {
+
+/// \brief Localized fault: the earliest operation counter at which the
+/// combined transition journals are inconsistent with a single serial
+/// execution, plus a human-readable explanation.
+struct FaultHypothesis {
+  uint64_t first_bad_ctr = 0;
+  std::string explanation;
+};
+
+/// \brief Fault localization (paper future-work item 1: "detect exactly when
+/// the fault occurred").
+///
+/// Input: the union of all users' bounded transition journals (each record:
+/// pre/post state fingerprints, counter, claimed creator). A correct server
+/// produces one transition per counter, chaining post(c) = pre(c+1) and
+/// creator(c→c+1) = the user that performed transition c→c+1. The function
+/// reports the earliest counter violating any of:
+///
+///   * two different transitions claim the same counter (fork / replay),
+///   * adjacent journaled transitions do not chain (tamper / drop),
+///   * the claimed creator of a pre-state contradicts the journaled
+///     performer of the previous transition.
+///
+/// Journals are bounded ring buffers, so localization is approximate: it
+/// names the earliest fault *visible in the retained window*. With journal
+/// length L ≥ the sync period k, every post-deviation transition since the
+/// last (clean) sync is retained and the localization is exact.
+///
+/// \return nullopt when the journals are consistent (the deviation predates
+/// the retained window, or there is none).
+std::optional<FaultHypothesis> LocalizeFault(
+    const std::vector<TransitionRecord>& transitions);
+
+}  // namespace core
+}  // namespace tcvs

@@ -1,0 +1,114 @@
+#include "core/graph_check.h"
+
+#include <algorithm>
+
+namespace tcvs {
+namespace core {
+
+size_t TransitionGraph::InternVertex(const Bytes& fingerprint) {
+  auto it = index_.find(fingerprint);
+  if (it != index_.end()) return it->second;
+  size_t id = adjacency_.size();
+  index_.emplace(fingerprint, id);
+  adjacency_.push_back(VertexInfo{});
+  return id;
+}
+
+void TransitionGraph::AddEdge(const Bytes& from, const Bytes& to) {
+  size_t u = InternVertex(from);
+  size_t v = InternVertex(to);
+  adjacency_[u].out.push_back(v);
+  adjacency_[v].in_degree += 1;
+  ++num_edges_;
+}
+
+bool TransitionGraph::HasNoIsolatedVertices() const {
+  for (const auto& v : adjacency_) {
+    if (v.out.empty() && v.in_degree == 0) return false;
+  }
+  return true;
+}
+
+bool TransitionGraph::InDegreeAtMostOne() const {
+  for (const auto& v : adjacency_) {
+    if (v.in_degree > 1) return false;
+  }
+  return true;
+}
+
+bool TransitionGraph::IsAcyclic() const {
+  // Kahn's algorithm: the graph is acyclic iff every vertex is peeled.
+  std::vector<size_t> in_degree(adjacency_.size());
+  for (size_t i = 0; i < adjacency_.size(); ++i) {
+    in_degree[i] = adjacency_[i].in_degree;
+  }
+  std::vector<size_t> frontier;
+  for (size_t i = 0; i < adjacency_.size(); ++i) {
+    if (in_degree[i] == 0) frontier.push_back(i);
+  }
+  size_t peeled = 0;
+  while (!frontier.empty()) {
+    size_t u = frontier.back();
+    frontier.pop_back();
+    ++peeled;
+    for (size_t v : adjacency_[u].out) {
+      if (--in_degree[v] == 0) frontier.push_back(v);
+    }
+  }
+  return peeled == adjacency_.size();
+}
+
+bool TransitionGraph::OddDegreeConditionHolds() const {
+  size_t odd = 0;
+  bool some_odd_source = false;
+  for (const auto& v : adjacency_) {
+    size_t total = v.out.size() + v.in_degree;
+    if (total % 2 == 1) {
+      ++odd;
+      if (v.in_degree == 0) some_odd_source = true;
+    }
+  }
+  return odd == 2 && some_odd_source;
+}
+
+bool TransitionGraph::IsSingleDirectedPath() const {
+  if (adjacency_.empty()) return true;  // Zero transitions: trivially a path.
+  // A single directed path over all edges: walk from the unique source,
+  // consuming one out-edge per step, and cover every edge and vertex.
+  std::optional<size_t> source;
+  for (size_t i = 0; i < adjacency_.size(); ++i) {
+    if (adjacency_[i].in_degree == 0) {
+      if (source.has_value()) return false;  // Two sources.
+      source = i;
+    }
+    if (adjacency_[i].out.size() > 1) return false;  // Branching.
+    if (adjacency_[i].in_degree > 1) return false;   // Merging.
+  }
+  if (!source.has_value()) return false;  // No source: a cycle.
+  size_t steps = 0;
+  size_t cur = *source;
+  std::vector<bool> seen(adjacency_.size(), false);
+  while (true) {
+    if (seen[cur]) return false;
+    seen[cur] = true;
+    if (adjacency_[cur].out.empty()) break;
+    cur = adjacency_[cur].out[0];
+    ++steps;
+  }
+  return steps == num_edges_ &&
+         size_t(std::count(seen.begin(), seen.end(), true)) == adjacency_.size();
+}
+
+std::string TransitionGraph::Describe() const {
+  std::string out = "graph{vertices=" + std::to_string(num_vertices()) +
+                    ", edges=" + std::to_string(num_edges()) + ", P1=" +
+                    (HasNoIsolatedVertices() ? "ok" : "FAIL") + ", P2=" +
+                    (InDegreeAtMostOne() ? "ok" : "FAIL") + ", P3=" +
+                    (IsAcyclic() ? "ok" : "FAIL") + ", P4=" +
+                    (OddDegreeConditionHolds() ? "ok" : "FAIL") + ", path=" +
+                    (IsSingleDirectedPath() ? "yes" : "no") + "}";
+  return out;
+}
+
+}  // namespace core
+}  // namespace tcvs

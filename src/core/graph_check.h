@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tcvs {
+namespace core {
+
+/// \brief The state-transition multigraph of Protocol II's correctness
+/// argument (paper Lemma 4.1), made executable.
+///
+/// Vertices are state fingerprints; a directed edge (u → v) is one verified
+/// transition some user observed. The lemma: a directed graph with
+///
+///   P1. no isolated vertices,
+///   P2. in-degree ≤ 1 everywhere,
+///   P3. no directed cycles,
+///   P4. exactly two vertices of odd total degree, one of them with
+///       in-degree 0,
+///
+/// is a single directed path. Protocol II's sync-up establishes P4 via the
+/// XOR registers, P2 via user tagging + counter monotonicity, P3 via the
+/// counter increasing along edges; P1 holds by construction. The test suite
+/// uses this module to check the lemma itself on randomized graphs and to
+/// cross-validate the protocol: every honest run's transition graph is a
+/// path, every successful attack run's graph is not.
+class TransitionGraph {
+ public:
+  /// Adds one transition (pre-state fingerprint → post-state fingerprint).
+  void AddEdge(const Bytes& from, const Bytes& to);
+
+  size_t num_edges() const { return num_edges_; }
+  size_t num_vertices() const { return adjacency_.size(); }
+
+  /// \name The four properties of Lemma 4.1.
+  /// @{
+  bool HasNoIsolatedVertices() const;  // P1 (trivially true for edge-built graphs).
+  bool InDegreeAtMostOne() const;      // P2
+  bool IsAcyclic() const;              // P3
+  /// P4: exactly two odd-total-degree vertices, one with in-degree 0.
+  bool OddDegreeConditionHolds() const;
+  /// @}
+
+  /// All four properties at once.
+  bool SatisfiesLemmaPreconditions() const {
+    return HasNoIsolatedVertices() && InDegreeAtMostOne() && IsAcyclic() &&
+           OddDegreeConditionHolds();
+  }
+
+  /// Is the graph one directed path visiting every edge (the lemma's
+  /// conclusion), checked directly by walking from the unique source?
+  bool IsSingleDirectedPath() const;
+
+  /// Human-readable verdict for diagnostics.
+  std::string Describe() const;
+
+ private:
+  struct VertexInfo {
+    std::vector<size_t> out;  // Target vertex indices (multi-edges allowed).
+    size_t in_degree = 0;
+  };
+
+  size_t InternVertex(const Bytes& fingerprint);
+
+  std::map<Bytes, size_t> index_;
+  std::vector<VertexInfo> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace core
+}  // namespace tcvs

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/server.h"
+#include "core/user.h"
+#include "util/histogram.h"
+#include "sim/kernel.h"
+#include "sim/trace.h"
+#include "workload/workload.h"
+
+namespace tcvs {
+namespace core {
+
+/// \brief Outcome of one simulated scenario, aggregating protocol detection,
+/// ground truth, and performance counters for the experiment harness.
+struct ScenarioReport {
+  /// Did any user raise the deviation alarm?
+  bool detected = false;
+  sim::Round detection_round = 0;
+  sim::AgentId detector = 0;
+  std::string detection_reason;
+
+  /// Round the server's attack first altered processing (0 = honest/never).
+  sim::Round attack_engaged_round = 0;
+  /// Operations (all users) the server processed after the attack engaged —
+  /// the paper's detection-delay metric in operations.
+  uint64_t detection_delay_ops = 0;
+  /// detection_round − attack_engaged_round (when both nonzero).
+  sim::Round detection_delay_rounds = 0;
+
+  /// Ground truth from the trace replay (independent of any protocol).
+  bool ground_truth_deviation = false;
+
+  /// Rollback bound: operations executed since the last *successful*
+  /// sync-up. On detection, at most this many operations are unverified and
+  /// may need rolling back ("limit the amount of rollback", paper §1).
+  uint64_t rollback_ops = 0;
+
+  sim::Round rounds_executed = 0;
+  uint64_t ops_completed = 0;
+  double avg_latency_rounds = 0;
+  uint64_t max_latency_rounds = 0;
+  /// Merged latency distribution over all users (rounds).
+  util::Histogram latency;
+  /// All scripted (non-filler) operations finished before the run ended.
+  bool all_scripts_done = false;
+  sim::TrafficStats traffic;
+};
+
+/// \brief Builds and runs one untrusted-CVS scenario: a ProtocolServer
+/// (honest or adversarial), one ProtocolUser per workload script, a shared
+/// PKI (when the protocol needs one), and the ground-truth trace log.
+class Scenario {
+ public:
+  Scenario(ScenarioConfig config, workload::Workload workload);
+  ~Scenario();
+
+  // Agents hold pointers into this object (trace log), so it is pinned.
+  // Factory functions still work: prvalue returns are elided since C++17.
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Runs up to `max_rounds` rounds (stops early at first detection).
+  ScenarioReport Run(sim::Round max_rounds);
+
+  /// Like Run, but additionally stops (after `grace` further rounds for
+  /// in-flight syncs/audits) once every user's script has completed. Use for
+  /// performance experiments where the token baseline would otherwise write
+  /// null records until the horizon.
+  ScenarioReport RunUntilDone(sim::Round max_rounds, sim::Round grace = 64);
+
+  const sim::TraceLog& trace() const { return trace_; }
+  ProtocolUser* user(sim::AgentId id) { return users_.at(id).get(); }
+  ProtocolServer* server() { return server_.get(); }
+  sim::Kernel* kernel() { return &kernel_; }
+  const ScenarioConfig& config() const { return config_; }
+
+ private:
+  ScenarioReport BuildReport(const sim::SimReport& sim_report);
+
+  ScenarioConfig config_;
+  sim::Kernel kernel_;
+  sim::TraceLog trace_;
+  std::shared_ptr<ProtocolServer> server_;
+  std::map<sim::AgentId, std::shared_ptr<ProtocolUser>> users_;
+};
+
+/// \brief Builds the Figure-3 replay scenario (experiment F3): users u1/u2
+/// commit a scripted sequence, mirror users u3/u4 later issue the identical
+/// operations, and the server replays the recorded transitions to them.
+/// With `naive` = true the protocol is the untagged-XOR variant the attack
+/// defeats; with false it is real Protocol II, which detects it.
+Scenario MakeReplayScenario(bool naive, uint32_t sync_k = 6);
+
+}  // namespace core
+}  // namespace tcvs

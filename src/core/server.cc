@@ -1,0 +1,248 @@
+#include "core/server.h"
+
+#include "util/logging.h"
+
+namespace tcvs {
+namespace core {
+
+ProtocolServer::ProtocolServer(ScenarioConfig config, Bytes initial_sig,
+                               uint32_t initial_signer)
+    : config_(std::move(config)), main_(config_.tree_params) {
+  main_.sig = std::move(initial_sig);
+  main_.creator = initial_signer;
+  replay_cursor_ = config_.attack.replay_skip;
+}
+
+void ProtocolServer::MarkAttackEngaged(sim::Round round) {
+  if (attack_engaged_round_ == 0) attack_engaged_round_ = round;
+}
+
+void ProtocolServer::OnRound(sim::RoundContext* ctx) {
+  // Fork attack: split the state at the trigger round, not at first use, so
+  // transactions landing on the main branch after the trigger are invisible
+  // to the partitioned users (the Figure-1 attack needs t1 ∉ fork).
+  if (config_.attack.kind == AttackKind::kFork && !fork_.has_value() &&
+      ctx->round() >= config_.attack.trigger_round) {
+    fork_.emplace(config_.tree_params);
+    fork_->db = main_.db.Clone();
+    fork_->ctr = main_.ctr;
+    fork_->creator = main_.creator;
+    fork_->sig = main_.sig;
+  }
+
+  // New messages join the tail of the pending queue; the queue preserves the
+  // serial arrival order the trusted server would execute in.
+  for (const auto& msg : ctx->inbox()) {
+    switch (msg.type) {
+      case kMsgQueryRequest:
+        pending_.push_back(msg);
+        break;
+      case kMsgRootSigUpload:
+        HandleSigUpload(msg);
+        break;
+      case kMsgEpochStatesRequest:
+        HandleEpochRequest(ctx, msg);
+        break;
+      default:
+        break;  // Broadcast traffic is user-to-user; ignore anything else.
+    }
+  }
+
+  // Availability violation by silence: accept queries but never answer.
+  if (config_.attack.kind == AttackKind::kStall &&
+      ctx->round() >= config_.attack.trigger_round) {
+    if (!pending_.empty()) MarkAttackEngaged(ctx->round());
+    return;
+  }
+
+  // Execute queued queries. Non-blocking protocols drain the whole queue;
+  // Protocol I (and the token baseline) stop after one query and wait for
+  // the user's signature upload — the paper's throughput-limiting step.
+  while (!pending_.empty()) {
+    if (UsesBlockingSig() && awaiting_sig_) break;
+    sim::Message msg = std::move(pending_.front());
+    pending_.pop_front();
+    HandleQuery(ctx, msg);
+    if (UsesBlockingSig()) awaiting_sig_ = true;
+  }
+}
+
+ProtocolServer::Branch* ProtocolServer::RouteBranch(sim::RoundContext* ctx,
+                                                    sim::AgentId user) {
+  const AttackConfig& attack = config_.attack;
+  if (attack.kind == AttackKind::kFork && fork_.has_value() &&
+      attack.partition_a.count(user) > 0) {
+    MarkAttackEngaged(ctx->round());
+    return &fork_.value();
+  }
+  return &main_;
+}
+
+void ProtocolServer::HandleQuery(sim::RoundContext* ctx, const sim::Message& msg) {
+  auto req_or = QueryRequest::Deserialize(msg.payload);
+  if (!req_or.ok()) return;  // Malformed request: drop (failures out of scope).
+  QueryRequest req = std::move(req_or).ValueOrDie();
+
+  // Protocol III: store the piggybacked signed epoch state (the server is
+  // just a blob store here; verification happens at the auditor).
+  if (req.epoch_upload.has_value()) {
+    const EpochStateBlob& blob = *req.epoch_upload;
+    epoch_states_[blob.epoch][blob.user] = blob;
+  }
+
+  const AttackConfig& attack = config_.attack;
+
+  // Figure-3 replay: serve mirror users recorded transitions.
+  if (attack.kind == AttackKind::kReplaySegment &&
+      ctx->round() >= attack.trigger_round &&
+      attack.mirror_users.count(msg.from) > 0 &&
+      replay_cursor_ < replay_history_.size()) {
+    MarkAttackEngaged(ctx->round());
+    ReplayEntry& entry = replay_history_[replay_cursor_++];
+    Branch replay_branch(config_.tree_params);
+    replay_branch.db = entry.pre_db.Clone();
+    replay_branch.ctr = entry.ctr;
+    replay_branch.creator = entry.creator;
+    replay_branch.sig = entry.sig;
+    Execute(ctx, msg.from, req, &replay_branch, /*record_replay_history=*/false);
+    return;
+  }
+
+  Branch* branch = RouteBranch(ctx, msg.from);
+  bool record_history = attack.kind == AttackKind::kReplaySegment &&
+                        attack.mirror_users.count(msg.from) == 0;
+  Execute(ctx, msg.from, req, branch, record_history);
+}
+
+void ProtocolServer::Execute(sim::RoundContext* ctx, sim::AgentId user,
+                             const QueryRequest& req, Branch* branch,
+                             bool record_replay_history) {
+  const AttackConfig& attack = config_.attack;
+
+  if (record_replay_history) {
+    ReplayEntry entry{branch->db.Clone(), branch->ctr, branch->creator,
+                      branch->sig};
+    replay_history_.push_back(std::move(entry));
+  }
+
+  QueryResponse resp;
+  resp.qid = req.qid;
+  resp.kind = req.kind;
+  resp.ctr = branch->ctr;
+  resp.creator = branch->creator;
+  resp.sig = branch->sig;
+  resp.epoch = ctx->round() / config_.epoch_rounds;
+
+  const bool with_vo = config_.protocol != ProtocolKind::kPlain;
+
+  // Decide whether a one-shot integrity/availability attack fires on this
+  // operation.
+  bool tamper_now = attack.kind == AttackKind::kTamper && !one_shot_done_ &&
+                    ctx->round() >= attack.trigger_round &&
+                    req.kind == sim::OpKind::kCommit;
+  bool drop_now = attack.kind == AttackKind::kDrop && !one_shot_done_ &&
+                  ctx->round() >= attack.trigger_round &&
+                  req.kind == sim::OpKind::kCommit;
+
+  switch (req.kind) {
+    case sim::OpKind::kCheckout: {
+      if (with_vo) {
+        mtree::PointVO vo = branch->db.ProvePoint(req.key);
+        resp.vo = vo.Serialize();
+      }
+      auto value = branch->db.Get(req.key);
+      resp.found = value.has_value();
+      if (value.has_value()) resp.answer = *value;
+      break;
+    }
+    case sim::OpKind::kCommit: {
+      Bytes value = req.value;
+      if (tamper_now) {
+        // Single-user integrity violation: apply altered content.
+        util::Append(&value, "\n// TAMPERED BY SERVER\n");
+        one_shot_done_ = true;
+        MarkAttackEngaged(ctx->round());
+      }
+      if (drop_now) {
+        // Single-user availability violation: acknowledge but do not apply.
+        if (with_vo) resp.vo = branch->db.ProvePoint(req.key).Serialize();
+        one_shot_done_ = true;
+        MarkAttackEngaged(ctx->round());
+      } else {
+        mtree::PointVO vo = branch->db.Upsert(req.key, value);
+        if (with_vo) resp.vo = vo.Serialize();
+      }
+      break;
+    }
+    case sim::OpKind::kDelete: {
+      bool found = false;
+      mtree::PointVO vo = branch->db.Delete(req.key, &found);
+      if (with_vo) resp.vo = vo.Serialize();
+      resp.found = found;
+      break;
+    }
+  }
+
+  // Every transaction advances the counter; the new state's creator is the
+  // requesting user. Under Protocol I the signature for the new state is
+  // installed only when the user's upload arrives.
+  branch->ctr += 1;
+  branch->creator = user;
+  if (UsesBlockingSig()) branch->sig.clear();
+
+  ++ops_processed_;
+  if (attack_engaged_round_ != 0) ++ops_after_attack_;
+
+  ctx->Send(user, kMsgQueryResponse, resp.Serialize());
+}
+
+void ProtocolServer::HandleSigUpload(const sim::Message& msg) {
+  auto up_or = RootSigUpload::Deserialize(msg.payload);
+  if (!up_or.ok()) return;
+  RootSigUpload up = std::move(up_or).ValueOrDie();
+  awaiting_sig_ = false;
+  // Install the signature on whichever branch it continues. Replay-fork
+  // uploads (stale counters) are silently discarded — the untrusted server
+  // has no use for them.
+  if (up.ctr_after == main_.ctr && up.user == main_.creator) {
+    main_.sig = up.sig;
+  } else if (fork_.has_value() && up.ctr_after == fork_->ctr &&
+             up.user == fork_->creator) {
+    fork_->sig = up.sig;
+  }
+}
+
+void ProtocolServer::HandleEpochRequest(sim::RoundContext* ctx,
+                                        const sim::Message& msg) {
+  auto req_or = EpochStatesRequest::Deserialize(msg.payload);
+  if (!req_or.ok()) return;
+  const uint64_t epoch = req_or->epoch;
+  const AttackConfig& attack = config_.attack;
+
+  EpochStatesReply reply;
+  reply.epoch = epoch;
+  for (const auto& [user, blob] : epoch_states_[epoch]) {
+    if (attack.kind == AttackKind::kOmitEpochState && user == attack.victim &&
+        ctx->round() >= attack.trigger_round) {
+      MarkAttackEngaged(ctx->round());
+      continue;  // Withhold the victim's state.
+    }
+    if (attack.kind == AttackKind::kStaleEpochState && user == attack.victim &&
+        ctx->round() >= attack.trigger_round && epoch > 0 &&
+        epoch_states_[epoch - 1].count(user) > 0) {
+      MarkAttackEngaged(ctx->round());
+      reply.states.push_back(epoch_states_[epoch - 1][user]);
+      continue;  // Substitute last epoch's (validly signed, stale) blob.
+    }
+    reply.states.push_back(blob);
+  }
+  if (epoch > 0) {
+    for (const auto& [user, blob] : epoch_states_[epoch - 1]) {
+      reply.prev_states.push_back(blob);
+    }
+  }
+  ctx->Send(msg.from, kMsgEpochStatesReply, reply.Serialize());
+}
+
+}  // namespace core
+}  // namespace tcvs

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/wire.h"
+#include "mtree/btree.h"
+#include "sim/kernel.h"
+
+namespace tcvs {
+namespace core {
+
+/// \brief The CVS server agent. Configured honest, it implements the paper's
+/// protocols faithfully (serial execution in arrival order, pre-state
+/// verification objects, counter/signature bookkeeping, epoch storage for
+/// Protocol III, blocking signature round-trip for Protocol I). Configured
+/// with an AttackConfig, it additionally mounts the corresponding violation
+/// — fork/partition (Fig. 1), tamper, drop, Figure-3 replay, or epoch-state
+/// suppression — while staying as stealthy as the protocol allows.
+///
+/// The server is *untrusted*: it holds no user keys and verifies nothing;
+/// everything it sends is data the users must check.
+class ProtocolServer : public sim::Agent {
+ public:
+  /// \param initial_sig Protocol I / token baseline: the elected user's
+  /// signature over h(M(D₀) ‖ 0), stored on the server before round 1.
+  ProtocolServer(ScenarioConfig config, Bytes initial_sig,
+                 uint32_t initial_signer);
+
+  void OnRound(sim::RoundContext* ctx) override;
+
+  /// Operations actually executed (all forks combined).
+  uint64_t ops_processed() const { return ops_processed_; }
+
+  /// First round at which the attack actually altered processing
+  /// (0 = never engaged). Ground truth for detection-delay measurements.
+  sim::Round attack_engaged_round() const { return attack_engaged_round_; }
+
+  /// Number of operations (across all users) processed at or after the
+  /// round the attack engaged. Detection delay in *operations* is measured
+  /// against this.
+  uint64_t ops_after_attack() const { return ops_after_attack_; }
+
+ private:
+  /// One branch of server state (main history or an attack fork).
+  struct Branch {
+    mtree::MerkleBTree db;
+    uint64_t ctr = 0;
+    uint32_t creator = 0;
+    Bytes sig;  // Protocol I: current state's signature.
+
+    explicit Branch(const mtree::TreeParams& params) : db(params) {}
+  };
+
+  bool UsesBlockingSig() const {
+    return config_.protocol == ProtocolKind::kProtocolI ||
+           config_.protocol == ProtocolKind::kTokenBaseline;
+  }
+
+  void HandleQuery(sim::RoundContext* ctx, const sim::Message& msg);
+  void HandleSigUpload(const sim::Message& msg);
+  void HandleEpochRequest(sim::RoundContext* ctx, const sim::Message& msg);
+
+  /// Picks the branch that serves this user under the current attack.
+  Branch* RouteBranch(sim::RoundContext* ctx, sim::AgentId user);
+
+  /// Executes `req` against `branch` and sends the response.
+  void Execute(sim::RoundContext* ctx, sim::AgentId user, const QueryRequest& req,
+               Branch* branch, bool record_replay_history);
+
+  void MarkAttackEngaged(sim::Round round);
+
+  ScenarioConfig config_;
+  Branch main_;
+  std::optional<Branch> fork_;
+  // Protocol I blocking: queries queued while awaiting the signature.
+  std::deque<sim::Message> pending_;
+  bool awaiting_sig_ = false;
+  uint64_t ops_processed_ = 0;
+  sim::Round attack_engaged_round_ = 0;
+  uint64_t ops_after_attack_ = 0;
+  bool one_shot_done_ = false;  // kTamper / kDrop fire once.
+
+  // kReplaySegment: recorded honest transitions and the replay cursor.
+  struct ReplayEntry {
+    mtree::MerkleBTree pre_db;
+    uint64_t ctr;
+    uint32_t creator;
+    Bytes sig;
+  };
+  std::vector<ReplayEntry> replay_history_;
+  size_t replay_cursor_ = 0;
+
+  // Protocol III: stored signed per-epoch user states.
+  std::map<uint64_t, std::map<uint32_t, EpochStateBlob>> epoch_states_;
+};
+
+}  // namespace core
+}  // namespace tcvs

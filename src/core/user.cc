@@ -1,0 +1,753 @@
+#include "core/user.h"
+
+#include <algorithm>
+
+#include "core/forensics.h"
+#include "util/logging.h"
+
+namespace tcvs {
+namespace core {
+
+namespace {
+const char kNullKey[] = "__token_null__";
+
+uint32_t AuditorOf(uint64_t epoch, uint32_t num_users) {
+  return static_cast<uint32_t>(epoch % num_users) + 1;
+}
+}  // namespace
+
+ProtocolUser::ProtocolUser(Options options) : options_(std::move(options)) {
+  sigma_.assign(crypto::kDigestSize, 0);
+  last_ = InitialFingerprint(Tagged());
+  auto it = options_.config.user_periods.find(options_.id);
+  period_ = (it == options_.config.user_periods.end()) ? 1 : it->second;
+  if (period_ == 0) period_ = 1;
+}
+
+void ProtocolUser::OnRound(sim::RoundContext* ctx) {
+  if (dead_) return;
+
+  // p-partial synchrony (§2.1): a user with local-clock period p only acts
+  // every p-th round; messages delivered meanwhile queue up unread.
+  for (const auto& msg : ctx->inbox()) pending_inbox_.push_back(msg);
+  if (period_ > 1 && (ctx->round() + options_.id) % period_ != 0) return;
+  std::vector<sim::Message> inbox = std::move(pending_inbox_);
+  pending_inbox_.clear();
+
+  // b*-bounded transaction time (§2.1): the trusted server answers every
+  // query within b* rounds; an older outstanding transaction means the
+  // server is stalling — an availability violation by silence.
+  if (options_.config.b_star > 0 && inflight_.has_value() &&
+      ctx->round() > inflight_->sent_round + options_.config.b_star) {
+    bool response_waiting = false;
+    for (const auto& msg : inbox) {
+      if (msg.type == kMsgQueryResponse) response_waiting = true;
+    }
+    if (!response_waiting) {
+      ctx->ReportDetection(
+          "transaction outstanding beyond b* = " +
+          std::to_string(options_.config.b_star) +
+          " rounds: server violates bounded transaction time");
+      dead_ = true;
+      return;
+    }
+  }
+
+  for (const auto& msg : inbox) {
+    switch (msg.type) {
+      case kMsgQueryResponse:
+        HandleResponse(ctx, msg);
+        break;
+      case kMsgSyncAnnounce:
+        HandleSyncAnnounce(ctx, msg);
+        break;
+      case kMsgSyncReport:
+        HandleSyncReport(ctx, msg);
+        break;
+      case kMsgAggReport:
+        HandleAggReport(ctx, msg);
+        break;
+      case kMsgAggTotal:
+        HandleAggTotal(ctx, msg);
+        break;
+      case kMsgAggSuccess:
+        HandleAggSuccess(ctx, msg);
+        break;
+      case kMsgEpochStatesReply:
+        HandleEpochReply(ctx, msg);
+        break;
+      default:
+        break;
+    }
+    if (dead_) return;
+  }
+
+  // Sync reports owed from before (we were mid-transaction when a sync-up
+  // arrived) are sent as soon as the transaction completes.
+  if (!inflight_.has_value()) {
+    for (auto& [id, sync] : syncs_) {
+      if (!sync.reported &&
+          options_.config.sync_mode == SyncMode::kBroadcast) {
+        SendSyncReport(ctx, &sync);
+      }
+    }
+  }
+  EvaluateSyncIfComplete(ctx);
+  if (dead_) return;
+
+  // Scripted experiment control: user 1 announces extra sync-ups at the
+  // configured rounds once idle.
+  if (UsesSync() && options_.id == 1 && syncs_.empty() &&
+      !inflight_.has_value() &&
+      forced_sync_idx_ < options_.config.forced_syncs.size() &&
+      ctx->round() >= options_.config.forced_syncs[forced_sync_idx_]) {
+    ++forced_sync_idx_;
+    SyncAnnounce announce;
+    announce.sync_id = ctx->round();
+    ctx->Broadcast(kMsgSyncAnnounce, announce.Serialize());
+    StartSync(ctx, announce.sync_id);
+  }
+
+  MaybeSendQuery(ctx);
+}
+
+void ProtocolUser::MaybeSendQuery(sim::RoundContext* ctx) {
+  if (inflight_.has_value()) return;
+  // Paper: users do not start a new transaction between the sync-up message
+  // and the broadcast of their report.
+  if (!syncs_.empty()) return;
+
+  if (options_.config.protocol == ProtocolKind::kTokenBaseline) {
+    // Pre-specified slots in a pre-specified user order (§2.2.3). One
+    // operation per slot; a null record when the user has nothing to do.
+    const sim::Round slot_rounds = options_.config.slot_rounds;
+    const uint64_t slot = (ctx->round() - 1) / slot_rounds;
+    const uint32_t owner = static_cast<uint32_t>(slot % options_.num_users) + 1;
+    if (owner != options_.id) return;
+    if (last_slot_sent_.has_value() && *last_slot_sent_ == slot) return;
+    last_slot_sent_ = slot;
+    if (script_pos_ < options_.script.ops.size() &&
+        options_.script.ops[script_pos_].earliest_round <= ctx->round()) {
+      const auto& op = options_.script.ops[script_pos_++];
+      SendOp(ctx, op, /*is_null=*/false, /*expected_ctr=*/slot,
+             op.earliest_round);
+    } else {
+      workload::ScheduledOp null_op;
+      null_op.kind = sim::OpKind::kCheckout;
+      null_op.key = util::ToBytes(kNullKey);
+      SendOp(ctx, null_op, /*is_null=*/true, /*expected_ctr=*/slot,
+             ctx->round());
+    }
+    return;
+  }
+
+  if (script_pos_ >= options_.script.ops.size()) return;
+  const auto& op = options_.script.ops[script_pos_];
+  if (op.earliest_round > ctx->round()) return;
+  ++script_pos_;
+  SendOp(ctx, op, /*is_null=*/false, 0, op.earliest_round);
+}
+
+void ProtocolUser::SendOp(sim::RoundContext* ctx, const workload::ScheduledOp& op,
+                          bool is_null, uint64_t expected_ctr,
+                          sim::Round eligible) {
+  QueryRequest req;
+  req.qid = next_qid_++;
+  req.kind = op.kind;
+  req.key = op.key;
+  req.value = op.value;
+  if (options_.config.protocol == ProtocolKind::kProtocolIII &&
+      !upload_queue_.empty()) {
+    req.epoch_upload = upload_queue_.front();
+    upload_queue_.erase(upload_queue_.begin());
+  }
+  Inflight inflight;
+  inflight.qid = req.qid;
+  inflight.op = op;
+  inflight.sent_round = ctx->round();
+  inflight.eligible_round = eligible;
+  inflight.is_null = is_null;
+  inflight.expected_ctr = expected_ctr;
+  inflight_ = std::move(inflight);
+  ctx->Send(sim::kServerId, kMsgQueryRequest, req.Serialize());
+}
+
+bool ProtocolUser::VerifyAndFold(sim::RoundContext* ctx,
+                                 const QueryResponse& resp, const Inflight& op,
+                                 std::optional<Bytes>* observed) {
+  const ProtocolKind protocol = options_.config.protocol;
+  observed->reset();
+
+  if (protocol == ProtocolKind::kPlain) {
+    if (resp.found) *observed = resp.answer;
+    gctr_ = resp.ctr + 1;
+    ++lctr_;
+    return true;
+  }
+
+  // 1. The verification object must be internally consistent; its root is
+  //    the server's claimed pre-state digest M(D).
+  auto vo_or = mtree::PointVO::Deserialize(resp.vo);
+  if (!vo_or.ok()) {
+    ctx->ReportDetection("malformed verification object: " +
+                         vo_or.status().ToString());
+    return false;
+  }
+  const mtree::PointVO& vo = *vo_or;
+  auto root_or = vo.root.VerifiedDigest();
+  if (!root_or.ok()) {
+    ctx->ReportDetection("inconsistent verification object: " +
+                         root_or.status().ToString());
+    return false;
+  }
+  const crypto::Digest pre_root = *root_or;
+
+  // 2. Token baseline: the counter must equal the deterministic slot index
+  //    (checked first — a replayed stale state fails here with a precise
+  //    diagnosis before its stale-but-legitimate signature is even read).
+  if (protocol == ProtocolKind::kTokenBaseline && resp.ctr != op.expected_ctr) {
+    ctx->ReportDetection("counter " + std::to_string(resp.ctr) +
+                         " does not match slot " +
+                         std::to_string(op.expected_ctr));
+    return false;
+  }
+
+  // 3. Protocol I / token baseline: the claimed state must carry the last
+  //    writer's signature over h(M(D) ‖ ctr) — the server cannot forge it.
+  if (UsesSignedRoots()) {
+    Status st = options_.keystore->VerifyFrom(
+        resp.creator, SignedStatePreimage(pre_root, resp.ctr), resp.sig);
+    if (!st.ok()) {
+      ctx->ReportDetection("illegitimate state signature: " + st.ToString());
+      return false;
+    }
+  }
+
+  // 4. Counter monotonicity (Protocol II step 4): the server may never show
+  //    this user a counter older than one it has already seen.
+  if (UsesXorRegisters() && resp.ctr < gctr_) {
+    ctx->ReportDetection("stale counter " + std::to_string(resp.ctr) +
+                         " (already saw " + std::to_string(gctr_) + ")");
+    return false;
+  }
+
+  // 5. Protocol III: epoch sanity against the user's own clock, then the
+  //    epoch-boundary snapshot (taken BEFORE folding this transaction).
+  if (protocol == ProtocolKind::kProtocolIII) {
+    const uint64_t own_epoch = ctx->round() / options_.config.epoch_rounds;
+    if (resp.epoch + 1 < own_epoch || resp.epoch > own_epoch) {
+      ctx->ReportDetection("server epoch " + std::to_string(resp.epoch) +
+                           " inconsistent with local clock epoch " +
+                           std::to_string(own_epoch));
+      return false;
+    }
+    if (resp.epoch > current_epoch_) {
+      EpochStateBlob blob;
+      blob.user = options_.id;
+      blob.epoch = current_epoch_;
+      blob.sigma = sigma_;
+      blob.last = last_;
+      auto sig = options_.signer->Sign(blob.Preimage());
+      if (!sig.ok()) {
+        // Key exhausted: this user leaves the system (failures are out of
+        // scope per the paper; experiments must size keys for their runs).
+        TCVS_LOG(Warn) << "user " << options_.id
+                       << " signing key exhausted; leaving";
+        dead_ = true;
+        return false;
+      }
+      blob.signature = std::move(sig).ValueOrDie();
+      upload_queue_.push_back(std::move(blob));
+      sigma_.assign(crypto::kDigestSize, 0);
+      current_epoch_ = resp.epoch;
+    }
+  }
+
+  // 6. Verify the answer / replay the update against the claimed pre-state
+  //    to obtain the post-state digest M(D′).
+  crypto::Digest post_root = pre_root;
+  switch (op.op.kind) {
+    case sim::OpKind::kCheckout: {
+      auto value_or = mtree::VerifyPointRead(pre_root, options_.config.tree_params,
+                                             op.op.key, vo);
+      if (!value_or.ok()) {
+        ctx->ReportDetection("checkout VO rejected: " +
+                             value_or.status().ToString());
+        return false;
+      }
+      // The loose answer fields must agree with the authenticated result.
+      if (value_or->has_value() != resp.found ||
+          (resp.found && **value_or != resp.answer)) {
+        ctx->ReportDetection("server answer contradicts verification object");
+        return false;
+      }
+      *observed = *value_or;
+      break;
+    }
+    case sim::OpKind::kCommit: {
+      auto post_or = mtree::VerifyAndApplyUpsert(
+          pre_root, options_.config.tree_params, op.op.key, op.op.value, vo);
+      if (!post_or.ok()) {
+        ctx->ReportDetection("commit VO rejected: " + post_or.status().ToString());
+        return false;
+      }
+      post_root = *post_or;
+      break;
+    }
+    case sim::OpKind::kDelete: {
+      auto post_or = mtree::VerifyAndApplyDelete(
+          pre_root, options_.config.tree_params, op.op.key, vo);
+      if (post_or.ok()) {
+        post_root = *post_or;
+      } else if (post_or.status().IsNotFound()) {
+        post_root = pre_root;  // Authenticated no-op.
+      } else {
+        ctx->ReportDetection("delete VO rejected: " + post_or.status().ToString());
+        return false;
+      }
+      break;
+    }
+  }
+
+  // 7. Fold into the protocol registers (and the bounded fault-localization
+  //    journal when enabled).
+  if (UsesXorRegisters()) {
+    const crypto::Digest pre_fp = Fp(pre_root, resp.ctr, resp.creator);
+    const crypto::Digest post_fp = Fp(post_root, resp.ctr + 1, options_.id);
+    sigma_ = XorBytes(sigma_, pre_fp);
+    sigma_ = XorBytes(sigma_, post_fp);
+    last_ = post_fp;
+    if (options_.config.journal_len > 0) {
+      journal_.push_back(TransitionRecord{pre_fp, post_fp, resp.ctr,
+                                          resp.creator, options_.id});
+      if (journal_.size() > options_.config.journal_len) {
+        journal_.erase(journal_.begin());
+      }
+    }
+  }
+  gctr_ = resp.ctr + 1;
+  ++lctr_;
+
+  // 8. Protocol I / token baseline: return the signed new state to the
+  //    server (the blocking extra message of §4.2).
+  if (UsesSignedRoots()) {
+    RootSigUpload up;
+    up.user = options_.id;
+    up.ctr_after = resp.ctr + 1;
+    auto sig = options_.signer->Sign(SignedStatePreimage(post_root, resp.ctr + 1));
+    if (!sig.ok()) {
+      TCVS_LOG(Warn) << "user " << options_.id
+                     << " signing key exhausted; leaving";
+      dead_ = true;
+      return false;
+    }
+    up.sig = std::move(sig).ValueOrDie();
+    ctx->Send(sim::kServerId, kMsgRootSigUpload, up.Serialize());
+  }
+  return true;
+}
+
+void ProtocolUser::HandleResponse(sim::RoundContext* ctx,
+                                  const sim::Message& msg) {
+  auto resp_or = QueryResponse::Deserialize(msg.payload);
+  if (!resp_or.ok()) {
+    ctx->ReportDetection("malformed response: " + resp_or.status().ToString());
+    dead_ = true;
+    return;
+  }
+  const QueryResponse& resp = *resp_or;
+  if (!inflight_.has_value() || inflight_->qid != resp.qid) {
+    ctx->ReportDetection("response to a query this user never issued");
+    dead_ = true;
+    return;
+  }
+  Inflight op = std::move(*inflight_);
+  inflight_.reset();
+
+  std::optional<Bytes> observed;
+  if (!VerifyAndFold(ctx, resp, op, &observed)) {
+    dead_ = true;
+    return;
+  }
+
+  if (!op.is_null) {
+    ++ops_completed_;
+    uint64_t latency = ctx->round() - op.eligible_round;
+    latency_sum_ += latency;
+    latency_max_ = std::max(latency_max_, latency);
+    latency_hist_.Record(latency);
+    if (options_.trace != nullptr) {
+      sim::OpRecord record;
+      record.user = options_.id;
+      record.issued = op.sent_round;
+      record.completed = ctx->round();
+      record.kind = op.op.kind;
+      record.key = op.op.key;
+      record.value = op.op.value;
+      record.observed = observed;
+      record.server_seq = resp.ctr;
+      options_.trace->Record(std::move(record));
+    }
+    ++ops_since_sync_;
+  }
+
+  MaybeAnnounceSync(ctx);
+  MaybeRequestAudit(ctx);
+}
+
+void ProtocolUser::MaybeAnnounceSync(sim::RoundContext* ctx) {
+  if (!UsesSync()) return;
+  if (!syncs_.empty()) return;  // Already syncing.
+  if (ops_since_sync_ < options_.config.sync_k) return;
+  // First user to complete k operations announces the sync-up (§4.2).
+  SyncAnnounce announce;
+  announce.sync_id = ctx->round();
+  ctx->Broadcast(kMsgSyncAnnounce, announce.Serialize());
+  StartSync(ctx, announce.sync_id);
+}
+
+void ProtocolUser::StartSync(sim::RoundContext* ctx, uint64_t sync_id) {
+  SyncState& sync = syncs_[sync_id];
+  sync.sync_id = sync_id;
+  if (options_.config.sync_mode == SyncMode::kBroadcast) {
+    if (!inflight_.has_value()) SendSyncReport(ctx, &sync);
+    // Otherwise the report goes out when the current txn completes.
+  } else {
+    StepTreeSync(ctx);
+  }
+}
+
+void ProtocolUser::SendSyncReport(sim::RoundContext* ctx, SyncState* sync) {
+  if (sync->reported) return;
+  SyncReport report;
+  report.sync_id = sync->sync_id;
+  report.user = options_.id;
+  report.lctr = lctr_;
+  report.gctr = gctr_;
+  report.sigma = sigma_;
+  report.last = last_;
+  report.journal = journal_;
+  ctx->Broadcast(kMsgSyncReport, report.Serialize());
+  sync->reports[options_.id] = std::move(report);
+  sync->reported = true;
+}
+
+void ProtocolUser::HandleSyncAnnounce(sim::RoundContext* ctx,
+                                      const sim::Message& msg) {
+  if (!UsesSync()) return;
+  auto ann_or = SyncAnnounce::Deserialize(msg.payload);
+  if (!ann_or.ok()) return;
+  if (syncs_.count(ann_or->sync_id) > 0) return;  // Duplicate announce.
+  StartSync(ctx, ann_or->sync_id);
+}
+
+void ProtocolUser::HandleSyncReport(sim::RoundContext* ctx,
+                                    const sim::Message& msg) {
+  if (!UsesSync()) return;
+  auto rep_or = SyncReport::Deserialize(msg.payload);
+  if (!rep_or.ok()) return;
+  auto it = syncs_.find(rep_or->sync_id);
+  if (it == syncs_.end()) return;  // Already evaluated; late duplicate.
+  it->second.reports[rep_or->user] = *rep_or;
+  (void)ctx;
+}
+
+void ProtocolUser::FinishSyncSuccess(uint64_t sync_id) {
+  syncs_.erase(sync_id);
+  ops_since_sync_ = 0;
+  // Everything verified up to the counters covered by this sync: advance the
+  // rollback checkpoint.
+  checkpoint_gctr_ = gctr_;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation-tree sync (future-work extension; see SyncMode).
+// Users form a static binary heap: user i's children are 2i and 2i+1, its
+// parent is i/2, user 1 is the root.
+// ---------------------------------------------------------------------------
+
+void ProtocolUser::StepTreeSync(sim::RoundContext* ctx) {
+  if (options_.config.sync_mode != SyncMode::kAggregationTree) return;
+  std::vector<uint64_t> ids;
+  for (const auto& [id, sync] : syncs_) ids.push_back(id);
+  for (uint64_t id : ids) {
+    auto it = syncs_.find(id);
+    if (it == syncs_.end()) continue;
+    StepTreeSyncOne(ctx, &it->second);
+    if (dead_) return;
+  }
+}
+
+void ProtocolUser::StepTreeSyncOne(sim::RoundContext* ctx, SyncState* sync_ptr) {
+  SyncState& sync = *sync_ptr;
+
+  // Phase 1 (leaves → root): once idle and all children reported, fold and
+  // forward the subtree aggregate.
+  if (!sync.reported && !inflight_.has_value()) {
+    uint32_t left = 2 * options_.id;
+    uint32_t right = 2 * options_.id + 1;
+    bool have_left = left > options_.num_users || sync.child_aggs.count(left);
+    bool have_right = right > options_.num_users || sync.child_aggs.count(right);
+    if (have_left && have_right) {
+      AggReport agg;
+      agg.sync_id = sync.sync_id;
+      agg.user = options_.id;
+      agg.sigma_xor = sigma_;
+      agg.lctr_sum = lctr_;
+      for (const auto& [child, report] : sync.child_aggs) {
+        agg.sigma_xor = XorBytes(agg.sigma_xor, report.sigma_xor);
+        agg.lctr_sum += report.lctr_sum;
+      }
+      sync.reported = true;
+      if (options_.id == 1) {
+        // Root: the aggregate is the total; disseminate it.
+        AggTotal total;
+        total.sync_id = sync.sync_id;
+        total.sigma_total = agg.sigma_xor;
+        total.lctr_total = agg.lctr_sum;
+        ctx->Broadcast(kMsgAggTotal, total.Serialize());
+        sync.total_received = true;
+        sync.sigma_total = total.sigma_total;
+        sync.lctr_total = total.lctr_total;
+        sync.success_deadline = ctx->round() + 4 + 2 * options_.config.num_users;
+      } else {
+        ctx->Send(options_.id / 2, kMsgAggReport, agg.Serialize());
+      }
+    }
+  }
+
+  // Phase 2 (total → everyone): check the local match condition; a matching
+  // user announces success.
+  if (sync.total_received && sync.success_deadline.has_value()) {
+    bool match;
+    if (options_.config.protocol == ProtocolKind::kProtocolI) {
+      match = (gctr_ == sync.lctr_total);
+    } else {
+      match = (XorBytes(InitialFingerprint(Tagged()), last_) == sync.sigma_total);
+    }
+    if (match) {
+      AggSuccess success;
+      success.sync_id = sync.sync_id;
+      success.user = options_.id;
+      ctx->Broadcast(kMsgAggSuccess, success.Serialize());
+      FinishSyncSuccess(sync.sync_id);
+      return;
+    }
+    if (ctx->round() >= *sync.success_deadline) {
+      ctx->ReportDetection(
+          "sync-up (aggregation tree) failed: no user's state matches the "
+          "aggregate — server deviated");
+      dead_ = true;
+    }
+  }
+}
+
+void ProtocolUser::HandleAggReport(sim::RoundContext* ctx,
+                                   const sim::Message& msg) {
+  auto agg_or = AggReport::Deserialize(msg.payload);
+  if (!agg_or.ok()) return;
+  auto it = syncs_.find(agg_or->sync_id);
+  if (it == syncs_.end()) return;
+  it->second.child_aggs[agg_or->user] = *agg_or;
+  (void)ctx;
+}
+
+void ProtocolUser::HandleAggTotal(sim::RoundContext* ctx,
+                                  const sim::Message& msg) {
+  auto total_or = AggTotal::Deserialize(msg.payload);
+  if (!total_or.ok()) return;
+  auto it = syncs_.find(total_or->sync_id);
+  if (it == syncs_.end()) return;
+  it->second.total_received = true;
+  it->second.sigma_total = total_or->sigma_total;
+  it->second.lctr_total = total_or->lctr_total;
+  it->second.success_deadline =
+      ctx->round() + 4 + 2 * options_.config.num_users;  // Delay-tolerant.
+}
+
+void ProtocolUser::HandleAggSuccess(sim::RoundContext* ctx,
+                                    const sim::Message& msg) {
+  auto success_or = AggSuccess::Deserialize(msg.payload);
+  if (!success_or.ok()) return;
+  if (syncs_.count(success_or->sync_id) == 0) return;
+  FinishSyncSuccess(success_or->sync_id);
+  (void)ctx;
+}
+
+void ProtocolUser::EvaluateSyncIfComplete(sim::RoundContext* ctx) {
+  if (options_.config.sync_mode == SyncMode::kAggregationTree) {
+    StepTreeSync(ctx);
+    return;
+  }
+  std::vector<uint64_t> ready;
+  for (const auto& [id, sync] : syncs_) {
+    if (sync.reported && sync.reports.size() >= options_.num_users) {
+      ready.push_back(id);
+    }
+  }
+  for (uint64_t id : ready) {
+    EvaluateBroadcastSync(ctx, id);
+    if (dead_) return;
+  }
+}
+
+void ProtocolUser::EvaluateBroadcastSync(sim::RoundContext* ctx, uint64_t id) {
+  SyncState& sync = syncs_.at(id);
+  bool success = false;
+  if (options_.config.protocol == ProtocolKind::kProtocolI) {
+    uint64_t total = 0;
+    for (const auto& [user, report] : sync.reports) total += report.lctr;
+    for (const auto& [user, report] : sync.reports) {
+      if (report.gctr == total) {
+        success = true;
+        break;
+      }
+    }
+  } else {
+    Bytes x(crypto::kDigestSize, 0);
+    for (const auto& [user, report] : sync.reports) {
+      if (report.sigma.size() != crypto::kDigestSize) {
+        ctx->ReportDetection("malformed sync report");
+        dead_ = true;
+        return;
+      }
+      x = XorBytes(x, report.sigma);
+    }
+    const Bytes f0 = InitialFingerprint(Tagged());
+    for (const auto& [user, report] : sync.reports) {
+      if (XorBytes(f0, report.last) == x) {
+        success = true;
+        break;
+      }
+    }
+  }
+
+  if (!success) {
+    std::string reason = "sync-up check failed: server deviated";
+    if (options_.config.journal_len > 0) {
+      // Fault localization (future-work extension): pool the bounded
+      // journals from all reports and name the earliest inconsistent
+      // counter.
+      std::vector<TransitionRecord> pooled;
+      for (const auto& [user, report] : sync.reports) {
+        pooled.insert(pooled.end(), report.journal.begin(),
+                      report.journal.end());
+      }
+      if (auto fault = LocalizeFault(pooled); fault.has_value()) {
+        reason += "; first fault at counter " +
+                  std::to_string(fault->first_bad_ctr) + " (" +
+                  fault->explanation + ")";
+      }
+    }
+    ctx->ReportDetection(reason);
+    dead_ = true;
+    return;
+  }
+  FinishSyncSuccess(id);
+}
+
+void ProtocolUser::MaybeRequestAudit(sim::RoundContext* ctx) {
+  if (options_.config.protocol != ProtocolKind::kProtocolIII) return;
+  if (audit_inflight_epoch_.has_value()) return;
+  if (current_epoch_ < 2) return;
+  // Audit epochs become actionable two epochs later (§4.4, point C).
+  while (next_audit_epoch_ + 2 <= current_epoch_) {
+    uint64_t e = next_audit_epoch_;
+    if (AuditorOf(e, options_.num_users) == options_.id) {
+      EpochStatesRequest req;
+      req.epoch = e;
+      ctx->Send(sim::kServerId, kMsgEpochStatesRequest, req.Serialize());
+      audit_inflight_epoch_ = e;
+      ++next_audit_epoch_;
+      return;  // One audit in flight at a time.
+    }
+    ++next_audit_epoch_;
+  }
+}
+
+void ProtocolUser::HandleEpochReply(sim::RoundContext* ctx,
+                                    const sim::Message& msg) {
+  if (options_.config.protocol != ProtocolKind::kProtocolIII) return;
+  auto reply_or = EpochStatesReply::Deserialize(msg.payload);
+  if (!reply_or.ok()) {
+    ctx->ReportDetection("malformed epoch-state reply");
+    dead_ = true;
+    return;
+  }
+  const EpochStatesReply& reply = *reply_or;
+  if (!audit_inflight_epoch_.has_value() ||
+      reply.epoch != *audit_inflight_epoch_) {
+    return;
+  }
+  const uint64_t e = reply.epoch;
+  audit_inflight_epoch_.reset();
+
+  // Collect and authenticate one blob per user for epoch e.
+  auto collect = [&](const std::vector<EpochStateBlob>& blobs, uint64_t epoch,
+                     std::map<uint32_t, EpochStateBlob>* out) -> Status {
+    for (const auto& blob : blobs) {
+      if (blob.epoch != epoch) {
+        return Status::VerificationFailure(
+            "stored state carries wrong epoch tag");
+      }
+      TCVS_RETURN_NOT_OK(options_.keystore->VerifyFrom(
+          blob.user, blob.Preimage(), blob.signature));
+      if (out->count(blob.user) > 0 && (*out)[blob.user] != blob) {
+        return Status::VerificationFailure("conflicting stored states");
+      }
+      (*out)[blob.user] = blob;
+    }
+    if (out->size() != options_.num_users) {
+      return Status::VerificationFailure(
+          "missing stored epoch state for some user");
+    }
+    return Status::OK();
+  };
+
+  std::map<uint32_t, EpochStateBlob> states;
+  Status st = collect(reply.states, e, &states);
+  if (!st.ok()) {
+    ctx->ReportDetection("epoch " + std::to_string(e) + " audit: " +
+                         st.ToString());
+    dead_ = true;
+    return;
+  }
+  std::map<uint32_t, EpochStateBlob> prev;
+  std::vector<Bytes> prev_lasts;
+  if (e == 0) {
+    prev_lasts.push_back(InitialFingerprint(/*tagged=*/true));
+  } else {
+    st = collect(reply.prev_states, e - 1, &prev);
+    if (!st.ok()) {
+      ctx->ReportDetection("epoch " + std::to_string(e) +
+                           " audit (previous epoch states): " + st.ToString());
+      dead_ = true;
+      return;
+    }
+    for (const auto& [user, blob] : prev) prev_lasts.push_back(blob.last);
+  }
+
+  Bytes x(crypto::kDigestSize, 0);
+  for (const auto& [user, blob] : states) x = XorBytes(x, blob.sigma);
+
+  bool success = false;
+  for (const auto& p : prev_lasts) {
+    for (const auto& [user, blob] : states) {
+      if (XorBytes(p, blob.last) == x) {
+        success = true;
+        break;
+      }
+    }
+    if (success) break;
+  }
+  if (!success) {
+    ctx->ReportDetection("epoch " + std::to_string(e) +
+                         " audit failed: state transitions do not form a "
+                         "single path");
+    dead_ = true;
+    return;
+  }
+}
+
+}  // namespace core
+}  // namespace tcvs

@@ -1,0 +1,266 @@
+#include "core/wire.h"
+
+#include "util/serde.h"
+
+namespace tcvs {
+namespace core {
+
+Bytes EpochStateBlob::Preimage() const {
+  util::Writer w;
+  w.PutString("tcvs-p3-epoch-state");
+  w.PutU32(user);
+  w.PutU64(epoch);
+  w.PutBytes(sigma);
+  w.PutBytes(last);
+  return w.Take();
+}
+
+Bytes EpochStateBlob::Serialize() const {
+  util::Writer w;
+  w.PutU32(user);
+  w.PutU64(epoch);
+  w.PutBytes(sigma);
+  w.PutBytes(last);
+  w.PutBytes(signature);
+  return w.Take();
+}
+
+Result<EpochStateBlob> EpochStateBlob::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  EpochStateBlob b;
+  TCVS_ASSIGN_OR_RETURN(b.user, r.GetU32());
+  TCVS_ASSIGN_OR_RETURN(b.epoch, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(b.sigma, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(b.last, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(b.signature, r.GetBytes());
+  return b;
+}
+
+Bytes QueryRequest::Serialize() const {
+  util::Writer w;
+  w.PutU64(qid);
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutBytes(key);
+  w.PutBytes(value);
+  w.PutU8(epoch_upload.has_value() ? 1 : 0);
+  if (epoch_upload.has_value()) w.PutBytes(epoch_upload->Serialize());
+  return w.Take();
+}
+
+Result<QueryRequest> QueryRequest::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  QueryRequest q;
+  TCVS_ASSIGN_OR_RETURN(q.qid, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  if (kind > 2) return Status::InvalidArgument("bad op kind");
+  q.kind = static_cast<sim::OpKind>(kind);
+  TCVS_ASSIGN_OR_RETURN(q.key, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(q.value, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(uint8_t has_upload, r.GetU8());
+  if (has_upload) {
+    TCVS_ASSIGN_OR_RETURN(Bytes blob, r.GetBytes());
+    TCVS_ASSIGN_OR_RETURN(EpochStateBlob b, EpochStateBlob::Deserialize(blob));
+    q.epoch_upload = std::move(b);
+  }
+  return q;
+}
+
+Bytes QueryResponse::Serialize() const {
+  util::Writer w;
+  w.PutU64(qid);
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutU8(found ? 1 : 0);
+  w.PutBytes(answer);
+  w.PutBytes(vo);
+  w.PutU64(ctr);
+  w.PutU32(creator);
+  w.PutBytes(sig);
+  w.PutU64(epoch);
+  return w.Take();
+}
+
+Result<QueryResponse> QueryResponse::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  QueryResponse q;
+  TCVS_ASSIGN_OR_RETURN(q.qid, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  if (kind > 2) return Status::InvalidArgument("bad op kind");
+  q.kind = static_cast<sim::OpKind>(kind);
+  TCVS_ASSIGN_OR_RETURN(uint8_t found, r.GetU8());
+  q.found = (found != 0);
+  TCVS_ASSIGN_OR_RETURN(q.answer, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(q.vo, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(q.ctr, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(q.creator, r.GetU32());
+  TCVS_ASSIGN_OR_RETURN(q.sig, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(q.epoch, r.GetU64());
+  return q;
+}
+
+Bytes RootSigUpload::Serialize() const {
+  util::Writer w;
+  w.PutU32(user);
+  w.PutU64(ctr_after);
+  w.PutBytes(sig);
+  return w.Take();
+}
+
+Result<RootSigUpload> RootSigUpload::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  RootSigUpload u;
+  TCVS_ASSIGN_OR_RETURN(u.user, r.GetU32());
+  TCVS_ASSIGN_OR_RETURN(u.ctr_after, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(u.sig, r.GetBytes());
+  return u;
+}
+
+Bytes SyncAnnounce::Serialize() const {
+  util::Writer w;
+  w.PutU64(sync_id);
+  return w.Take();
+}
+
+Result<SyncAnnounce> SyncAnnounce::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  SyncAnnounce a;
+  TCVS_ASSIGN_OR_RETURN(a.sync_id, r.GetU64());
+  return a;
+}
+
+Bytes SyncReport::Serialize() const {
+  util::Writer w;
+  w.PutU64(sync_id);
+  w.PutU32(user);
+  w.PutU64(lctr);
+  w.PutU64(gctr);
+  w.PutBytes(sigma);
+  w.PutBytes(last);
+  w.PutU32(static_cast<uint32_t>(journal.size()));
+  for (const auto& t : journal) {
+    w.PutBytes(t.pre);
+    w.PutBytes(t.post);
+    w.PutU64(t.ctr);
+    w.PutU32(t.claimed_creator);
+    w.PutU32(t.user);
+  }
+  return w.Take();
+}
+
+Result<SyncReport> SyncReport::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  SyncReport s;
+  TCVS_ASSIGN_OR_RETURN(s.sync_id, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(s.user, r.GetU32());
+  TCVS_ASSIGN_OR_RETURN(s.lctr, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(s.gctr, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(s.sigma, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(s.last, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  if (n > 1u << 16) return Status::InvalidArgument("journal too long");
+  for (uint32_t i = 0; i < n; ++i) {
+    TransitionRecord t;
+    TCVS_ASSIGN_OR_RETURN(t.pre, r.GetBytes());
+    TCVS_ASSIGN_OR_RETURN(t.post, r.GetBytes());
+    TCVS_ASSIGN_OR_RETURN(t.ctr, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(t.claimed_creator, r.GetU32());
+    TCVS_ASSIGN_OR_RETURN(t.user, r.GetU32());
+    s.journal.push_back(std::move(t));
+  }
+  return s;
+}
+
+Bytes AggReport::Serialize() const {
+  util::Writer w;
+  w.PutU64(sync_id);
+  w.PutU32(user);
+  w.PutBytes(sigma_xor);
+  w.PutU64(lctr_sum);
+  return w.Take();
+}
+
+Result<AggReport> AggReport::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  AggReport a;
+  TCVS_ASSIGN_OR_RETURN(a.sync_id, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(a.user, r.GetU32());
+  TCVS_ASSIGN_OR_RETURN(a.sigma_xor, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(a.lctr_sum, r.GetU64());
+  return a;
+}
+
+Bytes AggTotal::Serialize() const {
+  util::Writer w;
+  w.PutU64(sync_id);
+  w.PutBytes(sigma_total);
+  w.PutU64(lctr_total);
+  return w.Take();
+}
+
+Result<AggTotal> AggTotal::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  AggTotal a;
+  TCVS_ASSIGN_OR_RETURN(a.sync_id, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(a.sigma_total, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(a.lctr_total, r.GetU64());
+  return a;
+}
+
+Bytes AggSuccess::Serialize() const {
+  util::Writer w;
+  w.PutU64(sync_id);
+  w.PutU32(user);
+  return w.Take();
+}
+
+Result<AggSuccess> AggSuccess::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  AggSuccess a;
+  TCVS_ASSIGN_OR_RETURN(a.sync_id, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(a.user, r.GetU32());
+  return a;
+}
+
+Bytes EpochStatesRequest::Serialize() const {
+  util::Writer w;
+  w.PutU64(epoch);
+  return w.Take();
+}
+
+Result<EpochStatesRequest> EpochStatesRequest::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  EpochStatesRequest q;
+  TCVS_ASSIGN_OR_RETURN(q.epoch, r.GetU64());
+  return q;
+}
+
+Bytes EpochStatesReply::Serialize() const {
+  util::Writer w;
+  w.PutU64(epoch);
+  w.PutU32(static_cast<uint32_t>(states.size()));
+  for (const auto& s : states) w.PutBytes(s.Serialize());
+  w.PutU32(static_cast<uint32_t>(prev_states.size()));
+  for (const auto& s : prev_states) w.PutBytes(s.Serialize());
+  return w.Take();
+}
+
+Result<EpochStatesReply> EpochStatesReply::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  EpochStatesReply reply;
+  TCVS_ASSIGN_OR_RETURN(reply.epoch, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    TCVS_ASSIGN_OR_RETURN(Bytes blob, r.GetBytes());
+    TCVS_ASSIGN_OR_RETURN(EpochStateBlob b, EpochStateBlob::Deserialize(blob));
+    reply.states.push_back(std::move(b));
+  }
+  TCVS_ASSIGN_OR_RETURN(uint32_t m, r.GetU32());
+  for (uint32_t i = 0; i < m; ++i) {
+    TCVS_ASSIGN_OR_RETURN(Bytes blob, r.GetBytes());
+    TCVS_ASSIGN_OR_RETURN(EpochStateBlob b, EpochStateBlob::Deserialize(blob));
+    reply.prev_states.push_back(std::move(b));
+  }
+  return reply;
+}
+
+}  // namespace core
+}  // namespace tcvs

@@ -1,0 +1,43 @@
+#include "crypto/hmac.h"
+
+namespace tcvs {
+namespace crypto {
+
+Digest HmacSha256(const Bytes& key, const Bytes& msg) {
+  constexpr size_t kBlock = 64;
+  Bytes k = key;
+  if (k.size() > kBlock) k = Sha256::Hash(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(msg);
+  Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+Digest Prf(const Bytes& seed, uint64_t index) {
+  Bytes msg(8);
+  for (int i = 0; i < 8; ++i) msg[i] = static_cast<uint8_t>(index >> (8 * i));
+  return HmacSha256(seed, msg);
+}
+
+Digest Prf2(const Bytes& seed, uint64_t a, uint64_t b) {
+  Bytes msg(16);
+  for (int i = 0; i < 8; ++i) msg[i] = static_cast<uint8_t>(a >> (8 * i));
+  for (int i = 0; i < 8; ++i) msg[8 + i] = static_cast<uint8_t>(b >> (8 * i));
+  return HmacSha256(seed, msg);
+}
+
+}  // namespace crypto
+}  // namespace tcvs

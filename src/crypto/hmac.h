@@ -1,0 +1,23 @@
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace tcvs {
+namespace crypto {
+
+/// \brief HMAC-SHA256 (RFC 2104) over `msg` with `key`.
+Digest HmacSha256(const Bytes& key, const Bytes& msg);
+
+/// \brief Deterministic PRF used to expand seeds into key material:
+/// PRF(seed, index) = HMAC-SHA256(seed, LE64(index)).
+///
+/// All one-time-signature secret chains are derived this way so a signer's
+/// entire key state is a 32-byte seed (bounded local state, paper §2.2.5).
+Digest Prf(const Bytes& seed, uint64_t index);
+
+/// \brief Two-index PRF: PRF(seed, a, b) = HMAC(seed, LE64(a) ‖ LE64(b)).
+Digest Prf2(const Bytes& seed, uint64_t a, uint64_t b);
+
+}  // namespace crypto
+}  // namespace tcvs

@@ -1,0 +1,67 @@
+#include "crypto/lamport.h"
+
+#include "crypto/hmac.h"
+
+namespace tcvs {
+namespace crypto {
+
+namespace {
+constexpr size_t kBits = 256;
+// Secret half for (bit index, bit value).
+Digest SecretHalf(const Bytes& seed, size_t i, int b) {
+  return Prf2(seed, i, static_cast<uint64_t>(b));
+}
+}  // namespace
+
+LamportSigner::LamportSigner(const Bytes& seed) : seed_(seed) {
+  public_key_.reserve(2 * kBits * kDigestSize);
+  for (size_t i = 0; i < kBits; ++i) {
+    for (int b = 0; b < 2; ++b) {
+      Digest pk = Sha256::Hash(SecretHalf(seed_, i, b));
+      util::Append(&public_key_, pk);
+    }
+  }
+}
+
+Result<Bytes> LamportSigner::Sign(const Bytes& message) {
+  if (used_) {
+    return Status::FailedPrecondition("Lamport key already used");
+  }
+  used_ = true;
+  Digest md = Sha256::Hash(message);
+  Bytes sig;
+  sig.reserve(kBits * kDigestSize);
+  for (size_t i = 0; i < kBits; ++i) {
+    int bit = (md[i / 8] >> (7 - i % 8)) & 1;
+    util::Append(&sig, SecretHalf(seed_, i, bit));
+  }
+  return sig;
+}
+
+Status LamportSigner::VerifySignature(const Bytes& public_key,
+                                      const Bytes& message, const Bytes& signature) {
+  if (public_key.size() != 2 * kBits * kDigestSize) {
+    return Status::InvalidArgument("Lamport public key has wrong size");
+  }
+  if (signature.size() != kBits * kDigestSize) {
+    return Status::InvalidArgument("Lamport signature has wrong size");
+  }
+  Digest md = Sha256::Hash(message);
+  for (size_t i = 0; i < kBits; ++i) {
+    int bit = (md[i / 8] >> (7 - i % 8)) & 1;
+    Bytes revealed(signature.begin() + i * kDigestSize,
+                   signature.begin() + (i + 1) * kDigestSize);
+    Digest h = Sha256::Hash(revealed);
+    size_t pk_off = (2 * i + bit) * kDigestSize;
+    Bytes expected(public_key.begin() + pk_off,
+                   public_key.begin() + pk_off + kDigestSize);
+    if (!util::ConstantTimeEqual(h, expected)) {
+      return Status::VerificationFailure("Lamport signature mismatch at bit " +
+                                         std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace crypto
+}  // namespace tcvs

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "crypto/signature.h"
+
+namespace tcvs {
+namespace crypto {
+
+/// \brief Lamport one-time signatures over SHA-256 (Merkle's reference [7]).
+///
+/// The secret key is 2×256 32-byte strings derived from a 32-byte seed via a
+/// PRF; the public key is their 512 hashes (16 KiB serialized). Signing a
+/// message reveals, for each bit of its digest, the corresponding secret
+/// half. Signing two distinct messages with the same key breaks security, so
+/// the signer refuses a second Sign.
+class LamportSigner : public Signer {
+ public:
+  /// Derives the keypair deterministically from `seed`.
+  explicit LamportSigner(const Bytes& seed);
+
+  Result<Bytes> Sign(const Bytes& message) override;
+  const Bytes& public_key() const override { return public_key_; }
+  SchemeId scheme() const override { return SchemeId::kLamport; }
+  uint64_t remaining_signatures() const override { return used_ ? 0 : 1; }
+
+  /// Verifies a Lamport signature; see crypto::Verify for semantics.
+  static Status VerifySignature(const Bytes& public_key, const Bytes& message,
+                                const Bytes& signature);
+
+ private:
+  Bytes seed_;
+  Bytes public_key_;  // 512 * 32 bytes: pk[i][b] at offset (2*i + b) * 32.
+  bool used_ = false;
+};
+
+}  // namespace crypto
+}  // namespace tcvs

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace tcvs {
+namespace crypto {
+
+/// Number of bytes in a SHA-256 digest.
+inline constexpr size_t kDigestSize = 32;
+
+/// Digests are plain byte strings of kDigestSize bytes.
+using Digest = Bytes;
+
+/// \brief Incremental SHA-256 (FIPS 180-4), implemented from scratch.
+///
+/// Usage:
+/// \code
+///   Sha256 h;
+///   h.Update(part1);
+///   h.Update(part2);
+///   Digest d = h.Finish();
+/// \endcode
+/// After Finish() the object must not be reused without Reset().
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  /// Re-initializes to the empty-message state.
+  void Reset();
+
+  /// Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(std::string_view s) {
+    Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  /// Pads, finalizes, and returns the 32-byte digest.
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Hash(const Bytes& data);
+  static Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// \brief h(a ‖ b): digest of the concatenation of two byte strings.
+///
+/// This is the node-combining function of the Merkle tree (paper §4.1).
+Digest HashConcat(const Bytes& a, const Bytes& b);
+
+/// \brief h(a ‖ b ‖ c).
+Digest HashConcat(const Bytes& a, const Bytes& b, const Bytes& c);
+
+}  // namespace crypto
+}  // namespace tcvs

@@ -1,0 +1,36 @@
+#include "crypto/signature.h"
+
+#include "crypto/lamport.h"
+#include "crypto/merkle_sig.h"
+#include "crypto/winternitz.h"
+
+namespace tcvs {
+namespace crypto {
+
+std::string_view SchemeIdToString(SchemeId id) {
+  switch (id) {
+    case SchemeId::kLamport:
+      return "Lamport";
+    case SchemeId::kWinternitz:
+      return "Winternitz";
+    case SchemeId::kMerkleSig:
+      return "MerkleSig";
+  }
+  return "Unknown";
+}
+
+Status Verify(SchemeId scheme, const Bytes& public_key, const Bytes& message,
+              const Bytes& signature) {
+  switch (scheme) {
+    case SchemeId::kLamport:
+      return LamportSigner::VerifySignature(public_key, message, signature);
+    case SchemeId::kWinternitz:
+      return WinternitzSigner::VerifySignature(public_key, message, signature);
+    case SchemeId::kMerkleSig:
+      return MerkleSigner::VerifySignature(public_key, message, signature);
+  }
+  return Status::InvalidArgument("unknown signature scheme");
+}
+
+}  // namespace crypto
+}  // namespace tcvs

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/result.h"
+
+namespace tcvs {
+namespace crypto {
+
+/// \brief An append-only Merkle log with inclusion and consistency proofs
+/// (the Certificate-Transparency construction, RFC 6962 §2.1).
+///
+/// The trusted-CVS use: the untrusted server appends h(ctr ‖ M(D)) after
+/// every transaction. A client that remembers one (size, root) checkpoint
+/// can later demand a *consistency proof* that today's log extends it —
+/// rewriting or forking history then requires breaking the hash function.
+/// Inclusion proofs let an auditor verify "state X was the database at
+/// counter c" — the verifiable complement of the journal-based fault
+/// localization (paper future-work item 1).
+///
+/// Domain separation follows RFC 6962: leaf hash = H(0x00 ‖ entry),
+/// node hash = H(0x01 ‖ left ‖ right). The empty log's root is H("").
+class TransparencyLog {
+ public:
+  TransparencyLog() = default;
+
+  /// Appends an entry; returns its index.
+  uint64_t Append(const Bytes& entry);
+
+  uint64_t size() const { return leaves_.size(); }
+
+  /// Root over the current log (Merkle Tree Hash of all entries).
+  Digest Root() const;
+
+  /// Root over the first `n` entries (n ≤ size()).
+  Result<Digest> RootAt(uint64_t n) const;
+
+  /// Audit path proving entry `index` is in the log of size `n`
+  /// (RFC 6962 §2.1.1).
+  Result<std::vector<Digest>> InclusionProof(uint64_t index, uint64_t n) const;
+
+  /// Proof that the log of size `m` is a prefix of the log of size `n`
+  /// (RFC 6962 §2.1.2), m ≤ n.
+  Result<std::vector<Digest>> ConsistencyProof(uint64_t m, uint64_t n) const;
+
+  /// \name Verifiers (pure functions; run by clients/auditors).
+  /// @{
+  /// Checks an inclusion proof for `entry` at `index` in a log of size `n`
+  /// with root `root`.
+  static Status VerifyInclusion(const Bytes& entry, uint64_t index, uint64_t n,
+                                const Digest& root,
+                                const std::vector<Digest>& proof);
+
+  /// Checks that a log of size `n` with root `new_root` extends the log of
+  /// size `m` with root `old_root`.
+  static Status VerifyConsistency(uint64_t m, uint64_t n,
+                                  const Digest& old_root,
+                                  const Digest& new_root,
+                                  const std::vector<Digest>& proof);
+  /// @}
+
+  /// Leaf hash H(0x00 ‖ entry), exposed for tests.
+  static Digest LeafHash(const Bytes& entry);
+
+  /// Raw leaf hashes (for persistence).
+  const std::vector<Digest>& leaf_hashes() const { return leaves_; }
+
+  /// Reconstructs a log from persisted leaf hashes.
+  static TransparencyLog FromLeafHashes(std::vector<Digest> leaves) {
+    TransparencyLog log;
+    log.leaves_ = std::move(leaves);
+    return log;
+  }
+
+ private:
+  Digest SubtreeRoot(uint64_t lo, uint64_t hi) const;  // Entries [lo, hi).
+  void SubtreeInclusion(uint64_t index, uint64_t lo, uint64_t hi,
+                        std::vector<Digest>* proof) const;
+  void SubtreeConsistency(uint64_t m, uint64_t lo, uint64_t hi, bool lo_is_old,
+                          std::vector<Digest>* proof) const;
+
+  std::vector<Digest> leaves_;  // Leaf hashes.
+};
+
+}  // namespace crypto
+}  // namespace tcvs

@@ -1,0 +1,122 @@
+#include "crypto/winternitz.h"
+
+#include "crypto/hmac.h"
+
+namespace tcvs {
+namespace crypto {
+
+namespace {
+
+// Applies the hash chain `steps` times: c^steps(x).
+Digest Chain(Digest x, uint32_t steps) {
+  for (uint32_t s = 0; s < steps; ++s) x = Sha256::Hash(x);
+  return x;
+}
+
+// Domain-separation tag for WOTS chain starts ("w0ts" in ASCII).
+constexpr uint64_t kWotsDomain = 0x77307473ULL;
+
+Digest ChainStart(const Bytes& seed, size_t chain_index) {
+  return Prf2(seed, kWotsDomain, chain_index);
+}
+
+}  // namespace
+
+size_t WotsParams::checksum_chains() const {
+  // Max checksum value: message_chains() * chain_len().
+  uint64_t max_checksum = uint64_t(message_chains()) * chain_len();
+  size_t digits = 0;
+  uint64_t v = max_checksum;
+  while (v > 0) {
+    ++digits;
+    v >>= w;
+  }
+  return digits == 0 ? 1 : digits;
+}
+
+std::vector<uint32_t> WinternitzSigner::Chunks(const Digest& md,
+                                               const WotsParams& params) {
+  std::vector<uint32_t> chunks;
+  chunks.reserve(params.total_chains());
+  const int w = params.w;
+  const uint32_t mask = params.chain_len();
+  // Message chunks, MSB-first within each byte.
+  int bits_taken = 0;
+  uint32_t acc = 0;
+  int acc_bits = 0;
+  size_t byte_idx = 0;
+  while (bits_taken < 256) {
+    while (acc_bits < w && byte_idx < md.size()) {
+      acc = (acc << 8) | md[byte_idx++];
+      acc_bits += 8;
+    }
+    chunks.push_back((acc >> (acc_bits - w)) & mask);
+    acc_bits -= w;
+    acc &= (acc_bits > 0) ? ((1u << acc_bits) - 1) : 0;
+    bits_taken += w;
+  }
+  // Checksum chunks (base-2^w little-endian digits of the checksum).
+  uint64_t checksum = 0;
+  for (uint32_t c : chunks) checksum += params.chain_len() - c;
+  for (size_t i = 0; i < params.checksum_chains(); ++i) {
+    chunks.push_back(static_cast<uint32_t>(checksum & mask));
+    checksum >>= w;
+  }
+  return chunks;
+}
+
+WinternitzSigner::WinternitzSigner(const Bytes& seed, WotsParams params)
+    : params_(params), seed_(seed) {
+  Sha256 h;
+  for (size_t i = 0; i < params_.total_chains(); ++i) {
+    Digest end = Chain(ChainStart(seed_, i), params_.chain_len());
+    h.Update(end);
+  }
+  public_key_ = h.Finish();
+}
+
+Result<Bytes> WinternitzSigner::Sign(const Bytes& message) {
+  if (used_) {
+    return Status::FailedPrecondition("Winternitz key already used");
+  }
+  used_ = true;
+  Digest md = Sha256::Hash(message);
+  std::vector<uint32_t> chunks = Chunks(md, params_);
+  Bytes sig;
+  sig.reserve(chunks.size() * kDigestSize);
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    util::Append(&sig, Chain(ChainStart(seed_, i), chunks[i]));
+  }
+  return sig;
+}
+
+Result<Bytes> WinternitzSigner::PublicKeyFromSignature(const Bytes& message,
+                                                       const Bytes& signature,
+                                                       WotsParams params) {
+  Digest md = Sha256::Hash(message);
+  std::vector<uint32_t> chunks = Chunks(md, params);
+  if (signature.size() != chunks.size() * kDigestSize) {
+    return Status::InvalidArgument("Winternitz signature has wrong size");
+  }
+  Sha256 h;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    Digest part(signature.begin() + i * kDigestSize,
+                signature.begin() + (i + 1) * kDigestSize);
+    h.Update(Chain(std::move(part), params.chain_len() - chunks[i]));
+  }
+  return h.Finish();
+}
+
+Status WinternitzSigner::VerifySignature(const Bytes& public_key,
+                                         const Bytes& message,
+                                         const Bytes& signature, WotsParams params) {
+  TCVS_ASSIGN_OR_RETURN(Bytes implied,
+                        PublicKeyFromSignature(message, signature, params));
+  if (!util::ConstantTimeEqual(implied, public_key)) {
+    return Status::VerificationFailure("Winternitz signature mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace crypto
+}  // namespace tcvs

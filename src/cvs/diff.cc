@@ -1,0 +1,376 @@
+#include "cvs/diff.h"
+
+#include <algorithm>
+
+#include "util/serde.h"
+
+namespace tcvs {
+namespace cvs {
+
+size_t Patch::lines_added() const {
+  size_t n = 0;
+  for (const auto& h : hunks) n += h.added.size();
+  return n;
+}
+
+size_t Patch::lines_removed() const {
+  size_t n = 0;
+  for (const auto& h : hunks) n += h.removed.size();
+  return n;
+}
+
+Bytes Patch::Serialize() const {
+  util::Writer w;
+  w.PutU32(static_cast<uint32_t>(hunks.size()));
+  for (const auto& h : hunks) {
+    w.PutU64(h.old_pos);
+    w.PutU32(static_cast<uint32_t>(h.removed.size()));
+    for (const auto& line : h.removed) w.PutString(line);
+    w.PutU32(static_cast<uint32_t>(h.added.size()));
+    for (const auto& line : h.added) w.PutString(line);
+  }
+  return w.Take();
+}
+
+Result<Patch> Patch::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  Patch p;
+  TCVS_ASSIGN_OR_RETURN(uint32_t nhunks, r.GetU32());
+  for (uint32_t i = 0; i < nhunks; ++i) {
+    Hunk h;
+    TCVS_ASSIGN_OR_RETURN(h.old_pos, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(uint32_t nrem, r.GetU32());
+    for (uint32_t j = 0; j < nrem; ++j) {
+      TCVS_ASSIGN_OR_RETURN(std::string line, r.GetString());
+      h.removed.push_back(std::move(line));
+    }
+    TCVS_ASSIGN_OR_RETURN(uint32_t nadd, r.GetU32());
+    for (uint32_t j = 0; j < nadd; ++j) {
+      TCVS_ASSIGN_OR_RETURN(std::string line, r.GetString());
+      h.added.push_back(std::move(line));
+    }
+    p.hunks.push_back(std::move(h));
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after patch");
+  return p;
+}
+
+std::string Patch::ToString() const {
+  std::string out;
+  for (const auto& h : hunks) {
+    out += "@@ -" + std::to_string(h.old_pos + 1) + "," +
+           std::to_string(h.removed.size()) + " +" +
+           std::to_string(h.added.size()) + " @@\n";
+    for (const auto& line : h.removed) out += "-" + line + "\n";
+    for (const auto& line : h.added) out += "+" + line + "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+// Converts a Myers edit script (sequence of 'M'atch / 'D'elete / 'I'nsert
+// moves over the old/new files) into coalesced hunks.
+Patch OpsToPatch(const std::vector<char>& ops,
+                 const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  Patch patch;
+  size_t i = 0, j = 0;
+  Hunk current;
+  bool open = false;
+  auto flush = [&]() {
+    if (open) {
+      patch.hunks.push_back(std::move(current));
+      current = Hunk{};
+      open = false;
+    }
+  };
+  for (char op : ops) {
+    switch (op) {
+      case 'M':
+        flush();
+        ++i;
+        ++j;
+        break;
+      case 'D':
+        if (!open) {
+          current.old_pos = i;
+          open = true;
+        }
+        current.removed.push_back(a[i]);
+        ++i;
+        break;
+      case 'I':
+        if (!open) {
+          current.old_pos = i;
+          open = true;
+        }
+        current.added.push_back(b[j]);
+        ++j;
+        break;
+    }
+  }
+  flush();
+  return patch;
+}
+
+}  // namespace
+
+Patch ComputeDiff(const std::vector<std::string>& a,
+                  const std::vector<std::string>& b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  const int max_d = n + m;
+  if (max_d == 0) return Patch{};
+
+  const int offset = max_d;
+  std::vector<int> v(2 * max_d + 1, 0);
+  std::vector<std::vector<int>> trace;
+
+  int final_d = -1;
+  for (int d = 0; d <= max_d; ++d) {
+    trace.push_back(v);
+    for (int k = -d; k <= d; k += 2) {
+      int x;
+      if (k == -d || (k != d && v[offset + k - 1] < v[offset + k + 1])) {
+        x = v[offset + k + 1];  // Move down (insert).
+      } else {
+        x = v[offset + k - 1] + 1;  // Move right (delete).
+      }
+      int y = x - k;
+      while (x < n && y < m && a[x] == b[y]) {
+        ++x;
+        ++y;
+      }
+      v[offset + k] = x;
+      if (x >= n && y >= m) {
+        final_d = d;
+        break;
+      }
+    }
+    if (final_d >= 0) break;
+  }
+
+  // Backtrack from (n, m) through the stored V arrays.
+  std::vector<char> ops;
+  int x = n, y = m;
+  for (int d = final_d; d > 0; --d) {
+    const auto& pv = trace[d];
+    int k = x - y;
+    int prev_k;
+    if (k == -d || (k != d && pv[offset + k - 1] < pv[offset + k + 1])) {
+      prev_k = k + 1;
+    } else {
+      prev_k = k - 1;
+    }
+    int prev_x = pv[offset + prev_k];
+    int prev_y = prev_x - prev_k;
+    while (x > prev_x && y > prev_y) {
+      ops.push_back('M');
+      --x;
+      --y;
+    }
+    if (x == prev_x) {
+      ops.push_back('I');
+      --y;
+    } else {
+      ops.push_back('D');
+      --x;
+    }
+  }
+  while (x > 0 && y > 0) {
+    ops.push_back('M');
+    --x;
+    --y;
+  }
+  std::reverse(ops.begin(), ops.end());
+  return OpsToPatch(ops, a, b);
+}
+
+Patch ComputeDiffText(std::string_view old_text, std::string_view new_text) {
+  return ComputeDiff(SplitLines(old_text), SplitLines(new_text));
+}
+
+Result<std::vector<std::string>> ApplyPatch(
+    const std::vector<std::string>& old_lines, const Patch& patch) {
+  std::vector<std::string> out;
+  size_t cursor = 0;
+  for (const auto& h : patch.hunks) {
+    if (h.old_pos < cursor || h.old_pos > old_lines.size()) {
+      return Status::Corruption("hunk position out of order or out of range");
+    }
+    for (size_t i = cursor; i < h.old_pos; ++i) out.push_back(old_lines[i]);
+    cursor = h.old_pos;
+    for (const auto& line : h.removed) {
+      if (cursor >= old_lines.size() || old_lines[cursor] != line) {
+        return Status::Corruption("patch context mismatch at line " +
+                                  std::to_string(cursor + 1));
+      }
+      ++cursor;
+    }
+    for (const auto& line : h.added) out.push_back(line);
+  }
+  for (size_t i = cursor; i < old_lines.size(); ++i) out.push_back(old_lines[i]);
+  return out;
+}
+
+Result<std::string> ApplyPatchText(std::string_view old_text, const Patch& patch) {
+  TCVS_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        ApplyPatch(SplitLines(old_text), patch));
+  return JoinLines(lines);
+}
+
+// ---------------------------------------------------------------------------
+// Three-way merge
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Region {
+  size_t lo, hi;  // Base line range [lo, hi).
+};
+
+// Half-open overlap; equal-position zero-width edits conflict too.
+bool Overlaps(const Region& a, const Region& b) {
+  if (a.lo == b.lo) return true;
+  return a.lo < b.hi && b.lo < a.hi;
+}
+
+Region HunkRegion(const Hunk& h) {
+  return Region{h.old_pos, h.old_pos + h.removed.size()};
+}
+
+// Applies the hunks in [first, last) — all positioned inside [lo, hi) of the
+// base — to that base slice.
+std::vector<std::string> ApplyToSlice(const std::vector<std::string>& base,
+                                      size_t lo, size_t hi,
+                                      const std::vector<Hunk>& hunks,
+                                      size_t first, size_t last) {
+  std::vector<std::string> out;
+  size_t cursor = lo;
+  for (size_t i = first; i < last; ++i) {
+    const Hunk& h = hunks[i];
+    for (size_t p = cursor; p < h.old_pos; ++p) out.push_back(base[p]);
+    cursor = h.old_pos + h.removed.size();
+    for (const auto& line : h.added) out.push_back(line);
+  }
+  for (size_t p = cursor; p < hi; ++p) out.push_back(base[p]);
+  return out;
+}
+
+}  // namespace
+
+MergeResult ThreeWayMerge(const std::vector<std::string>& base,
+                          const std::vector<std::string>& ours,
+                          const std::vector<std::string>& theirs) {
+  const Patch our_patch = ComputeDiff(base, ours);
+  const Patch their_patch = ComputeDiff(base, theirs);
+  const auto& oh = our_patch.hunks;
+  const auto& th = their_patch.hunks;
+
+  MergeResult result;
+  size_t cursor = 0;  // Base cursor.
+  size_t i = 0, j = 0;
+
+  while (i < oh.size() || j < th.size()) {
+    // Pick the side whose next hunk starts first.
+    bool take_ours;
+    if (i >= oh.size()) {
+      take_ours = false;
+    } else if (j >= th.size()) {
+      take_ours = true;
+    } else {
+      take_ours = HunkRegion(oh[i]).lo <= HunkRegion(th[j]).lo;
+    }
+
+    const Hunk& next = take_ours ? oh[i] : th[j];
+    Region region = HunkRegion(next);
+
+    // Does the other side's next hunk overlap? Grow a conflict region that
+    // swallows every overlapping hunk from both sides.
+    size_t oi = i, oj = j;
+    bool grew = true;
+    size_t end_i = take_ours ? i + 1 : i;
+    size_t end_j = take_ours ? j : j + 1;
+    while (grew) {
+      grew = false;
+      while (end_i < oh.size() && Overlaps(region, HunkRegion(oh[end_i]))) {
+        region.lo = std::min(region.lo, HunkRegion(oh[end_i]).lo);
+        region.hi = std::max(region.hi, HunkRegion(oh[end_i]).hi);
+        ++end_i;
+        grew = true;
+      }
+      while (end_j < th.size() && Overlaps(region, HunkRegion(th[end_j]))) {
+        region.lo = std::min(region.lo, HunkRegion(th[end_j]).lo);
+        region.hi = std::max(region.hi, HunkRegion(th[end_j]).hi);
+        ++end_j;
+        grew = true;
+      }
+    }
+    const bool both_sides = (end_i > oi) && (end_j > oj);
+
+    // Copy untouched base lines up to the region.
+    for (size_t p = cursor; p < region.lo; ++p) result.lines.push_back(base[p]);
+
+    if (!both_sides) {
+      // Clean: only one side edited this region.
+      if (end_i > oi) {
+        auto piece = ApplyToSlice(base, region.lo, region.hi, oh, oi, end_i);
+        result.lines.insert(result.lines.end(), piece.begin(), piece.end());
+      } else {
+        auto piece = ApplyToSlice(base, region.lo, region.hi, th, oj, end_j);
+        result.lines.insert(result.lines.end(), piece.begin(), piece.end());
+      }
+    } else {
+      auto our_piece = ApplyToSlice(base, region.lo, region.hi, oh, oi, end_i);
+      auto their_piece = ApplyToSlice(base, region.lo, region.hi, th, oj, end_j);
+      if (our_piece == their_piece) {
+        // Both sides made the identical change.
+        result.lines.insert(result.lines.end(), our_piece.begin(),
+                            our_piece.end());
+      } else {
+        result.had_conflicts = true;
+        result.lines.push_back("<<<<<<< ours");
+        result.lines.insert(result.lines.end(), our_piece.begin(),
+                            our_piece.end());
+        result.lines.push_back("=======");
+        result.lines.insert(result.lines.end(), their_piece.begin(),
+                            their_piece.end());
+        result.lines.push_back(">>>>>>> theirs");
+      }
+    }
+
+    cursor = region.hi;
+    i = end_i;
+    j = end_j;
+  }
+  for (size_t p = cursor; p < base.size(); ++p) result.lines.push_back(base[p]);
+  return result;
+}
+
+}  // namespace cvs
+}  // namespace tcvs

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tcvs {
+namespace cvs {
+
+/// \brief One contiguous edit: at line `old_pos` of the old file (0-based),
+/// `removed` lines are replaced by `added` lines. Pure insertions have empty
+/// `removed`; pure deletions empty `added`.
+struct Hunk {
+  size_t old_pos = 0;
+  std::vector<std::string> removed;
+  std::vector<std::string> added;
+
+  bool operator==(const Hunk&) const = default;
+};
+
+/// \brief A line-based patch: an ordered list of non-overlapping hunks, as
+/// produced by Myers diff. Applying it to the old file yields the new file.
+struct Patch {
+  std::vector<Hunk> hunks;
+
+  bool empty() const { return hunks.empty(); }
+  /// Total lines added/removed (the "size" of the change).
+  size_t lines_added() const;
+  size_t lines_removed() const;
+
+  Bytes Serialize() const;
+  static Result<Patch> Deserialize(const Bytes& data);
+
+  /// Unified-diff-style rendering for humans.
+  std::string ToString() const;
+
+  bool operator==(const Patch&) const = default;
+};
+
+/// \brief Splits text into lines; a trailing newline does not create an
+/// empty final line. JoinLines is its inverse for newline-terminated text.
+std::vector<std::string> SplitLines(std::string_view text);
+std::string JoinLines(const std::vector<std::string>& lines);
+
+/// \brief Myers O((N+M)·D) shortest-edit-script diff between line vectors.
+Patch ComputeDiff(const std::vector<std::string>& old_lines,
+                  const std::vector<std::string>& new_lines);
+
+/// Convenience over whole file texts.
+Patch ComputeDiffText(std::string_view old_text, std::string_view new_text);
+
+/// \brief Applies `patch` to `old_lines`.
+/// \return Corruption when the patch context does not match (the patch was
+/// made against a different base).
+Result<std::vector<std::string>> ApplyPatch(
+    const std::vector<std::string>& old_lines, const Patch& patch);
+
+Result<std::string> ApplyPatchText(std::string_view old_text, const Patch& patch);
+
+/// \brief Result of a three-way merge.
+struct MergeResult {
+  std::vector<std::string> lines;
+  /// True when conflicting edits were bracketed with conflict markers.
+  bool had_conflicts = false;
+};
+
+/// \brief diff3-style merge of two descendants of `base`, the operation a
+/// CVS server performs when a commit races an update ("occasionally changing
+/// some common header files", paper §3.1). Non-overlapping edits combine;
+/// overlapping different edits produce CVS-style <<<<<<</=======/>>>>>>>
+/// conflict blocks.
+MergeResult ThreeWayMerge(const std::vector<std::string>& base,
+                          const std::vector<std::string>& ours,
+                          const std::vector<std::string>& theirs);
+
+}  // namespace cvs
+}  // namespace tcvs

@@ -1,0 +1,176 @@
+#include "cvs/repository.h"
+
+#include "util/serde.h"
+
+namespace tcvs {
+namespace cvs {
+
+Bytes FileRecord::Serialize() const {
+  util::Writer w;
+  w.PutU64(revision);
+  w.PutString(content);
+  return w.Take();
+}
+
+Result<FileRecord> FileRecord::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  FileRecord rec;
+  TCVS_ASSIGN_OR_RETURN(rec.revision, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(rec.content, r.GetString());
+  if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after record");
+  return rec;
+}
+
+namespace {
+// Internal key-space for history records; '!' sorts below all printable path
+// characters commonly used, keeping user files and history disjoint.
+std::string HistKey(const std::string& path, uint64_t revision) {
+  char rev[24];
+  snprintf(rev, sizeof(rev), "%016llx", static_cast<unsigned long long>(revision));
+  return "!hist/" + path + "/" + rev;
+}
+constexpr char kHistPrefix[] = "!hist/";
+}  // namespace
+
+Repository::Repository(mtree::TreeParams params, bool track_history)
+    : tree_(params), track_history_(track_history) {}
+
+Result<FileRecord> Repository::Checkout(const std::string& path) const {
+  auto value = tree_.Get(util::ToBytes(path));
+  if (!value.has_value()) return Status::NotFound("no such file: " + path);
+  return FileRecord::Deserialize(*value);
+}
+
+Result<uint64_t> Repository::Commit(const std::string& path, std::string content,
+                                    uint64_t base_revision) {
+  auto existing = tree_.Get(util::ToBytes(path));
+  uint64_t current = 0;
+  if (existing.has_value()) {
+    TCVS_ASSIGN_OR_RETURN(FileRecord rec, FileRecord::Deserialize(*existing));
+    current = rec.revision;
+  }
+  if (base_revision == 0 && current != 0) {
+    return Status::AlreadyExists("file already exists: " + path);
+  }
+  if (base_revision != current) {
+    return Status::FailedPrecondition(
+        "commit against revision " + std::to_string(base_revision) +
+        " but current is " + std::to_string(current) + " (update first)");
+  }
+  FileRecord next;
+  next.revision = current + 1;
+  next.content = std::move(content);
+  tree_.Upsert(util::ToBytes(path), next.Serialize());
+  if (track_history_) {
+    tree_.Upsert(util::ToBytes(HistKey(path, next.revision)), next.Serialize());
+  }
+  return next.revision;
+}
+
+Result<FileRecord> Repository::CheckoutRevision(const std::string& path,
+                                                uint64_t revision) const {
+  if (!track_history_) {
+    return Status::FailedPrecondition("repository does not track history");
+  }
+  auto value = tree_.Get(util::ToBytes(HistKey(path, revision)));
+  if (!value.has_value()) {
+    return Status::NotFound("no revision " + std::to_string(revision) +
+                            " of " + path);
+  }
+  return FileRecord::Deserialize(*value);
+}
+
+std::vector<uint64_t> Repository::ListRevisions(const std::string& path) const {
+  std::vector<uint64_t> out;
+  if (!track_history_) return out;
+  Bytes lo = util::ToBytes(HistKey(path, 0));
+  Bytes hi = util::ToBytes(HistKey(path, ~0ull));
+  for (const auto& [key, value] : tree_.Range(lo, hi)) {
+    auto rec = FileRecord::Deserialize(value);
+    if (rec.ok()) out.push_back(rec->revision);
+  }
+  return out;
+}
+
+Result<Patch> Repository::DiffOfRevision(const std::string& path,
+                                         uint64_t revision) const {
+  if (revision == 0) return Status::InvalidArgument("revisions start at 1");
+  TCVS_ASSIGN_OR_RETURN(FileRecord now, CheckoutRevision(path, revision));
+  std::string before;
+  if (revision > 1) {
+    TCVS_ASSIGN_OR_RETURN(FileRecord prev, CheckoutRevision(path, revision - 1));
+    before = prev.content;
+  }
+  return ComputeDiffText(before, now.content);
+}
+
+Status Repository::Remove(const std::string& path) {
+  bool found = false;
+  tree_.Delete(util::ToBytes(path), &found);
+  if (!found) return Status::NotFound("no such file: " + path);
+  return Status::OK();
+}
+
+std::vector<std::string> Repository::ListFiles() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : tree_.Items()) {
+    std::string path = util::ToString(k);
+    if (path.rfind(kHistPrefix, 0) == 0) continue;  // Internal history keys.
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+Result<Patch> Repository::DiffAgainst(const std::string& path,
+                                      std::string_view new_content) const {
+  TCVS_ASSIGN_OR_RETURN(FileRecord rec, Checkout(path));
+  return ComputeDiffText(rec.content, new_content);
+}
+
+void WorkingCopy::OnCheckout(const std::string& path, FileRecord record) {
+  Entry e;
+  e.local = record.content;
+  e.base = std::move(record);
+  files_[path] = std::move(e);
+}
+
+Status WorkingCopy::Edit(const std::string& path, std::string new_content) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("not checked out: " + path);
+  it->second.local = std::move(new_content);
+  return Status::OK();
+}
+
+Result<std::string> WorkingCopy::Content(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("not checked out: " + path);
+  return it->second.local;
+}
+
+Result<uint64_t> WorkingCopy::BaseRevision(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("not checked out: " + path);
+  return it->second.base.revision;
+}
+
+Result<Patch> WorkingCopy::LocalDiff(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("not checked out: " + path);
+  return ComputeDiffText(it->second.base.content, it->second.local);
+}
+
+Result<MergeResult> WorkingCopy::Update(const std::string& path,
+                                        const FileRecord& upstream) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("not checked out: " + path);
+  Entry& e = it->second;
+  MergeResult merged = ThreeWayMerge(SplitLines(e.base.content),
+                                     SplitLines(e.local),
+                                     SplitLines(upstream.content));
+  e.local = JoinLines(merged.lines);
+  e.base = upstream;
+  return merged;
+}
+
+}  // namespace cvs
+}  // namespace tcvs

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cvs/diff.h"
+#include "mtree/btree.h"
+#include "util/result.h"
+
+namespace tcvs {
+namespace cvs {
+
+/// \brief A versioned file as stored in the database: the paper's data item.
+/// The value bytes in the Merkle tree are the serialized record, so file
+/// revisions are covered by the root digest.
+struct FileRecord {
+  uint64_t revision = 0;
+  std::string content;
+
+  Bytes Serialize() const;
+  static Result<FileRecord> Deserialize(const Bytes& data);
+
+  bool operator==(const FileRecord&) const = default;
+};
+
+/// \brief CVS repository semantics (checkout / commit / remove / log) layered
+/// on the authenticated Merkle B⁺-tree. This is the *trusted-server* data
+/// model; the untrusted-server protocols in src/core speak the underlying
+/// key/value+VO interface and carry these records as opaque values.
+///
+/// Commit enforces optimistic concurrency exactly like CVS: a commit against
+/// a stale base revision is rejected (the client must update/merge first).
+class Repository {
+ public:
+  /// \param track_history when true, every committed revision is also stored
+  /// under an internal history key, so old revisions remain retrievable —
+  /// and, because history lives in the same Merkle tree, *authenticated*.
+  explicit Repository(mtree::TreeParams params = mtree::TreeParams{},
+                      bool track_history = false);
+
+  /// Reads the current record of `path`.
+  /// \return NotFound if the file does not exist.
+  Result<FileRecord> Checkout(const std::string& path) const;
+
+  /// Commits `content` on top of `base_revision`.
+  /// \return the new revision; FailedPrecondition if `base_revision` is not
+  /// the current revision (CVS "your copy is out of date" conflict);
+  /// base_revision 0 means "create", rejected with AlreadyExists if present.
+  Result<uint64_t> Commit(const std::string& path, std::string content,
+                          uint64_t base_revision);
+
+  /// Removes the file. \return NotFound if absent.
+  Status Remove(const std::string& path);
+
+  /// All current file paths, in lexicographic order.
+  std::vector<std::string> ListFiles() const;
+
+  /// Diff between the stored content and `new_content`.
+  Result<Patch> DiffAgainst(const std::string& path,
+                            std::string_view new_content) const;
+
+  /// \name Revision history (requires track_history = true).
+  /// @{
+  /// Retrieves a specific historical revision.
+  Result<FileRecord> CheckoutRevision(const std::string& path,
+                                      uint64_t revision) const;
+  /// All stored revision numbers of `path`, ascending.
+  std::vector<uint64_t> ListRevisions(const std::string& path) const;
+  /// The patch that turned `revision-1` into `revision`.
+  Result<Patch> DiffOfRevision(const std::string& path, uint64_t revision) const;
+  /// @}
+
+  /// Number of live files (history records excluded).
+  size_t file_count() const { return ListFiles().size(); }
+
+  /// The authenticated store beneath (root digest, proofs).
+  const mtree::MerkleBTree& tree() const { return tree_; }
+  mtree::MerkleBTree* mutable_tree() { return &tree_; }
+
+ private:
+  mtree::MerkleBTree tree_;
+  bool track_history_;
+};
+
+/// \brief A user's client-side working copy: the checked-out base revisions
+/// plus local edits, supporting the CVS update/merge flow against records
+/// fetched through any (trusted or verified-untrusted) channel.
+class WorkingCopy {
+ public:
+  /// Records that `path` was checked out at `record`.
+  void OnCheckout(const std::string& path, FileRecord record);
+
+  /// Applies a local edit (uncommitted).
+  /// \return NotFound if the file was never checked out.
+  Status Edit(const std::string& path, std::string new_content);
+
+  /// The locally edited (or checked-out) content.
+  Result<std::string> Content(const std::string& path) const;
+
+  /// Base revision `path` was checked out at.
+  Result<uint64_t> BaseRevision(const std::string& path) const;
+
+  /// Patch of local edits vs. the checked-out base.
+  Result<Patch> LocalDiff(const std::string& path) const;
+
+  /// Merges a newer upstream record into the locally edited file
+  /// (CVS `update`): three-way merge of base → {local, upstream}.
+  /// After the merge the base revision advances to the upstream revision.
+  /// \return the merge result (conflict markers included when conflicting).
+  Result<MergeResult> Update(const std::string& path, const FileRecord& upstream);
+
+  bool Has(const std::string& path) const { return files_.count(path) > 0; }
+
+ private:
+  struct Entry {
+    FileRecord base;
+    std::string local;  // Current (possibly edited) content.
+  };
+  std::map<std::string, Entry> files_;
+};
+
+}  // namespace cvs
+}  // namespace tcvs

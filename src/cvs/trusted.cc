@@ -1,0 +1,551 @@
+#include "cvs/trusted.h"
+
+#include "util/serde.h"
+
+namespace tcvs {
+namespace cvs {
+
+using core::kInitialCreator;
+using core::StateFingerprint;
+using core::XorBytes;
+
+// ---------------------------------------------------------------------------
+// Wire structs
+// ---------------------------------------------------------------------------
+
+Bytes ServerReply::Serialize() const {
+  util::Writer w;
+  w.PutU8(applied ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(files.size()));
+  for (const auto& f : files) {
+    w.PutU8(f.found ? 1 : 0);
+    w.PutBytes(f.vo);
+  }
+  w.PutU64(ctr);
+  w.PutU32(creator);
+  return w.Take();
+}
+
+Result<ServerReply> ServerReply::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  ServerReply reply;
+  TCVS_ASSIGN_OR_RETURN(uint8_t applied, r.GetU8());
+  reply.applied = (applied != 0);
+  TCVS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  if (n > 1u << 16) return Status::InvalidArgument("too many per-file replies");
+  for (uint32_t i = 0; i < n; ++i) {
+    PerFile f;
+    TCVS_ASSIGN_OR_RETURN(uint8_t found, r.GetU8());
+    f.found = (found != 0);
+    TCVS_ASSIGN_OR_RETURN(f.vo, r.GetBytes());
+    reply.files.push_back(std::move(f));
+  }
+  TCVS_ASSIGN_OR_RETURN(reply.ctr, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(reply.creator, r.GetU32());
+  return reply;
+}
+
+Bytes ListReply::Serialize() const {
+  util::Writer w;
+  w.PutBytes(range_vo);
+  w.PutU64(ctr);
+  w.PutU32(creator);
+  return w.Take();
+}
+
+Result<ListReply> ListReply::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  ListReply reply;
+  TCVS_ASSIGN_OR_RETURN(reply.range_vo, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(reply.ctr, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(reply.creator, r.GetU32());
+  return reply;
+}
+
+Bytes LogEntry(uint64_t ctr, const crypto::Digest& root) {
+  util::Writer w;
+  w.PutU64(ctr);
+  w.PutRaw(root);
+  return w.Take();
+}
+
+Bytes LogCheckpointReply::Serialize() const {
+  util::Writer w;
+  w.PutU64(size);
+  w.PutRaw(root);
+  w.PutU32(static_cast<uint32_t>(consistency.size()));
+  for (const auto& d : consistency) w.PutRaw(d);
+  return w.Take();
+}
+
+Result<LogCheckpointReply> LogCheckpointReply::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  LogCheckpointReply reply;
+  TCVS_ASSIGN_OR_RETURN(reply.size, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(reply.root, r.GetRaw(crypto::kDigestSize));
+  TCVS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  if (n > 1u << 12) return Status::InvalidArgument("oversized proof");
+  for (uint32_t i = 0; i < n; ++i) {
+    TCVS_ASSIGN_OR_RETURN(crypto::Digest d, r.GetRaw(crypto::kDigestSize));
+    reply.consistency.push_back(std::move(d));
+  }
+  return reply;
+}
+
+Bytes ClientState::Serialize() const {
+  util::Writer w;
+  w.PutString("tcvs-client-state-v2");
+  w.PutU32(user_id);
+  w.PutBytes(sigma);
+  w.PutBytes(last);
+  w.PutU64(gctr);
+  w.PutU64(lctr);
+  w.PutU64(log_size);
+  w.PutBytes(log_root);
+  return w.Take();
+}
+
+Result<ClientState> ClientState::Deserialize(const Bytes& data) {
+  util::Reader r(data);
+  TCVS_ASSIGN_OR_RETURN(std::string magic, r.GetString());
+  if (magic != "tcvs-client-state-v2") {
+    return Status::InvalidArgument("bad client state magic");
+  }
+  ClientState s;
+  TCVS_ASSIGN_OR_RETURN(s.user_id, r.GetU32());
+  TCVS_ASSIGN_OR_RETURN(s.sigma, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(s.last, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(s.gctr, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(s.lctr, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(s.log_size, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(s.log_root, r.GetBytes());
+  if (s.sigma.size() != crypto::kDigestSize ||
+      s.last.size() != crypto::kDigestSize) {
+    return Status::InvalidArgument("bad register size in client state");
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// UntrustedServer
+// ---------------------------------------------------------------------------
+
+UntrustedServer::UntrustedServer(mtree::TreeParams params)
+    : params_(params), tree_(params) {}
+
+UntrustedServer::UntrustedServer(mtree::MerkleBTree tree, uint64_t ctr,
+                                 uint32_t creator,
+                                 std::vector<crypto::Digest> log_leaves)
+    : params_(tree.params()), tree_(std::move(tree)), ctr_(ctr),
+      creator_(creator),
+      log_(crypto::TransparencyLog::FromLeafHashes(std::move(log_leaves))) {}
+
+void UntrustedServer::AppendLogEntry() {
+  log_.Append(LogEntry(ctr_, tree_.root_digest()));
+}
+
+Result<LogCheckpointReply> UntrustedServer::LogCheckpoint(uint64_t old_size) {
+  LogCheckpointReply reply;
+  reply.size = log_.size();
+  reply.root = log_.Root();
+  if (old_size > log_.size()) {
+    // The honest server can never be behind a client checkpoint; answer with
+    // the (smaller) truth and let the client detect the rollback.
+    return reply;
+  }
+  TCVS_ASSIGN_OR_RETURN(reply.consistency,
+                        log_.ConsistencyProof(old_size, log_.size()));
+  return reply;
+}
+
+Result<ServerReply> UntrustedServer::Transact(uint32_t user,
+                                              const std::vector<FileOp>& ops) {
+  if (ops.empty()) return Status::InvalidArgument("empty transaction");
+
+  // Phase 1 — decide: every commit's base revision must match the revision
+  // the file will have when that sub-op runs (earlier sub-ops of the same
+  // transaction included). All-or-nothing.
+  bool applies = true;
+  {
+    std::map<std::string, uint64_t> scratch_rev;
+    auto current_rev = [&](const std::string& path) -> uint64_t {
+      auto it = scratch_rev.find(path);
+      if (it != scratch_rev.end()) return it->second;
+      auto value = tree_.Get(util::ToBytes(path));
+      if (!value.has_value()) return 0;
+      auto rec = FileRecord::Deserialize(*value);
+      return rec.ok() ? rec->revision : 0;
+    };
+    for (const auto& op : ops) {
+      switch (op.kind) {
+        case FileOp::Kind::kCommit:
+          if (op.base_revision != current_rev(op.path)) applies = false;
+          scratch_rev[op.path] = op.base_revision + 1;
+          break;
+        case FileOp::Kind::kRemove:
+          scratch_rev[op.path] = 0;
+          break;
+        case FileOp::Kind::kCheckout:
+          break;
+      }
+      if (!applies) break;
+    }
+  }
+
+  // Phase 2 — execute sequentially, emitting the pre-sub-op proof for each
+  // file. Mutations run only when the transaction applies.
+  ServerReply reply;
+  reply.applied = applies;
+  reply.ctr = ctr_;
+  reply.creator = creator_;
+  for (const auto& op : ops) {
+    Bytes key = util::ToBytes(op.path);
+    ServerReply::PerFile f;
+    f.found = tree_.Get(key).has_value();
+    switch (op.kind) {
+      case FileOp::Kind::kCheckout:
+        f.vo = tree_.ProvePoint(key).Serialize();
+        break;
+      case FileOp::Kind::kCommit:
+        if (applies) {
+          f.vo = tree_.Upsert(key, FileRecord{op.base_revision + 1, op.content}
+                                       .Serialize())
+                     .Serialize();
+        } else {
+          f.vo = tree_.ProvePoint(key).Serialize();
+        }
+        break;
+      case FileOp::Kind::kRemove:
+        if (applies) {
+          bool found = false;
+          f.vo = tree_.Delete(key, &found).Serialize();
+          f.found = found;
+        } else {
+          f.vo = tree_.ProvePoint(key).Serialize();
+        }
+        break;
+    }
+    reply.files.push_back(std::move(f));
+  }
+
+  // One transaction, one counter tick; the requesting user is the new
+  // state's creator. The post-state lands in the transparency log.
+  ctr_ += 1;
+  creator_ = user;
+  AppendLogEntry();
+  return reply;
+}
+
+namespace {
+
+// Upper bound of the prefix key-space. File paths are byte strings without
+// 0xFF bytes (documented constraint), so prefix ∥ 0xFF…0xFF dominates every
+// extension of the prefix.
+Bytes PrefixUpperBound(const std::string& prefix) {
+  Bytes hi = util::ToBytes(prefix);
+  hi.insert(hi.end(), 16, 0xFF);
+  return hi;
+}
+
+}  // namespace
+
+Result<ListReply> UntrustedServer::List(uint32_t user,
+                                        const std::string& prefix) {
+  ListReply reply;
+  reply.range_vo =
+      tree_.ProveRange(util::ToBytes(prefix), PrefixUpperBound(prefix))
+          .Serialize();
+  reply.ctr = ctr_;
+  reply.creator = creator_;
+  // A listing is a read transaction: the counter advances, the state stays.
+  ctr_ += 1;
+  creator_ = user;
+  AppendLogEntry();
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// VerifyingClient
+// ---------------------------------------------------------------------------
+
+VerifyingClient::VerifyingClient(uint32_t user_id, ServerApi* server)
+    : user_id_(user_id), server_(server), params_(server->tree_params()) {
+  sigma_.assign(crypto::kDigestSize, 0);
+  last_ = core::InitialFingerprint(/*tagged=*/true);
+  log_root_ = crypto::Sha256::Hash("");
+}
+
+VerifyingClient::VerifyingClient(ClientState state, ServerApi* server)
+    : user_id_(state.user_id),
+      server_(server),
+      sigma_(std::move(state.sigma)),
+      last_(std::move(state.last)),
+      gctr_(state.gctr),
+      lctr_(state.lctr),
+      log_size_(state.log_size),
+      log_root_(std::move(state.log_root)),
+      params_(server->tree_params()) {}
+
+ClientState VerifyingClient::state() const {
+  return ClientState{user_id_, sigma_, last_, gctr_, lctr_, log_size_,
+                     log_root_};
+}
+
+Status VerifyingClient::AuditLog() {
+  TCVS_ASSIGN_OR_RETURN(LogCheckpointReply reply,
+                        server_->LogCheckpoint(log_size_));
+  if (reply.size < log_size_) {
+    return Status::DeviationDetected(
+        "server transparency log shrank from " + std::to_string(log_size_) +
+        " to " + std::to_string(reply.size) + ": history rolled back");
+  }
+  // Before the first audit the local checkpoint is the empty log.
+  crypto::Digest old_root =
+      log_size_ == 0 ? crypto::Sha256::Hash("") : log_root_;
+  Status st = crypto::TransparencyLog::VerifyConsistency(
+      log_size_, reply.size, old_root, reply.root, reply.consistency);
+  if (!st.ok()) {
+    return Status::DeviationDetected(
+        "server transparency log is not an extension of the checkpoint (" +
+        st.ToString() + "): history rewritten");
+  }
+  log_size_ = reply.size;
+  log_root_ = reply.root;
+  return Status::OK();
+}
+
+Result<ServerReply> VerifyingClient::Execute(
+    const std::vector<FileOp>& ops,
+    std::vector<std::optional<FileRecord>>* pre_records) {
+  TCVS_ASSIGN_OR_RETURN(ServerReply reply, server_->Transact(user_id_, ops));
+  if (reply.files.size() != ops.size()) {
+    return Status::DeviationDetected("server answered a different transaction");
+  }
+  if (reply.ctr < gctr_) {
+    return Status::DeviationDetected(
+        "server presented counter " + std::to_string(reply.ctr) +
+        " older than one already seen (" + std::to_string(gctr_) + ")");
+  }
+
+  // Walk the VO chain: each sub-op's proof must be rooted at the state the
+  // previous sub-ops produced, and each mutation is replayed locally. The
+  // server's apply/reject decision is recomputed from authenticated
+  // revisions and must match.
+  pre_records->clear();
+  std::optional<crypto::Digest> chain_root;
+  crypto::Digest pre_root;  // Root before the whole transaction.
+  bool expected_applies = true;
+  std::map<std::string, uint64_t> scratch_rev;
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const FileOp& op = ops[i];
+    const ServerReply::PerFile& f = reply.files[i];
+    Bytes key = util::ToBytes(op.path);
+
+    TCVS_ASSIGN_OR_RETURN(mtree::PointVO vo, mtree::PointVO::Deserialize(f.vo));
+    TCVS_ASSIGN_OR_RETURN(crypto::Digest root, vo.root.VerifiedDigest());
+    if (!chain_root.has_value()) {
+      pre_root = root;
+    } else if (root != *chain_root) {
+      return Status::DeviationDetected(
+          "verification-object chain broken at sub-op " + std::to_string(i));
+    }
+
+    TCVS_ASSIGN_OR_RETURN(std::optional<Bytes> value,
+                          mtree::VerifyPointRead(root, params_, key, vo));
+    std::optional<FileRecord> record;
+    if (value.has_value()) {
+      auto rec = FileRecord::Deserialize(*value);
+      if (!rec.ok()) {
+        return Status::DeviationDetected("server stored a malformed file record");
+      }
+      record = std::move(rec).ValueOrDie();
+    }
+    pre_records->push_back(record);
+
+    // Recompute the decision exactly as an honest server would.
+    uint64_t current = scratch_rev.count(op.path)
+                           ? scratch_rev[op.path]
+                           : (record.has_value() ? record->revision : 0);
+    crypto::Digest next_root = root;
+    switch (op.kind) {
+      case FileOp::Kind::kCheckout:
+        if (value.has_value() != f.found) {
+          return Status::DeviationDetected(
+              "server's existence claim contradicts the proof");
+        }
+        break;
+      case FileOp::Kind::kCommit: {
+        if (op.base_revision != current) expected_applies = false;
+        scratch_rev[op.path] = op.base_revision + 1;
+        if (reply.applied) {
+          Bytes new_value =
+              FileRecord{op.base_revision + 1, op.content}.Serialize();
+          TCVS_ASSIGN_OR_RETURN(next_root,
+                                mtree::VerifyAndApplyUpsert(
+                                    root, params_, key, new_value, vo));
+        }
+        break;
+      }
+      case FileOp::Kind::kRemove: {
+        scratch_rev[op.path] = 0;
+        if (reply.applied && record.has_value()) {
+          TCVS_ASSIGN_OR_RETURN(
+              next_root, mtree::VerifyAndApplyDelete(root, params_, key, vo));
+        }
+        if (reply.applied && record.has_value() != f.found) {
+          return Status::DeviationDetected(
+              "server's removal claim contradicts the proof");
+        }
+        break;
+      }
+    }
+    chain_root = next_root;
+  }
+
+  if (expected_applies != reply.applied) {
+    return Status::DeviationDetected(
+        "server mis-decided the transaction (authenticated revisions say "
+        "applied should be " +
+        std::string(expected_applies ? "true" : "false") + ")");
+  }
+
+  // Fold the transaction into the Protocol II registers.
+  sigma_ = XorBytes(sigma_, StateFingerprint(pre_root, reply.ctr, reply.creator));
+  const crypto::Digest post_fp =
+      StateFingerprint(*chain_root, reply.ctr + 1, user_id_);
+  sigma_ = XorBytes(sigma_, post_fp);
+  last_ = post_fp;
+  gctr_ = reply.ctr + 1;
+  ++lctr_;
+  return reply;
+}
+
+Result<FileRecord> VerifyingClient::Checkout(const std::string& path) {
+  std::vector<std::optional<FileRecord>> records;
+  TCVS_RETURN_NOT_OK(
+      Execute({FileOp{FileOp::Kind::kCheckout, path, "", 0}}, &records)
+          .status());
+  if (!records[0].has_value()) {
+    return Status::NotFound("no such file (authenticated): " + path);
+  }
+  return *records[0];
+}
+
+Result<std::vector<std::optional<FileRecord>>> VerifyingClient::CheckoutMany(
+    const std::vector<std::string>& paths) {
+  std::vector<FileOp> ops;
+  for (const auto& p : paths) ops.push_back({FileOp::Kind::kCheckout, p, "", 0});
+  std::vector<std::optional<FileRecord>> records;
+  TCVS_RETURN_NOT_OK(Execute(ops, &records).status());
+  return records;
+}
+
+Result<uint64_t> VerifyingClient::Commit(const std::string& path,
+                                         std::string content,
+                                         uint64_t base_revision) {
+  std::vector<std::optional<FileRecord>> records;
+  TCVS_ASSIGN_OR_RETURN(
+      ServerReply reply,
+      Execute({FileOp{FileOp::Kind::kCommit, path, std::move(content),
+                      base_revision}},
+              &records));
+  if (!reply.applied) {
+    uint64_t cur = records[0].has_value() ? records[0]->revision : 0;
+    if (base_revision == 0 && cur != 0) {
+      return Status::AlreadyExists("file already exists at revision " +
+                                   std::to_string(cur) + ": " + path);
+    }
+    return Status::FailedPrecondition(
+        "commit against revision " + std::to_string(base_revision) +
+        " but current is " + std::to_string(cur) + " (update first)");
+  }
+  return base_revision + 1;
+}
+
+Result<std::vector<uint64_t>> VerifyingClient::CommitMany(
+    const std::vector<FileOp>& commits) {
+  for (const auto& op : commits) {
+    if (op.kind != FileOp::Kind::kCommit) {
+      return Status::InvalidArgument("CommitMany accepts only commits");
+    }
+  }
+  std::vector<std::optional<FileRecord>> records;
+  TCVS_ASSIGN_OR_RETURN(ServerReply reply, Execute(commits, &records));
+  if (!reply.applied) {
+    return Status::FailedPrecondition(
+        "atomic multi-file commit rejected: at least one base revision is "
+        "stale (update first)");
+  }
+  std::vector<uint64_t> revisions;
+  for (const auto& op : commits) revisions.push_back(op.base_revision + 1);
+  return revisions;
+}
+
+Result<std::vector<std::pair<std::string, uint64_t>>> VerifyingClient::ListDir(
+    const std::string& prefix) {
+  TCVS_ASSIGN_OR_RETURN(ListReply reply, server_->List(user_id_, prefix));
+  if (reply.ctr < gctr_) {
+    return Status::DeviationDetected("server presented a stale counter");
+  }
+  TCVS_ASSIGN_OR_RETURN(mtree::RangeVO vo,
+                        mtree::RangeVO::Deserialize(reply.range_vo));
+  TCVS_ASSIGN_OR_RETURN(crypto::Digest root, vo.root.VerifiedDigest());
+  TCVS_ASSIGN_OR_RETURN(
+      auto rows, mtree::VerifyRangeRead(root, params_, util::ToBytes(prefix),
+                                        PrefixUpperBound(prefix), vo));
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const auto& [key, value] : rows) {
+    auto rec = FileRecord::Deserialize(value);
+    if (!rec.ok()) {
+      return Status::DeviationDetected("server stored a malformed file record");
+    }
+    out.emplace_back(util::ToString(key), rec->revision);
+  }
+  // Fold the read transaction: same root before and after, counter +1.
+  sigma_ = XorBytes(sigma_, StateFingerprint(root, reply.ctr, reply.creator));
+  const crypto::Digest post_fp =
+      StateFingerprint(root, reply.ctr + 1, user_id_);
+  sigma_ = XorBytes(sigma_, post_fp);
+  last_ = post_fp;
+  gctr_ = reply.ctr + 1;
+  ++lctr_;
+  return out;
+}
+
+Status VerifyingClient::Remove(const std::string& path) {
+  std::vector<std::optional<FileRecord>> records;
+  TCVS_RETURN_NOT_OK(
+      Execute({FileOp{FileOp::Kind::kRemove, path, "", 0}}, &records).status());
+  if (!records[0].has_value()) {
+    return Status::NotFound("no such file (authenticated): " + path);
+  }
+  return Status::OK();
+}
+
+Status VerifyingClient::SyncUp(const std::vector<VerifyingClient*>& clients) {
+  std::vector<ClientState> states;
+  for (const VerifyingClient* c : clients) states.push_back(c->state());
+  return SyncCheck(states);
+}
+
+Status VerifyingClient::SyncCheck(const std::vector<ClientState>& states) {
+  Bytes x(crypto::kDigestSize, 0);
+  for (const auto& s : states) {
+    if (s.sigma.size() != crypto::kDigestSize ||
+        s.last.size() != crypto::kDigestSize) {
+      return Status::InvalidArgument("malformed client state");
+    }
+    x = XorBytes(x, s.sigma);
+  }
+  const Bytes f0 = core::InitialFingerprint(/*tagged=*/true);
+  for (const auto& s : states) {
+    if (XorBytes(f0, s.last) == x) return Status::OK();
+  }
+  return Status::DeviationDetected(
+      "sync-up failed: the clients' observed transitions do not form a "
+      "single serial history — the server forked or replayed state");
+}
+
+}  // namespace cvs
+}  // namespace tcvs

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tcvs {
+namespace mtree {
+
+using crypto::Digest;
+
+/// Fanout / node-size parameters of the Merkle B⁺-tree. Server and client
+/// must agree on these: the client *replays* structural changes (splits,
+/// collapses) when verifying updates, so the split thresholds are part of
+/// the protocol.
+struct TreeParams {
+  /// Maximum number of (key,value) entries in a leaf before it splits.
+  size_t max_leaf_entries = 8;
+  /// Maximum number of separator keys in an internal node before it splits.
+  size_t max_internal_keys = 8;
+
+  bool operator==(const TreeParams&) const = default;
+};
+
+/// \brief One leaf entry as it appears in a verification object: the key and
+/// the hash of the value. Values themselves are only included where the
+/// query requires them.
+struct EntryView {
+  Bytes key;
+  Digest value_hash;
+  /// Present for entries whose value the query returns (the queried key in a
+  /// point read, all in-range entries in a range scan).
+  std::optional<Bytes> value;
+
+  bool operator==(const EntryView&) const = default;
+};
+
+/// \brief An untrusted, recursive view of a subtree, as shipped in a
+/// verification object (paper §4.1: "the digests of the O(log n) siblings of
+/// the affected nodes").
+///
+/// For a leaf: `entries` holds the full entry list. For an internal node:
+/// `keys` holds all separators, `child_digests` all children digests, and
+/// `expanded` maps child indices to recursively expanded views (only the
+/// children the proof needs — one for a point path, several for a range).
+///
+/// Everything here is server-supplied and untrusted until
+/// VerifiedDigest() links it back to a trusted root digest.
+struct NodeView {
+  bool is_leaf = true;
+  std::vector<EntryView> entries;          // leaf only
+  std::vector<Bytes> keys;                 // internal only
+  std::vector<Digest> child_digests;       // internal only, size keys+1
+  std::map<uint32_t, NodeView> expanded;   // internal only
+
+  /// Recomputes this node's digest from the view contents, checking that
+  /// every expanded child's recomputed digest matches the digest claimed in
+  /// `child_digests`, and that structural invariants hold (sorted keys,
+  /// digest sizes, child count).
+  /// \return the digest, or VerificationFailure / InvalidArgument.
+  Result<Digest> VerifiedDigest() const;
+
+  /// Digest recomputation without consistency checks (used by the trusted
+  /// server side where the structure is known-good).
+  Digest UncheckedDigest() const;
+};
+
+/// \brief Computes the digest of a leaf from its entry list.
+Digest LeafDigest(const std::vector<EntryView>& entries);
+
+/// \brief Computes the digest of an internal node from separators and child
+/// digests.
+Digest InternalDigest(const std::vector<Bytes>& keys,
+                      const std::vector<Digest>& child_digests);
+
+/// \brief Verification object for a point operation (read, update, insert,
+/// delete): the root-to-leaf path for the key, with every node on the path
+/// expanded. Doubles as a non-membership proof when the key is absent.
+struct PointVO {
+  NodeView root;
+
+  Bytes Serialize() const;
+  static Result<PointVO> Deserialize(const Bytes& data);
+};
+
+/// \brief Verification object for a range scan: the minimal subtree covering
+/// [lo, hi], with values attached to in-range entries.
+struct RangeVO {
+  NodeView root;
+
+  Bytes Serialize() const;
+  static Result<RangeVO> Deserialize(const Bytes& data);
+};
+
+/// \brief Client-side verification of a point read.
+///
+/// Checks that `vo` is rooted at `trusted_root`, that the search path for
+/// `key` is correctly routed, and that the leaf either contains `key` with a
+/// value matching its hash (membership) or provably does not contain it
+/// (non-membership).
+///
+/// \return the value if present, std::nullopt if provably absent.
+Result<std::optional<Bytes>> VerifyPointRead(const Digest& trusted_root,
+                                             const TreeParams& params,
+                                             const Bytes& key, const PointVO& vo);
+
+/// \brief Client-side verification + replay of an update (upsert).
+///
+/// Verifies the pre-state path against `trusted_root`, then locally replays
+/// the upsert of (key,value) — including leaf/internal splits — and returns
+/// the new root digest the honest server must now have (paper §4.1: "the
+/// user ... computes the new root digest of the tree").
+Result<Digest> VerifyAndApplyUpsert(const Digest& trusted_root,
+                                    const TreeParams& params, const Bytes& key,
+                                    const Bytes& value, const PointVO& vo);
+
+/// \brief Client-side verification + replay of a delete.
+///
+/// Verifies the pre-state path, replays the removal (including empty-leaf
+/// unlinking and root collapse), and returns the new root digest.
+/// \return NotFound if the key is provably absent (tree unchanged).
+Result<Digest> VerifyAndApplyDelete(const Digest& trusted_root,
+                                    const TreeParams& params, const Bytes& key,
+                                    const PointVO& vo);
+
+/// \brief Client-side verification of a range scan over [lo, hi] inclusive.
+///
+/// Checks the subtree against `trusted_root`, that every child overlapping
+/// the range is expanded (completeness), and that every in-range entry
+/// carries a value matching its hash (soundness).
+///
+/// \return the in-range (key,value) pairs in key order.
+Result<std::vector<std::pair<Bytes, Bytes>>> VerifyRangeRead(
+    const Digest& trusted_root, const TreeParams& params, const Bytes& lo,
+    const Bytes& hi, const RangeVO& vo);
+
+/// \brief Digest of an empty tree (a single empty leaf); the well-known
+/// initial root digest M(D₀) of the paper.
+Digest EmptyRootDigest();
+
+}  // namespace mtree
+}  // namespace tcvs

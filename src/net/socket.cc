@@ -1,0 +1,182 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tcvs {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    if (n == 0) return Status::IOError("write: connection closed");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, uint8_t* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::read(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) return Status::IOError("read: connection closed");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { Close(); }
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpConnection> TcpConnection::Connect(const std::string& host,
+                                             uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string resolved = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(fd);
+}
+
+Status TcpConnection::SendFrame(const Bytes& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  if (payload.size() > kMaxFrame) {
+    return Status::InvalidArgument("frame too large");
+  }
+  uint8_t header[4];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
+  TCVS_RETURN_NOT_OK(WriteAll(fd_, header, 4));
+  return WriteAll(fd_, payload.data(), payload.size());
+}
+
+Result<Bytes> TcpConnection::ReceiveFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  uint8_t header[4];
+  TCVS_RETURN_NOT_OK(ReadAll(fd_, header, 4));
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= uint32_t(header[i]) << (8 * i);
+  if (len > kMaxFrame) return Status::IOError("oversized frame");
+  Bytes payload(len);
+  if (len > 0) TCVS_RETURN_NOT_OK(ReadAll(fd_, payload.data(), len));
+  return payload;
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::Bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<TcpConnection> TcpListener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("listener closed");
+  int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return Errno("accept");
+  return TcpConnection(cfd);
+}
+
+}  // namespace net
+}  // namespace tcvs

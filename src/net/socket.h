@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tcvs {
+namespace net {
+
+/// \brief A connected TCP stream carrying length-prefixed frames (u32 LE
+/// length + payload). Blocking, move-only; the destructor closes the fd.
+///
+/// Frames keep the RPC layer trivial: one frame out, one frame back. Frame
+/// size is capped to keep a malicious peer from forcing huge allocations.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  static Result<TcpConnection> Connect(const std::string& host, uint16_t port);
+
+  /// Writes one frame. \return IOError on any short write.
+  Status SendFrame(const Bytes& payload);
+
+  /// Reads one frame. \return IOError on EOF or malformed length.
+  Result<Bytes> ReceiveFrame();
+
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// Maximum accepted frame size (16 MiB).
+  static constexpr uint32_t kMaxFrame = 16u << 20;
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief A listening TCP socket on the loopback interface.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral; see port()).
+  static Result<TcpListener> Bind(uint16_t port);
+
+  uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects.
+  Result<TcpConnection> Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace tcvs

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "cvs/trusted.h"
+#include "util/result.h"
+#include "util/serde.h"
+
+namespace tcvs {
+namespace rpc {
+
+/// RPC message kinds between `tcvs` clients and a `tcvsd` server.
+enum class RpcType : uint8_t {
+  /// Execute a transaction (cvs::ServerApi::Transact).
+  kTransact = 1,
+  /// Fetch server configuration (tree parameters).
+  kGetParams = 2,
+  /// Ask the serving loop to exit (operator tooling / tests).
+  kShutdown = 3,
+  /// Authenticated directory listing (cvs::ServerApi::List).
+  kList = 4,
+  /// Transparency-log checkpoint + consistency proof
+  /// (cvs::ServerApi::LogCheckpoint).
+  kLogCheckpoint = 5,
+};
+
+/// \brief One request frame.
+struct RpcRequest {
+  RpcType type = RpcType::kTransact;
+  uint32_t user = 0;
+  std::vector<cvs::FileOp> ops;
+  std::string prefix;     // kList only.
+  uint64_t old_size = 0;  // kLogCheckpoint only: the caller's checkpoint.
+
+  Bytes Serialize() const;
+  static Result<RpcRequest> Deserialize(const Bytes& data);
+};
+
+/// \brief One response frame: a Status (code + message) plus, on success,
+/// the type-specific payload (a serialized ServerReply for kTransact, the
+/// tree parameters for kGetParams).
+struct RpcResponse {
+  uint32_t status_code = 0;  // StatusCode as integer; 0 = OK.
+  std::string status_message;
+  Bytes payload;
+
+  static RpcResponse FromStatus(const Status& status);
+  Status ToStatus() const;
+
+  Bytes Serialize() const;
+  static Result<RpcResponse> Deserialize(const Bytes& data);
+};
+
+/// FileOp wire helpers (shared by request serialization and tests).
+void SerializeFileOp(const cvs::FileOp& op, util::Writer* w);
+Result<cvs::FileOp> DeserializeFileOp(util::Reader* r);
+
+}  // namespace rpc
+}  // namespace tcvs

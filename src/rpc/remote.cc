@@ -1,0 +1,152 @@
+#include "rpc/remote.h"
+
+#include "util/logging.h"
+#include "util/serde.h"
+
+namespace tcvs {
+namespace rpc {
+
+namespace {
+
+Bytes SerializeParams(const mtree::TreeParams& params) {
+  util::Writer w;
+  w.PutU64(params.max_leaf_entries);
+  w.PutU64(params.max_internal_keys);
+  return w.Take();
+}
+
+Result<mtree::TreeParams> DeserializeParams(const Bytes& data) {
+  util::Reader r(data);
+  mtree::TreeParams params;
+  TCVS_ASSIGN_OR_RETURN(uint64_t leaf, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(uint64_t internal, r.GetU64());
+  params.max_leaf_entries = leaf;
+  params.max_internal_keys = internal;
+  return params;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RemoteServer>> RemoteServer::Connect(
+    const std::string& host, uint16_t port) {
+  TCVS_ASSIGN_OR_RETURN(net::TcpConnection conn,
+                        net::TcpConnection::Connect(host, port));
+  // Fetch tree parameters so the client can replay proofs.
+  RpcRequest req;
+  req.type = RpcType::kGetParams;
+  TCVS_RETURN_NOT_OK(conn.SendFrame(req.Serialize()));
+  TCVS_ASSIGN_OR_RETURN(Bytes frame, conn.ReceiveFrame());
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, RpcResponse::Deserialize(frame));
+  TCVS_RETURN_NOT_OK(resp.ToStatus());
+  TCVS_ASSIGN_OR_RETURN(mtree::TreeParams params,
+                        DeserializeParams(resp.payload));
+  return std::unique_ptr<RemoteServer>(
+      new RemoteServer(std::move(conn), params));
+}
+
+Result<RpcResponse> RemoteServer::Call(const RpcRequest& request) {
+  TCVS_RETURN_NOT_OK(conn_.SendFrame(request.Serialize()));
+  TCVS_ASSIGN_OR_RETURN(Bytes frame, conn_.ReceiveFrame());
+  return RpcResponse::Deserialize(frame);
+}
+
+Result<cvs::ServerReply> RemoteServer::Transact(
+    uint32_t user, const std::vector<cvs::FileOp>& ops) {
+  RpcRequest req;
+  req.type = RpcType::kTransact;
+  req.user = user;
+  req.ops = ops;
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(req));
+  TCVS_RETURN_NOT_OK(resp.ToStatus());
+  return cvs::ServerReply::Deserialize(resp.payload);
+}
+
+Result<cvs::ListReply> RemoteServer::List(uint32_t user,
+                                          const std::string& prefix) {
+  RpcRequest req;
+  req.type = RpcType::kList;
+  req.user = user;
+  req.prefix = prefix;
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(req));
+  TCVS_RETURN_NOT_OK(resp.ToStatus());
+  return cvs::ListReply::Deserialize(resp.payload);
+}
+
+Result<cvs::LogCheckpointReply> RemoteServer::LogCheckpoint(uint64_t old_size) {
+  RpcRequest req;
+  req.type = RpcType::kLogCheckpoint;
+  req.old_size = old_size;
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(req));
+  TCVS_RETURN_NOT_OK(resp.ToStatus());
+  return cvs::LogCheckpointReply::Deserialize(resp.payload);
+}
+
+Status RemoteServer::Shutdown() {
+  RpcRequest req;
+  req.type = RpcType::kShutdown;
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(req));
+  return resp.ToStatus();
+}
+
+Status Serve(net::TcpListener* listener, cvs::ServerApi* server) {
+  for (;;) {
+    auto conn_or = listener->Accept();
+    if (!conn_or.ok()) return conn_or.status();
+    net::TcpConnection conn = std::move(conn_or).ValueOrDie();
+    for (;;) {
+      auto frame_or = conn.ReceiveFrame();
+      if (!frame_or.ok()) break;  // Peer disconnected; accept the next one.
+
+      RpcResponse resp;
+      bool shutdown = false;
+      auto req_or = RpcRequest::Deserialize(*frame_or);
+      if (!req_or.ok()) {
+        resp = RpcResponse::FromStatus(req_or.status());
+      } else {
+        switch (req_or->type) {
+          case RpcType::kGetParams:
+            resp.payload = SerializeParams(server->tree_params());
+            break;
+          case RpcType::kTransact: {
+            auto reply_or = server->Transact(req_or->user, req_or->ops);
+            if (!reply_or.ok()) {
+              resp = RpcResponse::FromStatus(reply_or.status());
+            } else {
+              resp.payload = reply_or->Serialize();
+            }
+            break;
+          }
+          case RpcType::kList: {
+            auto reply_or = server->List(req_or->user, req_or->prefix);
+            if (!reply_or.ok()) {
+              resp = RpcResponse::FromStatus(reply_or.status());
+            } else {
+              resp.payload = reply_or->Serialize();
+            }
+            break;
+          }
+          case RpcType::kLogCheckpoint: {
+            auto reply_or = server->LogCheckpoint(req_or->old_size);
+            if (!reply_or.ok()) {
+              resp = RpcResponse::FromStatus(reply_or.status());
+            } else {
+              resp.payload = reply_or->Serialize();
+            }
+            break;
+          }
+          case RpcType::kShutdown:
+            shutdown = true;
+            break;
+        }
+      }
+      Status send = conn.SendFrame(resp.Serialize());
+      if (shutdown || !send.ok()) {
+        if (shutdown) return Status::OK();
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace rpc
+}  // namespace tcvs

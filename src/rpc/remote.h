@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cvs/trusted.h"
+#include "net/socket.h"
+#include "rpc/protocol.h"
+
+namespace tcvs {
+namespace rpc {
+
+/// \brief cvs::ServerApi over a TCP connection to a `tcvsd` server: the
+/// verifying client's transport for real deployments. One frame round trip
+/// per transaction; the connection is established (and the server's tree
+/// parameters fetched) in Connect().
+class RemoteServer : public cvs::ServerApi {
+ public:
+  static Result<std::unique_ptr<RemoteServer>> Connect(const std::string& host,
+                                                       uint16_t port);
+
+  Result<cvs::ServerReply> Transact(uint32_t user,
+                                    const std::vector<cvs::FileOp>& ops) override;
+  Result<cvs::ListReply> List(uint32_t user, const std::string& prefix) override;
+  Result<cvs::LogCheckpointReply> LogCheckpoint(uint64_t old_size) override;
+  mtree::TreeParams tree_params() const override { return params_; }
+
+  /// Asks the server's serving loop to exit (operator tooling / tests).
+  Status Shutdown();
+
+ private:
+  RemoteServer(net::TcpConnection conn, mtree::TreeParams params)
+      : conn_(std::move(conn)), params_(params) {}
+
+  Result<RpcResponse> Call(const RpcRequest& request);
+
+  net::TcpConnection conn_;
+  mtree::TreeParams params_;
+};
+
+/// \brief Serves any ServerApi on `listener`: accepts connections one at a time
+/// and answers request frames until the peer disconnects. Returns after a
+/// kShutdown request (or on a listener error).
+Status Serve(net::TcpListener* listener, cvs::ServerApi* server);
+
+}  // namespace rpc
+}  // namespace tcvs

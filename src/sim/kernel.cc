@@ -1,0 +1,103 @@
+#include "sim/kernel.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tcvs {
+namespace sim {
+
+void RoundContext::Send(AgentId to, uint32_t type, Bytes payload) {
+  Message m;
+  m.from = self_;
+  m.to = to;
+  m.type = type;
+  m.payload = std::move(payload);
+  m.deliver_at = round_ + kernel_->message_delay();
+  // Any user-to-user message bypasses the server and therefore counts as
+  // external communication (§2.2.4), unicast or broadcast alike.
+  m.external = kernel_->IsUser(self_) && kernel_->IsUser(to);
+  kernel_->Enqueue(std::move(m));
+}
+
+void RoundContext::Broadcast(uint32_t type, Bytes payload) {
+  for (AgentId uid : kernel_->users_) {
+    if (uid == self_) continue;
+    Message m;
+    m.from = self_;
+    m.to = uid;
+    m.type = type;
+    m.payload = payload;
+    m.deliver_at = round_ + kernel_->message_delay();
+    m.external = true;
+    kernel_->Enqueue(std::move(m));
+  }
+}
+
+void RoundContext::ReportDetection(const std::string& reason) {
+  kernel_->OnDetection(self_, reason);
+}
+
+void Kernel::AddAgent(AgentId id, std::shared_ptr<Agent> agent) {
+  TCVS_CHECK(agents_.find(id) == agents_.end());
+  agents_[id] = std::move(agent);
+}
+
+void Kernel::RegisterUser(AgentId id) { users_.push_back(id); }
+
+void Kernel::Enqueue(Message m) {
+  traffic_.Add(m);
+  in_flight_.push_back(std::move(m));
+}
+
+void Kernel::OnDetection(AgentId who, const std::string& reason) {
+  if (detection_.has_value()) return;  // First detection wins.
+  SimReport r;
+  r.detected = true;
+  r.detection_round = now_;
+  r.detector = who;
+  r.detection_reason = reason;
+  detection_ = r;
+}
+
+SimReport Kernel::Run(Round max_rounds, bool stop_on_detection) {
+  now_ = 0;
+  return Continue(max_rounds, stop_on_detection);
+}
+
+SimReport Kernel::Continue(Round additional_rounds, bool stop_on_detection) {
+  const Round end = now_ + additional_rounds;
+  while (now_ < end) {
+    ++now_;
+    // Deliver all messages due this round, preserving send order.
+    std::map<AgentId, std::vector<Message>> inboxes;
+    std::vector<Message> still_flying;
+    still_flying.reserve(in_flight_.size());
+    for (auto& m : in_flight_) {
+      if (m.deliver_at <= now_) {
+        inboxes[m.to].push_back(std::move(m));
+      } else {
+        still_flying.push_back(std::move(m));
+      }
+    }
+    in_flight_ = std::move(still_flying);
+
+    // Step agents in fixed (ascending id) order — the deterministic serial
+    // order the paper's trusted server mirrors.
+    for (auto& [id, agent] : agents_) {
+      std::vector<Message> inbox = std::move(inboxes[id]);
+      RoundContext ctx(this, id, now_, &inbox);
+      agent->OnRound(&ctx);
+    }
+
+    if (stop_on_detection && detection_.has_value()) break;
+  }
+
+  SimReport report = detection_.value_or(SimReport{});
+  report.rounds_executed = now_;
+  report.traffic = traffic_;
+  return report;
+}
+
+}  // namespace sim
+}  // namespace tcvs

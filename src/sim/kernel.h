@@ -1,0 +1,129 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/result.h"
+
+namespace tcvs {
+namespace sim {
+
+class Kernel;
+
+/// \brief What an agent can do during its round: inspect the clock, read its
+/// inbox, and send messages (delivered next round, matching the paper's
+/// "messages are delivered in a single round").
+class RoundContext {
+ public:
+  RoundContext(Kernel* kernel, AgentId self, Round round,
+               std::vector<Message>* inbox)
+      : kernel_(kernel), self_(self), round_(round), inbox_(inbox) {}
+
+  Round round() const { return round_; }
+  AgentId self() const { return self_; }
+
+  /// Messages delivered to this agent this round, in send order.
+  const std::vector<Message>& inbox() const { return *inbox_; }
+
+  /// Sends a point-to-point message through the ordinary network.
+  void Send(AgentId to, uint32_t type, Bytes payload);
+
+  /// Sends on the external user-to-user broadcast channel; every registered
+  /// user except the sender receives a copy next round. Protocols that claim
+  /// "no external communication" must never call this — the kernel counts
+  /// external traffic separately so tests can assert exactly that.
+  void Broadcast(uint32_t type, Bytes payload);
+
+  /// Raises the deviation alarm: this agent knows the server deviated
+  /// (paper §2.2.1). The kernel records the first detection.
+  void ReportDetection(const std::string& reason);
+
+ private:
+  Kernel* kernel_;
+  AgentId self_;
+  Round round_;
+  std::vector<Message>* inbox_;
+};
+
+/// \brief A participant in the multi-agent system (user, server).
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// Called once per round, after this round's messages are delivered.
+  virtual void OnRound(RoundContext* ctx) = 0;
+};
+
+/// \brief Outcome of a simulation: whether and when some user detected
+/// deviation, and the traffic consumed.
+struct SimReport {
+  bool detected = false;
+  Round detection_round = 0;
+  AgentId detector = 0;
+  std::string detection_reason;
+  Round rounds_executed = 0;
+  TrafficStats traffic;
+};
+
+/// \brief Deterministic discrete-round simulator of the paper's system
+/// model: a global clock, agents stepped once per round in a fixed order,
+/// and messages delivered exactly one round after sending.
+///
+/// Determinism: with the same agents and workloads, every run is identical —
+/// attacks and detection delays in the experiments are exactly reproducible.
+class Kernel {
+ public:
+  Kernel() = default;
+
+  /// Registers an agent under `id`. User agents should also be listed via
+  /// RegisterUser so Broadcast reaches them.
+  void AddAgent(AgentId id, std::shared_ptr<Agent> agent);
+
+  /// Marks `id` as a user (a broadcast recipient).
+  void RegisterUser(AgentId id);
+
+  /// Runs until `max_rounds` or until `stop_on_detection` fires.
+  SimReport Run(Round max_rounds, bool stop_on_detection = true);
+
+  /// Runs additional rounds continuing from the current clock.
+  SimReport Continue(Round additional_rounds, bool stop_on_detection = true);
+
+  Round now() const { return now_; }
+  const TrafficStats& traffic() const { return traffic_; }
+
+  /// Message delivery latency in rounds (default 1, the paper's "messages
+  /// are delivered in a single round"). Any bounded value preserves the
+  /// protocol guarantees; robustness tests raise it.
+  void set_message_delay(Round delay) { message_delay_ = delay == 0 ? 1 : delay; }
+  Round message_delay() const { return message_delay_; }
+
+  /// True if `id` was registered as a user (a broadcast recipient).
+  bool IsUser(AgentId id) const {
+    for (AgentId u : users_) {
+      if (u == id) return true;
+    }
+    return false;
+  }
+
+ private:
+  friend class RoundContext;
+
+  void Enqueue(Message m);
+  void OnDetection(AgentId who, const std::string& reason);
+
+  Round now_ = 0;
+  Round message_delay_ = 1;
+  std::map<AgentId, std::shared_ptr<Agent>> agents_;
+  std::vector<AgentId> users_;
+  std::vector<Message> in_flight_;
+  TrafficStats traffic_;
+  std::optional<SimReport> detection_;
+};
+
+}  // namespace sim
+}  // namespace tcvs

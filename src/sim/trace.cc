@@ -1,0 +1,60 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tcvs {
+namespace sim {
+
+std::optional<size_t> FindDeviation(const std::vector<OpRecord>& records) {
+  std::vector<const OpRecord*> ordered;
+  ordered.reserve(records.size());
+  for (const auto& r : records) ordered.push_back(&r);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const OpRecord* a, const OpRecord* b) {
+                     return a->server_seq < b->server_seq;
+                   });
+
+  // Duplicate serial positions are themselves a deviation: the trusted
+  // server executes one transaction per position.
+  for (size_t i = 1; i < ordered.size(); ++i) {
+    if (ordered[i]->server_seq == ordered[i - 1]->server_seq) return i;
+  }
+
+  std::map<Bytes, Bytes> db;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const OpRecord& r = *ordered[i];
+    switch (r.kind) {
+      case OpKind::kCommit:
+        db[r.key] = r.value;
+        break;
+      case OpKind::kDelete:
+        db.erase(r.key);
+        break;
+      case OpKind::kCheckout: {
+        auto it = db.find(r.key);
+        std::optional<Bytes> expect;
+        if (it != db.end()) expect = it->second;
+        if (r.observed != expect) return i;
+        break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Round> FirstDeviationRound(const TraceLog& log) {
+  auto idx = FindDeviation(log.records());
+  if (!idx.has_value()) return std::nullopt;
+  // Map the serial index back to the completing record's round.
+  std::vector<const OpRecord*> ordered;
+  for (const auto& r : log.records()) ordered.push_back(&r);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const OpRecord* a, const OpRecord* b) {
+                     return a->server_seq < b->server_seq;
+                   });
+  return ordered[*idx]->completed;
+}
+
+}  // namespace sim
+}  // namespace tcvs

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/bytes.h"
+
+namespace tcvs {
+namespace sim {
+
+/// Kind of a CVS data operation, in the paper's reduced model: checkout is a
+/// read of a data item, commit is an update (§2.1 "CVS Operations").
+enum class OpKind : uint8_t { kCheckout = 0, kCommit = 1, kDelete = 2 };
+
+/// \brief One completed transaction as observed by the issuing user, plus
+/// the position the server claims it holds in the serial order.
+struct OpRecord {
+  AgentId user = 0;
+  Round issued = 0;
+  Round completed = 0;
+  OpKind kind = OpKind::kCheckout;
+  Bytes key;
+  Bytes value;                    // Commit payload.
+  std::optional<Bytes> observed;  // Checkout result (nullopt = not found).
+  uint64_t server_seq = 0;        // Server-claimed serial position.
+};
+
+/// \brief Ground-truth event log of a simulation. Experiments use it to know
+/// *when* the first deviation truly happened, independent of whether any
+/// protocol detected it.
+class TraceLog {
+ public:
+  void Record(OpRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<OpRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<OpRecord> records_;
+};
+
+/// \brief Replays the records in server-claimed serial order against a
+/// trusted in-memory database and reports the index (into the serial order)
+/// of the first record whose observed result is impossible in the trusted
+/// system — i.e. the run deviates from every trusted run (Def. 2.1).
+///
+/// \return index of the first deviating record, or nullopt if the
+/// observations are consistent with a trusted serial execution.
+std::optional<size_t> FindDeviation(const std::vector<OpRecord>& records);
+
+/// \brief Convenience: FindDeviation over a TraceLog, returning the *round*
+/// at which the first deviating transaction completed.
+std::optional<Round> FirstDeviationRound(const TraceLog& log);
+
+}  // namespace sim
+}  // namespace tcvs

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace tcvs {
+namespace sim {
+
+/// Global round number (the environment's clock). Round m takes place
+/// between time m−1 and time m (paper §2.1).
+using Round = uint64_t;
+
+/// Agent identifier. The server is a distinguished id; users are small
+/// integers; kBroadcast addresses every user via the external broadcast
+/// channel (Protocols I/II).
+using AgentId = uint32_t;
+
+inline constexpr AgentId kServerId = 0xFFFFFFFE;
+inline constexpr AgentId kBroadcast = 0xFFFFFFFD;
+
+/// \brief A message in transit. The kernel treats the payload as opaque
+/// bytes; protocol layers serialize their own structures, which also gives
+/// byte-accurate communication-overhead measurements.
+struct Message {
+  AgentId from = 0;
+  AgentId to = 0;
+  /// Protocol-defined tag (see core/wire.h).
+  uint32_t type = 0;
+  Bytes payload;
+  /// Round at which the kernel hands the message to the recipient.
+  Round deliver_at = 0;
+  /// True when this message travelled on the user-to-user broadcast channel
+  /// rather than through the server (external communication, §2.2.4).
+  bool external = false;
+};
+
+/// \brief Per-channel traffic statistics, the basis of the communication
+/// overhead experiments.
+struct TrafficStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t external_messages = 0;
+  uint64_t external_bytes = 0;
+
+  void Add(const Message& m) {
+    ++messages;
+    bytes += m.payload.size();
+    if (m.external) {
+      ++external_messages;
+      external_bytes += m.payload.size();
+    }
+  }
+};
+
+}  // namespace sim
+}  // namespace tcvs

@@ -1,0 +1,154 @@
+#include "storage/durable.h"
+
+#include "rpc/protocol.h"
+#include "util/serde.h"
+
+namespace tcvs {
+namespace storage {
+
+namespace {
+
+constexpr char kSnapshotMagic[] = "tcvs-snapshot-v1";
+
+std::string SnapshotPath(const std::string& dir) { return dir + "/snapshot.bin"; }
+std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+
+// WAL record tags. Listings are read-only but still advance the protocol
+// counter, so they must be logged for the recovered counter to match.
+constexpr uint8_t kRecordTransact = 0;
+constexpr uint8_t kRecordList = 1;
+
+Bytes EncodeTransaction(uint32_t user, const std::vector<cvs::FileOp>& ops) {
+  util::Writer w;
+  w.PutU8(kRecordTransact);
+  w.PutU32(user);
+  w.PutU32(static_cast<uint32_t>(ops.size()));
+  for (const auto& op : ops) rpc::SerializeFileOp(op, &w);
+  return w.Take();
+}
+
+Bytes EncodeList(uint32_t user, const std::string& prefix) {
+  util::Writer w;
+  w.PutU8(kRecordList);
+  w.PutU32(user);
+  w.PutString(prefix);
+  return w.Take();
+}
+
+Status ReplayRecord(const Bytes& record, cvs::UntrustedServer* server) {
+  util::Reader r(record);
+  TCVS_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  TCVS_ASSIGN_OR_RETURN(uint32_t user, r.GetU32());
+  switch (tag) {
+    case kRecordTransact: {
+      TCVS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+      std::vector<cvs::FileOp> ops;
+      for (uint32_t i = 0; i < n; ++i) {
+        TCVS_ASSIGN_OR_RETURN(cvs::FileOp op, rpc::DeserializeFileOp(&r));
+        ops.push_back(std::move(op));
+      }
+      return server->Transact(user, ops).status();
+    }
+    case kRecordList: {
+      TCVS_ASSIGN_OR_RETURN(std::string prefix, r.GetString());
+      return server->List(user, prefix).status();
+    }
+    default:
+      return Status::Corruption("unknown WAL record tag");
+  }
+}
+
+Bytes EncodeSnapshot(const cvs::UntrustedServer& server) {
+  util::Writer w;
+  w.PutString(kSnapshotMagic);
+  w.PutU64(server.ctr());
+  w.PutU32(server.creator());
+  w.PutBytes(server.tree().Serialize());
+  const auto& leaves = server.log_leaf_hashes();
+  w.PutU64(leaves.size());
+  for (const auto& leaf : leaves) w.PutRaw(leaf);
+  return w.Take();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableServer>> DurableServer::Open(
+    const std::string& dir, mtree::TreeParams params) {
+  // 1. Base state: the snapshot if one exists, else an empty repository.
+  std::unique_ptr<cvs::UntrustedServer> server;
+  auto snapshot_or = ReadFileBytes(SnapshotPath(dir));
+  if (snapshot_or.ok()) {
+    util::Reader r(*snapshot_or);
+    TCVS_ASSIGN_OR_RETURN(std::string magic, r.GetString());
+    if (magic != kSnapshotMagic) {
+      return Status::Corruption("bad snapshot magic in " + dir);
+    }
+    TCVS_ASSIGN_OR_RETURN(uint64_t ctr, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(uint32_t creator, r.GetU32());
+    TCVS_ASSIGN_OR_RETURN(Bytes tree_bytes, r.GetBytes());
+    TCVS_ASSIGN_OR_RETURN(mtree::MerkleBTree tree,
+                          mtree::MerkleBTree::Deserialize(tree_bytes, params));
+    TCVS_ASSIGN_OR_RETURN(uint64_t n_leaves, r.GetU64());
+    std::vector<crypto::Digest> leaves;
+    for (uint64_t i = 0; i < n_leaves; ++i) {
+      TCVS_ASSIGN_OR_RETURN(crypto::Digest leaf, r.GetRaw(crypto::kDigestSize));
+      leaves.push_back(std::move(leaf));
+    }
+    server = std::make_unique<cvs::UntrustedServer>(std::move(tree), ctr,
+                                                    creator, std::move(leaves));
+  } else if (snapshot_or.status().IsNotFound()) {
+    server = std::make_unique<cvs::UntrustedServer>(params);
+  } else {
+    return snapshot_or.status();
+  }
+
+  // 2. Replay the WAL's longest valid prefix on top.
+  bool truncated = false;
+  TCVS_ASSIGN_OR_RETURN(std::vector<Bytes> records,
+                        ReadWal(WalPath(dir), &truncated));
+  for (const auto& record : records) {
+    TCVS_RETURN_NOT_OK(ReplayRecord(record, server.get()));
+  }
+  if (truncated) {
+    // Drop the torn tail so future appends start from a clean prefix: fold
+    // the replayed state into a snapshot and reset the log.
+    Bytes snapshot = EncodeSnapshot(*server);
+    TCVS_RETURN_NOT_OK(AtomicWriteFile(SnapshotPath(dir), snapshot));
+    TCVS_RETURN_NOT_OK(TruncateFile(WalPath(dir)));
+    records.clear();
+  }
+
+  TCVS_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(WalPath(dir)));
+  return std::unique_ptr<DurableServer>(
+      new DurableServer(dir, std::move(server), std::move(wal),
+                        records.size()));
+}
+
+Result<cvs::ServerReply> DurableServer::Transact(
+    uint32_t user, const std::vector<cvs::FileOp>& ops) {
+  // Log first, then apply: a reply only exists once its transaction is
+  // durable, so recovery can never lose an acknowledged state transition.
+  TCVS_RETURN_NOT_OK(wal_.Append(EncodeTransaction(user, ops)));
+  ++wal_records_;
+  return server_->Transact(user, ops);
+}
+
+Result<cvs::ListReply> DurableServer::List(uint32_t user,
+                                           const std::string& prefix) {
+  TCVS_RETURN_NOT_OK(wal_.Append(EncodeList(user, prefix)));
+  ++wal_records_;
+  return server_->List(user, prefix);
+}
+
+Status DurableServer::Checkpoint() {
+  TCVS_RETURN_NOT_OK(AtomicWriteFile(SnapshotPath(dir_),
+                                     EncodeSnapshot(*server_)));
+  wal_.Close();
+  TCVS_RETURN_NOT_OK(TruncateFile(WalPath(dir_)));
+  TCVS_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath(dir_)));
+  wal_records_ = 0;
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace tcvs

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cvs/trusted.h"
+#include "storage/wal.h"
+
+namespace tcvs {
+namespace storage {
+
+/// \brief Durable wrapper around the untrusted repository server: snapshot +
+/// write-ahead log in a data directory, so `tcvsd --data-dir` survives
+/// restarts with the same root digest (clients verifying against their
+/// registers never notice the restart).
+///
+/// Layout:
+///   <dir>/snapshot.bin  — magic, ctr, creator, MerkleBTree::Serialize()
+///   <dir>/wal.log       — CRC-framed transaction records since the snapshot
+///
+/// Every Transact appends the request to the WAL before execution (the
+/// transaction is deterministic, so replay reconstructs the exact state).
+/// Checkpoint() folds the WAL into a fresh snapshot. Recovery loads the
+/// snapshot (if any) and replays the WAL's longest valid prefix — a torn
+/// tail from a crash is dropped, which is safe: the corresponding reply can
+/// never have reached a client.
+class DurableServer : public cvs::ServerApi {
+ public:
+  /// Opens (and recovers) a data directory. The directory must exist.
+  static Result<std::unique_ptr<DurableServer>> Open(const std::string& dir,
+                                                     mtree::TreeParams params);
+
+  Result<cvs::ServerReply> Transact(uint32_t user,
+                                    const std::vector<cvs::FileOp>& ops) override;
+  Result<cvs::ListReply> List(uint32_t user, const std::string& prefix) override;
+  Result<cvs::LogCheckpointReply> LogCheckpoint(uint64_t old_size) override {
+    return server_->LogCheckpoint(old_size);
+  }
+  mtree::TreeParams tree_params() const override {
+    return server_->tree_params();
+  }
+
+  /// Writes a fresh snapshot and truncates the WAL.
+  Status Checkpoint();
+
+  /// Number of WAL records accumulated since the last checkpoint.
+  uint64_t wal_records() const { return wal_records_; }
+
+  cvs::UntrustedServer* server() { return server_.get(); }
+
+ private:
+  DurableServer(std::string dir, std::unique_ptr<cvs::UntrustedServer> server,
+                WalWriter wal, uint64_t wal_records)
+      : dir_(std::move(dir)),
+        server_(std::move(server)),
+        wal_(std::move(wal)),
+        wal_records_(wal_records) {}
+
+  std::string dir_;
+  std::unique_ptr<cvs::UntrustedServer> server_;
+  WalWriter wal_;
+  uint64_t wal_records_ = 0;
+};
+
+}  // namespace storage
+}  // namespace tcvs

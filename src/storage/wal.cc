@@ -1,0 +1,179 @@
+#include "storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace tcvs {
+namespace storage {
+
+namespace {
+
+const uint32_t* CrcTable() {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  const uint32_t* table = CrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const Bytes& data) { return Crc32(data.data(), data.size()); }
+
+WalWriter::~WalWriter() { Close(); }
+
+WalWriter::WalWriter(WalWriter&& other) noexcept : file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return Errno("open wal " + path);
+  WalWriter w;
+  w.file_ = f;
+  return w;
+}
+
+Status WalWriter::Append(const Bytes& record) {
+  if (file_ == nullptr) return Status::FailedPrecondition("wal closed");
+  uint8_t header[8];
+  uint32_t len = static_cast<uint32_t>(record.size());
+  uint32_t crc = Crc32(record);
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
+  for (int i = 0; i < 4; ++i) {
+    header[4 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  if (std::fwrite(header, 1, 8, file_) != 8) return Errno("wal write header");
+  if (!record.empty() &&
+      std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Errno("wal write payload");
+  }
+  return Flush();
+}
+
+Status WalWriter::Flush() {
+  if (file_ == nullptr) return Status::FailedPrecondition("wal closed");
+  if (std::fflush(file_) != 0) return Errno("wal flush");
+  return Status::OK();
+}
+
+Result<std::vector<Bytes>> ReadWal(const std::string& path, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return std::vector<Bytes>{};
+    return Errno("open wal " + path);
+  }
+  std::vector<Bytes> records;
+  for (;;) {
+    uint8_t header[8];
+    size_t got = std::fread(header, 1, 8, f);
+    if (got == 0) break;  // Clean EOF.
+    if (got < 8) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) len |= uint32_t(header[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) crc |= uint32_t(header[4 + i]) << (8 * i);
+    if (len > (64u << 20)) {  // Absurd length: treat as torn tail.
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    Bytes payload(len);
+    if (len > 0 && std::fread(payload.data(), 1, len, f) != len) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    if (Crc32(payload) != crc) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    records.push_back(std::move(payload));
+  }
+  std::fclose(f);
+  return records;
+}
+
+Status AtomicWriteFile(const std::string& path, const Bytes& contents) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Errno("open " + tmp);
+  if (!contents.empty() &&
+      std::fwrite(contents.data(), 1, contents.size(), f) != contents.size()) {
+    std::fclose(f);
+    return Errno("write " + tmp);
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    return Errno("flush " + tmp);
+  }
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Result<Bytes> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open " + path);
+  }
+  Bytes out;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+Status TruncateFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Errno("truncate " + path);
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace tcvs

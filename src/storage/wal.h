@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tcvs {
+namespace storage {
+
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+/// string — the per-record integrity check of the write-ahead log.
+uint32_t Crc32(const uint8_t* data, size_t len);
+uint32_t Crc32(const Bytes& data);
+
+/// \brief Append-only write-ahead log. Record framing:
+///
+///   u32 LE payload length | u32 LE CRC-32(payload) | payload bytes
+///
+/// Torn tails are expected after a crash: the reader stops at the first
+/// record whose header, length, or CRC does not check out, yielding the
+/// longest valid prefix (standard WAL semantics).
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+
+  /// Opens for appending (creates if missing).
+  static Result<WalWriter> Open(const std::string& path);
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(const Bytes& record);
+
+  /// Flushes buffered data down to the file descriptor.
+  Status Flush();
+
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// \brief Reads every valid record from a WAL file. Returns the longest
+/// valid prefix; a trailing torn/corrupt record is silently dropped (and
+/// reported via `truncated`).
+Result<std::vector<Bytes>> ReadWal(const std::string& path, bool* truncated);
+
+/// \brief Atomically replaces `path` with `contents` (write temp + rename).
+Status AtomicWriteFile(const std::string& path, const Bytes& contents);
+
+/// \brief Reads an entire file. NotFound when it does not exist.
+Result<Bytes> ReadFileBytes(const std::string& path);
+
+/// \brief Truncates a file to zero length (creating it if absent).
+Status TruncateFile(const std::string& path);
+
+}  // namespace storage
+}  // namespace tcvs

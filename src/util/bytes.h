@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tcvs {
+
+/// Owning byte string used throughout the library for keys, values, digests
+/// and wire messages.
+using Bytes = std::vector<uint8_t>;
+
+namespace util {
+
+/// \brief Converts a std::string / string literal to Bytes.
+Bytes ToBytes(std::string_view s);
+
+/// \brief Converts Bytes to a std::string (no encoding; bytes copied as-is).
+std::string ToString(const Bytes& b);
+
+/// \brief Lowercase hex rendering of a byte string, e.g. "deadbeef".
+std::string HexEncode(const Bytes& b);
+std::string HexEncode(const uint8_t* data, size_t len);
+
+/// \brief Parses lowercase/uppercase hex into bytes.
+/// \return InvalidArgument if `hex` has odd length or non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+/// \brief Appends `src` to `dst`.
+void Append(Bytes* dst, const Bytes& src);
+void Append(Bytes* dst, std::string_view src);
+
+/// \brief Constant-time byte-string equality (length leaks, contents do not).
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b);
+
+}  // namespace util
+}  // namespace tcvs

@@ -1,0 +1,81 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace tcvs {
+namespace util {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  // Values 0..3 map to their own buckets; beyond that, 4 sub-buckets per
+  // power of two: bucket = 4*floor(log2(v)) + top-2-bits-after-msb.
+  if (value < 4) return static_cast<size_t>(value);
+  int msb = 63 - std::countl_zero(value);
+  uint64_t sub = (value >> (msb - 2)) & 0x3;  // Two bits below the MSB.
+  size_t bucket = static_cast<size_t>(4 * msb) + static_cast<size_t>(sub);
+  return std::min(bucket, kBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket < 4) return bucket;
+  size_t msb = bucket / 4;
+  uint64_t sub = bucket % 4;
+  // Largest value whose (msb, sub) matches: next sub-bucket start − 1.
+  uint64_t base = 1ull << msb;
+  uint64_t step = base / 4;
+  return base + step * (sub + 1) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)] += 1;
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "count=%llu mean=%.2f p50=%llu p90=%llu p99=%llu max=%llu",
+           static_cast<unsigned long long>(count_), mean(),
+           static_cast<unsigned long long>(p50()),
+           static_cast<unsigned long long>(p90()),
+           static_cast<unsigned long long>(p99()),
+           static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace util
+}  // namespace tcvs

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcvs {
+namespace util {
+
+/// \brief Fixed-memory latency histogram with exponential buckets (powers of
+/// two with 4 sub-buckets each, HdrHistogram-lite). Records values in
+/// arbitrary units; quantiles are approximate to the bucket width (≤ 25%
+/// relative error), which is plenty for round-count latencies.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  /// Value at quantile q ∈ [0, 1] (upper bound of the containing bucket).
+  uint64_t Quantile(double q) const;
+  uint64_t p50() const { return Quantile(0.50); }
+  uint64_t p90() const { return Quantile(0.90); }
+  uint64_t p99() const { return Quantile(0.99); }
+
+  /// "count=… mean=… p50=… p90=… p99=… max=…" one-liner for reports.
+  std::string Summary() const;
+
+ private:
+  static size_t BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  static constexpr size_t kBuckets = 4 * 64 + 1;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace util
+}  // namespace tcvs

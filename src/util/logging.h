@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tcvs {
+namespace util {
+
+/// Severity levels for the library logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Global minimum level; messages below it are dropped.
+/// Defaults to kWarn so library internals are silent in normal use.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// \brief One log statement; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// \brief Fatal-check failure: prints and aborts. Used for programming errors
+/// (invariant violations), never for data-dependent failures, which return
+/// Status.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& extra);
+
+}  // namespace util
+}  // namespace tcvs
+
+#define TCVS_LOG(level)                                          \
+  ::tcvs::util::LogMessage(::tcvs::util::LogLevel::k##level, \
+                           __FILE__, __LINE__)
+
+#define TCVS_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::tcvs::util::CheckFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define TCVS_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    ::tcvs::Status _st = (expr);                                       \
+    if (!_st.ok())                                                     \
+      ::tcvs::util::CheckFailed(#expr, __FILE__, __LINE__, _st.ToString()); \
+  } while (false)
+
+#define TCVS_DCHECK(expr) TCVS_CHECK(expr)

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tcvs {
+namespace util {
+
+/// \brief Deterministic PRNG (xoshiro256++) used for workload generation,
+/// key generation in tests, and property sweeps.
+///
+/// Not cryptographically secure — production key material would use an OS
+/// CSPRNG; the simulator favours reproducibility, so every experiment is
+/// parameterized by an explicit seed.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64.
+  explicit Rng(uint64_t seed);
+
+  /// Next 64 uniform random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// `n` random bytes.
+  Bytes RandomBytes(size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief Zipf-distributed integer generator over [0, n), exponent `theta`.
+///
+/// Used to model skewed file popularity in CVS workloads (a few hot files,
+/// a long tail). theta=0 degenerates to uniform.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws one sample in [0, n).
+  uint64_t Next(Rng* rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace util
+}  // namespace tcvs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace tcvs {
+
+/// \brief Value-or-Status, the return type of fallible value-producing
+/// functions (Arrow idiom).
+///
+/// A Result is either *ok* and holds a T, or holds a non-OK Status. Accessing
+/// the value of a failed Result aborts, so callers must check `ok()` first or
+/// use the TCVS_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK Status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      // A Result constructed from a Status must represent failure.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The failure Status, or OK when the Result holds a value.
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// \name Value accessors; abort if !ok().
+  /// @{
+  const T& ValueOrDie() const& {
+    DieIfNotOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfNotOk();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    DieIfNotOk();
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  /// @}
+
+  /// Returns the held value or `fallback` when failed.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void DieIfNotOk() const {
+    if (!ok()) std::abort();
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace tcvs

@@ -1,0 +1,65 @@
+#include "util/serde.h"
+
+namespace tcvs {
+namespace util {
+
+void Writer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::PutBytes(const Bytes& b) {
+  PutU32(static_cast<uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Writer::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::PutRaw(const Bytes& b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+Result<uint8_t> Reader::GetU8() {
+  if (remaining() < 1) return Status::OutOfRange("read past end of buffer");
+  return buf_[pos_++];
+}
+
+Result<uint32_t> Reader::GetU32() {
+  if (remaining() < 4) return Status::OutOfRange("read past end of buffer");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> Reader::GetU64() {
+  if (remaining() < 8) return Status::OutOfRange("read past end of buffer");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<Bytes> Reader::GetBytes() {
+  TCVS_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  return GetRaw(len);
+}
+
+Result<std::string> Reader::GetString() {
+  TCVS_ASSIGN_OR_RETURN(Bytes b, GetBytes());
+  return ToString(b);
+}
+
+Result<Bytes> Reader::GetRaw(size_t n) {
+  if (remaining() < n) return Status::OutOfRange("read past end of buffer");
+  Bytes out(buf_.begin() + pos_, buf_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace util
+}  // namespace tcvs

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tcvs {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kCorruption = 6,
+  /// Cryptographic verification failed (bad digest, bad signature, bad VO).
+  kVerificationFailure = 7,
+  /// The untrusted server deviated from every run of the trusted system.
+  kDeviationDetected = 8,
+  kUnimplemented = 9,
+  kInternal = 10,
+  kIOError = 11,
+};
+
+/// \brief Outcome of a fallible operation (Arrow/RocksDB idiom).
+///
+/// Library code never throws; every fallible function returns a Status (or a
+/// Result<T>, see result.h). Statuses are cheap to copy in the OK case: an OK
+/// Status carries no heap state.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Named constructors, one per StatusCode.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status VerificationFailure(std::string msg) {
+    return Status(StatusCode::kVerificationFailure, std::move(msg));
+  }
+  static Status DeviationDetected(std::string msg) {
+    return Status(StatusCode::kDeviationDetected, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsVerificationFailure() const {
+    return code_ == StatusCode::kVerificationFailure;
+  }
+  bool IsDeviationDetected() const {
+    return code_ == StatusCode::kDeviationDetected;
+  }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  /// Renders "<CODE>: <message>", e.g. "NotFound: no such file".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Human-readable name of a StatusCode ("OK", "NotFound", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+}  // namespace tcvs
+
+/// Propagates a non-OK Status to the caller (RocksDB/Arrow idiom).
+#define TCVS_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::tcvs::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating failure, else binds `lhs`.
+#define TCVS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define TCVS_ASSIGN_OR_RETURN(lhs, rexpr) \
+  TCVS_ASSIGN_OR_RETURN_IMPL(             \
+      TCVS_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define TCVS_CONCAT_INNER_(a, b) a##b
+#define TCVS_CONCAT_(a, b) TCVS_CONCAT_INNER_(a, b)

@@ -1,0 +1,259 @@
+#include "workload/workload.h"
+
+#include <cstdlib>
+#include <map>
+
+namespace tcvs {
+namespace workload {
+
+size_t TotalOps(const Workload& w) {
+  size_t n = 0;
+  for (const auto& s : w) n += s.ops.size();
+  return n;
+}
+
+std::string FileName(uint32_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "src/file_%04u.c", i);
+  return buf;
+}
+
+namespace {
+
+Bytes FileKey(uint32_t i) { return util::ToBytes(FileName(i)); }
+
+Bytes CommitPayload(util::Rng* rng, sim::AgentId user, uint32_t seqno) {
+  // A small synthetic "file content": unique per (user, seq) so ground-truth
+  // deviation checking can distinguish versions.
+  std::string content = "// edited by user " + std::to_string(user) +
+                        " change " + std::to_string(seqno) + "\n";
+  uint32_t extra_lines = static_cast<uint32_t>(rng->Uniform(6));
+  for (uint32_t i = 0; i < extra_lines; ++i) {
+    content += "int v" + std::to_string(rng->Uniform(1000)) + " = " +
+               std::to_string(rng->Uniform(1 << 20)) + ";\n";
+  }
+  return util::ToBytes(content);
+}
+
+}  // namespace
+
+Workload MakeCvsWorkload(const CvsWorkloadOptions& options) {
+  util::Rng rng(options.seed);
+  util::ZipfGenerator zipf(options.num_files, options.zipf_theta);
+  Workload w;
+  for (uint32_t u = 0; u < options.num_users; ++u) {
+    UserScript script;
+    script.user = u + 1;  // User ids start at 1; 0 is the "initial state" id.
+    sim::Round next = 1 + rng.Uniform(options.mean_think_rounds + 1);
+    for (uint32_t i = 0; i < options.ops_per_user; ++i) {
+      ScheduledOp op;
+      op.earliest_round = next;
+      uint32_t file = static_cast<uint32_t>(zipf.Next(&rng));
+      op.key = FileKey(file);
+      if (rng.Bernoulli(options.read_fraction)) {
+        op.kind = sim::OpKind::kCheckout;
+      } else {
+        op.kind = sim::OpKind::kCommit;
+        op.value = CommitPayload(&rng, script.user, i);
+      }
+      script.ops.push_back(std::move(op));
+      next += 1 + rng.Uniform(2 * options.mean_think_rounds + 1);
+      if (rng.Bernoulli(options.offline_probability)) {
+        next += options.offline_rounds;
+      }
+    }
+    w.push_back(std::move(script));
+  }
+  return w;
+}
+
+Workload MakePartitionableWorkload(const PartitionableOptions& options) {
+  util::Rng rng(options.seed);
+  Workload w;
+  const uint32_t total_users = options.users_in_a + options.users_in_b;
+  const Bytes common_header = util::ToBytes("include/Common.h");
+
+  for (uint32_t u = 0; u < total_users; ++u) {
+    UserScript script;
+    script.user = u + 1;
+    const bool in_a = u < options.users_in_a;
+
+    // Common prefix: everyone works normally before the partition round.
+    sim::Round next = 1 + rng.Uniform(5);
+    for (uint32_t i = 0; i < options.prefix_ops_per_user; ++i) {
+      ScheduledOp op;
+      op.earliest_round = next;
+      op.kind = sim::OpKind::kCommit;
+      op.key = FileKey(u);  // Distinct files: the groups work independently.
+      op.value = CommitPayload(&rng, script.user, i);
+      script.ops.push_back(std::move(op));
+      next += 2 + rng.Uniform(4);
+    }
+
+    if (in_a && u == 0) {
+      // t1: the US programmer commits Common.h just before going offline.
+      ScheduledOp t1;
+      t1.earliest_round = options.partition_round;
+      t1.kind = sim::OpKind::kCommit;
+      t1.key = common_header;
+      t1.value = util::ToBytes("#define COMMON_VERSION 2\n");
+      script.ops.push_back(std::move(t1));
+      // Then group A sleeps "indefinitely" (past the end of the run).
+    }
+
+    if (!in_a) {
+      sim::Round b_start = options.partition_round + 10;
+      if (u == options.users_in_a) {
+        // t2: causally dependent read of Common.h by a user in B.
+        ScheduledOp t2;
+        t2.earliest_round = b_start;
+        t2.kind = sim::OpKind::kCheckout;
+        t2.key = common_header;
+        script.ops.push_back(std::move(t2));
+      }
+      // B keeps working: > k further ops by one user.
+      sim::Round r = b_start + 2;
+      for (uint32_t i = 0; i < options.b_ops_after_dependency; ++i) {
+        ScheduledOp op;
+        op.earliest_round = r;
+        op.kind = sim::OpKind::kCommit;
+        op.key = FileKey(total_users + u);
+        op.value = CommitPayload(&rng, script.user, 100 + i);
+        script.ops.push_back(std::move(op));
+        r += 2;
+      }
+    }
+    w.push_back(std::move(script));
+  }
+  return w;
+}
+
+Workload MakeEpochWorkload(const EpochWorkloadOptions& options) {
+  util::Rng rng(options.seed);
+  Workload w;
+  for (uint32_t u = 0; u < options.num_users; ++u) {
+    UserScript script;
+    script.user = u + 1;
+    for (uint32_t e = 0; e < options.num_epochs; ++e) {
+      const sim::Round epoch_start = sim::Round(e) * options.epoch_rounds;
+      // Spread this epoch's ops inside the epoch, leaving slack at the end
+      // for the request/response round trips to complete within the epoch.
+      const sim::Round usable = options.epoch_rounds - 10;
+      for (uint32_t i = 0; i < options.ops_per_epoch; ++i) {
+        ScheduledOp op;
+        op.earliest_round =
+            epoch_start + 1 + (usable * i) / options.ops_per_epoch +
+            rng.Uniform(3);
+        uint32_t file = static_cast<uint32_t>(rng.Uniform(options.num_files));
+        op.key = FileKey(file);
+        if (rng.Bernoulli(options.read_fraction)) {
+          op.kind = sim::OpKind::kCheckout;
+        } else {
+          op.kind = sim::OpKind::kCommit;
+          op.value = CommitPayload(&rng, script.user, e * 100 + i);
+        }
+        script.ops.push_back(std::move(op));
+      }
+    }
+    w.push_back(std::move(script));
+  }
+  return w;
+}
+
+Workload MakeBurstWorkload(uint32_t num_users, uint32_t burst_user_index,
+                           uint32_t burst_len, uint32_t num_files,
+                           uint64_t seed) {
+  util::Rng rng(seed);
+  Workload w;
+  for (uint32_t u = 0; u < num_users; ++u) {
+    UserScript script;
+    script.user = u + 1;
+    if (u == burst_user_index) {
+      for (uint32_t i = 0; i < burst_len; ++i) {
+        ScheduledOp op;
+        op.earliest_round = 1;  // Back-to-back: as fast as the protocol allows.
+        op.kind = sim::OpKind::kCommit;
+        op.key = FileKey(static_cast<uint32_t>(rng.Uniform(num_files)));
+        op.value = CommitPayload(&rng, script.user, i);
+        script.ops.push_back(std::move(op));
+      }
+    }
+    w.push_back(std::move(script));
+  }
+  return w;
+}
+
+std::string WorkloadToTrace(const Workload& workload) {
+  std::string out;
+  out += "# trusted-cvs workload trace v1: user,round,kind,key_hex,value_hex\n";
+  for (const auto& script : workload) {
+    for (const auto& op : script.ops) {
+      out += std::to_string(script.user) + "," +
+             std::to_string(op.earliest_round) + "," +
+             std::to_string(static_cast<int>(op.kind)) + "," +
+             util::HexEncode(op.key) + "," + util::HexEncode(op.value) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<Workload> WorkloadFromTrace(std::string_view trace) {
+  std::map<sim::AgentId, UserScript> scripts;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= trace.size()) {
+    size_t end = trace.find('\n', start);
+    if (end == std::string_view::npos) end = trace.size();
+    std::string_view line = trace.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      if (end == trace.size()) break;
+      continue;
+    }
+
+    std::vector<std::string> fields;
+    size_t fstart = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        fields.emplace_back(line.substr(fstart, i - fstart));
+        fstart = i + 1;
+      }
+    }
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("trace line " + std::to_string(line_no) +
+                                     ": expected 5 fields");
+    }
+    char* endp = nullptr;
+    ScheduledOp op;
+    sim::AgentId user =
+        static_cast<sim::AgentId>(std::strtoul(fields[0].c_str(), &endp, 10));
+    if (*endp != '\0' || user == 0) {
+      return Status::InvalidArgument("trace line " + std::to_string(line_no) +
+                                     ": bad user id");
+    }
+    op.earliest_round = std::strtoull(fields[1].c_str(), &endp, 10);
+    if (*endp != '\0') {
+      return Status::InvalidArgument("trace line " + std::to_string(line_no) +
+                                     ": bad round");
+    }
+    long kind = std::strtol(fields[2].c_str(), &endp, 10);
+    if (*endp != '\0' || kind < 0 || kind > 2) {
+      return Status::InvalidArgument("trace line " + std::to_string(line_no) +
+                                     ": bad op kind");
+    }
+    op.kind = static_cast<sim::OpKind>(kind);
+    TCVS_ASSIGN_OR_RETURN(op.key, util::HexDecode(fields[3]));
+    TCVS_ASSIGN_OR_RETURN(op.value, util::HexDecode(fields[4]));
+    auto& script = scripts[user];
+    script.user = user;
+    script.ops.push_back(std::move(op));
+    if (end == trace.size()) break;
+  }
+  Workload out;
+  for (auto& [user, script] : scripts) out.push_back(std::move(script));
+  return out;
+}
+
+}  // namespace workload
+}  // namespace tcvs

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+#include "sim/types.h"
+#include "util/random.h"
+
+namespace tcvs {
+namespace workload {
+
+/// \brief One data operation a user will issue, not before `earliest_round`.
+/// Operations of one user execute strictly in script order; a later
+/// `earliest_round` models the user going offline in between.
+struct ScheduledOp {
+  sim::Round earliest_round = 0;
+  sim::OpKind kind = sim::OpKind::kCommit;
+  Bytes key;
+  Bytes value;
+};
+
+/// \brief A per-user operation script. The whole workload is one script per
+/// user (paper §2.1: a workload is the sequence of operations on the data;
+/// the per-user scripts are its user projections plus timing).
+struct UserScript {
+  sim::AgentId user = 0;
+  std::vector<ScheduledOp> ops;
+};
+
+using Workload = std::vector<UserScript>;
+
+/// Total operations across all users.
+size_t TotalOps(const Workload& w);
+
+/// \brief Parameters for generator functions.
+struct CvsWorkloadOptions {
+  uint32_t num_users = 4;
+  uint32_t ops_per_user = 20;
+  uint32_t num_files = 16;
+  /// Zipf skew of file popularity (0 = uniform).
+  double zipf_theta = 0.8;
+  /// Fraction of checkouts (reads); the rest are commits.
+  double read_fraction = 0.5;
+  /// Mean idle rounds between a user's consecutive ops.
+  uint32_t mean_think_rounds = 4;
+  /// Probability a user takes a long offline break after an op.
+  double offline_probability = 0.05;
+  uint32_t offline_rounds = 200;
+  uint64_t seed = 1;
+};
+
+/// \brief Generates a CVS-style workload: skewed file popularity, bursts of
+/// activity separated by think time, occasional long offline periods
+/// (paper §2.2.2: "some users sleep indefinitely").
+Workload MakeCvsWorkload(const CvsWorkloadOptions& options);
+
+/// \brief Parameters for the partitionable workload of paper §3.1.
+struct PartitionableOptions {
+  uint32_t users_in_a = 2;
+  uint32_t users_in_b = 2;
+  /// Ops in the common prefix (all users interleaved).
+  uint32_t prefix_ops_per_user = 3;
+  /// Round m at which group A goes silent except its own window.
+  sim::Round partition_round = 100;
+  /// Ops group B performs after the causal dependency (must exceed k to
+  /// defeat k-bounded detection without external communication).
+  uint32_t b_ops_after_dependency = 12;
+  uint64_t seed = 2;
+};
+
+/// \brief Generates the unboundedly-partitionable workload of §3.1: a common
+/// prefix; then a transaction t1 by a user in A (the US programmer's commit
+/// to Common.h); A goes offline; users in B issue a causally dependent t2
+/// (a checkout of Common.h) and then many more operations while A sleeps.
+Workload MakePartitionableWorkload(const PartitionableOptions& options);
+
+/// \brief Parameters for epoch-compliant workloads (Protocol III, §4.4).
+struct EpochWorkloadOptions {
+  uint32_t num_users = 4;
+  uint32_t num_epochs = 6;
+  sim::Round epoch_rounds = 50;
+  /// Ops per user per epoch; must be ≥ 2 for the protocol's guarantee.
+  uint32_t ops_per_epoch = 2;
+  uint32_t num_files = 8;
+  double read_fraction = 0.4;
+  uint64_t seed = 3;
+};
+
+/// \brief Generates a workload where every user performs at least
+/// `ops_per_epoch` (≥2) operations in every epoch — the §4.4 restriction
+/// under which Protocol III guarantees detection within two epochs.
+Workload MakeEpochWorkload(const EpochWorkloadOptions& options);
+
+/// \brief A burst workload: one user issues `burst_len` back-to-back ops
+/// while others idle — the §2.2.3 scenario on which the token-passing
+/// baseline destroys workload preservation.
+Workload MakeBurstWorkload(uint32_t num_users, uint32_t burst_user_index,
+                           uint32_t burst_len, uint32_t num_files, uint64_t seed);
+
+/// \brief File path used for file index `i` in generated workloads.
+std::string FileName(uint32_t i);
+
+/// \brief Renders a workload as a portable text trace, one line per
+/// operation:
+///
+///   user,earliest_round,kind,key_hex,value_hex
+///
+/// Traces make experiments shareable and replayable outside the generator's
+/// seed (e.g. hand-edited corner-case schedules).
+std::string WorkloadToTrace(const Workload& workload);
+
+/// \brief Parses a trace produced by WorkloadToTrace (blank lines and
+/// '#'-comments are allowed). Operations are grouped by user in file order.
+Result<Workload> WorkloadFromTrace(std::string_view trace);
+
+}  // namespace workload
+}  // namespace tcvs

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.h"
+#include "crypto/keystore.h"
+#include "crypto/lamport.h"
+#include "crypto/merkle_sig.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+#include "crypto/winternitz.h"
+#include "util/bytes.h"
+
+namespace tcvs {
+namespace crypto {
+namespace {
+
+std::string HexOf(const Bytes& b) { return util::HexEncode(b); }
+
+// ---------------------------------------------------------------------------
+// SHA-256 — NIST FIPS 180-4 test vectors
+// ---------------------------------------------------------------------------
+
+TEST(Sha256Test, EmptyMessage) {
+  EXPECT_EQ(HexOf(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexOf(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexOf(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexOf(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (size_t cut = 0; cut <= msg.size(); ++cut) {
+    Sha256 h;
+    h.Update(std::string_view(msg).substr(0, cut));
+    h.Update(std::string_view(msg).substr(cut));
+    EXPECT_EQ(h.Finish(), Sha256::Hash(msg)) << "cut=" << cut;
+  }
+}
+
+TEST(Sha256Test, ResetRestoresInitialState) {
+  Sha256 h;
+  h.Update(std::string_view("garbage"));
+  h.Reset();
+  h.Update(std::string_view("abc"));
+  EXPECT_EQ(h.Finish(), Sha256::Hash("abc"));
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // 55/56/64 bytes straddle the padding boundary.
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256 h;
+    h.Update(msg);
+    EXPECT_EQ(h.Finish(), Sha256::Hash(msg)) << "len=" << len;
+  }
+}
+
+TEST(Sha256Test, HashConcatIsConcatenation) {
+  Bytes a = util::ToBytes("foo");
+  Bytes b = util::ToBytes("bar");
+  EXPECT_EQ(HashConcat(a, b), Sha256::Hash("foobar"));
+  EXPECT_EQ(HashConcat(a, b, a), Sha256::Hash("foobarfoo"));
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA256 — RFC 4231 test vectors
+// ---------------------------------------------------------------------------
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HexOf(HmacSha256(key, util::ToBytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(HexOf(HmacSha256(util::ToBytes("Jefe"),
+                             util::ToBytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(HexOf(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      HexOf(HmacSha256(key, util::ToBytes("Test Using Larger Than Block-Size "
+                                          "Key - Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(PrfTest, DistinctIndicesDistinctOutputs) {
+  Bytes seed = util::ToBytes("seed");
+  EXPECT_NE(Prf(seed, 0), Prf(seed, 1));
+  EXPECT_NE(Prf2(seed, 0, 1), Prf2(seed, 1, 0));
+  EXPECT_EQ(Prf(seed, 7), Prf(seed, 7));
+}
+
+// ---------------------------------------------------------------------------
+// Lamport one-time signatures
+// ---------------------------------------------------------------------------
+
+TEST(LamportTest, SignVerifyRoundTrip) {
+  LamportSigner signer(util::ToBytes("lamport-seed-1"));
+  Bytes msg = util::ToBytes("commit file.c revision 3");
+  auto sig = signer.Sign(msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(
+      LamportSigner::VerifySignature(signer.public_key(), msg, *sig).ok());
+}
+
+TEST(LamportTest, WrongMessageFails) {
+  LamportSigner signer(util::ToBytes("lamport-seed-2"));
+  Bytes msg = util::ToBytes("original");
+  auto sig = signer.Sign(msg);
+  ASSERT_TRUE(sig.ok());
+  Status st = LamportSigner::VerifySignature(signer.public_key(),
+                                             util::ToBytes("forged"), *sig);
+  EXPECT_TRUE(st.IsVerificationFailure());
+}
+
+TEST(LamportTest, TamperedSignatureFails) {
+  LamportSigner signer(util::ToBytes("lamport-seed-3"));
+  Bytes msg = util::ToBytes("message");
+  Bytes sig = *signer.Sign(msg);
+  sig[17] ^= 0x01;
+  EXPECT_TRUE(LamportSigner::VerifySignature(signer.public_key(), msg, sig)
+                  .IsVerificationFailure());
+}
+
+TEST(LamportTest, SecondSignRefused) {
+  LamportSigner signer(util::ToBytes("lamport-seed-4"));
+  EXPECT_EQ(signer.remaining_signatures(), 1u);
+  ASSERT_TRUE(signer.Sign(util::ToBytes("one")).ok());
+  EXPECT_EQ(signer.remaining_signatures(), 0u);
+  EXPECT_TRUE(signer.Sign(util::ToBytes("two")).status().IsFailedPrecondition());
+}
+
+TEST(LamportTest, MalformedSizesRejected) {
+  LamportSigner signer(util::ToBytes("lamport-seed-5"));
+  Bytes msg = util::ToBytes("m");
+  Bytes sig = *signer.Sign(msg);
+  Bytes short_sig(sig.begin(), sig.begin() + 100);
+  EXPECT_TRUE(LamportSigner::VerifySignature(signer.public_key(), msg, short_sig)
+                  .IsInvalidArgument());
+  Bytes short_pk(signer.public_key().begin(), signer.public_key().begin() + 64);
+  EXPECT_TRUE(
+      LamportSigner::VerifySignature(short_pk, msg, sig).IsInvalidArgument());
+}
+
+TEST(LamportTest, DeterministicKeygen) {
+  LamportSigner a(util::ToBytes("same-seed"));
+  LamportSigner b(util::ToBytes("same-seed"));
+  EXPECT_EQ(a.public_key(), b.public_key());
+  LamportSigner c(util::ToBytes("other-seed"));
+  EXPECT_NE(a.public_key(), c.public_key());
+}
+
+// ---------------------------------------------------------------------------
+// Winternitz one-time signatures
+// ---------------------------------------------------------------------------
+
+class WinternitzParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WinternitzParamTest, SignVerifyRoundTrip) {
+  WotsParams params{.w = GetParam()};
+  WinternitzSigner signer(util::ToBytes("wots-seed"), params);
+  Bytes msg = util::ToBytes("checkout src/main.c");
+  auto sig = signer.Sign(msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(WinternitzSigner::VerifySignature(signer.public_key(), msg, *sig,
+                                                params)
+                  .ok());
+}
+
+TEST_P(WinternitzParamTest, WrongMessageFails) {
+  WotsParams params{.w = GetParam()};
+  WinternitzSigner signer(util::ToBytes("wots-seed-2"), params);
+  Bytes msg = util::ToBytes("honest");
+  auto sig = signer.Sign(msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(WinternitzSigner::VerifySignature(signer.public_key(),
+                                                util::ToBytes("evil"), *sig, params)
+                  .IsVerificationFailure());
+}
+
+TEST_P(WinternitzParamTest, TamperedSignatureFails) {
+  WotsParams params{.w = GetParam()};
+  WinternitzSigner signer(util::ToBytes("wots-seed-3"), params);
+  Bytes msg = util::ToBytes("m");
+  Bytes sig = *signer.Sign(msg);
+  sig[5] ^= 0xff;
+  EXPECT_TRUE(
+      WinternitzSigner::VerifySignature(signer.public_key(), msg, sig, params)
+          .IsVerificationFailure());
+}
+
+TEST_P(WinternitzParamTest, SignatureSizeMatchesParams) {
+  WotsParams params{.w = GetParam()};
+  WinternitzSigner signer(util::ToBytes("wots-seed-4"), params);
+  Bytes sig = *signer.Sign(util::ToBytes("m"));
+  EXPECT_EQ(sig.size(), params.total_chains() * kDigestSize);
+  // Compressed public key is always one digest.
+  EXPECT_EQ(signer.public_key().size(), kDigestSize);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllW, WinternitzParamTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(WinternitzTest, ChunksChecksumInvariant) {
+  // The checksum construction guarantees: increasing any message chunk
+  // strictly decreases the checksum, preventing forgery-by-advancing-chains.
+  WotsParams params{.w = 4};
+  Digest md = Sha256::Hash("x");
+  auto chunks = WinternitzSigner::Chunks(md, params);
+  EXPECT_EQ(chunks.size(), params.total_chains());
+  uint64_t checksum = 0;
+  for (size_t i = 0; i < params.message_chains(); ++i) {
+    checksum += params.chain_len() - chunks[i];
+  }
+  uint64_t encoded = 0;
+  for (size_t i = 0; i < params.checksum_chains(); ++i) {
+    encoded |= uint64_t(chunks[params.message_chains() + i]) << (4 * i);
+  }
+  EXPECT_EQ(checksum, encoded);
+}
+
+TEST(WinternitzTest, SecondSignRefused) {
+  WinternitzSigner signer(util::ToBytes("wots-seed-5"));
+  ASSERT_TRUE(signer.Sign(util::ToBytes("one")).ok());
+  EXPECT_TRUE(signer.Sign(util::ToBytes("two")).status().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// Merkle signature scheme
+// ---------------------------------------------------------------------------
+
+TEST(MerkleSigTest, SignVerifyManyMessages) {
+  MerkleSigner signer(util::ToBytes("mss-seed"), /*height=*/3);
+  EXPECT_EQ(signer.remaining_signatures(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    Bytes msg = util::ToBytes("message " + std::to_string(i));
+    auto sig = signer.Sign(msg);
+    ASSERT_TRUE(sig.ok()) << i;
+    EXPECT_TRUE(
+        MerkleSigner::VerifySignature(signer.public_key(), msg, *sig).ok())
+        << i;
+  }
+  EXPECT_EQ(signer.remaining_signatures(), 0u);
+}
+
+TEST(MerkleSigTest, ExhaustionRefusesNinthSignature) {
+  MerkleSigner signer(util::ToBytes("mss-seed-2"), 3);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(signer.Sign(util::ToBytes("m")).ok());
+  EXPECT_TRUE(signer.Sign(util::ToBytes("m")).status().IsFailedPrecondition());
+}
+
+TEST(MerkleSigTest, WrongMessageFails) {
+  MerkleSigner signer(util::ToBytes("mss-seed-3"), 2);
+  Bytes sig = *signer.Sign(util::ToBytes("real"));
+  EXPECT_TRUE(MerkleSigner::VerifySignature(signer.public_key(),
+                                            util::ToBytes("fake"), sig)
+                  .IsVerificationFailure());
+}
+
+TEST(MerkleSigTest, CrossLeafSignaturesAllVerify) {
+  MerkleSigner signer(util::ToBytes("mss-seed-4"), 4);
+  Bytes msg = util::ToBytes("same message, different leaves");
+  Bytes s1 = *signer.Sign(msg);
+  Bytes s2 = *signer.Sign(msg);
+  EXPECT_NE(s1, s2);  // Different leaf index ⇒ different signature.
+  EXPECT_TRUE(MerkleSigner::VerifySignature(signer.public_key(), msg, s1).ok());
+  EXPECT_TRUE(MerkleSigner::VerifySignature(signer.public_key(), msg, s2).ok());
+}
+
+TEST(MerkleSigTest, TamperedAuthPathFails) {
+  MerkleSigner signer(util::ToBytes("mss-seed-5"), 3);
+  Bytes msg = util::ToBytes("m");
+  Bytes sig = *signer.Sign(msg);
+  sig[sig.size() - 1] ^= 0x80;  // Flip a bit in the last auth-path digest.
+  EXPECT_TRUE(MerkleSigner::VerifySignature(signer.public_key(), msg, sig)
+                  .IsVerificationFailure());
+}
+
+TEST(MerkleSigTest, MalformedSignatureRejected) {
+  MerkleSigner signer(util::ToBytes("mss-seed-6"), 2);
+  Bytes msg = util::ToBytes("m");
+  Bytes sig = *signer.Sign(msg);
+  Bytes truncated(sig.begin(), sig.begin() + 8);
+  EXPECT_FALSE(
+      MerkleSigner::VerifySignature(signer.public_key(), msg, truncated).ok());
+  Bytes bad_pk(16, 0);
+  EXPECT_TRUE(
+      MerkleSigner::VerifySignature(bad_pk, msg, sig).IsInvalidArgument());
+}
+
+TEST(MerkleSigTest, GenericVerifyDispatch) {
+  MerkleSigner signer(util::ToBytes("mss-seed-7"), 2);
+  Bytes msg = util::ToBytes("dispatch");
+  Bytes sig = *signer.Sign(msg);
+  EXPECT_TRUE(Verify(SchemeId::kMerkleSig, signer.public_key(), msg, sig).ok());
+  EXPECT_FALSE(Verify(SchemeId::kLamport, signer.public_key(), msg, sig).ok());
+}
+
+// ---------------------------------------------------------------------------
+// KeyStore / CA
+// ---------------------------------------------------------------------------
+
+TEST(KeyStoreTest, IssueAddVerify) {
+  CertificateAuthority ca(util::ToBytes("ca-seed"), /*height=*/4);
+  MerkleSigner user_key(util::ToBytes("user-1-seed"), 3);
+  auto cert = ca.Issue(1, SchemeId::kMerkleSig, user_key.public_key());
+  ASSERT_TRUE(cert.ok());
+
+  KeyStore store(ca.public_key());
+  ASSERT_TRUE(store.Add(*cert).ok());
+  EXPECT_EQ(store.size(), 1u);
+
+  Bytes msg = util::ToBytes("signed root digest");
+  Bytes sig = *user_key.Sign(msg);
+  EXPECT_TRUE(store.VerifyFrom(1, msg, sig).ok());
+  EXPECT_TRUE(store.VerifyFrom(1, util::ToBytes("other"), sig)
+                  .IsVerificationFailure());
+}
+
+TEST(KeyStoreTest, ForgedCertificateRejected) {
+  CertificateAuthority ca(util::ToBytes("ca-seed-2"), 4);
+  CertificateAuthority rogue(util::ToBytes("rogue-seed"), 4);
+  MerkleSigner user_key(util::ToBytes("user-seed"), 2);
+  auto cert = rogue.Issue(1, SchemeId::kMerkleSig, user_key.public_key());
+  ASSERT_TRUE(cert.ok());
+  KeyStore store(ca.public_key());
+  EXPECT_TRUE(store.Add(*cert).IsVerificationFailure());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KeyStoreTest, RebindingDifferentKeyRejected) {
+  CertificateAuthority ca(util::ToBytes("ca-seed-3"), 4);
+  MerkleSigner k1(util::ToBytes("k1"), 2);
+  MerkleSigner k2(util::ToBytes("k2"), 2);
+  KeyStore store(ca.public_key());
+  ASSERT_TRUE(store.Add(*ca.Issue(1, SchemeId::kMerkleSig, k1.public_key())).ok());
+  // Same cert again is idempotent.
+  ASSERT_TRUE(store.Add(*ca.Issue(1, SchemeId::kMerkleSig, k1.public_key())).ok());
+  // Different key for the same principal is refused.
+  EXPECT_TRUE(store.Add(*ca.Issue(1, SchemeId::kMerkleSig, k2.public_key()))
+                  .IsAlreadyExists());
+}
+
+TEST(KeyStoreTest, UnknownPrincipalIsNotFound) {
+  CertificateAuthority ca(util::ToBytes("ca-seed-4"), 4);
+  KeyStore store(ca.public_key());
+  EXPECT_TRUE(store.Get(99).status().IsNotFound());
+  EXPECT_TRUE(store.VerifyFrom(99, util::ToBytes("m"), Bytes{}).IsNotFound());
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace tcvs

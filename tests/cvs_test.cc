@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include "cvs/diff.h"
+#include "cvs/repository.h"
+#include "util/random.h"
+
+namespace tcvs {
+namespace cvs {
+namespace {
+
+std::vector<std::string> L(std::initializer_list<std::string> lines) {
+  return std::vector<std::string>(lines);
+}
+
+// ---------------------------------------------------------------------------
+// SplitLines / JoinLines
+// ---------------------------------------------------------------------------
+
+TEST(LinesTest, SplitBasic) {
+  EXPECT_EQ(SplitLines("a\nb\nc\n"), L({"a", "b", "c"}));
+  EXPECT_EQ(SplitLines("a\nb\nc"), L({"a", "b", "c"}));
+  EXPECT_EQ(SplitLines(""), L({}));
+  EXPECT_EQ(SplitLines("\n"), L({""}));
+  EXPECT_EQ(SplitLines("\n\n"), L({"", ""}));
+}
+
+TEST(LinesTest, JoinInvertsSplitOnTerminatedText) {
+  std::string text = "alpha\nbeta\n\ngamma\n";
+  EXPECT_EQ(JoinLines(SplitLines(text)), text);
+}
+
+// ---------------------------------------------------------------------------
+// Diff / patch
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, IdenticalFilesEmptyPatch) {
+  auto a = L({"x", "y", "z"});
+  Patch p = ComputeDiff(a, a);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(DiffTest, PureInsertion) {
+  auto a = L({"one", "three"});
+  auto b = L({"one", "two", "three"});
+  Patch p = ComputeDiff(a, b);
+  ASSERT_EQ(p.hunks.size(), 1u);
+  EXPECT_EQ(p.hunks[0].old_pos, 1u);
+  EXPECT_TRUE(p.hunks[0].removed.empty());
+  EXPECT_EQ(p.hunks[0].added, L({"two"}));
+  EXPECT_EQ(*ApplyPatch(a, p), b);
+}
+
+TEST(DiffTest, PureDeletion) {
+  auto a = L({"one", "two", "three"});
+  auto b = L({"one", "three"});
+  Patch p = ComputeDiff(a, b);
+  EXPECT_EQ(p.lines_removed(), 1u);
+  EXPECT_EQ(p.lines_added(), 0u);
+  EXPECT_EQ(*ApplyPatch(a, p), b);
+}
+
+TEST(DiffTest, Replacement) {
+  auto a = L({"a", "b", "c"});
+  auto b = L({"a", "B", "c"});
+  Patch p = ComputeDiff(a, b);
+  ASSERT_EQ(p.hunks.size(), 1u);
+  EXPECT_EQ(p.hunks[0].removed, L({"b"}));
+  EXPECT_EQ(p.hunks[0].added, L({"B"}));
+  EXPECT_EQ(*ApplyPatch(a, p), b);
+}
+
+TEST(DiffTest, EmptyToNonEmptyAndBack) {
+  auto empty = L({});
+  auto full = L({"a", "b"});
+  EXPECT_EQ(*ApplyPatch(empty, ComputeDiff(empty, full)), full);
+  EXPECT_EQ(*ApplyPatch(full, ComputeDiff(full, empty)), empty);
+}
+
+TEST(DiffTest, CompletelyDifferentFiles) {
+  auto a = L({"1", "2", "3"});
+  auto b = L({"x", "y"});
+  EXPECT_EQ(*ApplyPatch(a, ComputeDiff(a, b)), b);
+}
+
+TEST(DiffTest, MinimalityOnSimpleCases) {
+  // Myers produces a shortest edit script: one insert here, not a rewrite.
+  auto a = L({"f()", "{", "}"});
+  auto b = L({"f()", "{", "  call();", "}"});
+  Patch p = ComputeDiff(a, b);
+  EXPECT_EQ(p.lines_added(), 1u);
+  EXPECT_EQ(p.lines_removed(), 0u);
+}
+
+TEST(DiffTest, ContextMismatchRejected) {
+  auto a = L({"a", "b", "c"});
+  auto b = L({"a", "X", "c"});
+  Patch p = ComputeDiff(a, b);
+  auto other = L({"a", "DIFFERENT", "c"});
+  EXPECT_TRUE(ApplyPatch(other, p).status().IsCorruption());
+}
+
+TEST(DiffTest, HunkOutOfRangeRejected) {
+  Patch p;
+  Hunk h;
+  h.old_pos = 99;
+  h.added.push_back("x");
+  p.hunks.push_back(h);
+  EXPECT_TRUE(ApplyPatch(L({"a"}), p).status().IsCorruption());
+}
+
+TEST(DiffTest, SerializationRoundTrip) {
+  auto a = L({"a", "b", "c", "d"});
+  auto b = L({"a", "X", "c", "Y", "d", "Z"});
+  Patch p = ComputeDiff(a, b);
+  auto back = Patch::Deserialize(p.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(DiffTest, ToStringRendersUnifiedStyle) {
+  Patch p = ComputeDiffText("a\nb\n", "a\nc\n");
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("-b"), std::string::npos);
+  EXPECT_NE(s.find("+c"), std::string::npos);
+}
+
+TEST(DiffTest, RandomizedRoundTripProperty) {
+  util::Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Random base file.
+    std::vector<std::string> a;
+    size_t n = rng.Uniform(40);
+    for (size_t i = 0; i < n; ++i) {
+      a.push_back("line" + std::to_string(rng.Uniform(12)));
+    }
+    // Random mutation of it.
+    std::vector<std::string> b = a;
+    size_t edits = 1 + rng.Uniform(8);
+    for (size_t e = 0; e < edits; ++e) {
+      int op = rng.Uniform(3);
+      if (op == 0 || b.empty()) {
+        b.insert(b.begin() + rng.Uniform(b.size() + 1),
+                 "new" + std::to_string(rng.Uniform(100)));
+      } else if (op == 1) {
+        b.erase(b.begin() + rng.Uniform(b.size()));
+      } else {
+        b[rng.Uniform(b.size())] = "mod" + std::to_string(rng.Uniform(100));
+      }
+    }
+    Patch p = ComputeDiff(a, b);
+    auto result = ApplyPatch(a, p);
+    ASSERT_TRUE(result.ok()) << "iter " << iter;
+    ASSERT_EQ(*result, b) << "iter " << iter;
+    // Wire round trip preserves behaviour.
+    auto wire = Patch::Deserialize(p.Serialize());
+    ASSERT_TRUE(wire.ok());
+    ASSERT_EQ(*ApplyPatch(a, *wire), b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Three-way merge
+// ---------------------------------------------------------------------------
+
+TEST(MergeTest, NonOverlappingEditsBothApply) {
+  auto base = L({"a", "b", "c", "d", "e"});
+  auto ours = L({"A", "b", "c", "d", "e"});    // Edit line 0.
+  auto theirs = L({"a", "b", "c", "d", "E"});  // Edit line 4.
+  MergeResult m = ThreeWayMerge(base, ours, theirs);
+  EXPECT_FALSE(m.had_conflicts);
+  EXPECT_EQ(m.lines, L({"A", "b", "c", "d", "E"}));
+}
+
+TEST(MergeTest, IdenticalEditsMergeCleanly) {
+  auto base = L({"a", "b", "c"});
+  auto both = L({"a", "X", "c"});
+  MergeResult m = ThreeWayMerge(base, both, both);
+  EXPECT_FALSE(m.had_conflicts);
+  EXPECT_EQ(m.lines, both);
+}
+
+TEST(MergeTest, ConflictingEditsMarked) {
+  auto base = L({"a", "b", "c"});
+  auto ours = L({"a", "OURS", "c"});
+  auto theirs = L({"a", "THEIRS", "c"});
+  MergeResult m = ThreeWayMerge(base, ours, theirs);
+  EXPECT_TRUE(m.had_conflicts);
+  std::string joined = JoinLines(m.lines);
+  EXPECT_NE(joined.find("<<<<<<<"), std::string::npos);
+  EXPECT_NE(joined.find("OURS"), std::string::npos);
+  EXPECT_NE(joined.find("THEIRS"), std::string::npos);
+  EXPECT_NE(joined.find(">>>>>>>"), std::string::npos);
+}
+
+TEST(MergeTest, OneSideUnchangedTakesOther) {
+  auto base = L({"a", "b", "c"});
+  auto theirs = L({"a", "b2", "c", "d"});
+  MergeResult m = ThreeWayMerge(base, base, theirs);
+  EXPECT_FALSE(m.had_conflicts);
+  EXPECT_EQ(m.lines, theirs);
+}
+
+TEST(MergeTest, InsertionsAtSamePointConflict) {
+  auto base = L({"a", "b"});
+  auto ours = L({"a", "ours-insert", "b"});
+  auto theirs = L({"a", "theirs-insert", "b"});
+  MergeResult m = ThreeWayMerge(base, ours, theirs);
+  EXPECT_TRUE(m.had_conflicts);
+}
+
+TEST(MergeTest, DisjointInsertions) {
+  auto base = L({"a", "b", "c", "d"});
+  auto ours = L({"top", "a", "b", "c", "d"});
+  auto theirs = L({"a", "b", "c", "d", "bottom"});
+  MergeResult m = ThreeWayMerge(base, ours, theirs);
+  EXPECT_FALSE(m.had_conflicts);
+  EXPECT_EQ(m.lines, L({"top", "a", "b", "c", "d", "bottom"}));
+}
+
+TEST(MergeTest, BothDeleteSameLine) {
+  auto base = L({"a", "b", "c"});
+  auto both = L({"a", "c"});
+  MergeResult m = ThreeWayMerge(base, both, both);
+  EXPECT_FALSE(m.had_conflicts);
+  EXPECT_EQ(m.lines, both);
+}
+
+TEST(MergeTest, EmptyBaseBothAdd) {
+  auto base = L({});
+  MergeResult m = ThreeWayMerge(base, L({"ours"}), L({"theirs"}));
+  EXPECT_TRUE(m.had_conflicts);  // Competing creations conflict.
+  MergeResult same = ThreeWayMerge(base, L({"x"}), L({"x"}));
+  EXPECT_FALSE(same.had_conflicts);
+  EXPECT_EQ(same.lines, L({"x"}));
+}
+
+TEST(MergeTest, DeleteVersusEditConflicts) {
+  auto base = L({"a", "b", "c"});
+  auto ours = L({"a", "c"});           // Deleted b.
+  auto theirs = L({"a", "b-edit", "c"});  // Edited b.
+  MergeResult m = ThreeWayMerge(base, ours, theirs);
+  EXPECT_TRUE(m.had_conflicts);
+}
+
+TEST(MergeTest, RandomizedNoBaseChangesMergeCleanly) {
+  // Property: merging X with the unchanged base yields X, both ways.
+  util::Rng rng(31);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<std::string> base;
+    size_t n = rng.Uniform(20);
+    for (size_t i = 0; i < n; ++i) base.push_back("l" + std::to_string(rng.Uniform(9)));
+    std::vector<std::string> edited = base;
+    for (int e = 0; e < 3; ++e) {
+      if (edited.empty() || rng.Bernoulli(0.5)) {
+        edited.insert(edited.begin() + rng.Uniform(edited.size() + 1),
+                      "new" + std::to_string(rng.Uniform(100)));
+      } else {
+        edited.erase(edited.begin() + rng.Uniform(edited.size()));
+      }
+    }
+    MergeResult a = ThreeWayMerge(base, edited, base);
+    ASSERT_FALSE(a.had_conflicts) << iter;
+    ASSERT_EQ(a.lines, edited) << iter;
+    MergeResult b = ThreeWayMerge(base, base, edited);
+    ASSERT_FALSE(b.had_conflicts) << iter;
+    ASSERT_EQ(b.lines, edited) << iter;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FileRecord / Repository
+// ---------------------------------------------------------------------------
+
+TEST(FileRecordTest, SerializationRoundTrip) {
+  FileRecord rec{42, "int main() {}\n"};
+  auto back = FileRecord::Deserialize(rec.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, rec);
+}
+
+TEST(RepositoryTest, CommitCheckoutCycle) {
+  Repository repo;
+  auto rev = repo.Commit("main.c", "v1\n", 0);
+  ASSERT_TRUE(rev.ok());
+  EXPECT_EQ(*rev, 1u);
+  auto rec = repo.Checkout("main.c");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->revision, 1u);
+  EXPECT_EQ(rec->content, "v1\n");
+}
+
+TEST(RepositoryTest, CheckoutMissingIsNotFound) {
+  Repository repo;
+  EXPECT_TRUE(repo.Checkout("nope").status().IsNotFound());
+}
+
+TEST(RepositoryTest, StaleCommitRejected) {
+  Repository repo;
+  ASSERT_TRUE(repo.Commit("f", "v1", 0).ok());
+  ASSERT_TRUE(repo.Commit("f", "v2", 1).ok());
+  // A second user still on revision 1 must not clobber revision 2.
+  EXPECT_TRUE(repo.Commit("f", "mine", 1).status().IsFailedPrecondition());
+  EXPECT_EQ(repo.Checkout("f")->content, "v2");
+}
+
+TEST(RepositoryTest, CreateOverExistingRejected) {
+  Repository repo;
+  ASSERT_TRUE(repo.Commit("f", "v1", 0).ok());
+  EXPECT_TRUE(repo.Commit("f", "other", 0).status().IsAlreadyExists());
+}
+
+TEST(RepositoryTest, RemoveAndList) {
+  Repository repo;
+  ASSERT_TRUE(repo.Commit("b.c", "x", 0).ok());
+  ASSERT_TRUE(repo.Commit("a.c", "y", 0).ok());
+  EXPECT_EQ(repo.ListFiles(), (std::vector<std::string>{"a.c", "b.c"}));
+  ASSERT_TRUE(repo.Remove("a.c").ok());
+  EXPECT_EQ(repo.ListFiles(), (std::vector<std::string>{"b.c"}));
+  EXPECT_TRUE(repo.Remove("a.c").IsNotFound());
+}
+
+TEST(RepositoryTest, RootDigestTracksContent) {
+  Repository repo;
+  auto d0 = repo.tree().root_digest();
+  ASSERT_TRUE(repo.Commit("f", "v1", 0).ok());
+  auto d1 = repo.tree().root_digest();
+  EXPECT_NE(d0, d1);
+  ASSERT_TRUE(repo.Commit("f", "v2", 1).ok());
+  EXPECT_NE(repo.tree().root_digest(), d1);
+}
+
+TEST(RepositoryTest, DiffAgainstStored) {
+  Repository repo;
+  ASSERT_TRUE(repo.Commit("f", "a\nb\nc\n", 0).ok());
+  auto patch = repo.DiffAgainst("f", "a\nB\nc\n");
+  ASSERT_TRUE(patch.ok());
+  EXPECT_EQ(patch->lines_added(), 1u);
+  EXPECT_EQ(patch->lines_removed(), 1u);
+}
+
+TEST(RepositoryHistoryTest, RevisionsRetrievable) {
+  Repository repo(mtree::TreeParams{}, /*track_history=*/true);
+  ASSERT_TRUE(repo.Commit("f", "v1\n", 0).ok());
+  ASSERT_TRUE(repo.Commit("f", "v1\nv2\n", 1).ok());
+  ASSERT_TRUE(repo.Commit("f", "v1\nv2\nv3\n", 2).ok());
+
+  EXPECT_EQ(repo.ListRevisions("f"), (std::vector<uint64_t>{1, 2, 3}));
+  auto r2 = repo.CheckoutRevision("f", 2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->content, "v1\nv2\n");
+  EXPECT_TRUE(repo.CheckoutRevision("f", 9).status().IsNotFound());
+}
+
+TEST(RepositoryHistoryTest, DiffOfRevision) {
+  Repository repo(mtree::TreeParams{}, true);
+  ASSERT_TRUE(repo.Commit("f", "a\nb\n", 0).ok());
+  ASSERT_TRUE(repo.Commit("f", "a\nB\nc\n", 1).ok());
+  auto patch = repo.DiffOfRevision("f", 2);
+  ASSERT_TRUE(patch.ok());
+  EXPECT_EQ(patch->lines_removed(), 1u);
+  EXPECT_EQ(patch->lines_added(), 2u);
+  // Revision 1's diff is against the empty file.
+  EXPECT_EQ(repo.DiffOfRevision("f", 1)->lines_added(), 2u);
+  EXPECT_TRUE(repo.DiffOfRevision("f", 0).status().IsInvalidArgument());
+}
+
+TEST(RepositoryHistoryTest, HistoryKeysHiddenFromListing) {
+  Repository repo(mtree::TreeParams{}, true);
+  ASSERT_TRUE(repo.Commit("a.c", "x", 0).ok());
+  ASSERT_TRUE(repo.Commit("a.c", "y", 1).ok());
+  EXPECT_EQ(repo.ListFiles(), (std::vector<std::string>{"a.c"}));
+  EXPECT_EQ(repo.file_count(), 1u);
+}
+
+TEST(RepositoryHistoryTest, HistorySurvivesRemoval) {
+  // Like CVS's Attic: removing a file keeps its revisions retrievable.
+  Repository repo(mtree::TreeParams{}, true);
+  ASSERT_TRUE(repo.Commit("f", "v1", 0).ok());
+  ASSERT_TRUE(repo.Remove("f").ok());
+  EXPECT_EQ(repo.CheckoutRevision("f", 1)->content, "v1");
+}
+
+TEST(RepositoryHistoryTest, DisabledByDefault) {
+  Repository repo;
+  ASSERT_TRUE(repo.Commit("f", "v1", 0).ok());
+  EXPECT_TRUE(repo.CheckoutRevision("f", 1).status().IsFailedPrecondition());
+  EXPECT_TRUE(repo.ListRevisions("f").empty());
+}
+
+TEST(WorkingCopyTest, EditAndLocalDiff) {
+  WorkingCopy wc;
+  wc.OnCheckout("f", FileRecord{1, "a\nb\n"});
+  ASSERT_TRUE(wc.Edit("f", "a\nb\nc\n").ok());
+  EXPECT_EQ(*wc.Content("f"), "a\nb\nc\n");
+  EXPECT_EQ(*wc.BaseRevision("f"), 1u);
+  auto diff = wc.LocalDiff("f");
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->lines_added(), 1u);
+}
+
+TEST(WorkingCopyTest, UpdateMergesUpstream) {
+  WorkingCopy wc;
+  wc.OnCheckout("f", FileRecord{1, "a\nb\nc\n"});
+  ASSERT_TRUE(wc.Edit("f", "a\nb-local\nc\n").ok());
+  // Upstream revision 2 touched a different line.
+  auto merged = wc.Update("f", FileRecord{2, "a\nb\nc-upstream\n"});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_FALSE(merged->had_conflicts);
+  EXPECT_EQ(*wc.Content("f"), "a\nb-local\nc-upstream\n");
+  EXPECT_EQ(*wc.BaseRevision("f"), 2u);
+}
+
+TEST(WorkingCopyTest, UpdateConflictMarked) {
+  WorkingCopy wc;
+  wc.OnCheckout("f", FileRecord{1, "a\nb\nc\n"});
+  ASSERT_TRUE(wc.Edit("f", "a\nlocal\nc\n").ok());
+  auto merged = wc.Update("f", FileRecord{2, "a\nupstream\nc\n"});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->had_conflicts);
+}
+
+TEST(WorkingCopyTest, UnknownPathIsNotFound) {
+  WorkingCopy wc;
+  EXPECT_TRUE(wc.Edit("nope", "x").IsNotFound());
+  EXPECT_TRUE(wc.Content("nope").status().IsNotFound());
+  EXPECT_TRUE(wc.Update("nope", FileRecord{}).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace cvs
+}  // namespace tcvs

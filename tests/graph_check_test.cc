@@ -1,0 +1,183 @@
+// Executable reproduction of Lemma 4.1 (paper §4.3): a directed graph with
+// (P1) no isolated vertices, (P2) in-degree ≤ 1, (P3) no directed cycles,
+// (P4) exactly two odd-total-degree vertices one of which is a source, is a
+// single directed path. The lemma is checked on constructed and randomized
+// graphs, and cross-validated against the protocol: honest runs produce
+// paths, attack runs do not.
+
+#include <gtest/gtest.h>
+
+#include "core/graph_check.h"
+#include "util/random.h"
+
+namespace tcvs {
+namespace core {
+namespace {
+
+Bytes V(int i) {
+  Bytes b(8, 0);
+  b[0] = static_cast<uint8_t>(i);
+  b[1] = static_cast<uint8_t>(i >> 8);
+  return b;
+}
+
+TransitionGraph PathGraph(int n) {
+  TransitionGraph g;
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(V(i), V(i + 1));
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Constructed cases
+// ---------------------------------------------------------------------------
+
+TEST(TransitionGraphTest, EmptyGraphIsTrivialPath) {
+  TransitionGraph g;
+  EXPECT_TRUE(g.IsSingleDirectedPath());
+}
+
+TEST(TransitionGraphTest, SingleEdge) {
+  TransitionGraph g;
+  g.AddEdge(V(0), V(1));
+  EXPECT_TRUE(g.SatisfiesLemmaPreconditions());
+  EXPECT_TRUE(g.IsSingleDirectedPath());
+}
+
+TEST(TransitionGraphTest, LongPathSatisfiesEverything) {
+  TransitionGraph g = PathGraph(50);
+  EXPECT_TRUE(g.HasNoIsolatedVertices());
+  EXPECT_TRUE(g.InDegreeAtMostOne());
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_TRUE(g.OddDegreeConditionHolds());
+  EXPECT_TRUE(g.IsSingleDirectedPath());
+}
+
+TEST(TransitionGraphTest, ForkViolatesPath) {
+  // The Figure-1 shape: one prefix, two divergent suffixes.
+  TransitionGraph g;
+  g.AddEdge(V(0), V(1));
+  g.AddEdge(V(1), V(2));   // Branch A.
+  g.AddEdge(V(1), V(10));  // Branch B.
+  g.AddEdge(V(10), V(11));
+  EXPECT_FALSE(g.IsSingleDirectedPath());
+  // It fails the odd-degree condition: V1 has degree 3, both leaves odd.
+  EXPECT_FALSE(g.OddDegreeConditionHolds());
+}
+
+TEST(TransitionGraphTest, MergeViolatesInDegree) {
+  // The Figure-3 shape: two transitions into the same state. With tagged
+  // fingerprints this cannot appear (distinct creators ⇒ distinct nodes);
+  // untagged it can, and P2 is what it violates.
+  TransitionGraph g;
+  g.AddEdge(V(0), V(1));
+  g.AddEdge(V(1), V(2));
+  g.AddEdge(V(5), V(2));  // Second edge into V2.
+  EXPECT_FALSE(g.InDegreeAtMostOne());
+  EXPECT_FALSE(g.IsSingleDirectedPath());
+}
+
+TEST(TransitionGraphTest, CycleViolatesAcyclicity) {
+  TransitionGraph g;
+  g.AddEdge(V(0), V(1));
+  g.AddEdge(V(1), V(2));
+  g.AddEdge(V(2), V(0));
+  EXPECT_FALSE(g.IsAcyclic());
+  EXPECT_FALSE(g.IsSingleDirectedPath());
+  // A pure cycle also has no odd-degree vertex at all.
+  EXPECT_FALSE(g.OddDegreeConditionHolds());
+}
+
+TEST(TransitionGraphTest, DisjointPathsViolateOddDegree) {
+  // A path plus a detached path: four odd-degree vertices.
+  TransitionGraph g = PathGraph(4);
+  g.AddEdge(V(100), V(101));
+  g.AddEdge(V(101), V(102));
+  EXPECT_TRUE(g.InDegreeAtMostOne());
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_FALSE(g.OddDegreeConditionHolds());
+  EXPECT_FALSE(g.IsSingleDirectedPath());
+}
+
+TEST(TransitionGraphTest, DuplicatedEdgeViolatesConditions) {
+  // The same transition served twice (the replay): parallel edges give the
+  // endpoints even/odd degrees that break P2.
+  TransitionGraph g;
+  g.AddEdge(V(0), V(1));
+  g.AddEdge(V(0), V(1));
+  EXPECT_FALSE(g.InDegreeAtMostOne());
+  EXPECT_FALSE(g.IsSingleDirectedPath());
+}
+
+// ---------------------------------------------------------------------------
+// The lemma, property-tested: any random graph satisfying P1–P4 must be a
+// single directed path; random mutations of paths that remain P1–P4 still
+// are; and graphs failing the conclusion must fail some precondition.
+// ---------------------------------------------------------------------------
+
+TEST(Lemma41PropertyTest, PreconditionsImplyPath) {
+  util::Rng rng(20260705);
+  int satisfying = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    // Random small digraph.
+    TransitionGraph g;
+    int n = 2 + rng.Uniform(8);
+    int m = 1 + rng.Uniform(10);
+    for (int e = 0; e < m; ++e) {
+      int u = rng.Uniform(n);
+      int v = rng.Uniform(n);
+      if (u == v) continue;
+      g.AddEdge(V(u), V(v));
+    }
+    if (g.SatisfiesLemmaPreconditions()) {
+      ++satisfying;
+      ASSERT_TRUE(g.IsSingleDirectedPath())
+          << "iter " << iter << ": " << g.Describe();
+    }
+  }
+  // The sample must actually contain positive cases for the test to mean
+  // anything.
+  EXPECT_GT(satisfying, 50);
+}
+
+TEST(Lemma41PropertyTest, NonPathsFailSomePrecondition) {
+  util::Rng rng(424242);
+  int non_paths = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    TransitionGraph g;
+    int n = 2 + rng.Uniform(8);
+    int m = 1 + rng.Uniform(12);
+    for (int e = 0; e < m; ++e) {
+      int u = rng.Uniform(n);
+      int v = rng.Uniform(n);
+      if (u == v) continue;
+      g.AddEdge(V(u), V(v));
+    }
+    if (!g.IsSingleDirectedPath()) {
+      ++non_paths;
+      ASSERT_FALSE(g.SatisfiesLemmaPreconditions())
+          << "iter " << iter << ": " << g.Describe();
+    }
+  }
+  EXPECT_GT(non_paths, 1000);
+}
+
+TEST(Lemma41PropertyTest, RandomLongPathsAlwaysQualify) {
+  util::Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    int n = 2 + rng.Uniform(60);
+    // Random vertex labels along the path (order of AddEdge shuffled too).
+    std::vector<int> labels(n);
+    for (int i = 0; i < n; ++i) labels[i] = 1000 * iter + i;
+    std::vector<int> order(n - 1);
+    for (int i = 0; i + 1 < n; ++i) order[i] = i;
+    rng.Shuffle(&order);
+    TransitionGraph g;
+    for (int e : order) g.AddEdge(V(labels[e]), V(labels[e + 1]));
+    ASSERT_TRUE(g.SatisfiesLemmaPreconditions()) << g.Describe();
+    ASSERT_TRUE(g.IsSingleDirectedPath());
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tcvs

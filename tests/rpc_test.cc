@@ -1,0 +1,232 @@
+// Network stack tests: framing over loopback TCP, RPC round trips, and the
+// full verifying-client flow against a served repository — the deployment
+// path of the `tcvsd` / `tcvs` tools.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/socket.h"
+#include "rpc/protocol.h"
+#include "rpc/remote.h"
+#include "util/random.h"
+
+namespace tcvs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(NetTest, FrameRoundTrip) {
+  auto listener = net::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  uint16_t port = listener->port();
+  ASSERT_GT(port, 0);
+
+  std::thread client_thread([&] {
+    auto conn = net::TcpConnection::Connect("127.0.0.1", port);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->SendFrame(util::ToBytes("hello")).ok());
+    ASSERT_TRUE(conn->SendFrame(Bytes{}).ok());  // Empty frame is legal.
+    auto echo = conn->ReceiveFrame();
+    ASSERT_TRUE(echo.ok());
+    EXPECT_EQ(util::ToString(*echo), "world");
+  });
+
+  auto server_conn = listener->Accept();
+  ASSERT_TRUE(server_conn.ok());
+  auto f1 = server_conn->ReceiveFrame();
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(util::ToString(*f1), "hello");
+  auto f2 = server_conn->ReceiveFrame();
+  ASSERT_TRUE(f2.ok());
+  EXPECT_TRUE(f2->empty());
+  ASSERT_TRUE(server_conn->SendFrame(util::ToBytes("world")).ok());
+  client_thread.join();
+}
+
+TEST(NetTest, LargeFrame) {
+  auto listener = net::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  util::Rng rng(5);
+  Bytes big = rng.RandomBytes(3 << 20);  // 3 MiB.
+
+  std::thread client_thread([&] {
+    auto conn = net::TcpConnection::Connect("127.0.0.1", listener->port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->SendFrame(big).ok());
+  });
+  auto server_conn = listener->Accept();
+  ASSERT_TRUE(server_conn.ok());
+  auto got = server_conn->ReceiveFrame();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, big);
+  client_thread.join();
+}
+
+TEST(NetTest, DisconnectYieldsIoError) {
+  auto listener = net::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread client_thread([&] {
+    auto conn = net::TcpConnection::Connect("127.0.0.1", listener->port());
+    ASSERT_TRUE(conn.ok());
+    conn->Close();
+  });
+  auto server_conn = listener->Accept();
+  ASSERT_TRUE(server_conn.ok());
+  EXPECT_TRUE(server_conn->ReceiveFrame().status().IsIOError());
+  client_thread.join();
+}
+
+TEST(NetTest, OversizedFrameRejectedBySender) {
+  auto listener = net::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread client_thread([&] {
+    auto conn = net::TcpConnection::Connect("127.0.0.1", listener->port());
+    ASSERT_TRUE(conn.ok());
+    Bytes huge(net::TcpConnection::kMaxFrame + 1);
+    EXPECT_TRUE(conn->SendFrame(huge).IsInvalidArgument());
+  });
+  auto server_conn = listener->Accept();
+  client_thread.join();
+}
+
+// ---------------------------------------------------------------------------
+// RPC wire format
+// ---------------------------------------------------------------------------
+
+TEST(RpcProtocolTest, RequestRoundTrip) {
+  rpc::RpcRequest req;
+  req.type = rpc::RpcType::kTransact;
+  req.user = 7;
+  req.ops.push_back({cvs::FileOp::Kind::kCommit, "a.c", "content", 3});
+  req.ops.push_back({cvs::FileOp::Kind::kCheckout, "b.c", "", 0});
+  auto back = rpc::RpcRequest::Deserialize(req.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->user, 7u);
+  ASSERT_EQ(back->ops.size(), 2u);
+  EXPECT_EQ(back->ops[0].path, "a.c");
+  EXPECT_EQ(back->ops[0].base_revision, 3u);
+  EXPECT_EQ(back->ops[1].kind, cvs::FileOp::Kind::kCheckout);
+}
+
+TEST(RpcProtocolTest, ResponseCarriesStatus) {
+  rpc::RpcResponse resp =
+      rpc::RpcResponse::FromStatus(Status::NotFound("missing"));
+  auto back = rpc::RpcResponse::Deserialize(resp.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ToStatus().IsNotFound());
+  EXPECT_EQ(back->ToStatus().message(), "missing");
+}
+
+TEST(RpcProtocolTest, JunkNeverCrashes) {
+  util::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes junk = rng.RandomBytes(rng.Uniform(120));
+    (void)rpc::RpcRequest::Deserialize(junk);
+    (void)rpc::RpcResponse::Deserialize(junk);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: verifying clients over TCP against a served repository
+// ---------------------------------------------------------------------------
+
+class ServedRepository : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto listener = net::TcpListener::Bind(0);
+    ASSERT_TRUE(listener.ok());
+    port_ = listener->port();
+    server_thread_ = std::thread(
+        [l = std::move(listener).ValueOrDie(), this]() mutable {
+          (void)rpc::Serve(&l, &repo_);
+        });
+  }
+
+  void TearDown() override {
+    auto remote = rpc::RemoteServer::Connect("127.0.0.1", port_);
+    if (remote.ok()) (void)(*remote)->Shutdown();
+    server_thread_.join();
+  }
+
+  cvs::UntrustedServer repo_;
+  uint16_t port_ = 0;
+  std::thread server_thread_;
+};
+
+TEST_F(ServedRepository, FullVerifiedFlowOverTcp) {
+  auto alice_remote = rpc::RemoteServer::Connect("127.0.0.1", port_);
+  ASSERT_TRUE(alice_remote.ok()) << alice_remote.status().ToString();
+  cvs::VerifyingClient alice(1, alice_remote->get());
+
+  auto rev = alice.Commit("net/main.c", "int main(){}\n", 0);
+  ASSERT_TRUE(rev.ok()) << rev.status().ToString();
+  EXPECT_EQ(*rev, 1u);
+
+  auto rec = alice.Checkout("net/main.c");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->content, "int main(){}\n");
+
+  // Second client on its own connection (served after alice disconnects —
+  // the server loop is sequential, so disconnect first).
+  Bytes alice_state = alice.state().Serialize();
+  alice_remote->reset();
+
+  auto bob_remote = rpc::RemoteServer::Connect("127.0.0.1", port_);
+  ASSERT_TRUE(bob_remote.ok());
+  cvs::VerifyingClient bob(2, bob_remote->get());
+  EXPECT_TRUE(bob.Commit("net/main.c", "v2\n", 1).ok());
+  EXPECT_TRUE(bob.Commit("net/main.c", "v3\n", 1).status().IsFailedPrecondition());
+
+  // Offline sync-up over the persisted states.
+  auto restored = cvs::ClientState::Deserialize(alice_state);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(cvs::VerifyingClient::SyncCheck({*restored, bob.state()}).ok());
+}
+
+TEST_F(ServedRepository, MultiFileTransactionOverTcp) {
+  auto remote = rpc::RemoteServer::Connect("127.0.0.1", port_);
+  ASSERT_TRUE(remote.ok());
+  cvs::VerifyingClient alice(1, remote->get());
+  auto revs = alice.CommitMany({
+      {cvs::FileOp::Kind::kCommit, "x", "X", 0},
+      {cvs::FileOp::Kind::kCommit, "y", "Y", 0},
+  });
+  ASSERT_TRUE(revs.ok()) << revs.status().ToString();
+  EXPECT_EQ(repo_.ctr(), 1u);
+  auto records = alice.CheckoutMany({"x", "y"});
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0]->content, "X");
+  EXPECT_EQ((*records)[1]->content, "Y");
+}
+
+TEST_F(ServedRepository, AuthenticatedListingOverTcp) {
+  auto remote = rpc::RemoteServer::Connect("127.0.0.1", port_);
+  ASSERT_TRUE(remote.ok());
+  cvs::VerifyingClient alice(1, remote->get());
+  ASSERT_TRUE(alice.Commit("src/a.c", "A", 0).ok());
+  ASSERT_TRUE(alice.Commit("src/b.c", "B", 0).ok());
+  ASSERT_TRUE(alice.Commit("other.txt", "O", 0).ok());
+  auto listing = alice.ListDir("src/");
+  ASSERT_TRUE(listing.ok()) << listing.status().ToString();
+  EXPECT_EQ(listing->size(), 2u);
+  EXPECT_TRUE(cvs::VerifyingClient::SyncUp({&alice}).ok());
+}
+
+TEST_F(ServedRepository, TamperBehindRpcDetectedAtSyncCheck) {
+  auto remote = rpc::RemoteServer::Connect("127.0.0.1", port_);
+  ASSERT_TRUE(remote.ok());
+  cvs::VerifyingClient alice(1, remote->get());
+  ASSERT_TRUE(alice.Commit("f", "honest", 0).ok());
+  // The daemon's operator rewrites the stored file out-of-band.
+  repo_.mutable_tree_for_testing()->Upsert(
+      util::ToBytes("f"), cvs::FileRecord{1, "evil"}.Serialize());
+  ASSERT_TRUE(alice.Checkout("f").ok());  // Locally consistent...
+  EXPECT_TRUE(cvs::VerifyingClient::SyncCheck({alice.state()})
+                  .IsDeviationDetected());  // ...but the chain broke.
+}
+
+}  // namespace
+}  // namespace tcvs

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "sim/kernel.h"
+#include "sim/trace.h"
+
+namespace tcvs {
+namespace sim {
+namespace {
+
+/// Records everything it receives and can send scripted messages.
+class Probe : public Agent {
+ public:
+  struct Sent {
+    Round round;
+    AgentId to;
+    uint32_t type;
+    Bytes payload;
+    bool broadcast = false;
+  };
+
+  void ScheduleSend(Round round, AgentId to, uint32_t type, Bytes payload) {
+    to_send_.push_back(Sent{round, to, type, std::move(payload), false});
+  }
+  void ScheduleBroadcast(Round round, uint32_t type, Bytes payload) {
+    to_send_.push_back(Sent{round, 0, type, std::move(payload), true});
+  }
+  void ScheduleDetection(Round round, std::string reason) {
+    detect_round_ = round;
+    detect_reason_ = std::move(reason);
+  }
+
+  void OnRound(RoundContext* ctx) override {
+    for (const auto& m : ctx->inbox()) {
+      received_.push_back({ctx->round(), m.from, m.type, m.payload, m.external});
+    }
+    for (const auto& s : to_send_) {
+      if (s.round == ctx->round()) {
+        if (s.broadcast) {
+          ctx->Broadcast(s.type, s.payload);
+        } else {
+          ctx->Send(s.to, s.type, s.payload);
+        }
+      }
+    }
+    if (detect_round_ == ctx->round()) ctx->ReportDetection(detect_reason_);
+  }
+
+  struct Received {
+    Round round;
+    AgentId from;
+    uint32_t type;
+    Bytes payload;
+    bool external;
+  };
+  const std::vector<Received>& received() const { return received_; }
+
+ private:
+  std::vector<Sent> to_send_;
+  std::vector<Received> received_;
+  Round detect_round_ = 0;
+  std::string detect_reason_;
+};
+
+TEST(KernelTest, MessageDeliveredNextRound) {
+  Kernel kernel;
+  auto a = std::make_shared<Probe>();
+  auto b = std::make_shared<Probe>();
+  kernel.AddAgent(1, a);
+  kernel.AddAgent(2, b);
+  a->ScheduleSend(3, 2, 7, util::ToBytes("hello"));
+  kernel.Run(10);
+  ASSERT_EQ(b->received().size(), 1u);
+  EXPECT_EQ(b->received()[0].round, 4u);
+  EXPECT_EQ(b->received()[0].from, 1u);
+  EXPECT_EQ(b->received()[0].type, 7u);
+  EXPECT_FALSE(b->received()[0].external);
+}
+
+TEST(KernelTest, SendOrderPreserved) {
+  Kernel kernel;
+  auto a = std::make_shared<Probe>();
+  auto b = std::make_shared<Probe>();
+  kernel.AddAgent(1, a);
+  kernel.AddAgent(2, b);
+  for (int i = 0; i < 5; ++i) {
+    a->ScheduleSend(1, 2, i, util::ToBytes(std::to_string(i)));
+  }
+  kernel.Run(3);
+  ASSERT_EQ(b->received().size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(b->received()[i].type, i);
+}
+
+TEST(KernelTest, BroadcastReachesAllUsersExceptSender) {
+  Kernel kernel;
+  auto a = std::make_shared<Probe>();
+  auto b = std::make_shared<Probe>();
+  auto c = std::make_shared<Probe>();
+  auto server = std::make_shared<Probe>();
+  kernel.AddAgent(1, a);
+  kernel.AddAgent(2, b);
+  kernel.AddAgent(3, c);
+  kernel.AddAgent(kServerId, server);
+  kernel.RegisterUser(1);
+  kernel.RegisterUser(2);
+  kernel.RegisterUser(3);
+  a->ScheduleBroadcast(2, 9, util::ToBytes("sync"));
+  kernel.Run(5);
+  EXPECT_EQ(a->received().size(), 0u);
+  ASSERT_EQ(b->received().size(), 1u);
+  ASSERT_EQ(c->received().size(), 1u);
+  EXPECT_TRUE(b->received()[0].external);
+  // The server is not a broadcast recipient: the channel is user-to-user.
+  EXPECT_EQ(server->received().size(), 0u);
+}
+
+TEST(KernelTest, ExternalTrafficCountedSeparately) {
+  Kernel kernel;
+  auto a = std::make_shared<Probe>();
+  auto b = std::make_shared<Probe>();
+  auto server = std::make_shared<Probe>();
+  kernel.AddAgent(1, a);
+  kernel.AddAgent(2, b);
+  kernel.AddAgent(kServerId, server);
+  kernel.RegisterUser(1);
+  kernel.RegisterUser(2);
+  // User → server: ordinary traffic. User → user (unicast or broadcast):
+  // external communication (§2.2.4 — anything bypassing the server).
+  a->ScheduleSend(1, kServerId, 0, Bytes(5));
+  a->ScheduleSend(1, 2, 0, Bytes(10));
+  a->ScheduleBroadcast(2, 0, Bytes(20));
+  SimReport report = kernel.Run(5);
+  EXPECT_EQ(report.traffic.messages, 3u);
+  EXPECT_EQ(report.traffic.bytes, 35u);
+  EXPECT_EQ(report.traffic.external_messages, 2u);
+  EXPECT_EQ(report.traffic.external_bytes, 30u);
+}
+
+TEST(KernelTest, DetectionStopsRun) {
+  Kernel kernel;
+  auto a = std::make_shared<Probe>();
+  kernel.AddAgent(1, a);
+  a->ScheduleDetection(4, "saw a fork");
+  SimReport report = kernel.Run(100);
+  EXPECT_TRUE(report.detected);
+  EXPECT_EQ(report.detection_round, 4u);
+  EXPECT_EQ(report.detector, 1u);
+  EXPECT_EQ(report.detection_reason, "saw a fork");
+  EXPECT_EQ(report.rounds_executed, 4u);
+}
+
+TEST(KernelTest, FirstDetectionWins) {
+  Kernel kernel;
+  auto a = std::make_shared<Probe>();
+  auto b = std::make_shared<Probe>();
+  kernel.AddAgent(1, a);
+  kernel.AddAgent(2, b);
+  a->ScheduleDetection(3, "first");
+  b->ScheduleDetection(3, "second");  // Same round, later agent order.
+  SimReport report = kernel.Run(100);
+  EXPECT_TRUE(report.detected);
+  EXPECT_EQ(report.detection_reason, "first");
+}
+
+TEST(KernelTest, ContinueResumesClock) {
+  Kernel kernel;
+  auto a = std::make_shared<Probe>();
+  kernel.AddAgent(1, a);
+  kernel.Run(5);
+  EXPECT_EQ(kernel.now(), 5u);
+  SimReport report = kernel.Continue(5);
+  EXPECT_EQ(report.rounds_executed, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace / ground-truth deviation
+// ---------------------------------------------------------------------------
+
+OpRecord MakeOp(AgentId user, uint64_t seq, OpKind kind, const std::string& key,
+                const std::string& value = "",
+                std::optional<std::string> observed = std::nullopt) {
+  OpRecord r;
+  r.user = user;
+  r.server_seq = seq;
+  r.kind = kind;
+  r.key = util::ToBytes(key);
+  r.value = util::ToBytes(value);
+  r.completed = seq + 10;
+  if (observed.has_value()) r.observed = util::ToBytes(*observed);
+  return r;
+}
+
+TEST(TraceTest, ConsistentHistoryHasNoDeviation) {
+  std::vector<OpRecord> ops;
+  ops.push_back(MakeOp(1, 0, OpKind::kCommit, "f", "v1"));
+  ops.push_back(MakeOp(2, 1, OpKind::kCheckout, "f", "", "v1"));
+  ops.push_back(MakeOp(1, 2, OpKind::kCommit, "f", "v2"));
+  ops.push_back(MakeOp(2, 3, OpKind::kCheckout, "f", "", "v2"));
+  EXPECT_FALSE(FindDeviation(ops).has_value());
+}
+
+TEST(TraceTest, MissingValueIsDeviation) {
+  std::vector<OpRecord> ops;
+  ops.push_back(MakeOp(1, 0, OpKind::kCommit, "f", "v1"));
+  // Reader sees the file missing although it was committed: availability
+  // violation.
+  ops.push_back(MakeOp(2, 1, OpKind::kCheckout, "f"));
+  auto idx = FindDeviation(ops);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 1u);
+}
+
+TEST(TraceTest, WrongValueIsDeviation) {
+  std::vector<OpRecord> ops;
+  ops.push_back(MakeOp(1, 0, OpKind::kCommit, "f", "v1"));
+  ops.push_back(MakeOp(2, 1, OpKind::kCheckout, "f", "", "tampered"));
+  EXPECT_TRUE(FindDeviation(ops).has_value());
+}
+
+TEST(TraceTest, DuplicateSerialPositionIsDeviation) {
+  std::vector<OpRecord> ops;
+  ops.push_back(MakeOp(1, 0, OpKind::kCommit, "f", "v1"));
+  ops.push_back(MakeOp(2, 0, OpKind::kCommit, "g", "v2"));
+  EXPECT_TRUE(FindDeviation(ops).has_value());
+}
+
+TEST(TraceTest, DeleteThenReadAbsent) {
+  std::vector<OpRecord> ops;
+  ops.push_back(MakeOp(1, 0, OpKind::kCommit, "f", "v1"));
+  ops.push_back(MakeOp(1, 1, OpKind::kDelete, "f"));
+  ops.push_back(MakeOp(2, 2, OpKind::kCheckout, "f"));
+  EXPECT_FALSE(FindDeviation(ops).has_value());
+}
+
+TEST(TraceTest, OutOfOrderRecordsAreSortedBySeq) {
+  std::vector<OpRecord> ops;
+  ops.push_back(MakeOp(2, 1, OpKind::kCheckout, "f", "", "v1"));
+  ops.push_back(MakeOp(1, 0, OpKind::kCommit, "f", "v1"));
+  EXPECT_FALSE(FindDeviation(ops).has_value());
+}
+
+TEST(TraceTest, FirstDeviationRoundMapsToCompletion) {
+  TraceLog log;
+  log.Record(MakeOp(1, 0, OpKind::kCommit, "f", "v1"));
+  OpRecord bad = MakeOp(2, 1, OpKind::kCheckout, "f");
+  bad.completed = 77;
+  log.Record(bad);
+  auto round = FirstDeviationRound(log);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(*round, 77u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace tcvs

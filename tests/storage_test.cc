@@ -1,0 +1,315 @@
+// Storage engine tests: CRC, WAL prefix semantics under corruption, and
+// crash-recovery of the durable repository server (same root digest ⇒
+// verifying clients never notice the restart).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/durable.h"
+#include "storage/wal.h"
+#include "util/random.h"
+
+namespace tcvs {
+namespace storage {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    static int counter = 0;
+    path_ = std::filesystem::temp_directory_path() /
+            ("tcvs_storage_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard check value: CRC-32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32(util::ToBytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(Bytes{}), 0x00000000u);
+  // IEEE: CRC-32 of "a" is 0xE8B7BE43.
+  EXPECT_EQ(Crc32(util::ToBytes("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, DetectsBitFlips) {
+  util::Rng rng(1);
+  Bytes data = rng.RandomBytes(100);
+  uint32_t crc = Crc32(data);
+  for (int i = 0; i < 50; ++i) {
+    Bytes mutated = data;
+    mutated[rng.Uniform(mutated.size())] ^= 1 << rng.Uniform(8);
+    if (mutated == data) continue;
+    EXPECT_NE(Crc32(mutated), crc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+TEST(WalTest, AppendAndReadBack) {
+  TempDir dir;
+  std::string path = dir.str() + "/wal.log";
+  {
+    auto wal = WalWriter::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(util::ToBytes("one")).ok());
+    ASSERT_TRUE(wal->Append(util::ToBytes("two")).ok());
+    ASSERT_TRUE(wal->Append(Bytes{}).ok());  // Empty record is legal.
+  }
+  bool truncated = true;
+  auto records = ReadWal(path, &truncated);
+  ASSERT_TRUE(records.ok());
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ(util::ToString((*records)[0]), "one");
+  EXPECT_EQ(util::ToString((*records)[1]), "two");
+  EXPECT_TRUE((*records)[2].empty());
+}
+
+TEST(WalTest, MissingFileIsEmpty) {
+  TempDir dir;
+  bool truncated = true;
+  auto records = ReadWal(dir.str() + "/nope.log", &truncated);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  EXPECT_FALSE(truncated);
+}
+
+TEST(WalTest, ReopenAppends) {
+  TempDir dir;
+  std::string path = dir.str() + "/wal.log";
+  {
+    auto wal = WalWriter::Open(path);
+    ASSERT_TRUE(wal->Append(util::ToBytes("first")).ok());
+  }
+  {
+    auto wal = WalWriter::Open(path);
+    ASSERT_TRUE(wal->Append(util::ToBytes("second")).ok());
+  }
+  auto records = ReadWal(path, nullptr);
+  ASSERT_EQ(records->size(), 2u);
+}
+
+TEST(WalTest, TornTailYieldsLongestValidPrefix) {
+  TempDir dir;
+  std::string path = dir.str() + "/wal.log";
+  util::Rng rng(9);
+  std::vector<Bytes> originals;
+  {
+    auto wal = WalWriter::Open(path);
+    for (int i = 0; i < 20; ++i) {
+      originals.push_back(rng.RandomBytes(1 + rng.Uniform(200)));
+      ASSERT_TRUE(wal->Append(originals.back()).ok());
+    }
+  }
+  auto full = ReadFileBytes(path);
+  ASSERT_TRUE(full.ok());
+
+  // Property: any truncation recovers a prefix of the records.
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t cut = rng.Uniform(full->size() + 1);
+    Bytes torn(full->begin(), full->begin() + cut);
+    ASSERT_TRUE(AtomicWriteFile(path, torn).ok());
+    bool truncated = false;
+    auto records = ReadWal(path, &truncated);
+    ASSERT_TRUE(records.ok());
+    ASSERT_LE(records->size(), originals.size());
+    for (size_t i = 0; i < records->size(); ++i) {
+      ASSERT_EQ((*records)[i], originals[i]) << "trial " << trial;
+    }
+    EXPECT_EQ(truncated, cut != full->size());
+  }
+}
+
+TEST(WalTest, CorruptMiddleStopsPrefix) {
+  TempDir dir;
+  std::string path = dir.str() + "/wal.log";
+  {
+    auto wal = WalWriter::Open(path);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wal->Append(util::ToBytes("record-" + std::to_string(i))).ok());
+    }
+  }
+  auto full = ReadFileBytes(path);
+  Bytes corrupt = *full;
+  corrupt[corrupt.size() / 2] ^= 0xFF;  // Hits record ~2-3's payload or header.
+  ASSERT_TRUE(AtomicWriteFile(path, corrupt).ok());
+  bool truncated = false;
+  auto records = ReadWal(path, &truncated);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(truncated);
+  EXPECT_LT(records->size(), 5u);
+  for (size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ(util::ToString((*records)[i]), "record-" + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DurableServer recovery
+// ---------------------------------------------------------------------------
+
+TEST(DurableServerTest, RestartPreservesRootDigest) {
+  TempDir dir;
+  mtree::TreeParams params;
+  crypto::Digest digest_before;
+  uint64_t ctr_before = 0;
+  {
+    auto server = DurableServer::Open(dir.str(), params);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    cvs::VerifyingClient alice(1, server->get());
+    ASSERT_TRUE(alice.Commit("a.c", "v1", 0).ok());
+    ASSERT_TRUE(alice.Commit("b.c", "v1", 0).ok());
+    ASSERT_TRUE(alice.Commit("a.c", "v2", 1).ok());
+    digest_before = (*server)->server()->tree().root_digest();
+    ctr_before = (*server)->server()->ctr();
+  }
+  // "Restart".
+  auto server = DurableServer::Open(dir.str(), params);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_EQ((*server)->server()->tree().root_digest(), digest_before);
+  EXPECT_EQ((*server)->server()->ctr(), ctr_before);
+  // Clients continue verifying seamlessly.
+  cvs::VerifyingClient bob(2, server->get());
+  auto rec = bob.Checkout("a.c");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->content, "v2");
+}
+
+TEST(DurableServerTest, TransparencyLogSurvivesRestart) {
+  TempDir dir;
+  mtree::TreeParams params;
+  Bytes alice_state;
+  {
+    auto server = DurableServer::Open(dir.str(), params);
+    ASSERT_TRUE(server.ok());
+    cvs::VerifyingClient alice(1, server->get());
+    ASSERT_TRUE(alice.Commit("f", "v1", 0).ok());
+    ASSERT_TRUE(alice.Commit("f", "v2", 1).ok());
+    ASSERT_TRUE(alice.AuditLog().ok());
+    ASSERT_TRUE((*server)->Checkpoint().ok());  // Log leaves land in snapshot.
+    alice_state = alice.state().Serialize();
+  }
+  auto reopened = DurableServer::Open(dir.str(), params);
+  ASSERT_TRUE(reopened.ok());
+  auto state = cvs::ClientState::Deserialize(alice_state);
+  ASSERT_TRUE(state.ok());
+  cvs::VerifyingClient alice(*state, reopened->get());
+  // The restarted server must still extend the audited checkpoint.
+  ASSERT_TRUE(alice.Commit("f", "v3", 2).ok());
+  EXPECT_TRUE(alice.AuditLog().ok());
+  EXPECT_EQ(alice.log_checkpoint_size(), 3u);
+}
+
+TEST(DurableServerTest, CheckpointFoldsWal) {
+  TempDir dir;
+  mtree::TreeParams params;
+  auto server = DurableServer::Open(dir.str(), params);
+  ASSERT_TRUE(server.ok());
+  cvs::VerifyingClient alice(1, server->get());
+  ASSERT_TRUE(alice.Commit("f", "v1", 0).ok());
+  EXPECT_EQ((*server)->wal_records(), 1u);
+  ASSERT_TRUE((*server)->Checkpoint().ok());
+  EXPECT_EQ((*server)->wal_records(), 0u);
+  ASSERT_TRUE(alice.Commit("f", "v2", 1).ok());
+  EXPECT_EQ((*server)->wal_records(), 1u);
+
+  auto digest = (*server)->server()->tree().root_digest();
+  server->reset();
+  auto reopened = DurableServer::Open(dir.str(), params);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->server()->tree().root_digest(), digest);
+}
+
+TEST(DurableServerTest, CrashRecoveryProperty) {
+  // Reference: apply transactions one by one on an in-memory server,
+  // recording the root digest after each. Then: for random WAL cuts, the
+  // recovered state must equal the reference state after some prefix.
+  mtree::TreeParams params;
+  util::Rng rng(77);
+
+  std::vector<crypto::Digest> reference_digests;  // After i transactions.
+  std::vector<std::pair<uint32_t, std::vector<cvs::FileOp>>> txns;
+  {
+    cvs::UntrustedServer reference(params);
+    reference_digests.push_back(reference.tree().root_digest());
+    std::map<std::string, uint64_t> rev;
+    for (int i = 0; i < 30; ++i) {
+      uint32_t user = 1 + rng.Uniform(3);
+      std::string path = "f" + std::to_string(rng.Uniform(5));
+      std::vector<cvs::FileOp> ops;
+      uint64_t base = rev.count(path) ? rev[path] : 0;
+      ops.push_back({cvs::FileOp::Kind::kCommit, path,
+                     "content" + std::to_string(i), base});
+      rev[path] = base + 1;
+      ASSERT_TRUE(reference.Transact(user, ops).ok());
+      reference_digests.push_back(reference.tree().root_digest());
+      txns.emplace_back(user, std::move(ops));
+    }
+  }
+
+  // Build the durable WAL by running all transactions.
+  TempDir dir;
+  {
+    auto server = DurableServer::Open(dir.str(), params);
+    ASSERT_TRUE(server.ok());
+    for (const auto& [user, ops] : txns) {
+      ASSERT_TRUE((*server)->Transact(user, ops).ok());
+    }
+  }
+  auto full_wal = ReadFileBytes(dir.str() + "/wal.log");
+  ASSERT_TRUE(full_wal.ok());
+
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t cut = rng.Uniform(full_wal->size() + 1);
+    Bytes torn(full_wal->begin(), full_wal->begin() + cut);
+    ASSERT_TRUE(AtomicWriteFile(dir.str() + "/wal.log", torn).ok());
+    std::remove((dir.str() + "/snapshot.bin").c_str());
+
+    auto recovered = DurableServer::Open(dir.str(), params);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    const crypto::Digest digest =
+        (*recovered)->server()->tree().root_digest();
+    uint64_t ctr = (*recovered)->server()->ctr();
+    ASSERT_LT(ctr, reference_digests.size());
+    EXPECT_EQ(digest, reference_digests[ctr])
+        << "trial " << trial << ": recovered to a non-prefix state";
+    recovered->reset();
+    // Restore the full WAL for the next trial.
+    ASSERT_TRUE(AtomicWriteFile(dir.str() + "/wal.log", *full_wal).ok());
+    std::remove((dir.str() + "/snapshot.bin").c_str());
+  }
+}
+
+TEST(DurableServerTest, CorruptSnapshotRejected) {
+  TempDir dir;
+  mtree::TreeParams params;
+  {
+    auto server = DurableServer::Open(dir.str(), params);
+    ASSERT_TRUE(server.ok());
+    cvs::VerifyingClient alice(1, server->get());
+    ASSERT_TRUE(alice.Commit("f", "v1", 0).ok());
+    ASSERT_TRUE((*server)->Checkpoint().ok());
+  }
+  auto snapshot = ReadFileBytes(dir.str() + "/snapshot.bin");
+  Bytes bad = *snapshot;
+  bad[2] ^= 0xFF;  // Corrupt the magic.
+  ASSERT_TRUE(AtomicWriteFile(dir.str() + "/snapshot.bin", bad).ok());
+  EXPECT_FALSE(DurableServer::Open(dir.str(), params).ok());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace tcvs

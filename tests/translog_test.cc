@@ -1,0 +1,210 @@
+// Transparency-log tests: RFC 6962 Merkle tree hashes, inclusion proofs,
+// consistency proofs — generated and verified, across every (m, n) pair of a
+// growing log, plus adversarial mutations.
+
+#include <gtest/gtest.h>
+
+#include "crypto/translog.h"
+#include "util/random.h"
+
+namespace tcvs {
+namespace crypto {
+namespace {
+
+Bytes E(int i) { return util::ToBytes("entry-" + std::to_string(i)); }
+
+TEST(TransparencyLogTest, EmptyLogRoot) {
+  TransparencyLog log;
+  // RFC 6962: MTH of the empty list is the hash of the empty string.
+  EXPECT_EQ(util::HexEncode(log.Root()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(TransparencyLogTest, Rfc6962LeafAndNodeHashes) {
+  // RFC 6962 §2.1.1 test values: MTH for D = {0x} (one empty entry) is the
+  // leaf hash H(0x00) =
+  // 6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d.
+  TransparencyLog log;
+  log.Append(Bytes{});
+  EXPECT_EQ(util::HexEncode(log.Root()),
+            "6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d");
+}
+
+TEST(TransparencyLogTest, RootChangesOnAppend) {
+  TransparencyLog log;
+  Digest prev = log.Root();
+  for (int i = 0; i < 20; ++i) {
+    log.Append(E(i));
+    Digest cur = log.Root();
+    EXPECT_NE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_EQ(log.size(), 20u);
+}
+
+TEST(TransparencyLogTest, RootAtReproducesHistoricalRoots) {
+  TransparencyLog log;
+  std::vector<Digest> roots;
+  roots.push_back(log.Root());
+  for (int i = 0; i < 40; ++i) {
+    log.Append(E(i));
+    roots.push_back(log.Root());
+  }
+  for (uint64_t n = 0; n <= 40; ++n) {
+    EXPECT_EQ(*log.RootAt(n), roots[n]) << n;
+  }
+  EXPECT_FALSE(log.RootAt(41).ok());
+}
+
+TEST(TransparencyLogTest, InclusionProofsVerifyForAllEntriesAndSizes) {
+  TransparencyLog log;
+  const int kN = 33;  // Deliberately not a power of two.
+  for (int i = 0; i < kN; ++i) log.Append(E(i));
+  for (uint64_t n = 1; n <= kN; ++n) {
+    Digest root = *log.RootAt(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      auto proof = log.InclusionProof(i, n);
+      ASSERT_TRUE(proof.ok());
+      EXPECT_TRUE(
+          TransparencyLog::VerifyInclusion(E(i), i, n, root, *proof).ok())
+          << "entry " << i << " in log of " << n;
+    }
+  }
+}
+
+TEST(TransparencyLogTest, InclusionProofRejectsWrongEntry) {
+  TransparencyLog log;
+  for (int i = 0; i < 10; ++i) log.Append(E(i));
+  auto proof = log.InclusionProof(3, 10);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(TransparencyLog::VerifyInclusion(E(4), 3, 10, log.Root(), *proof)
+                  .IsVerificationFailure());
+  EXPECT_TRUE(TransparencyLog::VerifyInclusion(E(3), 4, 10, log.Root(), *proof)
+                  .IsVerificationFailure());
+}
+
+TEST(TransparencyLogTest, InclusionProofRejectsMutations) {
+  TransparencyLog log;
+  for (int i = 0; i < 21; ++i) log.Append(E(i));
+  util::Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t i = rng.Uniform(21);
+    auto proof = *log.InclusionProof(i, 21);
+    int mode = rng.Uniform(3);
+    if (mode == 0 && !proof.empty()) {
+      proof[rng.Uniform(proof.size())][rng.Uniform(32)] ^= 0x01;
+    } else if (mode == 1 && !proof.empty()) {
+      proof.pop_back();
+    } else {
+      proof.push_back(Sha256::Hash("junk"));
+    }
+    EXPECT_FALSE(
+        TransparencyLog::VerifyInclusion(E(i), i, 21, log.Root(), proof).ok())
+        << "trial " << trial;
+  }
+}
+
+TEST(TransparencyLogTest, ConsistencyProofsVerifyForAllSizePairs) {
+  TransparencyLog log;
+  const int kN = 33;
+  std::vector<Digest> roots{log.Root()};
+  for (int i = 0; i < kN; ++i) {
+    log.Append(E(i));
+    roots.push_back(log.Root());
+  }
+  for (uint64_t m = 0; m <= kN; ++m) {
+    for (uint64_t n = m; n <= kN; ++n) {
+      auto proof = log.ConsistencyProof(m, n);
+      ASSERT_TRUE(proof.ok()) << m << "," << n;
+      EXPECT_TRUE(TransparencyLog::VerifyConsistency(m, n, roots[m], roots[n],
+                                                     *proof)
+                      .ok())
+          << m << " -> " << n;
+    }
+  }
+}
+
+TEST(TransparencyLogTest, ConsistencyDetectsHistoryRewrite) {
+  // The server rewrites an entry INSIDE the client's checkpointed prefix:
+  // no consistency proof from that checkpoint to any extension of the
+  // rewritten log can verify.
+  TransparencyLog honest, rewritten;
+  for (int i = 0; i < 10; ++i) {
+    honest.Append(E(i));
+    rewritten.Append(i == 5 ? util::ToBytes("REWRITTEN") : E(i));
+  }
+  Digest checkpoint = honest.Root();  // Client checkpoint at size 10.
+  for (int i = 10; i < 20; ++i) {
+    honest.Append(E(i));
+    rewritten.Append(E(i));
+  }
+
+  auto ok_proof = honest.ConsistencyProof(10, 20);
+  EXPECT_TRUE(TransparencyLog::VerifyConsistency(10, 20, checkpoint,
+                                                 honest.Root(), *ok_proof)
+                  .ok());
+  auto bad_proof = rewritten.ConsistencyProof(10, 20);
+  EXPECT_TRUE(TransparencyLog::VerifyConsistency(10, 20, checkpoint,
+                                                 rewritten.Root(), *bad_proof)
+                  .IsVerificationFailure());
+  // A post-checkpoint divergence, by contrast, is legitimately consistent
+  // with the checkpoint — consistency covers exactly the prefix.
+  TransparencyLog forked;
+  for (int i = 0; i < 10; ++i) forked.Append(E(i));
+  forked.Append(util::ToBytes("different-suffix"));
+  auto fork_proof = forked.ConsistencyProof(10, 11);
+  EXPECT_TRUE(TransparencyLog::VerifyConsistency(10, 11, checkpoint,
+                                                 forked.Root(), *fork_proof)
+                  .ok());
+}
+
+TEST(TransparencyLogTest, ConsistencyDetectsTruncation) {
+  // A server rolling back history presents a SMALLER log than the client's
+  // checkpoint — the size comparison alone rejects it.
+  TransparencyLog log;
+  for (int i = 0; i < 15; ++i) log.Append(E(i));
+  EXPECT_TRUE(
+      TransparencyLog::VerifyConsistency(15, 12, log.Root(), *log.RootAt(12), {})
+          .IsInvalidArgument());
+}
+
+TEST(TransparencyLogTest, ConsistencyRejectsMutations) {
+  TransparencyLog log;
+  for (int i = 0; i < 29; ++i) log.Append(E(i));
+  util::Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t m = 1 + rng.Uniform(27);
+    uint64_t n = m + 1 + rng.Uniform(29 - m - 1);
+    auto proof = *log.ConsistencyProof(m, n);
+    if (proof.empty()) continue;
+    proof[rng.Uniform(proof.size())][rng.Uniform(32)] ^= 0x01;
+    EXPECT_FALSE(TransparencyLog::VerifyConsistency(m, n, *log.RootAt(m),
+                                                    *log.RootAt(n), proof)
+                     .ok())
+        << "m=" << m << " n=" << n;
+  }
+}
+
+TEST(TransparencyLogTest, LargeRandomizedSweep) {
+  util::Rng rng(2026);
+  TransparencyLog log;
+  std::vector<Digest> roots{log.Root()};
+  for (int i = 0; i < 200; ++i) {
+    log.Append(rng.RandomBytes(1 + rng.Uniform(40)));
+    roots.push_back(log.Root());
+  }
+  for (int trial = 0; trial < 300; ++trial) {
+    uint64_t m = rng.Uniform(201);
+    uint64_t n = m + rng.Uniform(201 - m);
+    auto proof = log.ConsistencyProof(m, n);
+    ASSERT_TRUE(proof.ok());
+    ASSERT_TRUE(TransparencyLog::VerifyConsistency(m, n, roots[m], roots[n],
+                                                   *proof)
+                    .ok())
+        << m << "->" << n;
+  }
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace tcvs

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/histogram.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace tcvs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, AllNamedConstructorsMatchPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::VerificationFailure("x").IsVerificationFailure());
+  EXPECT_TRUE(Status::DeviationDetected("x").IsDeviationDetected());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Corruption("bad");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    TCVS_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*outer(false), 10);
+  EXPECT_TRUE(outer(true).status().IsCorruption());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueOrDie();
+  EXPECT_EQ(*p, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Bytes / hex
+// ---------------------------------------------------------------------------
+
+TEST(BytesTest, RoundTripString) {
+  Bytes b = util::ToBytes("hello");
+  EXPECT_EQ(util::ToString(b), "hello");
+}
+
+TEST(BytesTest, HexEncode) {
+  EXPECT_EQ(util::HexEncode(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+  EXPECT_EQ(util::HexEncode(Bytes{}), "");
+  EXPECT_EQ(util::HexEncode(Bytes{0x00, 0x0f}), "000f");
+}
+
+TEST(BytesTest, HexDecode) {
+  auto r = util::HexDecode("deadbeef");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_EQ(*util::HexDecode("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  EXPECT_TRUE(util::HexDecode("abc").status().IsInvalidArgument());
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  EXPECT_TRUE(util::HexDecode("zz").status().IsInvalidArgument());
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  EXPECT_TRUE(util::ConstantTimeEqual(util::ToBytes("abc"), util::ToBytes("abc")));
+  EXPECT_FALSE(util::ConstantTimeEqual(util::ToBytes("abc"), util::ToBytes("abd")));
+  EXPECT_FALSE(util::ConstantTimeEqual(util::ToBytes("abc"), util::ToBytes("ab")));
+  EXPECT_TRUE(util::ConstantTimeEqual(Bytes{}, Bytes{}));
+}
+
+// ---------------------------------------------------------------------------
+// Serde
+// ---------------------------------------------------------------------------
+
+TEST(SerdeTest, RoundTripAllFieldKinds) {
+  util::Writer w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutBytes(util::ToBytes("payload"));
+  w.PutString("str");
+  w.PutRaw(Bytes{1, 2, 3});
+
+  util::Reader r(w.buffer());
+  EXPECT_EQ(*r.GetU8(), 0xab);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(util::ToString(*r.GetBytes()), "payload");
+  EXPECT_EQ(*r.GetString(), "str");
+  EXPECT_EQ(*r.GetRaw(3), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, ReadPastEndIsOutOfRange) {
+  util::Writer w;
+  w.PutU32(7);
+  util::Reader r(w.buffer());
+  EXPECT_TRUE(r.GetU64().status().IsOutOfRange());
+}
+
+TEST(SerdeTest, TruncatedLengthPrefixedBytes) {
+  util::Writer w;
+  w.PutU32(100);  // Claims 100 bytes follow; none do.
+  util::Reader r(w.buffer());
+  EXPECT_TRUE(r.GetBytes().status().IsOutOfRange());
+}
+
+TEST(SerdeTest, EmptyBytesRoundTrip) {
+  util::Writer w;
+  w.PutBytes(Bytes{});
+  util::Reader r(w.buffer());
+  EXPECT_EQ(r.GetBytes()->size(), 0u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, LittleEndianLayout) {
+  util::Writer w;
+  w.PutU32(0x01020304);
+  EXPECT_EQ(w.buffer(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  util::Rng rng(7);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) counts[rng.Uniform(4)]++;
+  for (int c : counts) EXPECT_GT(c, 700);  // Expect ~1000 each.
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  util::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, RandomBytesLengthAndDeterminism) {
+  util::Rng a(3), b(3);
+  Bytes x = a.RandomBytes(37);
+  Bytes y = b.RandomBytes(37);
+  EXPECT_EQ(x.size(), 37u);
+  EXPECT_EQ(x, y);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  util::Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  util::Rng rng(13);
+  util::ZipfGenerator zipf(100, 0.99);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Next(&rng), 100u);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  util::Rng rng(13);
+  util::ZipfGenerator zipf(1000, 0.99);
+  int low = 0;
+  const int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next(&rng) < 10) ++low;
+  }
+  // With theta=0.99 the top-10 of 1000 should absorb far more than the
+  // uniform 1% of samples.
+  EXPECT_GT(low, kSamples / 10);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  util::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  util::Histogram h;
+  for (uint64_t v : {0u, 1u, 2u, 3u, 3u}) h.Record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 3u);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 9.0 / 5);
+}
+
+TEST(HistogramTest, QuantilesApproximateWithinBucketError) {
+  util::Histogram h;
+  util::Rng rng(5);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.Uniform(100000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    uint64_t exact = values[size_t(q * (values.size() - 1))];
+    uint64_t approx = h.Quantile(q);
+    // Exponential buckets with 4 sub-buckets: ≤ 25% relative error, and the
+    // approximation is an upper bound of the containing bucket.
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(double(approx), double(exact) * 1.30 + 4) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  util::Histogram a, b, combined;
+  util::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t v = rng.Uniform(1 << 20);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.Quantile(q), combined.Quantile(q)) << q;
+  }
+}
+
+TEST(HistogramTest, HugeValuesClampToLastBucket) {
+  util::Histogram h;
+  h.Record(~0ull);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ull);
+  EXPECT_EQ(h.Quantile(1.0), ~0ull);
+}
+
+TEST(HistogramTest, SummaryIsReadable) {
+  util::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  std::string s = h.Summary();
+  EXPECT_NE(s.find("count=100"), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  util::Rng rng(17);
+  util::ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[zipf.Next(&rng)]++;
+  for (int c : counts) EXPECT_GT(c, 500);
+}
+
+}  // namespace
+}  // namespace tcvs

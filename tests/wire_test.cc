@@ -1,0 +1,178 @@
+// Round-trip tests for every simulator-protocol wire message (core/wire.h).
+// The fuzz suite checks parsers never crash; these check they are *correct*.
+
+#include <gtest/gtest.h>
+
+#include "core/wire.h"
+#include "util/random.h"
+
+namespace tcvs {
+namespace core {
+namespace {
+
+TEST(WireTest, QueryRequestRoundTrip) {
+  QueryRequest q;
+  q.qid = 42;
+  q.kind = sim::OpKind::kCommit;
+  q.key = util::ToBytes("src/main.c");
+  q.value = util::ToBytes("content");
+  auto back = QueryRequest::Deserialize(q.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->qid, 42u);
+  EXPECT_EQ(back->kind, sim::OpKind::kCommit);
+  EXPECT_EQ(back->key, q.key);
+  EXPECT_EQ(back->value, q.value);
+  EXPECT_FALSE(back->epoch_upload.has_value());
+}
+
+TEST(WireTest, QueryRequestWithEpochUpload) {
+  QueryRequest q;
+  q.qid = 1;
+  q.kind = sim::OpKind::kCheckout;
+  q.key = util::ToBytes("f");
+  EpochStateBlob blob;
+  blob.user = 3;
+  blob.epoch = 7;
+  blob.sigma = Bytes(32, 0xAA);
+  blob.last = Bytes(32, 0xBB);
+  blob.signature = util::ToBytes("sig");
+  q.epoch_upload = blob;
+  auto back = QueryRequest::Deserialize(q.Serialize());
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(back->epoch_upload.has_value());
+  EXPECT_EQ(*back->epoch_upload, blob);
+}
+
+TEST(WireTest, QueryResponseRoundTrip) {
+  util::Rng rng(1);
+  QueryResponse resp;
+  resp.qid = 9;
+  resp.kind = sim::OpKind::kDelete;
+  resp.found = true;
+  resp.answer = rng.RandomBytes(20);
+  resp.vo = rng.RandomBytes(100);
+  resp.ctr = 12345;
+  resp.creator = 6;
+  resp.sig = rng.RandomBytes(64);
+  resp.epoch = 3;
+  auto back = QueryResponse::Deserialize(resp.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->qid, 9u);
+  EXPECT_EQ(back->kind, sim::OpKind::kDelete);
+  EXPECT_TRUE(back->found);
+  EXPECT_EQ(back->answer, resp.answer);
+  EXPECT_EQ(back->vo, resp.vo);
+  EXPECT_EQ(back->ctr, 12345u);
+  EXPECT_EQ(back->creator, 6u);
+  EXPECT_EQ(back->sig, resp.sig);
+  EXPECT_EQ(back->epoch, 3u);
+}
+
+TEST(WireTest, BadOpKindRejected) {
+  QueryRequest q;
+  q.kind = sim::OpKind::kCommit;
+  q.key = util::ToBytes("k");
+  Bytes wire = q.Serialize();
+  wire[8] = 9;  // The op-kind byte follows the u64 qid.
+  EXPECT_TRUE(QueryRequest::Deserialize(wire).status().IsInvalidArgument());
+}
+
+TEST(WireTest, SyncReportWithJournalRoundTrip) {
+  SyncReport report;
+  report.sync_id = 100;
+  report.user = 2;
+  report.lctr = 5;
+  report.gctr = 17;
+  report.sigma = Bytes(32, 0x11);
+  report.last = Bytes(32, 0x22);
+  report.journal.push_back(
+      TransitionRecord{Bytes(32, 1), Bytes(32, 2), 16, 1, 2});
+  report.journal.push_back(
+      TransitionRecord{Bytes(32, 2), Bytes(32, 3), 17, 2, 2});
+  auto back = SyncReport::Deserialize(report.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->sync_id, 100u);
+  EXPECT_EQ(back->gctr, 17u);
+  ASSERT_EQ(back->journal.size(), 2u);
+  EXPECT_EQ(back->journal[0], report.journal[0]);
+  EXPECT_EQ(back->journal[1], report.journal[1]);
+}
+
+TEST(WireTest, EpochStatesReplyRoundTrip) {
+  EpochStatesReply reply;
+  reply.epoch = 4;
+  for (uint32_t u = 1; u <= 3; ++u) {
+    EpochStateBlob blob;
+    blob.user = u;
+    blob.epoch = 4;
+    blob.sigma = Bytes(32, uint8_t(u));
+    blob.last = Bytes(32, uint8_t(u + 100));
+    blob.signature = util::ToBytes("s" + std::to_string(u));
+    reply.states.push_back(blob);
+    blob.epoch = 3;
+    reply.prev_states.push_back(blob);
+  }
+  auto back = EpochStatesReply::Deserialize(reply.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->epoch, 4u);
+  ASSERT_EQ(back->states.size(), 3u);
+  ASSERT_EQ(back->prev_states.size(), 3u);
+  EXPECT_EQ(back->states[1], reply.states[1]);
+  EXPECT_EQ(back->prev_states[2], reply.prev_states[2]);
+}
+
+TEST(WireTest, EpochBlobPreimageBindsEveryField) {
+  EpochStateBlob blob;
+  blob.user = 1;
+  blob.epoch = 2;
+  blob.sigma = Bytes(32, 0x01);
+  blob.last = Bytes(32, 0x02);
+  Bytes base = blob.Preimage();
+  EpochStateBlob changed = blob;
+  changed.user = 9;
+  EXPECT_NE(changed.Preimage(), base);
+  changed = blob;
+  changed.epoch = 9;
+  EXPECT_NE(changed.Preimage(), base);
+  changed = blob;
+  changed.sigma[0] ^= 1;
+  EXPECT_NE(changed.Preimage(), base);
+  changed = blob;
+  changed.last[0] ^= 1;
+  EXPECT_NE(changed.Preimage(), base);
+  // The signature itself is NOT part of the preimage.
+  changed = blob;
+  changed.signature = util::ToBytes("whatever");
+  EXPECT_EQ(changed.Preimage(), base);
+}
+
+TEST(WireTest, AggMessagesRoundTrip) {
+  AggReport agg{7, 3, Bytes(32, 0x33), 99};
+  auto agg_back = AggReport::Deserialize(agg.Serialize());
+  ASSERT_TRUE(agg_back.ok());
+  EXPECT_EQ(agg_back->sync_id, 7u);
+  EXPECT_EQ(agg_back->lctr_sum, 99u);
+
+  AggTotal total{7, Bytes(32, 0x44), 123};
+  auto total_back = AggTotal::Deserialize(total.Serialize());
+  ASSERT_TRUE(total_back.ok());
+  EXPECT_EQ(total_back->lctr_total, 123u);
+
+  AggSuccess success{7, 2};
+  auto success_back = AggSuccess::Deserialize(success.Serialize());
+  ASSERT_TRUE(success_back.ok());
+  EXPECT_EQ(success_back->user, 2u);
+}
+
+TEST(WireTest, RootSigUploadRoundTrip) {
+  RootSigUpload up{4, 500, util::ToBytes("signature-bytes")};
+  auto back = RootSigUpload::Deserialize(up.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->user, 4u);
+  EXPECT_EQ(back->ctr_after, 500u);
+  EXPECT_EQ(back->sig, up.sig);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tcvs

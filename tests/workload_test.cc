@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/workload.h"
+
+namespace tcvs {
+namespace workload {
+namespace {
+
+TEST(CvsWorkloadTest, DeterministicForSeed) {
+  CvsWorkloadOptions opts;
+  opts.seed = 42;
+  Workload a = MakeCvsWorkload(opts);
+  Workload b = MakeCvsWorkload(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t u = 0; u < a.size(); ++u) {
+    ASSERT_EQ(a[u].ops.size(), b[u].ops.size());
+    for (size_t i = 0; i < a[u].ops.size(); ++i) {
+      EXPECT_EQ(a[u].ops[i].earliest_round, b[u].ops[i].earliest_round);
+      EXPECT_EQ(a[u].ops[i].key, b[u].ops[i].key);
+      EXPECT_EQ(a[u].ops[i].value, b[u].ops[i].value);
+    }
+  }
+  opts.seed = 43;
+  Workload c = MakeCvsWorkload(opts);
+  // Different seed, different schedule (with overwhelming probability).
+  bool differs = false;
+  for (size_t u = 0; u < a.size() && !differs; ++u) {
+    for (size_t i = 0; i < a[u].ops.size() && i < c[u].ops.size(); ++i) {
+      if (a[u].ops[i].earliest_round != c[u].ops[i].earliest_round ||
+          a[u].ops[i].key != c[u].ops[i].key) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CvsWorkloadTest, RespectsShape) {
+  CvsWorkloadOptions opts;
+  opts.num_users = 5;
+  opts.ops_per_user = 13;
+  opts.num_files = 4;
+  Workload w = MakeCvsWorkload(opts);
+  ASSERT_EQ(w.size(), 5u);
+  std::set<sim::AgentId> users;
+  for (const auto& script : w) {
+    users.insert(script.user);
+    EXPECT_EQ(script.ops.size(), 13u);
+    sim::Round prev = 0;
+    for (const auto& op : script.ops) {
+      EXPECT_GE(op.earliest_round, prev);  // Non-decreasing per user.
+      prev = op.earliest_round;
+      if (op.kind == sim::OpKind::kCommit) EXPECT_FALSE(op.value.empty());
+    }
+  }
+  EXPECT_EQ(users.size(), 5u);  // Distinct nonzero ids.
+  EXPECT_EQ(users.count(0), 0u);
+}
+
+TEST(EpochWorkloadTest, EveryUserHasOpsInEveryEpoch) {
+  EpochWorkloadOptions opts;
+  opts.num_users = 4;
+  opts.num_epochs = 7;
+  opts.epoch_rounds = 40;
+  opts.ops_per_epoch = 2;
+  Workload w = MakeEpochWorkload(opts);
+  ASSERT_EQ(w.size(), 4u);
+  for (const auto& script : w) {
+    std::map<uint64_t, int> per_epoch;
+    for (const auto& op : script.ops) {
+      per_epoch[op.earliest_round / opts.epoch_rounds] += 1;
+    }
+    for (uint64_t e = 0; e < opts.num_epochs; ++e) {
+      EXPECT_GE(per_epoch[e], 2) << "user " << script.user << " epoch " << e
+                                 << ": violates the §4.4 restriction";
+    }
+  }
+}
+
+TEST(PartitionableWorkloadTest, HasCausalPairAndTail) {
+  PartitionableOptions opts;
+  opts.users_in_a = 2;
+  opts.users_in_b = 2;
+  opts.partition_round = 100;
+  opts.b_ops_after_dependency = 9;
+  Workload w = MakePartitionableWorkload(opts);
+  ASSERT_EQ(w.size(), 4u);
+
+  // t1: a commit to the common header by user 1 at the partition round.
+  const Bytes common = util::ToBytes("include/Common.h");
+  bool found_t1 = false;
+  for (const auto& op : w[0].ops) {
+    if (op.key == common && op.kind == sim::OpKind::kCommit &&
+        op.earliest_round == 100) {
+      found_t1 = true;
+    }
+  }
+  EXPECT_TRUE(found_t1);
+  // t2: a checkout of the same key by the first B user, after t1.
+  const auto& b_user = w[2];
+  bool found_t2 = false;
+  for (const auto& op : b_user.ops) {
+    if (op.key == common && op.kind == sim::OpKind::kCheckout &&
+        op.earliest_round > 100) {
+      found_t2 = true;
+    }
+  }
+  EXPECT_TRUE(found_t2);
+  // The B tail: at least k+1 ops after the dependency (here 9).
+  size_t tail = 0;
+  for (const auto& op : b_user.ops) {
+    if (op.earliest_round > 100 && op.kind == sim::OpKind::kCommit) ++tail;
+  }
+  EXPECT_GE(tail, 9u);
+}
+
+TEST(BurstWorkloadTest, OnlyBurstUserActs) {
+  Workload w = MakeBurstWorkload(4, 2, 7, 3, 1);
+  ASSERT_EQ(w.size(), 4u);
+  for (const auto& script : w) {
+    if (script.user == 3) {  // burst_user_index 2 → user id 3.
+      EXPECT_EQ(script.ops.size(), 7u);
+      for (const auto& op : script.ops) EXPECT_EQ(op.earliest_round, 1u);
+    } else {
+      EXPECT_TRUE(script.ops.empty());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace round trip
+// ---------------------------------------------------------------------------
+
+TEST(TraceIoTest, RoundTripPreservesWorkload) {
+  CvsWorkloadOptions opts;
+  opts.num_users = 3;
+  opts.ops_per_user = 9;
+  opts.seed = 77;
+  Workload original = MakeCvsWorkload(opts);
+  std::string trace = WorkloadToTrace(original);
+  auto parsed = WorkloadFromTrace(trace);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t u = 0; u < original.size(); ++u) {
+    const UserScript& a = original[u];
+    // Parsed scripts come back keyed by user id.
+    const UserScript* b = nullptr;
+    for (const auto& s : *parsed) {
+      if (s.user == a.user) b = &s;
+    }
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(b->ops.size(), a.ops.size());
+    for (size_t i = 0; i < a.ops.size(); ++i) {
+      EXPECT_EQ(b->ops[i].earliest_round, a.ops[i].earliest_round);
+      EXPECT_EQ(b->ops[i].kind, a.ops[i].kind);
+      EXPECT_EQ(b->ops[i].key, a.ops[i].key);
+      EXPECT_EQ(b->ops[i].value, a.ops[i].value);
+    }
+  }
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored) {
+  auto w = WorkloadFromTrace(
+      "# comment\n"
+      "\n"
+      "1,5,1,61,76310a\n"
+      "2,9,0,62,\n");
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  ASSERT_EQ(w->size(), 2u);
+  EXPECT_EQ((*w)[0].ops[0].key, util::ToBytes("a"));
+  EXPECT_EQ((*w)[1].ops[0].kind, sim::OpKind::kCheckout);
+}
+
+TEST(TraceIoTest, MalformedLinesRejected) {
+  EXPECT_FALSE(WorkloadFromTrace("1,2,3\n").ok());            // Too few fields.
+  EXPECT_FALSE(WorkloadFromTrace("0,2,1,61,\n").ok());        // User 0 reserved.
+  EXPECT_FALSE(WorkloadFromTrace("1,x,1,61,\n").ok());        // Bad round.
+  EXPECT_FALSE(WorkloadFromTrace("1,2,9,61,\n").ok());        // Bad kind.
+  EXPECT_FALSE(WorkloadFromTrace("1,2,1,zz,\n").ok());        // Bad hex.
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace tcvs

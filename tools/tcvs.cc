@@ -1,0 +1,211 @@
+// tcvs — the verifying trusted-cvs command-line client.
+//
+// Talks to a `tcvsd` server, verifying every reply (Merkle proofs, local
+// replay, counter monotonicity) and folding it into the user's 32-byte
+// Protocol II registers, persisted in a state file between invocations.
+//
+// Usage:
+//   tcvs --server HOST:PORT --user N --state FILE checkout PATH
+//   tcvs --server HOST:PORT --user N --state FILE cat PATH
+//   tcvs --server HOST:PORT --user N --state FILE commit PATH BASE_REV CONTENT
+//   tcvs --server HOST:PORT --user N --state FILE remove PATH
+//   tcvs --server HOST:PORT --user N --state FILE ls [PREFIX]
+//   tcvs --server HOST:PORT --user N --state FILE audit   # append-only history
+//   tcvs --state FILE state                # print the registers
+//   tcvs check STATE_FILE...               # offline sync-up over state files
+//   tcvs --server HOST:PORT shutdown
+//
+// Exit codes: 0 success, 1 operation error, 3 SERVER DEVIATION DETECTED.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cvs/trusted.h"
+#include "rpc/remote.h"
+#include "util/bytes.h"
+
+using namespace tcvs;
+
+namespace {
+
+Result<Bytes> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return util::ToBytes(data);
+}
+
+Status WriteFile(const std::string& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out ? Status::OK() : Status::IOError("short write to " + path);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "tcvs: %s\n", status.ToString().c_str());
+  return status.IsDeviationDetected() || status.IsVerificationFailure() ? 3 : 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tcvs --server H:P --user N --state FILE "
+               "checkout|cat|commit|remove ... | state | check FILES... | "
+               "shutdown\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string server_addr;
+  std::string state_file;
+  uint32_t user = 0;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+      server_addr = argv[++i];
+    } else if (std::strcmp(argv[i], "--user") == 0 && i + 1 < argc) {
+      user = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--state") == 0 && i + 1 < argc) {
+      state_file = argv[++i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) return Usage();
+  const std::string& cmd = args[0];
+
+  // Offline commands first.
+  if (cmd == "check") {
+    std::vector<cvs::ClientState> states;
+    for (size_t i = 1; i < args.size(); ++i) {
+      auto data = ReadFile(args[i]);
+      if (!data.ok()) return Fail(data.status());
+      auto state = cvs::ClientState::Deserialize(*data);
+      if (!state.ok()) return Fail(state.status());
+      states.push_back(std::move(state).ValueOrDie());
+    }
+    Status st = cvs::VerifyingClient::SyncCheck(states);
+    std::printf("sync-up over %zu states: %s\n", states.size(),
+                st.ok() ? "CONSISTENT — one serial history" : st.ToString().c_str());
+    return st.ok() ? 0 : 3;
+  }
+  if (cmd == "state") {
+    auto data = ReadFile(state_file);
+    if (!data.ok()) return Fail(data.status());
+    auto state = cvs::ClientState::Deserialize(*data);
+    if (!state.ok()) return Fail(state.status());
+    std::printf("user=%u lctr=%llu gctr=%llu\nsigma=%s\nlast =%s\n",
+                state->user_id, (unsigned long long)state->lctr,
+                (unsigned long long)state->gctr,
+                util::HexEncode(state->sigma).c_str(),
+                util::HexEncode(state->last).c_str());
+    return 0;
+  }
+
+  // Networked commands.
+  std::string host = "127.0.0.1";
+  uint16_t port = 7199;
+  if (!server_addr.empty()) {
+    size_t colon = server_addr.rfind(':');
+    if (colon == std::string::npos) return Usage();
+    host = server_addr.substr(0, colon);
+    port = static_cast<uint16_t>(std::atoi(server_addr.c_str() + colon + 1));
+  }
+  auto remote = rpc::RemoteServer::Connect(host, port);
+  if (!remote.ok()) return Fail(remote.status());
+
+  if (cmd == "shutdown") {
+    Status st = (*remote)->Shutdown();
+    if (!st.ok()) return Fail(st);
+    std::printf("server shut down\n");
+    return 0;
+  }
+
+  if (user == 0 || state_file.empty()) return Usage();
+
+  // Load or initialize the client state.
+  cvs::ClientState state;
+  if (auto data = ReadFile(state_file); data.ok()) {
+    auto parsed = cvs::ClientState::Deserialize(*data);
+    if (!parsed.ok()) return Fail(parsed.status());
+    state = std::move(parsed).ValueOrDie();
+    if (state.user_id != user) {
+      return Fail(Status::InvalidArgument("state file belongs to user " +
+                                          std::to_string(state.user_id)));
+    }
+  } else {
+    cvs::VerifyingClient fresh(user, remote->get());
+    state = fresh.state();
+  }
+  cvs::VerifyingClient client(state, remote->get());
+
+  int rc = 0;
+  if (cmd == "checkout" || cmd == "cat") {
+    if (args.size() != 2) return Usage();
+    auto rec = client.Checkout(args[1]);
+    if (!rec.ok()) {
+      rc = Fail(rec.status());
+    } else if (cmd == "cat") {
+      std::fwrite(rec->content.data(), 1, rec->content.size(), stdout);
+    } else {
+      std::printf("%s revision %llu (%zu bytes) [verified]\n", args[1].c_str(),
+                  (unsigned long long)rec->revision, rec->content.size());
+    }
+  } else if (cmd == "commit") {
+    if (args.size() != 4) return Usage();
+    uint64_t base = std::strtoull(args[2].c_str(), nullptr, 10);
+    auto rev = client.Commit(args[1], args[3], base);
+    if (!rev.ok()) {
+      rc = Fail(rev.status());
+    } else {
+      std::printf("committed %s -> revision %llu [verified]\n", args[1].c_str(),
+                  (unsigned long long)*rev);
+    }
+  } else if (cmd == "ls") {
+    std::string prefix = args.size() > 1 ? args[1] : "";
+    auto listing = client.ListDir(prefix);
+    if (!listing.ok()) {
+      rc = Fail(listing.status());
+    } else {
+      for (const auto& [path, revision] : *listing) {
+        std::printf("%-50s r%llu\n", path.c_str(),
+                    (unsigned long long)revision);
+      }
+      std::printf("%zu files [verified complete]\n", listing->size());
+    }
+  } else if (cmd == "audit") {
+    Status st = client.AuditLog();
+    if (!st.ok()) {
+      rc = Fail(st);
+    } else {
+      std::printf("transparency log consistent; checkpoint advanced to %llu "
+                  "entries [verified append-only]\n",
+                  (unsigned long long)client.log_checkpoint_size());
+    }
+  } else if (cmd == "remove") {
+    if (args.size() != 2) return Usage();
+    Status st = client.Remove(args[1]);
+    if (!st.ok()) {
+      rc = Fail(st);
+    } else {
+      std::printf("removed %s [verified]\n", args[1].c_str());
+    }
+  } else {
+    return Usage();
+  }
+
+  // Persist the (possibly advanced) registers even after clean failures:
+  // rejected commits are transactions too.
+  if (rc != 3) {
+    Status st = WriteFile(state_file, client.state().Serialize());
+    if (!st.ok()) return Fail(st);
+  }
+  return rc;
+}
