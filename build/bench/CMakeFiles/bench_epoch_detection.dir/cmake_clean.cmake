@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_epoch_detection.dir/bench_epoch_detection.cc.o"
+  "CMakeFiles/bench_epoch_detection.dir/bench_epoch_detection.cc.o.d"
+  "bench_epoch_detection"
+  "bench_epoch_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epoch_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

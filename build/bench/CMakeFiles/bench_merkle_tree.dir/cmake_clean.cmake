@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merkle_tree.dir/bench_merkle_tree.cc.o"
+  "CMakeFiles/bench_merkle_tree.dir/bench_merkle_tree.cc.o.d"
+  "bench_merkle_tree"
+  "bench_merkle_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merkle_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

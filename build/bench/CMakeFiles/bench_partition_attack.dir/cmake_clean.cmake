@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_attack.dir/bench_partition_attack.cc.o"
+  "CMakeFiles/bench_partition_attack.dir/bench_partition_attack.cc.o.d"
+  "bench_partition_attack"
+  "bench_partition_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replay_attack.dir/bench_replay_attack.cc.o"
+  "CMakeFiles/bench_replay_attack.dir/bench_replay_attack.cc.o.d"
+  "bench_replay_attack"
+  "bench_replay_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replay_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

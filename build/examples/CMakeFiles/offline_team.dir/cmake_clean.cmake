@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_team.dir/offline_team.cpp.o"
+  "CMakeFiles/offline_team.dir/offline_team.cpp.o.d"
+  "offline_team"
+  "offline_team.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_team.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outsourced_db.dir/outsourced_db.cpp.o"
+  "CMakeFiles/outsourced_db.dir/outsourced_db.cpp.o.d"
+  "outsourced_db"
+  "outsourced_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outsourced_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_attack.dir/partition_attack.cpp.o"
+  "CMakeFiles/partition_attack.dir/partition_attack.cpp.o.d"
+  "partition_attack"
+  "partition_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_attack.dir/replay_attack.cpp.o"
+  "CMakeFiles/replay_attack.dir/replay_attack.cpp.o.d"
+  "replay_attack"
+  "replay_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

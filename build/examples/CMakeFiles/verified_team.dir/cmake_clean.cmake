@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_team.dir/verified_team.cpp.o"
+  "CMakeFiles/verified_team.dir/verified_team.cpp.o.d"
+  "verified_team"
+  "verified_team.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_team.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

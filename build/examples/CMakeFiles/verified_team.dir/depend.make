@@ -1,0 +1,2 @@
+# Empty dependencies file for verified_team.
+# This may be replaced when dependencies are built.

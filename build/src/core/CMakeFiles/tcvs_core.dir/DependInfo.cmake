@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fingerprint.cc" "src/core/CMakeFiles/tcvs_core.dir/fingerprint.cc.o" "gcc" "src/core/CMakeFiles/tcvs_core.dir/fingerprint.cc.o.d"
+  "/root/repo/src/core/forensics.cc" "src/core/CMakeFiles/tcvs_core.dir/forensics.cc.o" "gcc" "src/core/CMakeFiles/tcvs_core.dir/forensics.cc.o.d"
+  "/root/repo/src/core/graph_check.cc" "src/core/CMakeFiles/tcvs_core.dir/graph_check.cc.o" "gcc" "src/core/CMakeFiles/tcvs_core.dir/graph_check.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/tcvs_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/tcvs_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/tcvs_core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/tcvs_core.dir/server.cc.o.d"
+  "/root/repo/src/core/user.cc" "src/core/CMakeFiles/tcvs_core.dir/user.cc.o" "gcc" "src/core/CMakeFiles/tcvs_core.dir/user.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/core/CMakeFiles/tcvs_core.dir/wire.cc.o" "gcc" "src/core/CMakeFiles/tcvs_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mtree/CMakeFiles/tcvs_mtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tcvs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tcvs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

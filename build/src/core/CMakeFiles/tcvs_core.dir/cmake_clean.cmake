@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs_core.dir/fingerprint.cc.o"
+  "CMakeFiles/tcvs_core.dir/fingerprint.cc.o.d"
+  "CMakeFiles/tcvs_core.dir/forensics.cc.o"
+  "CMakeFiles/tcvs_core.dir/forensics.cc.o.d"
+  "CMakeFiles/tcvs_core.dir/graph_check.cc.o"
+  "CMakeFiles/tcvs_core.dir/graph_check.cc.o.d"
+  "CMakeFiles/tcvs_core.dir/scenario.cc.o"
+  "CMakeFiles/tcvs_core.dir/scenario.cc.o.d"
+  "CMakeFiles/tcvs_core.dir/server.cc.o"
+  "CMakeFiles/tcvs_core.dir/server.cc.o.d"
+  "CMakeFiles/tcvs_core.dir/user.cc.o"
+  "CMakeFiles/tcvs_core.dir/user.cc.o.d"
+  "CMakeFiles/tcvs_core.dir/wire.cc.o"
+  "CMakeFiles/tcvs_core.dir/wire.cc.o.d"
+  "libtcvs_core.a"
+  "libtcvs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

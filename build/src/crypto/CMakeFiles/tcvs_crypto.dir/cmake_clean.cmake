@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs_crypto.dir/hmac.cc.o"
+  "CMakeFiles/tcvs_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/tcvs_crypto.dir/keystore.cc.o"
+  "CMakeFiles/tcvs_crypto.dir/keystore.cc.o.d"
+  "CMakeFiles/tcvs_crypto.dir/lamport.cc.o"
+  "CMakeFiles/tcvs_crypto.dir/lamport.cc.o.d"
+  "CMakeFiles/tcvs_crypto.dir/merkle_sig.cc.o"
+  "CMakeFiles/tcvs_crypto.dir/merkle_sig.cc.o.d"
+  "CMakeFiles/tcvs_crypto.dir/sha256.cc.o"
+  "CMakeFiles/tcvs_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/tcvs_crypto.dir/signature.cc.o"
+  "CMakeFiles/tcvs_crypto.dir/signature.cc.o.d"
+  "CMakeFiles/tcvs_crypto.dir/translog.cc.o"
+  "CMakeFiles/tcvs_crypto.dir/translog.cc.o.d"
+  "CMakeFiles/tcvs_crypto.dir/winternitz.cc.o"
+  "CMakeFiles/tcvs_crypto.dir/winternitz.cc.o.d"
+  "libtcvs_crypto.a"
+  "libtcvs_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs_cvs.dir/diff.cc.o"
+  "CMakeFiles/tcvs_cvs.dir/diff.cc.o.d"
+  "CMakeFiles/tcvs_cvs.dir/repository.cc.o"
+  "CMakeFiles/tcvs_cvs.dir/repository.cc.o.d"
+  "CMakeFiles/tcvs_cvs.dir/trusted.cc.o"
+  "CMakeFiles/tcvs_cvs.dir/trusted.cc.o.d"
+  "libtcvs_cvs.a"
+  "libtcvs_cvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs_cvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

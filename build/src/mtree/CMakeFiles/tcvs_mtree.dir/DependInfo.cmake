@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mtree/btree.cc" "src/mtree/CMakeFiles/tcvs_mtree.dir/btree.cc.o" "gcc" "src/mtree/CMakeFiles/tcvs_mtree.dir/btree.cc.o.d"
+  "/root/repo/src/mtree/vo.cc" "src/mtree/CMakeFiles/tcvs_mtree.dir/vo.cc.o" "gcc" "src/mtree/CMakeFiles/tcvs_mtree.dir/vo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/tcvs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs_mtree.dir/btree.cc.o"
+  "CMakeFiles/tcvs_mtree.dir/btree.cc.o.d"
+  "CMakeFiles/tcvs_mtree.dir/vo.cc.o"
+  "CMakeFiles/tcvs_mtree.dir/vo.cc.o.d"
+  "libtcvs_mtree.a"
+  "libtcvs_mtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs_mtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs_net.dir/socket.cc.o"
+  "CMakeFiles/tcvs_net.dir/socket.cc.o.d"
+  "libtcvs_net.a"
+  "libtcvs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

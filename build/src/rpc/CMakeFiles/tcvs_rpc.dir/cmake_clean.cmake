@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs_rpc.dir/protocol.cc.o"
+  "CMakeFiles/tcvs_rpc.dir/protocol.cc.o.d"
+  "CMakeFiles/tcvs_rpc.dir/remote.cc.o"
+  "CMakeFiles/tcvs_rpc.dir/remote.cc.o.d"
+  "libtcvs_rpc.a"
+  "libtcvs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs_sim.dir/kernel.cc.o"
+  "CMakeFiles/tcvs_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/tcvs_sim.dir/trace.cc.o"
+  "CMakeFiles/tcvs_sim.dir/trace.cc.o.d"
+  "libtcvs_sim.a"
+  "libtcvs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

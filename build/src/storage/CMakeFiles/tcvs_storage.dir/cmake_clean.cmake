@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs_storage.dir/durable.cc.o"
+  "CMakeFiles/tcvs_storage.dir/durable.cc.o.d"
+  "CMakeFiles/tcvs_storage.dir/wal.cc.o"
+  "CMakeFiles/tcvs_storage.dir/wal.cc.o.d"
+  "libtcvs_storage.a"
+  "libtcvs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

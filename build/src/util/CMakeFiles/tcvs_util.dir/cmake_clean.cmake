@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs_util.dir/bytes.cc.o"
+  "CMakeFiles/tcvs_util.dir/bytes.cc.o.d"
+  "CMakeFiles/tcvs_util.dir/histogram.cc.o"
+  "CMakeFiles/tcvs_util.dir/histogram.cc.o.d"
+  "CMakeFiles/tcvs_util.dir/logging.cc.o"
+  "CMakeFiles/tcvs_util.dir/logging.cc.o.d"
+  "CMakeFiles/tcvs_util.dir/random.cc.o"
+  "CMakeFiles/tcvs_util.dir/random.cc.o.d"
+  "CMakeFiles/tcvs_util.dir/serde.cc.o"
+  "CMakeFiles/tcvs_util.dir/serde.cc.o.d"
+  "CMakeFiles/tcvs_util.dir/status.cc.o"
+  "CMakeFiles/tcvs_util.dir/status.cc.o.d"
+  "libtcvs_util.a"
+  "libtcvs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs_workload.dir/workload.cc.o"
+  "CMakeFiles/tcvs_workload.dir/workload.cc.o.d"
+  "libtcvs_workload.a"
+  "libtcvs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_check_test.dir/graph_check_test.cc.o"
+  "CMakeFiles/graph_check_test.dir/graph_check_test.cc.o.d"
+  "graph_check_test"
+  "graph_check_test.pdb"
+  "graph_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

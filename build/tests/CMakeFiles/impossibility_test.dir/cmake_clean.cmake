@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impossibility_test.dir/impossibility_test.cc.o"
+  "CMakeFiles/impossibility_test.dir/impossibility_test.cc.o.d"
+  "impossibility_test"
+  "impossibility_test.pdb"
+  "impossibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impossibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

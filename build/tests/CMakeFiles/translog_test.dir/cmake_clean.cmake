@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translog_test.dir/translog_test.cc.o"
+  "CMakeFiles/translog_test.dir/translog_test.cc.o.d"
+  "translog_test"
+  "translog_test.pdb"
+  "translog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

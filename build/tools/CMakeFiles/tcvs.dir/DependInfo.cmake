@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/tcvs.cc" "tools/CMakeFiles/tcvs.dir/tcvs.cc.o" "gcc" "tools/CMakeFiles/tcvs.dir/tcvs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/tcvs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcvs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cvs/CMakeFiles/tcvs_cvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcvs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tcvs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtree/CMakeFiles/tcvs_mtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tcvs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

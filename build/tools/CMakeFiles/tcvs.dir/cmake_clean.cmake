@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs.dir/tcvs.cc.o"
+  "CMakeFiles/tcvs.dir/tcvs.cc.o.d"
+  "tcvs"
+  "tcvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvs_fsck.dir/tcvs_fsck.cc.o"
+  "CMakeFiles/tcvs_fsck.dir/tcvs_fsck.cc.o.d"
+  "tcvs_fsck"
+  "tcvs_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvs_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

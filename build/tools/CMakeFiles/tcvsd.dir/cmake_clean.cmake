@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcvsd.dir/tcvsd.cc.o"
+  "CMakeFiles/tcvsd.dir/tcvsd.cc.o.d"
+  "tcvsd"
+  "tcvsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcvsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
