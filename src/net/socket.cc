@@ -1,43 +1,108 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "util/fault.h"
 
 namespace tcvs {
 namespace net {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
 
-Status WriteAll(int fd, const uint8_t* data, size_t len) {
-  size_t done = 0;
-  while (done < len) {
-    ssize_t n = ::write(fd, data + done, len - done);
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Remaining milliseconds until `deadline` (rounded up), or -1 (poll's
+/// "infinite") when no deadline is set.
+int RemainingMs(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  auto left = std::chrono::ceil<std::chrono::milliseconds>(deadline -
+                                                           Clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+/// Waits until `fd` is ready for `events` or the deadline passes.
+/// EINTR-safe: signals recompute the remaining budget and re-poll.
+Status PollFd(int fd, short events, bool has_deadline,
+              Clock::time_point deadline) {
+  for (;;) {
+    int remaining = RemainingMs(has_deadline, deadline);
+    if (has_deadline && remaining == 0) {
+      return Status::DeadlineExceeded("socket I/O deadline elapsed");
+    }
+    pollfd pfd{fd, events, 0};
+    int n = ::poll(&pfd, 1, remaining);
     if (n < 0) {
       if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (n == 0) {
+      return Status::DeadlineExceeded("socket I/O deadline elapsed");
+    }
+    if (pfd.revents & POLLNVAL) return Status::IOError("poll: bad fd");
+    // POLLERR/POLLHUP: let the subsequent read/write surface the error.
+    return Status::OK();
+  }
+}
+
+/// Writes exactly `len` bytes, retrying EINTR, short writes, and EAGAIN
+/// (via poll) until done or the deadline passes. MSG_NOSIGNAL keeps a dead
+/// peer from killing the process with SIGPIPE — essential once faults and
+/// retries make mid-write disconnects routine.
+Status WriteAll(int fd, const uint8_t* data, size_t len, bool has_deadline,
+                Clock::time_point deadline) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        TCVS_RETURN_NOT_OK(PollFd(fd, POLLOUT, has_deadline, deadline));
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::IOError("write: connection closed by peer");
+      }
       return Errno("write");
     }
-    if (n == 0) return Status::IOError("write: connection closed");
     done += static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
-Status ReadAll(int fd, uint8_t* data, size_t len) {
+Status ReadAll(int fd, uint8_t* data, size_t len, bool has_deadline,
+               Clock::time_point deadline) {
   size_t done = 0;
   while (done < len) {
-    ssize_t n = ::read(fd, data + done, len - done);
+    ssize_t n = ::recv(fd, data + done, len - done, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        TCVS_RETURN_NOT_OK(PollFd(fd, POLLIN, has_deadline, deadline));
+        continue;
+      }
+      if (errno == ECONNRESET) {
+        return Status::IOError("read: connection reset by peer");
+      }
       return Errno("read");
     }
     if (n == 0) return Status::IOError("read: connection closed");
@@ -48,9 +113,14 @@ Status ReadAll(int fd, uint8_t* data, size_t len) {
 
 }  // namespace
 
+TcpConnection::TcpConnection(int fd) : fd_(fd) {
+  if (fd_ >= 0) SetNonBlocking(fd_);
+}
+
 TcpConnection::~TcpConnection() { Close(); }
 
-TcpConnection::TcpConnection(TcpConnection&& other) noexcept : fd_(other.fd_) {
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(other.fd_), io_timeout_ms_(other.io_timeout_ms_) {
   other.fd_ = -1;
 }
 
@@ -58,6 +128,7 @@ TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    io_timeout_ms_ = other.io_timeout_ms_;
     other.fd_ = -1;
   }
   return *this;
@@ -71,7 +142,11 @@ void TcpConnection::Close() {
 }
 
 Result<TcpConnection> TcpConnection::Connect(const std::string& host,
-                                             uint16_t port) {
+                                             uint16_t port, int timeout_ms) {
+  if (util::FaultInjector::Instance().ShouldFail(kFaultConnectFail)) {
+    return Status::Unavailable("fault injected: " +
+                               std::string(kFaultConnectFail));
+  }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   sockaddr_in addr{};
@@ -82,10 +157,39 @@ Result<TcpConnection> TcpConnection::Connect(const std::string& host,
     ::close(fd);
     return Status::InvalidArgument("cannot parse host address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Errno("connect");
+  // Non-blocking connect: initiate, poll for writability within the
+  // deadline, then read SO_ERROR for the actual outcome.
+  SetNonBlocking(fd);
+  bool has_deadline = timeout_ms > 0;
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status st = (errno == ECONNREFUSED || errno == ENETUNREACH ||
+                 errno == EHOSTUNREACH || errno == ETIMEDOUT)
+                    ? Status::Unavailable("connect: " + resolved + ": " +
+                                          std::strerror(errno))
+                    : Errno("connect");
     ::close(fd);
     return st;
+  }
+  if (rc != 0) {
+    Status st = PollFd(fd, POLLOUT, has_deadline, deadline);
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      return Status::Unavailable("connect: " + resolved + ": " +
+                                 std::strerror(err != 0 ? err : errno));
+    }
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -97,22 +201,82 @@ Status TcpConnection::SendFrame(const Bytes& payload) {
   if (payload.size() > kMaxFrame) {
     return Status::InvalidArgument("frame too large");
   }
+  auto& faults = util::FaultInjector::Instance();
+  uint64_t arg = 0;
+  if (faults.ShouldFail(kFaultSendDelay, &arg)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(arg));
+  }
+  if (faults.ShouldFail(kFaultSendDrop)) {
+    Close();
+    return Status::IOError("fault injected: " + std::string(kFaultSendDrop));
+  }
+
+  bool has_deadline = io_timeout_ms_ > 0;
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(io_timeout_ms_);
+
   uint8_t header[4];
   uint32_t len = static_cast<uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
-  TCVS_RETURN_NOT_OK(WriteAll(fd_, header, 4));
-  return WriteAll(fd_, payload.data(), payload.size());
+
+  if (faults.ShouldFail(kFaultSendTruncate, &arg)) {
+    // Write a prefix of the framed message, then sever the connection: the
+    // peer sees a torn frame exactly as if we died mid-write.
+    Bytes framed(header, header + 4);
+    framed.insert(framed.end(), payload.begin(), payload.end());
+    size_t cut = static_cast<size_t>(arg) < framed.size()
+                     ? static_cast<size_t>(arg)
+                     : framed.size();
+    (void)WriteAll(fd_, framed.data(), cut, has_deadline, deadline);
+    Close();
+    return Status::IOError("fault injected: " +
+                           std::string(kFaultSendTruncate));
+  }
+  if (faults.ShouldFail(kFaultSendBitflip, &arg) && !payload.empty()) {
+    Bytes corrupted = payload;
+    corrupted[arg % corrupted.size()] ^= 0x01;
+    TCVS_RETURN_NOT_OK(WriteAll(fd_, header, 4, has_deadline, deadline));
+    Status st = WriteAll(fd_, corrupted.data(), corrupted.size(), has_deadline,
+                         deadline);
+    if (st.IsDeadlineExceeded()) Close();
+    return st;
+  }
+
+  Status st = WriteAll(fd_, header, 4, has_deadline, deadline);
+  if (st.ok()) {
+    st = WriteAll(fd_, payload.data(), payload.size(), has_deadline, deadline);
+  }
+  // A deadline mid-frame leaves the stream unframed; poison the connection.
+  if (st.IsDeadlineExceeded()) Close();
+  return st;
 }
 
 Result<Bytes> TcpConnection::ReceiveFrame() {
   if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  if (util::FaultInjector::Instance().ShouldFail(kFaultRecvDrop)) {
+    Close();
+    return Status::IOError("fault injected: " + std::string(kFaultRecvDrop));
+  }
+  bool has_deadline = io_timeout_ms_ > 0;
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(io_timeout_ms_);
   uint8_t header[4];
-  TCVS_RETURN_NOT_OK(ReadAll(fd_, header, 4));
+  Status st = ReadAll(fd_, header, 4, has_deadline, deadline);
+  if (!st.ok()) {
+    if (st.IsDeadlineExceeded()) Close();
+    return st;
+  }
   uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= uint32_t(header[i]) << (8 * i);
   if (len > kMaxFrame) return Status::IOError("oversized frame");
   Bytes payload(len);
-  if (len > 0) TCVS_RETURN_NOT_OK(ReadAll(fd_, payload.data(), len));
+  if (len > 0) {
+    st = ReadAll(fd_, payload.data(), len, has_deadline, deadline);
+    if (!st.ok()) {
+      if (st.IsDeadlineExceeded()) Close();
+      return st;
+    }
+  }
   return payload;
 }
 
@@ -173,7 +337,10 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
 
 Result<TcpConnection> TcpListener::Accept() {
   if (fd_ < 0) return Status::FailedPrecondition("listener closed");
-  int cfd = ::accept(fd_, nullptr, nullptr);
+  int cfd;
+  do {
+    cfd = ::accept(fd_, nullptr, nullptr);
+  } while (cfd < 0 && errno == EINTR);
   if (cfd < 0) return Errno("accept");
   return TcpConnection(cfd);
 }

@@ -9,15 +9,38 @@
 namespace tcvs {
 namespace net {
 
+/// \name Fault points consulted by this layer (see util/fault.h).
+/// @{
+/// Connect() fails with Unavailable before touching the network.
+inline constexpr char kFaultConnectFail[] = "net.connect.fail";
+/// SendFrame drops the connection without writing; arg unused.
+inline constexpr char kFaultSendDrop[] = "net.send.drop";
+/// SendFrame sleeps for `arg` milliseconds before writing (slow peer).
+inline constexpr char kFaultSendDelay[] = "net.send.delay";
+/// SendFrame writes only the first `arg` bytes of the framed message, then
+/// drops the connection (torn frame on the wire).
+inline constexpr char kFaultSendTruncate[] = "net.send.truncate";
+/// SendFrame flips bit 0 of payload byte `arg % size` (in-flight corruption
+/// that TCP's weak checksum missed).
+inline constexpr char kFaultSendBitflip[] = "net.send.bitflip";
+/// ReceiveFrame drops the connection instead of reading.
+inline constexpr char kFaultRecvDrop[] = "net.recv.drop";
+/// @}
+
 /// \brief A connected TCP stream carrying length-prefixed frames (u32 LE
-/// length + payload). Blocking, move-only; the destructor closes the fd.
+/// length + payload). Move-only; the destructor closes the fd.
 ///
 /// Frames keep the RPC layer trivial: one frame out, one frame back. Frame
 /// size is capped to keep a malicious peer from forcing huge allocations.
+///
+/// The fd is non-blocking; all transfers run EINTR/EAGAIN-safe poll()
+/// loops, so short reads/writes and signals are retried internally and an
+/// optional per-operation deadline (set_io_timeout_ms) turns a hung peer
+/// into Status::DeadlineExceeded instead of a wedged process.
 class TcpConnection {
  public:
   TcpConnection() = default;
-  explicit TcpConnection(int fd) : fd_(fd) {}
+  explicit TcpConnection(int fd);
   ~TcpConnection();
 
   TcpConnection(const TcpConnection&) = delete;
@@ -26,12 +49,22 @@ class TcpConnection {
   TcpConnection& operator=(TcpConnection&& other) noexcept;
 
   /// Connects to host:port (IPv4 dotted quad or "localhost").
-  static Result<TcpConnection> Connect(const std::string& host, uint16_t port);
+  /// \param timeout_ms 0 = wait forever; otherwise the handshake must
+  /// complete within the deadline or DeadlineExceeded is returned. Connect
+  /// refusal / unreachable peers return Unavailable (retryable).
+  static Result<TcpConnection> Connect(const std::string& host, uint16_t port,
+                                       int timeout_ms = 0);
 
-  /// Writes one frame. \return IOError on any short write.
+  /// Deadline applied to each subsequent SendFrame/ReceiveFrame as a whole
+  /// (0 = none). A deadline expiry leaves the stream mid-frame, so the
+  /// connection is closed: frame boundaries cannot be trusted afterwards.
+  void set_io_timeout_ms(int ms) { io_timeout_ms_ = ms; }
+
+  /// Writes one frame, retrying short writes and EINTR internally.
   Status SendFrame(const Bytes& payload);
 
-  /// Reads one frame. \return IOError on EOF or malformed length.
+  /// Reads one frame, retrying short reads and EINTR internally.
+  /// \return IOError on EOF or malformed length.
   Result<Bytes> ReceiveFrame();
 
   bool valid() const { return fd_ >= 0; }
@@ -42,6 +75,7 @@ class TcpConnection {
 
  private:
   int fd_ = -1;
+  int io_timeout_ms_ = 0;
 };
 
 /// \brief A listening TCP socket on the loopback interface.
@@ -60,7 +94,7 @@ class TcpListener {
 
   uint16_t port() const { return port_; }
 
-  /// Blocks until a client connects.
+  /// Blocks until a client connects (EINTR-safe).
   Result<TcpConnection> Accept();
 
   void Close();

@@ -31,6 +31,7 @@ Bytes RpcRequest::Serialize() const {
   for (const auto& op : ops) SerializeFileOp(op, &w);
   w.PutString(prefix);
   w.PutU64(old_size);
+  w.PutU64(request_id);
   return w.Take();
 }
 
@@ -49,6 +50,7 @@ Result<RpcRequest> RpcRequest::Deserialize(const Bytes& data) {
   }
   TCVS_ASSIGN_OR_RETURN(req.prefix, r.GetString());
   TCVS_ASSIGN_OR_RETURN(req.old_size, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(req.request_id, r.GetU64());
   return req;
 }
 

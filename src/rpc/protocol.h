@@ -31,6 +31,12 @@ struct RpcRequest {
   std::vector<cvs::FileOp> ops;
   std::string prefix;     // kList only.
   uint64_t old_size = 0;  // kLogCheckpoint only: the caller's checkpoint.
+  /// Nonzero id shared by every retry of one logical call. The serve loop
+  /// caches the reply per id, so a replayed request whose original reply was
+  /// lost mid-flight returns the SAME reply instead of re-executing — the
+  /// counter-bearing transaction stays exactly-once within a server
+  /// incarnation, and the client's register chain has no gap.
+  uint64_t request_id = 0;
 
   Bytes Serialize() const;
   static Result<RpcRequest> Deserialize(const Bytes& data);

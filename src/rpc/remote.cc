@@ -1,5 +1,12 @@
 #include "rpc/remote.h"
 
+#include <chrono>
+#include <deque>
+#include <random>
+#include <thread>
+#include <unordered_map>
+
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/serde.h"
 
@@ -25,29 +32,125 @@ Result<mtree::TreeParams> DeserializeParams(const Bytes& data) {
   return params;
 }
 
+uint64_t SeedFromOs() {
+  std::random_device rd;
+  uint64_t hi = rd(), lo = rd();
+  uint64_t t = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return (hi << 32) ^ lo ^ t;
+}
+
+/// A payload that fails to parse on a *successfully framed* reply is not a
+/// transport fault: the channel delivered exactly what the untrusted server
+/// sent. Surface it as a verification failure — loud, never retried.
+template <typename T>
+Result<T> DeserializeVerified(const Bytes& payload, const char* what) {
+  auto parsed = T::Deserialize(payload);
+  if (!parsed.ok()) {
+    return Status::VerificationFailure(std::string("malformed ") + what +
+                                       " from server: " +
+                                       parsed.status().ToString());
+  }
+  return parsed;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<RemoteServer>> RemoteServer::Connect(
-    const std::string& host, uint16_t port) {
-  TCVS_ASSIGN_OR_RETURN(net::TcpConnection conn,
-                        net::TcpConnection::Connect(host, port));
-  // Fetch tree parameters so the client can replay proofs.
-  RpcRequest req;
-  req.type = RpcType::kGetParams;
-  TCVS_RETURN_NOT_OK(conn.SendFrame(req.Serialize()));
-  TCVS_ASSIGN_OR_RETURN(Bytes frame, conn.ReceiveFrame());
-  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, RpcResponse::Deserialize(frame));
-  TCVS_RETURN_NOT_OK(resp.ToStatus());
-  TCVS_ASSIGN_OR_RETURN(mtree::TreeParams params,
-                        DeserializeParams(resp.payload));
-  return std::unique_ptr<RemoteServer>(
-      new RemoteServer(std::move(conn), params));
+    const std::string& host, uint16_t port, RemoteOptions options) {
+  util::Rng rng(SeedFromOs());
+  Status last = Status::Unavailable("no connect attempt made");
+  for (int attempt = 0; attempt < options.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          options.retry.BackoffMs(attempt - 1, &rng)));
+    }
+    auto conn_or =
+        net::TcpConnection::Connect(host, port, options.connect_timeout_ms);
+    if (!conn_or.ok()) {
+      if (!IsRetryableTransport(conn_or.status())) return conn_or.status();
+      last = conn_or.status();
+      continue;
+    }
+    net::TcpConnection conn = std::move(conn_or).ValueOrDie();
+    conn.set_io_timeout_ms(options.io_timeout_ms);
+    // Fetch tree parameters so the client can replay proofs.
+    RpcRequest req;
+    req.type = RpcType::kGetParams;
+    Status st = conn.SendFrame(req.Serialize());
+    Result<Bytes> frame = st.ok() ? conn.ReceiveFrame() : st;
+    if (!frame.ok()) {
+      if (!IsRetryableTransport(frame.status())) return frame.status();
+      last = frame.status();
+      continue;
+    }
+    TCVS_ASSIGN_OR_RETURN(RpcResponse resp, RpcResponse::Deserialize(*frame));
+    TCVS_RETURN_NOT_OK(resp.ToStatus());
+    TCVS_ASSIGN_OR_RETURN(mtree::TreeParams params,
+                          DeserializeParams(resp.payload));
+    return std::unique_ptr<RemoteServer>(
+        new RemoteServer(host, port, options, std::move(conn), params,
+                         rng.Next()));
+  }
+  return Status::Unavailable(
+      "server unreachable after " + std::to_string(options.retry.max_attempts) +
+      " attempts; last error: " + last.ToString());
 }
 
-Result<RpcResponse> RemoteServer::Call(const RpcRequest& request) {
-  TCVS_RETURN_NOT_OK(conn_.SendFrame(request.Serialize()));
-  TCVS_ASSIGN_OR_RETURN(Bytes frame, conn_.ReceiveFrame());
-  return RpcResponse::Deserialize(frame);
+Status RemoteServer::Reconnect() {
+  auto conn_or =
+      net::TcpConnection::Connect(host_, port_, options_.connect_timeout_ms);
+  if (!conn_or.ok()) return conn_or.status();
+  conn_ = std::move(conn_or).ValueOrDie();
+  conn_.set_io_timeout_ms(options_.io_timeout_ms);
+  ++reconnects_;
+  return Status::OK();
+}
+
+Result<RpcResponse> RemoteServer::Call(RpcRequest request) {
+  // One id per logical call, shared by all retries: the serve loop's reply
+  // cache turns a replayed execution into a replayed *reply*.
+  do {
+    request.request_id = rng_.Next();
+  } while (request.request_id == 0);
+  const Bytes wire = request.Serialize();
+
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          options_.retry.BackoffMs(attempt - 1, &rng_)));
+    }
+    if (!conn_.valid()) {
+      Status st = Reconnect();
+      if (!st.ok()) {
+        if (!IsRetryableTransport(st)) return st;
+        last = st;
+        continue;
+      }
+    }
+    Status st = conn_.SendFrame(wire);
+    Result<Bytes> frame = st.ok() ? conn_.ReceiveFrame() : st;
+    if (!frame.ok()) {
+      if (!IsRetryableTransport(frame.status())) return frame.status();
+      last = frame.status();
+      conn_.Close();  // Stream state is unknown; reconnect on next attempt.
+      continue;
+    }
+    auto resp = RpcResponse::Deserialize(*frame);
+    if (!resp.ok()) {
+      // The frame arrived intact but does not parse: corruption on a
+      // verified channel, not a transport fault. Fail loud, never retry.
+      return Status::VerificationFailure("malformed RPC response: " +
+                                         resp.status().ToString());
+    }
+    return resp;
+  }
+  return Status::Unavailable(
+      "server unreachable after " +
+      std::to_string(options_.retry.max_attempts) +
+      " attempts; last error: " + last.ToString());
 }
 
 Result<cvs::ServerReply> RemoteServer::Transact(
@@ -56,9 +159,9 @@ Result<cvs::ServerReply> RemoteServer::Transact(
   req.type = RpcType::kTransact;
   req.user = user;
   req.ops = ops;
-  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(req));
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
   TCVS_RETURN_NOT_OK(resp.ToStatus());
-  return cvs::ServerReply::Deserialize(resp.payload);
+  return DeserializeVerified<cvs::ServerReply>(resp.payload, "transact reply");
 }
 
 Result<cvs::ListReply> RemoteServer::List(uint32_t user,
@@ -67,28 +170,61 @@ Result<cvs::ListReply> RemoteServer::List(uint32_t user,
   req.type = RpcType::kList;
   req.user = user;
   req.prefix = prefix;
-  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(req));
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
   TCVS_RETURN_NOT_OK(resp.ToStatus());
-  return cvs::ListReply::Deserialize(resp.payload);
+  return DeserializeVerified<cvs::ListReply>(resp.payload, "list reply");
 }
 
 Result<cvs::LogCheckpointReply> RemoteServer::LogCheckpoint(uint64_t old_size) {
   RpcRequest req;
   req.type = RpcType::kLogCheckpoint;
   req.old_size = old_size;
-  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(req));
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
   TCVS_RETURN_NOT_OK(resp.ToStatus());
-  return cvs::LogCheckpointReply::Deserialize(resp.payload);
+  return DeserializeVerified<cvs::LogCheckpointReply>(resp.payload,
+                                                      "log checkpoint reply");
 }
 
 Status RemoteServer::Shutdown() {
   RpcRequest req;
   req.type = RpcType::kShutdown;
-  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(req));
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
   return resp.ToStatus();
 }
 
+namespace {
+
+/// Bounded request-id → serialized-reply cache: enough to cover every
+/// client's in-flight request many times over, small enough to be free.
+class ReplyCache {
+ public:
+  static constexpr size_t kCapacity = 128;
+
+  const Bytes* Find(uint64_t id) const {
+    auto it = replies_.find(id);
+    return it == replies_.end() ? nullptr : &it->second;
+  }
+
+  void Insert(uint64_t id, Bytes reply) {
+    if (replies_.count(id) > 0) return;
+    if (order_.size() >= kCapacity) {
+      replies_.erase(order_.front());
+      order_.pop_front();
+    }
+    order_.push_back(id);
+    replies_.emplace(id, std::move(reply));
+  }
+
+ private:
+  std::unordered_map<uint64_t, Bytes> replies_;
+  std::deque<uint64_t> order_;
+};
+
+}  // namespace
+
 Status Serve(net::TcpListener* listener, cvs::ServerApi* server) {
+  auto& faults = util::FaultInjector::Instance();
+  ReplyCache reply_cache;
   for (;;) {
     auto conn_or = listener->Accept();
     if (!conn_or.ok()) return conn_or.status();
@@ -97,49 +233,77 @@ Status Serve(net::TcpListener* listener, cvs::ServerApi* server) {
       auto frame_or = conn.ReceiveFrame();
       if (!frame_or.ok()) break;  // Peer disconnected; accept the next one.
 
+      if (faults.ShouldFail(kFaultServeCrash)) {
+        // Simulated process death: the request was received but nothing
+        // executed; the harness restarts the server from durable state.
+        return Status::Unavailable("fault injected: " +
+                                   std::string(kFaultServeCrash));
+      }
+      if (faults.ShouldFail(kFaultServeDropBefore)) break;
+
       RpcResponse resp;
       bool shutdown = false;
+      bool cacheable = false;
+      uint64_t request_id = 0;
+      const Bytes* cached = nullptr;
       auto req_or = RpcRequest::Deserialize(*frame_or);
       if (!req_or.ok()) {
         resp = RpcResponse::FromStatus(req_or.status());
       } else {
-        switch (req_or->type) {
-          case RpcType::kGetParams:
-            resp.payload = SerializeParams(server->tree_params());
-            break;
-          case RpcType::kTransact: {
-            auto reply_or = server->Transact(req_or->user, req_or->ops);
-            if (!reply_or.ok()) {
-              resp = RpcResponse::FromStatus(reply_or.status());
-            } else {
-              resp.payload = reply_or->Serialize();
+        request_id = req_or->request_id;
+        // Counter-bearing transactions replay idempotently via the cache;
+        // GetParams/LogCheckpoint are naturally idempotent, Shutdown is not
+        // a transaction.
+        cacheable = request_id != 0 && (req_or->type == RpcType::kTransact ||
+                                        req_or->type == RpcType::kList);
+        if (cacheable) cached = reply_cache.Find(request_id);
+        if (cached != nullptr) {
+          // Replay of a request we already executed: return the original
+          // reply; the operation counter must not advance twice.
+        } else {
+          switch (req_or->type) {
+            case RpcType::kGetParams:
+              resp.payload = SerializeParams(server->tree_params());
+              break;
+            case RpcType::kTransact: {
+              auto reply_or = server->Transact(req_or->user, req_or->ops);
+              if (!reply_or.ok()) {
+                resp = RpcResponse::FromStatus(reply_or.status());
+              } else {
+                resp.payload = reply_or->Serialize();
+              }
+              break;
             }
-            break;
-          }
-          case RpcType::kList: {
-            auto reply_or = server->List(req_or->user, req_or->prefix);
-            if (!reply_or.ok()) {
-              resp = RpcResponse::FromStatus(reply_or.status());
-            } else {
-              resp.payload = reply_or->Serialize();
+            case RpcType::kList: {
+              auto reply_or = server->List(req_or->user, req_or->prefix);
+              if (!reply_or.ok()) {
+                resp = RpcResponse::FromStatus(reply_or.status());
+              } else {
+                resp.payload = reply_or->Serialize();
+              }
+              break;
             }
-            break;
-          }
-          case RpcType::kLogCheckpoint: {
-            auto reply_or = server->LogCheckpoint(req_or->old_size);
-            if (!reply_or.ok()) {
-              resp = RpcResponse::FromStatus(reply_or.status());
-            } else {
-              resp.payload = reply_or->Serialize();
+            case RpcType::kLogCheckpoint: {
+              auto reply_or = server->LogCheckpoint(req_or->old_size);
+              if (!reply_or.ok()) {
+                resp = RpcResponse::FromStatus(reply_or.status());
+              } else {
+                resp.payload = reply_or->Serialize();
+              }
+              break;
             }
-            break;
+            case RpcType::kShutdown:
+              shutdown = true;
+              break;
           }
-          case RpcType::kShutdown:
-            shutdown = true;
-            break;
         }
       }
-      Status send = conn.SendFrame(resp.Serialize());
+      Bytes wire = cached != nullptr ? *cached : resp.Serialize();
+      if (cacheable && cached == nullptr) {
+        reply_cache.Insert(request_id, wire);
+      }
+      if (faults.ShouldFail(kFaultServeDropAfter)) break;
+      Status send = conn.SendFrame(wire);
       if (shutdown || !send.ok()) {
         if (shutdown) return Status::OK();
         break;

@@ -6,18 +6,50 @@
 #include "cvs/trusted.h"
 #include "net/socket.h"
 #include "rpc/protocol.h"
+#include "rpc/retry.h"
+#include "util/random.h"
 
 namespace tcvs {
 namespace rpc {
 
+/// \name Fault points consulted by the serve loop (see util/fault.h).
+/// @{
+/// Drop the connection after receiving a request, BEFORE executing it
+/// (process died mid-request; the transaction never happened).
+inline constexpr char kFaultServeDropBefore[] = "rpc.serve.drop_before";
+/// Execute the request, then drop the connection WITHOUT replying (the
+/// reply was lost; the transaction DID happen — exercises replay dedup).
+inline constexpr char kFaultServeDropAfter[] = "rpc.serve.drop_after";
+/// Serve() returns immediately, as if the process was killed. The caller
+/// (test harness) can then re-open state and serve again — a restart.
+inline constexpr char kFaultServeCrash[] = "rpc.serve.crash";
+/// @}
+
+/// \brief Transport configuration for RemoteServer.
+struct RemoteOptions {
+  RetryPolicy retry;
+  /// Deadline for each TCP connect (0 = none).
+  int connect_timeout_ms = 2000;
+  /// Deadline for each frame send/receive (0 = none). Bounds how long a
+  /// hung server can wedge a client before the retry machinery kicks in.
+  int io_timeout_ms = 5000;
+};
+
 /// \brief cvs::ServerApi over a TCP connection to a `tcvsd` server: the
-/// verifying client's transport for real deployments. One frame round trip
-/// per transaction; the connection is established (and the server's tree
-/// parameters fetched) in Connect().
+/// verifying client's transport for real deployments.
+///
+/// The transport is resilient: every call carries a request id and runs
+/// under a RetryPolicy — on a transport fault (connection dropped, peer
+/// unreachable, deadline elapsed) it reconnects with exponential backoff
+/// and replays the in-flight request. The serve loop's per-id reply cache
+/// makes the replay idempotent, so the protocol's operation counters never
+/// skip. Non-transport failures — corruption, verification — are NEVER
+/// retried: on a verified channel a malformed reply is evidence of
+/// misbehavior, and retrying would let a flaky adversary probe silently.
 class RemoteServer : public cvs::ServerApi {
  public:
-  static Result<std::unique_ptr<RemoteServer>> Connect(const std::string& host,
-                                                       uint16_t port);
+  static Result<std::unique_ptr<RemoteServer>> Connect(
+      const std::string& host, uint16_t port, RemoteOptions options = {});
 
   Result<cvs::ServerReply> Transact(uint32_t user,
                                     const std::vector<cvs::FileOp>& ops) override;
@@ -28,19 +60,46 @@ class RemoteServer : public cvs::ServerApi {
   /// Asks the server's serving loop to exit (operator tooling / tests).
   Status Shutdown();
 
+  /// Transport-level retries performed so far (observability / tests).
+  uint64_t transport_retries() const { return retries_; }
+  /// Reconnects performed after the initial connection (observability).
+  uint64_t reconnects() const { return reconnects_; }
+
  private:
-  RemoteServer(net::TcpConnection conn, mtree::TreeParams params)
-      : conn_(std::move(conn)), params_(params) {}
+  RemoteServer(std::string host, uint16_t port, RemoteOptions options,
+               net::TcpConnection conn, mtree::TreeParams params,
+               uint64_t rng_seed)
+      : host_(std::move(host)),
+        port_(port),
+        options_(options),
+        conn_(std::move(conn)),
+        params_(params),
+        rng_(rng_seed) {}
 
-  Result<RpcResponse> Call(const RpcRequest& request);
+  /// One reconnect attempt (no backoff of its own).
+  Status Reconnect();
 
+  /// Sends `request` and awaits the reply, retrying transport faults per
+  /// the policy. Assigns the request id.
+  Result<RpcResponse> Call(RpcRequest request);
+
+  std::string host_;
+  uint16_t port_ = 0;
+  RemoteOptions options_;
   net::TcpConnection conn_;
   mtree::TreeParams params_;
+  util::Rng rng_;
+  uint64_t retries_ = 0;
+  uint64_t reconnects_ = 0;
 };
 
-/// \brief Serves any ServerApi on `listener`: accepts connections one at a time
-/// and answers request frames until the peer disconnects. Returns after a
-/// kShutdown request (or on a listener error).
+/// \brief Serves any ServerApi on `listener`: accepts connections one at a
+/// time and answers request frames until the peer disconnects. Returns
+/// after a kShutdown request (OK) or on a listener error / injected crash.
+///
+/// Replies to counter-bearing requests (Transact/List) are cached per
+/// request id (bounded LRU), so a client replaying a request whose reply
+/// was lost gets the original reply back instead of a second execution.
 Status Serve(net::TcpListener* listener, cvs::ServerApi* server);
 
 }  // namespace rpc

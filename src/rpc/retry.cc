@@ -1,0 +1,25 @@
+#include "rpc/retry.h"
+
+namespace tcvs {
+namespace rpc {
+
+int RetryPolicy::BackoffMs(int retry, util::Rng* rng) const {
+  double backoff = initial_backoff_ms;
+  for (int i = 0; i < retry; ++i) {
+    backoff *= multiplier;
+    if (backoff >= max_backoff_ms) break;
+  }
+  if (backoff > max_backoff_ms) backoff = max_backoff_ms;
+  if (rng != nullptr && jitter > 0) {
+    backoff *= 1.0 - jitter + 2.0 * jitter * rng->NextDouble();
+  }
+  return backoff < 1.0 ? 1 : static_cast<int>(backoff);
+}
+
+bool IsRetryableTransport(const Status& status) {
+  return status.IsUnavailable() || status.IsIOError() ||
+         status.IsDeadlineExceeded();
+}
+
+}  // namespace rpc
+}  // namespace tcvs

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tcvs {
+namespace rpc {
+
+/// \brief Bounded exponential backoff with jitter — the client-side budget
+/// for riding out benign transport faults (dropped connections, a
+/// restarting tcvsd, a hung peer hitting its deadline).
+///
+/// Defaults: 6 attempts, 20ms → 2s exponential, ±25% jitter; ~4s worst-case
+/// wall clock before the transport gives up with kUnavailable.
+struct RetryPolicy {
+  /// Total tries, including the first (1 = no retries).
+  int max_attempts = 6;
+  int initial_backoff_ms = 20;
+  int max_backoff_ms = 2000;
+  double multiplier = 2.0;
+  /// Backoff is drawn uniformly from [b*(1-jitter), b*(1+jitter)] so a
+  /// fleet of clients does not reconnect in lockstep after a restart.
+  double jitter = 0.25;
+
+  /// Backoff before retry number `retry` (0-based: the wait between attempt
+  /// 1 and attempt 2 is BackoffMs(0, ...)).
+  int BackoffMs(int retry, util::Rng* rng) const;
+};
+
+/// \brief True for transport-level failures worth retrying: the peer was
+/// unreachable, the connection died, or a deadline elapsed. Corruption and
+/// verification failures are NEVER retryable — a reply that fails its
+/// cryptographic checks is evidence, not noise, and must fail loud.
+bool IsRetryableTransport(const Status& status);
+
+}  // namespace rpc
+}  // namespace tcvs

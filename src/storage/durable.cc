@@ -73,7 +73,7 @@ Bytes EncodeSnapshot(const cvs::UntrustedServer& server) {
 }  // namespace
 
 Result<std::unique_ptr<DurableServer>> DurableServer::Open(
-    const std::string& dir, mtree::TreeParams params) {
+    const std::string& dir, mtree::TreeParams params, DurableOptions options) {
   // 1. Base state: the snapshot if one exists, else an empty repository.
   std::unique_ptr<cvs::UntrustedServer> server;
   auto snapshot_or = ReadFileBytes(SnapshotPath(dir));
@@ -118,9 +118,10 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
     records.clear();
   }
 
-  TCVS_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(WalPath(dir)));
+  TCVS_ASSIGN_OR_RETURN(WalWriter wal,
+                        WalWriter::Open(WalPath(dir), options.fsync));
   return std::unique_ptr<DurableServer>(
-      new DurableServer(dir, std::move(server), std::move(wal),
+      new DurableServer(dir, options, std::move(server), std::move(wal),
                         records.size()));
 }
 
@@ -145,7 +146,7 @@ Status DurableServer::Checkpoint() {
                                      EncodeSnapshot(*server_)));
   wal_.Close();
   TCVS_RETURN_NOT_OK(TruncateFile(WalPath(dir_)));
-  TCVS_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath(dir_)));
+  TCVS_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath(dir_), options_.fsync));
   wal_records_ = 0;
   return Status::OK();
 }

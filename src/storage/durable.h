@@ -24,11 +24,20 @@ namespace storage {
 /// snapshot (if any) and replays the WAL's longest valid prefix — a torn
 /// tail from a crash is dropped, which is safe: the corresponding reply can
 /// never have reached a client.
+/// \brief Durability knobs for DurableServer.
+struct DurableOptions {
+  /// fdatasync every WAL append: acknowledged transactions survive an OS
+  /// crash/power loss, not just a process crash. Costs a device round trip
+  /// per transaction; tcvsd enables it by default (--no-fsync opts out).
+  bool fsync = false;
+};
+
 class DurableServer : public cvs::ServerApi {
  public:
   /// Opens (and recovers) a data directory. The directory must exist.
-  static Result<std::unique_ptr<DurableServer>> Open(const std::string& dir,
-                                                     mtree::TreeParams params);
+  static Result<std::unique_ptr<DurableServer>> Open(
+      const std::string& dir, mtree::TreeParams params,
+      DurableOptions options = {});
 
   Result<cvs::ServerReply> Transact(uint32_t user,
                                     const std::vector<cvs::FileOp>& ops) override;
@@ -49,14 +58,17 @@ class DurableServer : public cvs::ServerApi {
   cvs::UntrustedServer* server() { return server_.get(); }
 
  private:
-  DurableServer(std::string dir, std::unique_ptr<cvs::UntrustedServer> server,
-                WalWriter wal, uint64_t wal_records)
+  DurableServer(std::string dir, DurableOptions options,
+                std::unique_ptr<cvs::UntrustedServer> server, WalWriter wal,
+                uint64_t wal_records)
       : dir_(std::move(dir)),
+        options_(options),
         server_(std::move(server)),
         wal_(std::move(wal)),
         wal_records_(wal_records) {}
 
   std::string dir_;
+  DurableOptions options_;
   std::unique_ptr<cvs::UntrustedServer> server_;
   WalWriter wal_;
   uint64_t wal_records_ = 0;

@@ -1,7 +1,11 @@
 #include "storage/wal.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
+
+#include "util/fault.h"
 
 namespace tcvs {
 namespace storage {
@@ -43,7 +47,8 @@ uint32_t Crc32(const Bytes& data) { return Crc32(data.data(), data.size()); }
 
 WalWriter::~WalWriter() { Close(); }
 
-WalWriter::WalWriter(WalWriter&& other) noexcept : file_(other.file_) {
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : file_(other.file_), sync_(other.sync_) {
   other.file_ = nullptr;
 }
 
@@ -51,6 +56,7 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
   if (this != &other) {
     Close();
     file_ = other.file_;
+    sync_ = other.sync_;
     other.file_ = nullptr;
   }
   return *this;
@@ -63,11 +69,12 @@ void WalWriter::Close() {
   }
 }
 
-Result<WalWriter> WalWriter::Open(const std::string& path) {
+Result<WalWriter> WalWriter::Open(const std::string& path, bool sync) {
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) return Errno("open wal " + path);
   WalWriter w;
   w.file_ = f;
+  w.sync_ = sync;
   return w;
 }
 
@@ -80,6 +87,19 @@ Status WalWriter::Append(const Bytes& record) {
   for (int i = 0; i < 4; ++i) {
     header[4 + i] = static_cast<uint8_t>(crc >> (8 * i));
   }
+  uint64_t torn_at = 0;
+  if (util::FaultInjector::Instance().ShouldFail(kFaultWalTorn, &torn_at)) {
+    // Crash mid-append: only the first `torn_at` bytes of the framed record
+    // reach the file, exactly the tail a power cut leaves behind.
+    Bytes framed(header, header + 8);
+    framed.insert(framed.end(), record.begin(), record.end());
+    size_t cut = static_cast<size_t>(torn_at) < framed.size()
+                     ? static_cast<size_t>(torn_at)
+                     : framed.size();
+    if (cut > 0) std::fwrite(framed.data(), 1, cut, file_);
+    std::fflush(file_);
+    return Status::IOError("fault injected: " + std::string(kFaultWalTorn));
+  }
   if (std::fwrite(header, 1, 8, file_) != 8) return Errno("wal write header");
   if (!record.empty() &&
       std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
@@ -91,6 +111,13 @@ Status WalWriter::Append(const Bytes& record) {
 Status WalWriter::Flush() {
   if (file_ == nullptr) return Status::FailedPrecondition("wal closed");
   if (std::fflush(file_) != 0) return Errno("wal flush");
+  if (sync_) {
+    if (util::FaultInjector::Instance().ShouldFail(kFaultWalSyncFail)) {
+      return Status::IOError("fault injected: " +
+                             std::string(kFaultWalSyncFail));
+    }
+    if (::fdatasync(::fileno(file_)) != 0) return Errno("wal fdatasync");
+  }
   return Status::OK();
 }
 
@@ -146,6 +173,12 @@ Status AtomicWriteFile(const std::string& path, const Bytes& contents) {
     return Errno("flush " + tmp);
   }
   std::fclose(f);
+  if (util::FaultInjector::Instance().ShouldFail(kFaultAtomicCrash)) {
+    // Crash between write and rename: the temp file exists, the
+    // destination is untouched — the atomicity contract this fault tests.
+    return Status::IOError("fault injected: " +
+                           std::string(kFaultAtomicCrash));
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Errno("rename " + tmp + " -> " + path);
   }

@@ -10,6 +10,18 @@
 namespace tcvs {
 namespace storage {
 
+/// \name Fault points consulted by this layer (see util/fault.h).
+/// @{
+/// WalWriter::Append writes only the first `arg` bytes of the framed
+/// record, then fails (crash mid-append: a torn tail on disk).
+inline constexpr char kFaultWalTorn[] = "wal.append.torn";
+/// The fdatasync in WalWriter::Flush fails (dying disk / full device).
+inline constexpr char kFaultWalSyncFail[] = "wal.sync.fail";
+/// AtomicWriteFile writes the temp file but "crashes" before the rename,
+/// leaving the destination untouched (the atomicity contract under test).
+inline constexpr char kFaultAtomicCrash[] = "storage.atomic.crash";
+/// @}
+
 /// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
 /// string — the per-record integrity check of the write-ahead log.
 uint32_t Crc32(const uint8_t* data, size_t len);
@@ -32,18 +44,27 @@ class WalWriter {
   WalWriter& operator=(WalWriter&& other) noexcept;
 
   /// Opens for appending (creates if missing).
-  static Result<WalWriter> Open(const std::string& path);
+  /// \param sync when true, every Append (and Flush) also issues
+  /// fdatasync(2), so acknowledged records survive an OS crash or power
+  /// loss — without it "durable" records only reach the page cache.
+  /// Opt-in because it costs a device round trip per transaction.
+  static Result<WalWriter> Open(const std::string& path, bool sync = false);
 
-  /// Appends one record and flushes it to the OS.
+  /// Appends one record and flushes it to the OS (and, in sync mode, to
+  /// the device).
   Status Append(const Bytes& record);
 
-  /// Flushes buffered data down to the file descriptor.
+  /// Flushes buffered data down to the file descriptor (and the device in
+  /// sync mode).
   Status Flush();
 
   void Close();
 
+  bool sync() const { return sync_; }
+
  private:
   std::FILE* file_ = nullptr;
+  bool sync_ = false;
 };
 
 /// \brief Reads every valid record from a WAL file. Returns the longest

@@ -1,0 +1,177 @@
+#include "util/fault.h"
+
+#include <cstdlib>
+
+namespace tcvs {
+namespace util {
+
+FaultSpec FaultSpec::Always(uint64_t arg) {
+  FaultSpec s;
+  s.trigger = Trigger::kAlways;
+  s.arg = arg;
+  return s;
+}
+
+FaultSpec FaultSpec::OneShot(uint64_t arg) {
+  FaultSpec s;
+  s.trigger = Trigger::kOneShot;
+  s.arg = arg;
+  return s;
+}
+
+FaultSpec FaultSpec::Nth(uint64_t n, uint64_t arg) {
+  FaultSpec s;
+  s.trigger = Trigger::kNthCall;
+  s.n = n;
+  s.arg = arg;
+  return s;
+}
+
+FaultSpec FaultSpec::Probability(double p, uint64_t arg) {
+  FaultSpec s;
+  s.trigger = Trigger::kProbability;
+  s.probability = p;
+  s.arg = arg;
+  return s;
+}
+
+FaultInjector::FaultInjector() : rng_state_(0x9E3779B97F4A7C15ull) {}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[point];
+  if (!p.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  p.spec = spec;
+  p.armed = true;
+  p.hits = 0;
+  p.fires = 0;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end() && it->second.armed) {
+    it->second.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFail(const std::string& point) {
+  return ShouldFail(point, nullptr);
+}
+
+bool FaultInjector::ShouldFail(const std::string& point, uint64_t* arg) {
+  // Fast path: nothing armed anywhere — the production state.
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return false;
+  Point& p = it->second;
+  ++p.hits;
+  bool fire = false;
+  switch (p.spec.trigger) {
+    case FaultSpec::Trigger::kAlways:
+      fire = true;
+      break;
+    case FaultSpec::Trigger::kOneShot:
+      fire = true;
+      break;
+    case FaultSpec::Trigger::kNthCall:
+      fire = (p.hits == p.spec.n);
+      break;
+    case FaultSpec::Trigger::kProbability: {
+      // splitmix64 draw, mapped to [0, 1).
+      rng_state_ += 0x9E3779B97F4A7C15ull;
+      uint64_t z = rng_state_;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      z ^= z >> 31;
+      fire = (z >> 11) * 0x1.0p-53 < p.spec.probability;
+      break;
+    }
+  }
+  if (fire) {
+    ++p.fires;
+    if (arg != nullptr) *arg = p.spec.arg;
+    // One-shot and nth-call points auto-disarm after firing so a retried
+    // operation succeeds on the next attempt — the common benign-fault shape.
+    if (p.spec.trigger == FaultSpec::Trigger::kOneShot ||
+        p.spec.trigger == FaultSpec::Trigger::kNthCall) {
+      p.armed = false;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  return fire;
+}
+
+uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+Status FaultInjector::ArmFromString(const std::string& entry) {
+  size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("fault entry needs point=trigger: " + entry);
+  }
+  std::string point = entry.substr(0, eq);
+  std::string rest = entry.substr(eq + 1);
+  uint64_t arg = 0;
+  if (size_t at = rest.find('@'); at != std::string::npos) {
+    arg = std::strtoull(rest.c_str() + at + 1, nullptr, 10);
+    rest = rest.substr(0, at);
+  }
+  FaultSpec spec;
+  if (rest == "always") {
+    spec = FaultSpec::Always(arg);
+  } else if (rest == "oneshot") {
+    spec = FaultSpec::OneShot(arg);
+  } else if (rest.rfind("nth:", 0) == 0) {
+    uint64_t n = std::strtoull(rest.c_str() + 4, nullptr, 10);
+    if (n == 0) return Status::InvalidArgument("nth trigger needs N >= 1");
+    spec = FaultSpec::Nth(n, arg);
+  } else if (rest.rfind("prob:", 0) == 0) {
+    spec = FaultSpec::Probability(std::strtod(rest.c_str() + 5, nullptr), arg);
+  } else {
+    return Status::InvalidArgument("unknown fault trigger: " + rest);
+  }
+  Arm(point, spec);
+  return Status::OK();
+}
+
+Status FaultInjector::ArmFromEnv(const char* env_var) {
+  const char* value = std::getenv(env_var);
+  if (value == nullptr || value[0] == '\0') return Status::OK();
+  std::string spec(value);
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma > start) {
+      TCVS_RETURN_NOT_OK(ArmFromString(spec.substr(start, comma - start)));
+    }
+    start = comma + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace tcvs

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/result.h"
+
+namespace tcvs {
+namespace util {
+
+/// \brief When an armed fault point fires. Every subsystem crossing a
+/// failure-prone boundary (socket I/O, WAL appends, the RPC serve loop)
+/// consults the process-wide FaultInjector at a *named point*; tests arm
+/// points to inject the faults a hostile datacenter produces for free.
+struct FaultSpec {
+  enum class Trigger : uint8_t {
+    kAlways = 0,       ///< Fires on every hit.
+    kOneShot = 1,      ///< Fires on the first hit, then auto-disarms.
+    kNthCall = 2,      ///< Fires on exactly the nth hit (1-based), then disarms.
+    kProbability = 3,  ///< Fires independently per hit with probability `p`.
+  };
+
+  Trigger trigger = Trigger::kOneShot;
+  uint64_t n = 1;          ///< kNthCall only.
+  double probability = 0;  ///< kProbability only.
+  /// Action-specific parameter a fault point may consume (e.g. how many
+  /// bytes of a torn write reach the disk, or a delay in milliseconds).
+  uint64_t arg = 0;
+
+  static FaultSpec Always(uint64_t arg = 0);
+  static FaultSpec OneShot(uint64_t arg = 0);
+  static FaultSpec Nth(uint64_t n, uint64_t arg = 0);
+  static FaultSpec Probability(double p, uint64_t arg = 0);
+};
+
+/// \brief Process-wide registry of named fault points.
+///
+/// Production cost is one relaxed atomic load per fault point when nothing
+/// is armed (see bench_resilience). Thread-safe: the serve loop, client
+/// threads, and the test arming faults may race freely.
+///
+/// Points are arbitrary strings; the convention is `layer.op.fault`
+/// (`net.send.drop`, `wal.append.torn`). Unknown points never fire.
+class FaultInjector {
+ public:
+  /// The process-wide instance every fault point consults.
+  static FaultInjector& Instance();
+
+  /// Arms (or re-arms) `point` with `spec`, resetting its counters.
+  void Arm(const std::string& point, FaultSpec spec);
+
+  /// Disarms `point`; its hit/fire counters survive for inspection.
+  void Disarm(const std::string& point);
+
+  /// Disarms everything and forgets all counters (test teardown).
+  void Reset();
+
+  /// One hit at `point`: true iff the armed spec says the fault fires now.
+  bool ShouldFail(const std::string& point);
+
+  /// Like ShouldFail, but also surfaces the spec's action parameter.
+  bool ShouldFail(const std::string& point, uint64_t* arg);
+
+  /// \name Observability for tests: how often a point was consulted / fired.
+  /// @{
+  uint64_t hits(const std::string& point) const;
+  uint64_t fires(const std::string& point) const;
+  /// @}
+
+  /// Arms points from an environment variable (cross-process injection into
+  /// spawned daemons). Grammar, comma-separated:
+  ///
+  ///   point=always | point=oneshot | point=nth:N | point=prob:P  [@ARG]
+  ///
+  /// e.g. TCVS_FAULTS="rpc.serve.crash=nth:3,wal.append.torn=oneshot@12".
+  /// Unset/empty is OK (no-op).
+  Status ArmFromEnv(const char* env_var = "TCVS_FAULTS");
+
+  /// Parses and arms one `point=trigger[@arg]` entry (exposed for tests).
+  Status ArmFromString(const std::string& entry);
+
+ private:
+  FaultInjector();
+
+  struct Point {
+    FaultSpec spec;
+    bool armed = false;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::atomic<int> armed_count_{0};
+  std::map<std::string, Point> points_;
+  uint64_t rng_state_;  // splitmix64 for kProbability draws.
+};
+
+}  // namespace util
+}  // namespace tcvs

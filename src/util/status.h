@@ -22,6 +22,12 @@ enum class StatusCode : int {
   kUnimplemented = 9,
   kInternal = 10,
   kIOError = 11,
+  /// The peer is (temporarily) unreachable: connect refused, retry budget
+  /// exhausted, or the server is restarting. Retryable — unlike kCorruption
+  /// or kVerificationFailure, which must fail loud and never be retried.
+  kUnavailable = 12,
+  /// An I/O deadline elapsed before the operation completed. Retryable.
+  kDeadlineExceeded = 13,
 };
 
 /// \brief Outcome of a fallible operation (Arrow/RocksDB idiom).
@@ -73,6 +79,12 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -96,6 +108,10 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders "<CODE>: <message>", e.g. "NotFound: no such file".
   std::string ToString() const;

@@ -9,6 +9,7 @@
 
 #include "storage/durable.h"
 #include "storage/wal.h"
+#include "util/fault.h"
 #include "util/random.h"
 
 namespace tcvs {
@@ -155,6 +156,164 @@ TEST(WalTest, CorruptMiddleStopsPrefix) {
   for (size_t i = 0; i < records->size(); ++i) {
     EXPECT_EQ(util::ToString((*records)[i]), "record-" + std::to_string(i));
   }
+}
+
+// Deterministic torn-tail fixtures: one per way a crash can shear the last
+// record (mid-header, mid-payload, payload landed but corrupt). Each must
+// recover exactly the first record and report truncation.
+//
+// Layout on disk: rec1 = 8-byte header + "aaaa" (12 bytes), then rec2's
+// 8-byte header + "bbbbbb".
+
+class WalFixtureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = dir_.str() + "/wal.log";
+    auto wal = WalWriter::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(util::ToBytes("aaaa")).ok());
+    ASSERT_TRUE(wal->Append(util::ToBytes("bbbbbb")).ok());
+    auto full = ReadFileBytes(path_);
+    ASSERT_TRUE(full.ok());
+    full_ = *full;
+    ASSERT_EQ(full_.size(), 12u + 14u);
+  }
+
+  void ExpectPrefixOfOne() {
+    bool truncated = false;
+    auto records = ReadWal(path_, &truncated);
+    ASSERT_TRUE(records.ok());
+    EXPECT_TRUE(truncated);
+    ASSERT_EQ(records->size(), 1u);
+    EXPECT_EQ(util::ToString((*records)[0]), "aaaa");
+  }
+
+  TempDir dir_;
+  std::string path_;
+  Bytes full_;
+};
+
+TEST_F(WalFixtureTest, TruncatedHeader) {
+  // Only 4 of the second record's 8 header bytes made it to disk.
+  Bytes torn(full_.begin(), full_.begin() + 12 + 4);
+  ASSERT_TRUE(AtomicWriteFile(path_, torn).ok());
+  ExpectPrefixOfOne();
+}
+
+TEST_F(WalFixtureTest, TruncatedPayload) {
+  // The second header landed, but only 3 of its 6 payload bytes did.
+  Bytes torn(full_.begin(), full_.begin() + 12 + 8 + 3);
+  ASSERT_TRUE(AtomicWriteFile(path_, torn).ok());
+  ExpectPrefixOfOne();
+}
+
+TEST_F(WalFixtureTest, BadTailCrc) {
+  // The full record landed but a payload byte rotted: the CRC must catch it.
+  Bytes corrupt = full_;
+  corrupt.back() ^= 0x01;
+  ASSERT_TRUE(AtomicWriteFile(path_, corrupt).ok());
+  ExpectPrefixOfOne();
+}
+
+// ---------------------------------------------------------------------------
+// WAL under injected faults (torn appends, failing fsync, atomic crash)
+// ---------------------------------------------------------------------------
+
+class WalFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::Instance().Reset(); }
+  void TearDown() override { util::FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(WalFaultTest, SyncModeAppendsAndReadsBack) {
+  TempDir dir;
+  std::string path = dir.str() + "/wal.log";
+  auto wal = WalWriter::Open(path, /*sync=*/true);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(wal->sync());
+  ASSERT_TRUE(wal->Append(util::ToBytes("durable")).ok());
+  ASSERT_TRUE(wal->Append(util::ToBytes("records")).ok());
+  bool truncated = true;
+  auto records = ReadWal(path, &truncated);
+  ASSERT_TRUE(records.ok());
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(records->size(), 2u);
+}
+
+TEST_F(WalFaultTest, InjectedTornAppendYieldsPrefix) {
+  TempDir dir;
+  std::string path = dir.str() + "/wal.log";
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(wal->Append(util::ToBytes("rec-" + std::to_string(i))).ok());
+  }
+  // The next append "crashes" after 5 bytes of the framed record hit disk.
+  util::FaultInjector::Instance().Arm(kFaultWalTorn,
+                                      util::FaultSpec::OneShot(5));
+  EXPECT_TRUE(wal->Append(util::ToBytes("lost")).IsIOError());
+  wal->Close();
+
+  bool truncated = false;
+  auto records = ReadWal(path, &truncated);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(records->size(), 3u);
+  for (size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ(util::ToString((*records)[i]), "rec-" + std::to_string(i));
+  }
+}
+
+TEST_F(WalFaultTest, DurableServerSurvivesTornAppend) {
+  // Acceptance scenario: a torn WAL write during a transaction fails that
+  // transaction, and recovery lands on the longest valid prefix.
+  TempDir dir;
+  mtree::TreeParams params;
+  crypto::Digest digest_before;
+  {
+    auto server = DurableServer::Open(dir.str(), params);
+    ASSERT_TRUE(server.ok());
+    cvs::VerifyingClient alice(1, server->get());
+    ASSERT_TRUE(alice.Commit("a.c", "v1", 0).ok());
+    ASSERT_TRUE(alice.Commit("b.c", "v1", 0).ok());
+    digest_before = (*server)->server()->tree().root_digest();
+
+    util::FaultInjector::Instance().Arm(kFaultWalTorn,
+                                        util::FaultSpec::OneShot(10));
+    auto rev = alice.Commit("c.c", "v1", 0);
+    ASSERT_FALSE(rev.ok());
+    EXPECT_TRUE(rev.status().IsIOError());
+    // Log-before-apply: the failed transaction never touched the tree.
+    EXPECT_EQ((*server)->server()->ctr(), 2u);
+  }
+  auto recovered = DurableServer::Open(dir.str(), params);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->server()->ctr(), 2u);
+  EXPECT_EQ((*recovered)->server()->tree().root_digest(), digest_before);
+}
+
+TEST_F(WalFaultTest, FailedFsyncSurfacesInSyncMode) {
+  TempDir dir;
+  auto wal = WalWriter::Open(dir.str() + "/wal.log", /*sync=*/true);
+  ASSERT_TRUE(wal.ok());
+  util::FaultInjector::Instance().Arm(kFaultWalSyncFail,
+                                      util::FaultSpec::OneShot());
+  EXPECT_TRUE(wal->Append(util::ToBytes("r")).IsIOError());
+  // The fault auto-disarmed; the writer keeps working.
+  EXPECT_TRUE(wal->Append(util::ToBytes("r2")).ok());
+}
+
+TEST_F(WalFaultTest, AtomicWriteCrashLeavesDestinationIntact) {
+  TempDir dir;
+  std::string path = dir.str() + "/file.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, util::ToBytes("v1")).ok());
+  util::FaultInjector::Instance().Arm(kFaultAtomicCrash,
+                                      util::FaultSpec::OneShot());
+  EXPECT_TRUE(AtomicWriteFile(path, util::ToBytes("v2")).IsIOError());
+  auto contents = ReadFileBytes(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(util::ToString(*contents), "v1");  // Destination untouched.
+  EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));  // The orphan temp.
 }
 
 // ---------------------------------------------------------------------------

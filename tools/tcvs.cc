@@ -15,6 +15,16 @@
 //   tcvs check STATE_FILE...               # offline sync-up over state files
 //   tcvs --server HOST:PORT shutdown
 //
+// Transport flags: --retries N, --backoff-ms MS, --timeout-ms MS tune the
+// retry policy (exponential backoff, jittered) and per-operation deadlines.
+// Transport faults are retried with transparent reconnection; verification
+// failures never are.
+//
+// When the server stays unreachable past the retry budget, read commands
+// (cat / checkout / ls) degrade to serving the last *verified* records from
+// the local cache sidecar (STATE.cache) instead of aborting — read-only,
+// possibly stale, never unverified. Mutations fail with Unavailable.
+//
 // Exit codes: 0 success, 1 operation error, 3 SERVER DEVIATION DETECTED.
 
 #include <cstdio>
@@ -23,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "cvs/cache.h"
 #include "cvs/trusted.h"
 #include "rpc/remote.h"
 #include "util/bytes.h"
@@ -54,10 +65,65 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tcvs --server H:P --user N --state FILE "
+               "usage: tcvs [--retries N] [--backoff-ms MS] [--timeout-ms MS] "
+               "--server H:P --user N --state FILE "
                "checkout|cat|commit|remove ... | state | check FILES... | "
                "shutdown\n");
   return 2;
+}
+
+std::string CachePath(const std::string& state_file) {
+  return state_file + ".cache";
+}
+
+cvs::LocalCache LoadCache(const std::string& state_file) {
+  auto data = ReadFile(CachePath(state_file));
+  if (!data.ok()) return {};
+  auto cache = cvs::LocalCache::Deserialize(*data);
+  if (!cache.ok()) return {};  // Corrupt cache: start over; it is only a cache.
+  return std::move(cache).ValueOrDie();
+}
+
+/// Serves a read command from the verified local cache after the server
+/// proved unreachable. Strictly read-only; output is marked as degraded.
+int ServeDegraded(const std::string& cmd, const std::vector<std::string>& args,
+                  const std::string& state_file, const Status& why) {
+  if (state_file.empty()) return Fail(why);
+  cvs::LocalCache cache = LoadCache(state_file);
+  std::fprintf(stderr,
+               "tcvs: %s\ntcvs: DEGRADED read-only mode: serving last "
+               "verified records from %s\n",
+               why.ToString().c_str(), CachePath(state_file).c_str());
+  if (cmd == "cat" || cmd == "checkout") {
+    if (args.size() != 2) return Usage();
+    const cvs::FileRecord* rec = cache.Find(args[1]);
+    if (rec == nullptr) {
+      return Fail(Status::Unavailable("server unreachable and " + args[1] +
+                                      " is not in the local verified cache"));
+    }
+    if (cmd == "cat") {
+      std::fwrite(rec->content.data(), 1, rec->content.size(), stdout);
+    } else {
+      std::printf("%s revision %llu (%zu bytes) [degraded: verified cache]\n",
+                  args[1].c_str(), (unsigned long long)rec->revision,
+                  rec->content.size());
+    }
+    return 0;
+  }
+  if (cmd == "ls") {
+    std::string prefix = args.size() > 1 ? args[1] : "";
+    auto listing = cache.List(prefix);
+    for (const auto& [path, revision] : listing) {
+      std::printf("%-50s r%llu\n", path.c_str(), (unsigned long long)revision);
+    }
+    std::printf("%zu files [degraded: verified cache, completeness not "
+                "guaranteed]\n",
+                listing.size());
+    return 0;
+  }
+  // Mutations (and audit) need the live server: degrading them would turn
+  // read-only mode into a silent write outage.
+  return Fail(why);
 }
 
 }  // namespace
@@ -66,6 +132,7 @@ int main(int argc, char** argv) {
   std::string server_addr;
   std::string state_file;
   uint32_t user = 0;
+  rpc::RemoteOptions remote_options;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
@@ -74,6 +141,14 @@ int main(int argc, char** argv) {
       user = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--state") == 0 && i + 1 < argc) {
       state_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      remote_options.retry.max_attempts = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--backoff-ms") == 0 && i + 1 < argc) {
+      remote_options.retry.initial_backoff_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      int t = std::atoi(argv[++i]);
+      remote_options.connect_timeout_ms = t;
+      remote_options.io_timeout_ms = t;
     } else {
       args.emplace_back(argv[i]);
     }
@@ -118,8 +193,13 @@ int main(int argc, char** argv) {
     host = server_addr.substr(0, colon);
     port = static_cast<uint16_t>(std::atoi(server_addr.c_str() + colon + 1));
   }
-  auto remote = rpc::RemoteServer::Connect(host, port);
-  if (!remote.ok()) return Fail(remote.status());
+  auto remote = rpc::RemoteServer::Connect(host, port, remote_options);
+  if (!remote.ok()) {
+    if (rpc::IsRetryableTransport(remote.status())) {
+      return ServeDegraded(cmd, args, state_file, remote.status());
+    }
+    return Fail(remote.status());
+  }
 
   if (cmd == "shutdown") {
     Status st = (*remote)->Shutdown();
@@ -145,6 +225,8 @@ int main(int argc, char** argv) {
     state = fresh.state();
   }
   cvs::VerifyingClient client(state, remote->get());
+  cvs::LocalCache cache = LoadCache(state_file);
+  bool cache_dirty = false;
 
   int rc = 0;
   if (cmd == "checkout" || cmd == "cat") {
@@ -152,11 +234,16 @@ int main(int argc, char** argv) {
     auto rec = client.Checkout(args[1]);
     if (!rec.ok()) {
       rc = Fail(rec.status());
-    } else if (cmd == "cat") {
-      std::fwrite(rec->content.data(), 1, rec->content.size(), stdout);
     } else {
-      std::printf("%s revision %llu (%zu bytes) [verified]\n", args[1].c_str(),
-                  (unsigned long long)rec->revision, rec->content.size());
+      cache.Put(args[1], *rec);
+      cache_dirty = true;
+      if (cmd == "cat") {
+        std::fwrite(rec->content.data(), 1, rec->content.size(), stdout);
+      } else {
+        std::printf("%s revision %llu (%zu bytes) [verified]\n",
+                    args[1].c_str(), (unsigned long long)rec->revision,
+                    rec->content.size());
+      }
     }
   } else if (cmd == "commit") {
     if (args.size() != 4) return Usage();
@@ -165,6 +252,8 @@ int main(int argc, char** argv) {
     if (!rev.ok()) {
       rc = Fail(rev.status());
     } else {
+      cache.Put(args[1], cvs::FileRecord{*rev, args[3]});
+      cache_dirty = true;
       std::printf("committed %s -> revision %llu [verified]\n", args[1].c_str(),
                   (unsigned long long)*rev);
     }
@@ -195,6 +284,8 @@ int main(int argc, char** argv) {
     if (!st.ok()) {
       rc = Fail(st);
     } else {
+      cache.Erase(args[1]);
+      cache_dirty = true;
       std::printf("removed %s [verified]\n", args[1].c_str());
     }
   } else {
@@ -206,6 +297,11 @@ int main(int argc, char** argv) {
   if (rc != 3) {
     Status st = WriteFile(state_file, client.state().Serialize());
     if (!st.ok()) return Fail(st);
+    if (cache_dirty) {
+      // Best-effort: the cache only feeds degraded mode; losing it costs
+      // availability during an outage, never correctness.
+      (void)WriteFile(CachePath(state_file), cache.Serialize());
+    }
   }
   return rc;
 }

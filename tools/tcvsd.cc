@@ -6,12 +6,18 @@
 // periodic sync-ups catch forks/replays this process could mount.
 //
 // Usage:
-//   tcvsd [--port N] [--fanout F] [--data-dir DIR]
+//   tcvsd [--port N] [--fanout F] [--data-dir DIR] [--no-fsync]
 //
 // With --data-dir, the repository is durable: a write-ahead log captures
 // every transaction before it executes and a snapshot is folded on clean
 // shutdown, so a restarted daemon resumes with the identical root digest —
-// clients verifying against their registers never notice.
+// clients verifying against their registers never notice. WAL appends
+// fdatasync by default so acknowledged transactions survive power loss;
+// --no-fsync trades that for page-cache-speed appends.
+//
+// The TCVS_FAULTS environment variable arms fault-injection points in the
+// daemon (see util/fault.h), e.g. TCVS_FAULTS="rpc.serve.crash=nth:3" —
+// the harness for resilience tests against a real process.
 //
 // Prints the bound port on stdout (useful with --port 0 for an ephemeral
 // port) and serves until a shutdown RPC arrives.
@@ -24,6 +30,7 @@
 #include "net/socket.h"
 #include "rpc/remote.h"
 #include "storage/durable.h"
+#include "util/fault.h"
 
 using namespace tcvs;
 
@@ -31,6 +38,7 @@ int main(int argc, char** argv) {
   uint16_t port = 7199;
   size_t fanout = 8;
   std::string data_dir;
+  bool fsync = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
@@ -38,11 +46,23 @@ int main(int argc, char** argv) {
       fanout = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
       data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-fsync") == 0) {
+      fsync = false;
+    } else if (std::strcmp(argv[i], "--fsync") == 0) {
+      fsync = true;
     } else {
       std::fprintf(stderr,
-                   "usage: tcvsd [--port N] [--fanout F] [--data-dir DIR]\n");
+                   "usage: tcvsd [--port N] [--fanout F] [--data-dir DIR] "
+                   "[--no-fsync]\n");
       return 2;
     }
+  }
+
+  // Cross-process fault injection for resilience tests (no-op when unset).
+  if (Status st = util::FaultInjector::Instance().ArmFromEnv(); !st.ok()) {
+    std::fprintf(stderr, "tcvsd: bad TCVS_FAULTS: %s\n",
+                 st.ToString().c_str());
+    return 2;
   }
 
   mtree::TreeParams params{fanout, fanout};
@@ -53,7 +73,8 @@ int main(int argc, char** argv) {
     memory_server = std::make_unique<cvs::UntrustedServer>(params);
     api = memory_server.get();
   } else {
-    auto opened = storage::DurableServer::Open(data_dir, params);
+    auto opened = storage::DurableServer::Open(data_dir, params,
+                                               storage::DurableOptions{fsync});
     if (!opened.ok()) {
       std::fprintf(stderr, "tcvsd: %s\n", opened.status().ToString().c_str());
       return 1;
