@@ -251,6 +251,12 @@ Status TcpConnection::SendFrame(const Bytes& payload) {
   return st;
 }
 
+Status TcpConnection::WaitReadable(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  return PollFd(fd_, POLLIN, /*has_deadline=*/timeout_ms > 0,
+                Clock::now() + std::chrono::milliseconds(timeout_ms));
+}
+
 Result<Bytes> TcpConnection::ReceiveFrame() {
   if (fd_ < 0) return Status::FailedPrecondition("connection closed");
   if (util::FaultInjector::Instance().ShouldFail(kFaultRecvDrop)) {
@@ -335,8 +341,13 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
   return listener;
 }
 
-Result<TcpConnection> TcpListener::Accept() {
+Result<TcpConnection> TcpListener::Accept(int timeout_ms) {
   if (fd_ < 0) return Status::FailedPrecondition("listener closed");
+  if (timeout_ms > 0) {
+    TCVS_RETURN_NOT_OK(PollFd(fd_, POLLIN, /*has_deadline=*/true,
+                              Clock::now() +
+                                  std::chrono::milliseconds(timeout_ms)));
+  }
   int cfd;
   do {
     cfd = ::accept(fd_, nullptr, nullptr);

@@ -60,6 +60,14 @@ class TcpConnection {
   /// connection is closed: frame boundaries cannot be trusted afterwards.
   void set_io_timeout_ms(int ms) { io_timeout_ms_ = ms; }
 
+  /// Waits until at least one byte (or EOF) is readable, without consuming
+  /// it. OK = readable now, DeadlineExceeded = `timeout_ms` elapsed idle.
+  /// Lets a serving thread block in bounded slices, checking for shutdown
+  /// between them, instead of wedging forever in ReceiveFrame on an idle
+  /// peer — and an idle expiry here leaves NO frame mid-read, so unlike an
+  /// io-timeout the connection stays usable.
+  Status WaitReadable(int timeout_ms);
+
   /// Writes one frame, retrying short writes and EINTR internally.
   Status SendFrame(const Bytes& payload);
 
@@ -95,7 +103,10 @@ class TcpListener {
   uint16_t port() const { return port_; }
 
   /// Blocks until a client connects (EINTR-safe).
-  Result<TcpConnection> Accept();
+  /// \param timeout_ms 0 = wait forever; otherwise DeadlineExceeded when no
+  /// client arrived in time — the accept loop's bounded-blocking slice, so
+  /// it can poll a stop flag between waits.
+  Result<TcpConnection> Accept(int timeout_ms = 0);
 
   void Close();
 

@@ -1,13 +1,16 @@
 #include "rpc/remote.h"
 
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <random>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "util/fault.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/serde.h"
 
 namespace tcvs {
@@ -220,96 +223,221 @@ class ReplyCache {
   std::deque<uint64_t> order_;
 };
 
-}  // namespace
+/// \brief Everything the accept loop and the worker pool share for one
+/// Serve() call. Two lock domains, never held together:
+///
+///   mu_       — the *execution* lock: reply cache + ServerApi. Held across
+///               the cache-lookup → execute → cache-insert triple, so a
+///               replayed request id can never execute twice, and the
+///               (single-threaded) ServerApi sees one caller at a time.
+///   queue_mu_ — the *dispatch* lock: the bounded connection queue.
+///
+/// Lock hierarchy: queue_mu_ and mu_ are leaves; no code path takes one
+/// while holding the other (see ARCHITECTURE.md, "Concurrency model").
+class ServeState {
+ public:
+  ServeState(cvs::ServerApi* api, const ServeOptions& options)
+      : api_(api), options_(options) {}
 
-Status Serve(net::TcpListener* listener, cvs::ServerApi* server) {
-  auto& faults = util::FaultInjector::Instance();
-  ReplyCache reply_cache;
-  for (;;) {
-    auto conn_or = listener->Accept();
-    if (!conn_or.ok()) return conn_or.status();
-    net::TcpConnection conn = std::move(conn_or).ValueOrDie();
-    for (;;) {
-      auto frame_or = conn.ReceiveFrame();
-      if (!frame_or.ok()) break;  // Peer disconnected; accept the next one.
-
-      if (faults.ShouldFail(kFaultServeCrash)) {
-        // Simulated process death: the request was received but nothing
-        // executed; the harness restarts the server from durable state.
-        return Status::Unavailable("fault injected: " +
-                                   std::string(kFaultServeCrash));
-      }
-      if (faults.ShouldFail(kFaultServeDropBefore)) break;
-
-      RpcResponse resp;
-      bool shutdown = false;
-      bool cacheable = false;
-      uint64_t request_id = 0;
-      const Bytes* cached = nullptr;
-      auto req_or = RpcRequest::Deserialize(*frame_or);
-      if (!req_or.ok()) {
-        resp = RpcResponse::FromStatus(req_or.status());
-      } else {
-        request_id = req_or->request_id;
-        // Counter-bearing transactions replay idempotently via the cache;
-        // GetParams/LogCheckpoint are naturally idempotent, Shutdown is not
-        // a transaction.
-        cacheable = request_id != 0 && (req_or->type == RpcType::kTransact ||
-                                        req_or->type == RpcType::kList);
-        if (cacheable) cached = reply_cache.Find(request_id);
-        if (cached != nullptr) {
-          // Replay of a request we already executed: return the original
-          // reply; the operation counter must not advance twice.
-        } else {
-          switch (req_or->type) {
-            case RpcType::kGetParams:
-              resp.payload = SerializeParams(server->tree_params());
-              break;
-            case RpcType::kTransact: {
-              auto reply_or = server->Transact(req_or->user, req_or->ops);
-              if (!reply_or.ok()) {
-                resp = RpcResponse::FromStatus(reply_or.status());
-              } else {
-                resp.payload = reply_or->Serialize();
-              }
-              break;
-            }
-            case RpcType::kList: {
-              auto reply_or = server->List(req_or->user, req_or->prefix);
-              if (!reply_or.ok()) {
-                resp = RpcResponse::FromStatus(reply_or.status());
-              } else {
-                resp.payload = reply_or->Serialize();
-              }
-              break;
-            }
-            case RpcType::kLogCheckpoint: {
-              auto reply_or = server->LogCheckpoint(req_or->old_size);
-              if (!reply_or.ok()) {
-                resp = RpcResponse::FromStatus(reply_or.status());
-              } else {
-                resp.payload = reply_or->Serialize();
-              }
-              break;
-            }
-            case RpcType::kShutdown:
-              shutdown = true;
-              break;
-          }
-        }
-      }
-      Bytes wire = cached != nullptr ? *cached : resp.Serialize();
-      if (cacheable && cached == nullptr) {
-        reply_cache.Insert(request_id, wire);
-      }
-      if (faults.ShouldFail(kFaultServeDropAfter)) break;
-      Status send = conn.SendFrame(wire);
-      if (shutdown || !send.ok()) {
-        if (shutdown) return Status::OK();
-        break;
+  /// Handles one request frame end to end; returns the wire reply.
+  /// Sets *shutdown when the frame was a kShutdown request.
+  Bytes HandleFrame(const Bytes& frame, bool* shutdown) {
+    auto req_or = RpcRequest::Deserialize(frame);
+    if (!req_or.ok()) {
+      return RpcResponse::FromStatus(req_or.status()).Serialize();
+    }
+    const RpcRequest& req = *req_or;
+    // Counter-bearing transactions replay idempotently via the cache;
+    // GetParams/LogCheckpoint are naturally idempotent, Shutdown is not a
+    // transaction.
+    const bool cacheable = req.request_id != 0 &&
+                           (req.type == RpcType::kTransact ||
+                            req.type == RpcType::kList);
+    util::MutexLock lock(&mu_);
+    if (cacheable) {
+      if (const Bytes* hit = reply_cache_.Find(req.request_id)) {
+        // Replay of a request we already executed: return the original
+        // reply; the operation counter must not advance twice.
+        return *hit;
       }
     }
+    RpcResponse resp;
+    switch (req.type) {
+      case RpcType::kGetParams:
+        resp.payload = SerializeParams(api_->tree_params());
+        break;
+      case RpcType::kTransact: {
+        auto reply_or = api_->Transact(req.user, req.ops);
+        if (!reply_or.ok()) {
+          resp = RpcResponse::FromStatus(reply_or.status());
+        } else {
+          resp.payload = reply_or->Serialize();
+        }
+        break;
+      }
+      case RpcType::kList: {
+        auto reply_or = api_->List(req.user, req.prefix);
+        if (!reply_or.ok()) {
+          resp = RpcResponse::FromStatus(reply_or.status());
+        } else {
+          resp.payload = reply_or->Serialize();
+        }
+        break;
+      }
+      case RpcType::kLogCheckpoint: {
+        auto reply_or = api_->LogCheckpoint(req.old_size);
+        if (!reply_or.ok()) {
+          resp = RpcResponse::FromStatus(reply_or.status());
+        } else {
+          resp.payload = reply_or->Serialize();
+        }
+        break;
+      }
+      case RpcType::kShutdown:
+        *shutdown = true;
+        break;
+    }
+    Bytes wire = resp.Serialize();
+    if (cacheable) reply_cache_.Insert(req.request_id, wire);
+    return wire;
   }
+
+  /// Accept side: enqueue a connection, blocking while the queue is full.
+  /// False once the server is stopping (the connection is dropped).
+  bool PushConnection(net::TcpConnection conn) {
+    util::MutexLock lock(&queue_mu_);
+    while (queue_.size() >= options_.queue_capacity && !stopping()) {
+      queue_cv_.WaitFor(&queue_mu_, options_.poll_interval_ms);
+    }
+    if (stopping()) return false;
+    queue_.push_back(std::move(conn));
+    queue_cv_.SignalAll();
+    return true;
+  }
+
+  /// Worker side: dequeue the next connection. False = stopping, no more
+  /// work (queued-but-unserved connections are simply closed).
+  bool PopConnection(net::TcpConnection* out) {
+    util::MutexLock lock(&queue_mu_);
+    while (queue_.empty() && !stopping()) {
+      queue_cv_.WaitFor(&queue_mu_, options_.poll_interval_ms);
+    }
+    if (stopping()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    queue_cv_.SignalAll();
+    return true;
+  }
+
+  /// Begins shutdown; the FIRST caller's status becomes Serve's return
+  /// value (a crash fault and a graceful shutdown may race).
+  void RequestStop(Status exit_status) {
+    util::MutexLock lock(&queue_mu_);
+    if (!stopping_.load(std::memory_order_relaxed)) {
+      exit_status_ = std::move(exit_status);
+      stopping_.store(true, std::memory_order_release);
+    }
+    queue_cv_.SignalAll();
+  }
+
+  bool stopping() const { return stopping_.load(std::memory_order_acquire); }
+
+  Status TakeExitStatus() {
+    util::MutexLock lock(&queue_mu_);
+    return std::move(exit_status_);
+  }
+
+ private:
+  cvs::ServerApi* const api_ TCVS_PT_GUARDED_BY(mu_);
+  const ServeOptions options_;
+
+  util::Mutex mu_;
+  ReplyCache reply_cache_ TCVS_GUARDED_BY(mu_);
+
+  util::Mutex queue_mu_;
+  util::CondVar queue_cv_;
+  std::deque<net::TcpConnection> queue_ TCVS_GUARDED_BY(queue_mu_);
+  std::atomic<bool> stopping_{false};
+  Status exit_status_ TCVS_GUARDED_BY(queue_mu_);
+};
+
+/// Answers frames on one connection until the peer disconnects, a fault
+/// point severs it, or the server begins stopping.
+void ServeConnection(ServeState* state, net::TcpConnection* conn,
+                     const ServeOptions& options) {
+  auto& faults = util::FaultInjector::Instance();
+  for (;;) {
+    // Wait in bounded slices so a shutdown initiated on another connection
+    // is noticed within one poll interval even while this peer is idle.
+    Status ready = conn->WaitReadable(options.poll_interval_ms);
+    if (!ready.ok()) {
+      if (ready.IsDeadlineExceeded() && !state->stopping()) continue;
+      return;
+    }
+    if (state->stopping()) return;
+    auto frame_or = conn->ReceiveFrame();
+    if (!frame_or.ok()) return;  // Peer disconnected.
+
+    if (faults.ShouldFail(kFaultServeCrash)) {
+      // Simulated process death: the request was received but nothing
+      // executed; the harness restarts the server from durable state.
+      state->RequestStop(Status::Unavailable("fault injected: " +
+                                             std::string(kFaultServeCrash)));
+      return;
+    }
+    if (faults.ShouldFail(kFaultServeDropBefore)) return;
+
+    bool shutdown = false;
+    Bytes wire = state->HandleFrame(*frame_or, &shutdown);
+    if (faults.ShouldFail(kFaultServeDropAfter)) return;
+    Status send = conn->SendFrame(wire);
+    if (shutdown) {
+      // The shutdown reply is already on the wire (best effort); now stop
+      // the accept loop and every worker.
+      state->RequestStop(Status::OK());
+      return;
+    }
+    if (!send.ok()) return;
+  }
+}
+
+void WorkerLoop(ServeState* state, const ServeOptions& options) {
+  net::TcpConnection conn;
+  while (state->PopConnection(&conn)) {
+    ServeConnection(state, &conn, options);
+    conn.Close();
+  }
+}
+
+}  // namespace
+
+Status Serve(net::TcpListener* listener, cvs::ServerApi* server,
+             ServeOptions options) {
+  if (options.num_threads < 1) options.num_threads = 1;
+  if (options.queue_capacity < 1) options.queue_capacity = 1;
+  if (options.poll_interval_ms < 1) options.poll_interval_ms = 1;
+
+  ServeState state(server, options);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options.num_threads));
+  for (int i = 0; i < options.num_threads; ++i) {
+    workers.emplace_back(WorkerLoop, &state, options);
+  }
+
+  while (!state.stopping()) {
+    auto conn_or = listener->Accept(options.poll_interval_ms);
+    if (!conn_or.ok()) {
+      if (conn_or.status().IsDeadlineExceeded()) continue;  // Stop check.
+      state.RequestStop(conn_or.status());
+      break;
+    }
+    if (!state.PushConnection(std::move(conn_or).ValueOrDie())) break;
+  }
+
+  // Stopping (whatever initiated it): workers drain within one poll
+  // interval; join them all before returning so no thread outlives Serve.
+  for (auto& worker : workers) worker.join();
+  return state.TakeExitStatus();
 }
 
 }  // namespace rpc

@@ -93,14 +93,37 @@ class RemoteServer : public cvs::ServerApi {
   uint64_t reconnects_ = 0;
 };
 
-/// \brief Serves any ServerApi on `listener`: accepts connections one at a
-/// time and answers request frames until the peer disconnects. Returns
-/// after a kShutdown request (OK) or on a listener error / injected crash.
+/// \brief Concurrency knobs for Serve().
+struct ServeOptions {
+  /// Worker threads answering request frames. Each worker owns one
+  /// connection at a time, so replies on a connection stay ordered.
+  int num_threads = 4;
+  /// Accepted connections waiting for a free worker. When full, the accept
+  /// loop stops accepting — kernel backlog is the backpressure.
+  size_t queue_capacity = 64;
+  /// Bounded-blocking slice for accept/receive waits: the latency bound on
+  /// noticing shutdown, NOT a client-visible deadline (idle connections
+  /// live forever).
+  int poll_interval_ms = 50;
+};
+
+/// \brief Serves any ServerApi on `listener` with a multi-threaded accept
+/// loop: the calling thread accepts connections into a bounded queue and a
+/// pool of `options.num_threads` workers answers request frames until each
+/// peer disconnects. Returns after a kShutdown request (OK) or on a
+/// listener error / injected crash, with every worker joined.
 ///
 /// Replies to counter-bearing requests (Transact/List) are cached per
 /// request id (bounded LRU), so a client replaying a request whose reply
 /// was lost gets the original reply back instead of a second execution.
-Status Serve(net::TcpListener* listener, cvs::ServerApi* server);
+/// The lookup→execute→insert triple runs under one lock, so two concurrent
+/// retries of the same request id can never both execute — and the
+/// underlying ServerApi (which no annotation marks thread-safe) is only
+/// ever entered by one worker at a time. The win from the pool is I/O
+/// overlap: frame parsing, serialization, and socket transfers of N
+/// clients proceed in parallel around the serialized execute.
+Status Serve(net::TcpListener* listener, cvs::ServerApi* server,
+             ServeOptions options = {});
 
 }  // namespace rpc
 }  // namespace tcvs

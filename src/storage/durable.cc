@@ -129,6 +129,10 @@ Result<cvs::ServerReply> DurableServer::Transact(
     uint32_t user, const std::vector<cvs::FileOp>& ops) {
   // Log first, then apply: a reply only exists once its transaction is
   // durable, so recovery can never lose an acknowledged state transition.
+  // One lock over both, so concurrent callers cannot interleave a WAL
+  // record with another caller's apply — the log order IS the apply order,
+  // which recovery replay depends on.
+  util::MutexLock lock(&mu_);
   TCVS_RETURN_NOT_OK(wal_.Append(EncodeTransaction(user, ops)));
   ++wal_records_;
   return server_->Transact(user, ops);
@@ -136,12 +140,30 @@ Result<cvs::ServerReply> DurableServer::Transact(
 
 Result<cvs::ListReply> DurableServer::List(uint32_t user,
                                            const std::string& prefix) {
+  util::MutexLock lock(&mu_);
   TCVS_RETURN_NOT_OK(wal_.Append(EncodeList(user, prefix)));
   ++wal_records_;
   return server_->List(user, prefix);
 }
 
+Result<cvs::LogCheckpointReply> DurableServer::LogCheckpoint(
+    uint64_t old_size) {
+  util::MutexLock lock(&mu_);
+  return server_->LogCheckpoint(old_size);
+}
+
+mtree::TreeParams DurableServer::tree_params() const {
+  util::MutexLock lock(&mu_);
+  return server_->tree_params();
+}
+
+uint64_t DurableServer::wal_records() const {
+  util::MutexLock lock(&mu_);
+  return wal_records_;
+}
+
 Status DurableServer::Checkpoint() {
+  util::MutexLock lock(&mu_);
   TCVS_RETURN_NOT_OK(AtomicWriteFile(SnapshotPath(dir_),
                                      EncodeSnapshot(*server_)));
   wal_.Close();

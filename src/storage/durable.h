@@ -5,6 +5,7 @@
 
 #include "cvs/trusted.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 
 namespace tcvs {
 namespace storage {
@@ -39,22 +40,26 @@ class DurableServer : public cvs::ServerApi {
       const std::string& dir, mtree::TreeParams params,
       DurableOptions options = {});
 
+  /// \name ServerApi — thread-safe: each call runs under the internal
+  /// mutex, so the WAL append and the in-memory apply are one atomic unit
+  /// even when tcvsd's worker pool calls in concurrently.
+  /// @{
   Result<cvs::ServerReply> Transact(uint32_t user,
                                     const std::vector<cvs::FileOp>& ops) override;
   Result<cvs::ListReply> List(uint32_t user, const std::string& prefix) override;
-  Result<cvs::LogCheckpointReply> LogCheckpoint(uint64_t old_size) override {
-    return server_->LogCheckpoint(old_size);
-  }
-  mtree::TreeParams tree_params() const override {
-    return server_->tree_params();
-  }
+  Result<cvs::LogCheckpointReply> LogCheckpoint(uint64_t old_size) override;
+  mtree::TreeParams tree_params() const override;
+  /// @}
 
   /// Writes a fresh snapshot and truncates the WAL.
   Status Checkpoint();
 
   /// Number of WAL records accumulated since the last checkpoint.
-  uint64_t wal_records() const { return wal_records_; }
+  uint64_t wal_records() const;
 
+  /// The wrapped in-memory server. The POINTER is safe to read anytime;
+  /// DEREFERENCING it bypasses this class's lock, so callers must be in a
+  /// single-threaded phase (startup, post-Serve shutdown, tests).
   cvs::UntrustedServer* server() { return server_.get(); }
 
  private:
@@ -69,9 +74,14 @@ class DurableServer : public cvs::ServerApi {
 
   std::string dir_;
   DurableOptions options_;
-  std::unique_ptr<cvs::UntrustedServer> server_;
-  WalWriter wal_;
-  uint64_t wal_records_ = 0;
+  /// Serializes WAL-append + apply (and snapshotting) across the server's
+  /// worker threads. Leaf lock: nothing else is acquired while held.
+  mutable util::Mutex mu_;
+  /// Set once at construction, never reassigned; the pointee is mutated
+  /// only under mu_ (UntrustedServer itself is single-threaded).
+  std::unique_ptr<cvs::UntrustedServer> server_ TCVS_PT_GUARDED_BY(mu_);
+  WalWriter wal_ TCVS_GUARDED_BY(mu_);
+  uint64_t wal_records_ TCVS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace storage

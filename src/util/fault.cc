@@ -38,14 +38,16 @@ FaultSpec FaultSpec::Probability(double p, uint64_t arg) {
 FaultInjector::FaultInjector() : rng_state_(0x9E3779B97F4A7C15ull) {}
 
 FaultInjector& FaultInjector::Instance() {
-  static FaultInjector* instance = new FaultInjector();
+  // Intentionally leaked: fault points fire from arbitrary threads during
+  // process teardown, so the registry must outlive static destructors.
+  static FaultInjector* instance = new FaultInjector();  // lint:allow-new
   return *instance;
 }
 
 void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Point& p = points_[point];
-  if (!p.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  if (!p.armed) armed_count_.fetch_add(1, std::memory_order_release);
   p.spec = spec;
   p.armed = true;
   p.hits = 0;
@@ -53,7 +55,7 @@ void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
 }
 
 void FaultInjector::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   if (it != points_.end() && it->second.armed) {
     it->second.armed = false;
@@ -62,7 +64,7 @@ void FaultInjector::Disarm(const std::string& point) {
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   points_.clear();
   armed_count_.store(0, std::memory_order_relaxed);
 }
@@ -72,9 +74,11 @@ bool FaultInjector::ShouldFail(const std::string& point) {
 }
 
 bool FaultInjector::ShouldFail(const std::string& point, uint64_t* arg) {
-  // Fast path: nothing armed anywhere — the production state.
-  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  // Fast path: nothing armed anywhere — the production state. Acquire
+  // pairs with Arm()'s release increment so an observed nonzero count also
+  // makes the armed spec visible once we take the lock (see fault.h).
+  if (armed_count_.load(std::memory_order_acquire) == 0) return false;
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   if (it == points_.end() || !it->second.armed) return false;
   Point& p = it->second;
@@ -116,13 +120,13 @@ bool FaultInjector::ShouldFail(const std::string& point, uint64_t* arg) {
 }
 
 uint64_t FaultInjector::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjector::fires(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires;
 }

@@ -3,9 +3,9 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tcvs {
@@ -38,9 +38,19 @@ struct FaultSpec {
 
 /// \brief Process-wide registry of named fault points.
 ///
-/// Production cost is one relaxed atomic load per fault point when nothing
+/// Production cost is one acquire atomic load per fault point when nothing
 /// is armed (see bench_resilience). Thread-safe: the serve loop, client
 /// threads, and the test arming faults may race freely.
+///
+/// Memory ordering of the fast path: Arm() publishes the armed count with a
+/// release increment and ShouldFail() reads it with an acquire load, so a
+/// thread that observes `armed_count_ > 0` also observes the spec written
+/// under the mutex. A ShouldFail racing with a concurrent Arm may still
+/// take the fast path and miss the brand-new point — that is inherent to
+/// any lock-free gate and is fine for the harness: tests arm points
+/// *before* starting the threads they mean to fault (thread creation
+/// provides the happens-before edge), never expecting an in-flight
+/// operation to pick a fault up mid-race.
 ///
 /// Points are arbitrary strings; the convention is `layer.op.fault`
 /// (`net.send.drop`, `wal.append.torn`). Unknown points never fire.
@@ -92,10 +102,12 @@ class FaultInjector {
     uint64_t fires = 0;
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  /// Lock-free gate for the unarmed fast path; see the class comment for
+  /// the release/acquire pairing with mu_.
   std::atomic<int> armed_count_{0};
-  std::map<std::string, Point> points_;
-  uint64_t rng_state_;  // splitmix64 for kProbability draws.
+  std::map<std::string, Point> points_ TCVS_GUARDED_BY(mu_);
+  uint64_t rng_state_ TCVS_GUARDED_BY(mu_);  // splitmix64 for kProbability.
 };
 
 }  // namespace util

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace tcvs {
+namespace util {
+
+/// \brief The repo's ONLY mutex: std::mutex carrying the thread-safety
+/// capability annotations, so `-Wthread-safety` (clang) can prove every
+/// access to `TCVS_GUARDED_BY(mu_)` state happens under the lock.
+///
+/// Raw `std::mutex` / `std::lock_guard` are banned outside `util/`
+/// (enforced by tools/lint.py): a raw mutex is invisible to the checker, so
+/// state it guards silently falls out of the compile-time proof.
+///
+/// Lock with MutexLock (RAII); Lock()/Unlock() exist for the rare manual
+/// pattern and for CondVar's internal use.
+class TCVS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TCVS_ACQUIRE() { mu_.lock(); }
+  void Unlock() TCVS_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped primitive, for CondVar only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over a util::Mutex (Abseil idiom). Scoped-capability
+/// annotated: the checker knows the capability is held between construction
+/// and destruction, and only there.
+class TCVS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TCVS_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() TCVS_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// \brief Condition variable paired with util::Mutex.
+///
+/// Wait() takes the Mutex the caller already holds (annotated TCVS_REQUIRES,
+/// so calling it without the lock is a compile error under clang). The
+/// predicate loop stays at the call site — standard condition-variable
+/// discipline.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu`, blocks until notified, reacquires.
+  void Wait(Mutex* mu) TCVS_REQUIRES(mu) TCVS_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu->native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller still owns the mutex, as annotated.
+  }
+
+  /// Like Wait, but returns false if `timeout_ms` elapsed first.
+  bool WaitFor(Mutex* mu, int timeout_ms)
+      TCVS_REQUIRES(mu) TCVS_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu->native(), std::adopt_lock);
+    bool notified = cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms)) ==
+                    std::cv_status::no_timeout;
+    lock.release();
+    return notified;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace util
+}  // namespace tcvs

@@ -14,8 +14,10 @@ namespace tcvs {
 /// A Result is either *ok* and holds a T, or holds a non-OK Status. Accessing
 /// the value of a failed Result aborts, so callers must check `ok()` first or
 /// use the TCVS_ASSIGN_OR_RETURN macro.
+/// [[nodiscard]] for the same reason as Status: an unexamined Result is a
+/// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -35,7 +35,12 @@ enum class StatusCode : int {
 /// Library code never throws; every fallible function returns a Status (or a
 /// Result<T>, see result.h). Statuses are cheap to copy in the OK case: an OK
 /// Status carries no heap state.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is a dropped error — in this
+/// codebase often a dropped *verification* error — so it is a compile
+/// warning (-Werror: a build break). Cast to void only where ignoring is a
+/// documented decision.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

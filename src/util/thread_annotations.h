@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file
+/// Clang thread-safety-analysis attribute macros (the Abseil/LLVM idiom).
+///
+/// When the compiler implements the analysis (`clang -Wthread-safety`), these
+/// macros attach capability semantics to types and functions: a mutex is a
+/// *capability*, data members are `TCVS_GUARDED_BY` it, and functions declare
+/// what they `TCVS_REQUIRES`, `TCVS_ACQUIRE`, or `TCVS_RELEASE`. The checker
+/// then proves at compile time that every access to guarded state happens
+/// under its lock — removing a MutexLock around annotated server state is a
+/// build break, not a TSan report three releases later.
+///
+/// On compilers without the analysis (GCC) the macros expand to nothing, so
+/// annotated code stays portable; the TSan preset remains the dynamic
+/// backstop there (see tools/check.sh).
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TCVS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TCVS_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+/// Marks a type as a capability (a lock). `name` is shown in diagnostics.
+#define TCVS_CAPABILITY(name) TCVS_THREAD_ANNOTATION_(capability(name))
+
+/// Marks a RAII type whose constructor acquires and destructor releases.
+#define TCVS_SCOPED_CAPABILITY TCVS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define TCVS_GUARDED_BY(x) TCVS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define TCVS_PT_GUARDED_BY(x) TCVS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively) for the call's duration.
+#define TCVS_REQUIRES(...) \
+  TCVS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared.
+#define TCVS_REQUIRES_SHARED(...) \
+  TCVS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define TCVS_ACQUIRE(...) \
+  TCVS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability it was holding.
+#define TCVS_RELEASE(...) \
+  TCVS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Caller must NOT already hold the capability (deadlock prevention).
+#define TCVS_EXCLUDES(...) TCVS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding the annotated data.
+#define TCVS_RETURN_CAPABILITY(x) TCVS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: function body is exempt from the analysis (used by the
+/// wrappers themselves, whose bodies manipulate the underlying std primitives
+/// the checker cannot see through).
+#define TCVS_NO_THREAD_SAFETY_ANALYSIS \
+  TCVS_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -1,0 +1,275 @@
+// Stress tests for the multi-threaded serve loop: N concurrent verifying
+// clients hammer one server with interleaved commits, checkouts, and
+// listings, and every protocol invariant must hold exactly as it does under
+// sequential execution:
+//
+//   * every reply passes full Protocol II verification (a racy server that
+//     interleaved two transactions would produce an unverifiable VO chain),
+//   * the server's counter equals the number of transactions issued
+//     (gctr = Σ lctr_k, the §4 sync-up identity),
+//   * the cross-client SyncCheck detects no fork,
+//   * a request id is answered by ONE execution no matter how many times
+//     transport faults force its replay.
+//
+// These tests are the TSan preset's main prey: run them under
+// `cmake --preset tsan` (tools/check.sh does) to turn latent data races in
+// the serve path into hard failures.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cvs/trusted.h"
+#include "net/socket.h"
+#include "rpc/remote.h"
+#include "util/fault.h"
+
+namespace tcvs {
+namespace {
+
+rpc::RemoteOptions FastRetryOptions() {
+  rpc::RemoteOptions options;
+  options.retry.max_attempts = 12;
+  options.retry.initial_backoff_ms = 2;
+  options.retry.max_backoff_ms = 50;
+  options.connect_timeout_ms = 2000;
+  options.io_timeout_ms = 5000;
+  return options;
+}
+
+/// One server + worker pool serving an in-memory repository for the
+/// duration of a test, shut down via RPC in TearDown.
+class ConcurrentServerTest : public ::testing::Test {
+ protected:
+  static constexpr int kClients = 8;
+  static constexpr int kIterations = 8;
+
+  void SetUp() override {
+    util::FaultInjector::Instance().Reset();
+    auto listener = net::TcpListener::Bind(0);
+    ASSERT_TRUE(listener.ok());
+    port_ = listener->port();
+    rpc::ServeOptions options;
+    options.num_threads = kClients;
+    serve_thread_ = std::thread(
+        [l = std::move(listener).ValueOrDie(), this, options]() mutable {
+          serve_status_ = rpc::Serve(&l, &repo_, options);
+        });
+  }
+
+  void TearDown() override {
+    util::FaultInjector::Instance().Reset();
+    auto remote = rpc::RemoteServer::Connect("127.0.0.1", port_);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    ASSERT_TRUE((*remote)->Shutdown().ok());
+    serve_thread_.join();
+    EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+  }
+
+  cvs::UntrustedServer repo_;
+  uint16_t port_ = 0;
+  std::thread serve_thread_;
+  Status serve_status_ = Status::OK();
+};
+
+TEST_F(ConcurrentServerTest, InterleavedCommitsAndReadsVerifyAndSyncUp) {
+  std::vector<cvs::ClientState> states(kClients);
+  std::vector<uint64_t> ops_issued(kClients, 0);
+  std::atomic<int> failures{0};
+
+  auto client_body = [&](int idx) {
+    auto remote =
+        rpc::RemoteServer::Connect("127.0.0.1", port_, FastRetryOptions());
+    if (!remote.ok()) {
+      ++failures;
+      return;
+    }
+    const uint32_t user = static_cast<uint32_t>(idx + 1);
+    cvs::VerifyingClient client(user, remote->get());
+    const std::string path = "dir/file" + std::to_string(idx);
+    uint64_t ops = 0;
+    for (int it = 0; it < kIterations; ++it) {
+      auto rev = client.Commit(path, "v" + std::to_string(it),
+                               static_cast<uint64_t>(it));
+      if (!rev.ok() || *rev != static_cast<uint64_t>(it + 1)) {
+        ++failures;
+        return;
+      }
+      ++ops;
+      auto rec = client.Checkout(path);
+      if (!rec.ok() || rec->content != "v" + std::to_string(it)) {
+        ++failures;
+        return;
+      }
+      ++ops;
+      if (it % 4 == 3) {
+        // A COMPLETE listing taken mid-melee: still verifies, still contains
+        // this client's own file.
+        auto listing = client.ListDir("dir/");
+        if (!listing.ok()) {
+          ++failures;
+          return;
+        }
+        bool mine = false;
+        for (const auto& [name, rev_seen] : *listing) {
+          if (name == path) mine = rev_seen == static_cast<uint64_t>(it + 1);
+        }
+        if (!mine) {
+          ++failures;
+          return;
+        }
+        ++ops;
+      }
+    }
+    states[idx] = client.state();
+    ops_issued[idx] = ops;
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) clients.emplace_back(client_body, i);
+  for (auto& t : clients) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // The §4 sync-up identity: the server's global counter is exactly the sum
+  // of per-client local counters — no transaction lost, none double-run.
+  uint64_t total_ops = 0;
+  uint64_t sum_lctr = 0;
+  for (int i = 0; i < kClients; ++i) {
+    total_ops += ops_issued[i];
+    sum_lctr += states[i].lctr;
+  }
+  EXPECT_EQ(repo_.ctr(), total_ops);
+  EXPECT_EQ(sum_lctr, total_ops);
+
+  // Cross-client fork check over all final states.
+  EXPECT_TRUE(cvs::VerifyingClient::SyncCheck(states).ok());
+
+  // The concurrent run's final state matches what sequential execution
+  // would produce: every file holds its last committed content.
+  auto remote =
+      rpc::RemoteServer::Connect("127.0.0.1", port_, FastRetryOptions());
+  ASSERT_TRUE(remote.ok());
+  cvs::VerifyingClient reader(100, remote->get());
+  for (int i = 0; i < kClients; ++i) {
+    auto rec = reader.Checkout("dir/file" + std::to_string(i));
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    EXPECT_EQ(rec->content, "v" + std::to_string(kIterations - 1));
+    EXPECT_EQ(rec->revision, static_cast<uint64_t>(kIterations));
+  }
+}
+
+TEST_F(ConcurrentServerTest, ContendedSameFileCommitsStayAtomic) {
+  // Every client fights over ONE path. Exactly one commit can win each
+  // revision; losers see an authenticated conflict and rebase. The final
+  // revision count proves no commit was applied twice or lost.
+  const std::string path = "contended";
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> wins{0};
+
+  auto client_body = [&](int idx) {
+    auto remote =
+        rpc::RemoteServer::Connect("127.0.0.1", port_, FastRetryOptions());
+    if (!remote.ok()) {
+      ++failures;
+      return;
+    }
+    cvs::VerifyingClient client(static_cast<uint32_t>(idx + 1),
+                                remote->get());
+    for (int it = 0; it < kIterations; ++it) {
+      for (int attempt = 0;; ++attempt) {
+        if (attempt > kClients * kIterations + 8) {
+          ++failures;  // Livelock: someone's conflict never resolved.
+          return;
+        }
+        uint64_t base = 0;
+        auto rec = client.Checkout(path);
+        if (rec.ok()) {
+          base = rec->revision;
+        } else if (!rec.status().IsNotFound()) {
+          ++failures;
+          return;
+        }
+        auto rev = client.Commit(path, "by" + std::to_string(idx), base);
+        if (rev.ok()) {
+          ++wins;
+          break;
+        }
+        if (!rev.status().IsFailedPrecondition() &&
+            !rev.status().IsAlreadyExists()) {
+          ++failures;
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) clients.emplace_back(client_body, i);
+  for (auto& t : clients) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_EQ(wins.load(), static_cast<uint64_t>(kClients * kIterations));
+
+  auto remote =
+      rpc::RemoteServer::Connect("127.0.0.1", port_, FastRetryOptions());
+  ASSERT_TRUE(remote.ok());
+  cvs::VerifyingClient reader(100, remote->get());
+  auto rec = reader.Checkout(path);
+  ASSERT_TRUE(rec.ok());
+  // One revision per winning commit, exactly.
+  EXPECT_EQ(rec->revision, static_cast<uint64_t>(kClients * kIterations));
+}
+
+TEST_F(ConcurrentServerTest, LostRepliesReplayIdempotentlyUnderConcurrency) {
+  // 20% of requests lose their reply after execution, concurrently across
+  // all clients. Every retry reuses its request id, so the reply cache must
+  // answer each id with ONE execution — the exact counters below would be
+  // off if even a single replay re-executed.
+  util::FaultInjector::Instance().Arm(rpc::kFaultServeDropAfter,
+                                      util::FaultSpec::Probability(0.2));
+
+  std::vector<cvs::ClientState> states(kClients);
+  std::atomic<int> failures{0};
+  auto client_body = [&](int idx) {
+    auto remote =
+        rpc::RemoteServer::Connect("127.0.0.1", port_, FastRetryOptions());
+    if (!remote.ok()) {
+      ++failures;
+      return;
+    }
+    const uint32_t user = static_cast<uint32_t>(idx + 1);
+    cvs::VerifyingClient client(user, remote->get());
+    const std::string path = "f" + std::to_string(idx);
+    for (int it = 0; it < kIterations; ++it) {
+      auto rev = client.Commit(path, "v" + std::to_string(it),
+                               static_cast<uint64_t>(it));
+      if (!rev.ok() || *rev != static_cast<uint64_t>(it + 1)) {
+        ++failures;
+        return;
+      }
+    }
+    states[idx] = client.state();
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) clients.emplace_back(client_body, i);
+  for (auto& t : clients) t.join();
+  util::FaultInjector::Instance().Disarm(rpc::kFaultServeDropAfter);
+  ASSERT_EQ(failures.load(), 0);
+
+  // Exactly one execution per logical request: kClients * kIterations
+  // commits, regardless of how many replays the fault forced.
+  EXPECT_EQ(repo_.ctr(), static_cast<uint64_t>(kClients * kIterations));
+  uint64_t sum_lctr = 0;
+  for (const auto& s : states) sum_lctr += s.lctr;
+  EXPECT_EQ(sum_lctr, static_cast<uint64_t>(kClients * kIterations));
+  EXPECT_TRUE(cvs::VerifyingClient::SyncCheck(states).ok());
+}
+
+}  // namespace
+}  // namespace tcvs

@@ -146,7 +146,9 @@ TEST(BTreeTest, MatchesReferenceMapUnderRandomOps) {
       tree.Delete(key, &found);
       EXPECT_EQ(found, ref.erase(key) > 0);
     }
-    if (step % 250 == 0) ASSERT_TRUE(tree.CheckInvariants().ok());
+    if (step % 250 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok());
+    }
   }
   EXPECT_EQ(tree.size(), ref.size());
   for (const auto& [k, v] : ref) {
@@ -355,7 +357,9 @@ TEST(DeleteReplayTest, RandomInterleavedOpsKeepClientInSync) {
         ASSERT_EQ(client.root(), tree.root_digest()) << "step " << step;
       }
     }
-    if (step % 200 == 0) ASSERT_TRUE(tree.CheckInvariants().ok());
+    if (step % 200 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok());
+    }
   }
 }
 

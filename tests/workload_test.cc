@@ -53,7 +53,9 @@ TEST(CvsWorkloadTest, RespectsShape) {
     for (const auto& op : script.ops) {
       EXPECT_GE(op.earliest_round, prev);  // Non-decreasing per user.
       prev = op.earliest_round;
-      if (op.kind == sim::OpKind::kCommit) EXPECT_FALSE(op.value.empty());
+      if (op.kind == sim::OpKind::kCommit) {
+        EXPECT_FALSE(op.value.empty());
+      }
     }
   }
   EXPECT_EQ(users.size(), 5u);  // Distinct nonzero ids.

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for trusted-cvs: the checks generic tools can't do.
+
+Rules (each violation prints `file:line: [rule] message`; exit 1 if any):
+
+  raw-mutex      std::mutex / std::lock_guard / std::unique_lock /
+                 std::condition_variable etc. are banned outside
+                 src/util/mutex.h. Raw primitives are invisible to the
+                 clang thread-safety analysis, so state they guard falls
+                 out of the compile-time locking proof. Use util::Mutex,
+                 util::MutexLock, util::CondVar (src/util/mutex.h).
+
+  naked-new      `new` must be owned immediately (std::make_unique, or a
+                 unique_ptr/shared_ptr constructor on the same or previous
+                 line). A raw owning pointer is a leak waiting for an early
+                 return. Suppress intentional cases with `lint:allow-new`.
+
+  fault-registry every fault point consulted or armed in production code
+                 (src/, tools/) must be a named kFault* constant, and every
+                 `point=trigger` spec string anywhere in the tree (TCVS_FAULTS
+                 examples included) must name a REGISTERED point — an armed
+                 point with a typo'd name never fires, which silently turns a
+                 fault-injection test into a no-op.
+
+  header-hygiene every header starts with #pragma once (before any code)
+                 and declares no top-level `using namespace`.
+
+Run from anywhere: paths are resolved relative to the repo root (the parent
+of this script's directory). `tools/check.sh` runs this as its last stage.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE_DIRS = ["src", "tools", "tests", "bench", "examples"]
+HEADER_DIRS = ["src", "tools"]
+
+RAW_MUTEX_ALLOWED = {Path("src/util/mutex.h")}
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"recursive_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable|condition_variable_any)\b"
+)
+
+NAKED_NEW_RE = re.compile(r"(?<![:\w])new\s+[A-Za-z_]")
+NEW_OWNERSHIP_RE = re.compile(r"make_unique|make_shared|unique_ptr|shared_ptr")
+
+FAULT_DEF_RE = re.compile(r"constexpr\s+char\s+kFault\w+\[\]\s*=\s*\"([^\"]+)\"")
+# Production code must consult points via the named constants, never ad-hoc
+# literals (tests/bench may probe unknown points deliberately).
+FAULT_CALL_LITERAL_RE = re.compile(r"\b(?:ShouldFail|Arm|Disarm)\(\s*\"([^\"]+)\"")
+# The TCVS_FAULTS grammar: dotted.point.name=trigger — wherever it appears
+# (env strings in tests, doc examples), the point must exist.
+FAULT_SPEC_RE = re.compile(
+    r"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+){2,})=(?:always|oneshot|nth:\d+|prob:[0-9.]+)"
+)
+
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+
+
+def source_files(dirs, suffixes):
+    for d in dirs:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in suffixes and path.is_file():
+                yield path
+
+
+def strip_comments(lines):
+    """Yields (lineno, code) with // and /* */ comment text blanked out.
+
+    String literals are left intact (fault-point literals live in them);
+    comment contents are blanked so commented-out code never trips a rule.
+    """
+    in_block = False
+    for lineno, line in enumerate(lines, start=1):
+        out = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            elif line.startswith("//", i):
+                break
+            elif line.startswith("/*", i):
+                in_block = True
+                i += 2
+            elif line[i] == '"':
+                # Copy the string literal verbatim (handles \" escapes).
+                j = i + 1
+                while j < len(line) and line[j] != '"':
+                    j += 2 if line[j] == "\\" else 1
+                out.append(line[i : j + 1])
+                i = j + 1
+            else:
+                out.append(line[i])
+                i += 1
+        yield lineno, "".join(out)
+
+
+def main():
+    violations = []
+
+    def report(path, lineno, rule, message):
+        violations.append(f"{path.relative_to(REPO)}:{lineno}: [{rule}] {message}")
+
+    # Pass 1: collect the fault-point registry from all of src/.
+    registry = set()
+    for path in source_files(["src"], {".h", ".cc"}):
+        registry.update(FAULT_DEF_RE.findall(path.read_text()))
+    if not registry:
+        print("lint.py: internal error: found no kFault* registry constants",
+              file=sys.stderr)
+        return 1
+
+    # Pass 2: per-file rules.
+    for path in source_files(SOURCE_DIRS, {".h", ".cc", ".cpp"}):
+        rel = path.relative_to(REPO)
+        lines = path.read_text().splitlines()
+        code_lines = dict(strip_comments(lines))
+        in_production = rel.parts[0] in ("src", "tools")
+
+        prev_code = ""
+        for lineno in sorted(code_lines):
+            code = code_lines[lineno]
+            raw = lines[lineno - 1]
+            # For syntax rules, blank string literals too ("new size" in a
+            # message is not an allocation).
+            code_no_str = re.sub(r'"(?:[^"\\]|\\.)*"', '""', code)
+
+            if RAW_MUTEX_RE.search(code_no_str) and rel not in RAW_MUTEX_ALLOWED:
+                report(path, lineno, "raw-mutex",
+                       "raw std:: synchronization primitive; use util::Mutex/"
+                       "MutexLock/CondVar from util/mutex.h so the "
+                       "thread-safety analysis can see the lock")
+
+            if (NAKED_NEW_RE.search(code_no_str)
+                    and "lint:allow-new" not in raw
+                    and not NEW_OWNERSHIP_RE.search(prev_code + code)):
+                report(path, lineno, "naked-new",
+                       "unowned `new`; use std::make_unique (or mark an "
+                       "intentional leak with lint:allow-new)")
+
+            if in_production:
+                m = FAULT_CALL_LITERAL_RE.search(code)
+                if m:
+                    report(path, lineno, "fault-registry",
+                           f'fault point "{m.group(1)}" consulted via string '
+                           "literal in production code; define and use a "
+                           "kFault* constant")
+            prev_code = code_no_str
+
+        # Fault-spec strings may sit in comments (doc examples) — check the
+        # raw text, not the comment-stripped one: a typo'd example misleads
+        # exactly like a typo'd env var.
+        for lineno, raw in enumerate(lines, start=1):
+            for point in FAULT_SPEC_RE.findall(raw):
+                if point not in registry:
+                    report(path, lineno, "fault-registry",
+                           f'fault spec names unregistered point "{point}" '
+                           f"(known: {', '.join(sorted(registry))})")
+
+    # Pass 3: header hygiene.
+    for path in source_files(HEADER_DIRS, {".h"}):
+        lines = path.read_text().splitlines()
+        code_lines = dict(strip_comments(lines))
+        first_code = next(
+            ((n, c) for n, c in sorted(code_lines.items()) if c.strip()), None)
+        if first_code is None:
+            report(path, 1, "header-hygiene", "empty header")
+        elif first_code[1].strip() != "#pragma once":
+            report(path, first_code[0], "header-hygiene",
+                   "first declaration must be #pragma once")
+        for lineno, code in sorted(code_lines.items()):
+            if USING_NAMESPACE_RE.search(code):
+                report(path, lineno, "header-hygiene",
+                       "`using namespace` in a header leaks into every "
+                       "includer")
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint.py: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: OK ({len(registry)} registered fault points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

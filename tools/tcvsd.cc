@@ -6,7 +6,11 @@
 // periodic sync-ups catch forks/replays this process could mount.
 //
 // Usage:
-//   tcvsd [--port N] [--fanout F] [--data-dir DIR] [--no-fsync]
+//   tcvsd [--port N] [--fanout F] [--data-dir DIR] [--no-fsync] [--threads N]
+//
+// --threads sizes the serve loop's worker pool: N connections are answered
+// concurrently (I/O in parallel, transaction execution serialized under the
+// serve lock — see ARCHITECTURE.md "Concurrency model").
 //
 // With --data-dir, the repository is durable: a write-ahead log captures
 // every transaction before it executes and a snapshot is folded on clean
@@ -39,6 +43,7 @@ int main(int argc, char** argv) {
   size_t fanout = 8;
   std::string data_dir;
   bool fsync = true;
+  rpc::ServeOptions serve_options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
@@ -46,6 +51,8 @@ int main(int argc, char** argv) {
       fanout = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
       data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      serve_options.num_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--no-fsync") == 0) {
       fsync = false;
     } else if (std::strcmp(argv[i], "--fsync") == 0) {
@@ -53,9 +60,13 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: tcvsd [--port N] [--fanout F] [--data-dir DIR] "
-                   "[--no-fsync]\n");
+                   "[--no-fsync] [--threads N]\n");
       return 2;
     }
+  }
+  if (serve_options.num_threads < 1) {
+    std::fprintf(stderr, "tcvsd: --threads must be >= 1\n");
+    return 2;
   }
 
   // Cross-process fault injection for resilience tests (no-op when unset).
@@ -95,7 +106,7 @@ int main(int argc, char** argv) {
   std::printf("tcvsd listening on 127.0.0.1:%u\n", listener->port());
   std::fflush(stdout);
 
-  Status st = rpc::Serve(&listener.ValueOrDie(), api);
+  Status st = rpc::Serve(&listener.ValueOrDie(), api, serve_options);
   if (!st.ok()) {
     std::fprintf(stderr, "tcvsd: %s\n", st.ToString().c_str());
     return 1;
