@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/benchmark_json_main.h"
+
 #include "crypto/hmac.h"
 #include "crypto/lamport.h"
 #include "crypto/merkle_sig.h"
@@ -147,4 +149,4 @@ BENCHMARK(BM_MssVerify);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TCVS_BENCHMARK_JSON_MAIN("bench_crypto");

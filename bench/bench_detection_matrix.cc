@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/json_out.h"
 #include "bench/table.h"
 #include "core/scenario.h"
 #include "workload/workload.h"
@@ -59,6 +60,7 @@ ScenarioReport RunCell(ProtocolKind protocol, AttackKind attack) {
 }  // namespace
 
 int main() {
+  bench::JsonOut json("bench_detection_matrix");
   std::printf("E9: detection matrix — attack x protocol\n");
   std::printf("(4 users; k = 6; epoch t = 50; one-shot attacks trigger at round 60)\n\n");
 
@@ -91,6 +93,7 @@ int main() {
                   r.detected ? Num(r.detection_delay_rounds) : "-"});
   }
   table.Print();
+  json.Add("detection matrix: attack x protocol", table);
 
   std::printf(
       "Note: the ground-truth column reports deviation *manifest in completed\n"

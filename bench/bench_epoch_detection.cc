@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/json_out.h"
 #include "bench/table.h"
 #include "core/scenario.h"
 #include "workload/workload.h"
@@ -42,6 +43,7 @@ ScenarioReport RunEpochFork(sim::Round epoch_rounds, sim::Round trigger) {
 }  // namespace
 
 int main() {
+  bench::JsonOut json("bench_epoch_detection");
   std::printf("F4: Protocol III — detection delay vs epoch length t\n");
   std::printf("(4 users, 2 ops per user per epoch, fork mid-epoch 3,\n");
   std::printf(" external messages must stay 0: no broadcast channel)\n\n");
@@ -62,6 +64,7 @@ int main() {
                   Num(r.traffic.external_messages)});
   }
   table.Print();
+  json.Add("detection delay vs epoch length t", table);
 
   std::printf(
       "Expected shape: delay grows linearly with t and stays within the\n"

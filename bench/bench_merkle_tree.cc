@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/benchmark_json_main.h"
+
 #include <map>
 
 #include "mtree/btree.h"
@@ -163,4 +165,4 @@ BENCHMARK(BM_BulkLoadVsIncremental)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TCVS_BENCHMARK_JSON_MAIN("bench_merkle_tree");

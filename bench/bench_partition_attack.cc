@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/json_out.h"
 #include "bench/table.h"
 #include "core/scenario.h"
 #include "workload/workload.h"
@@ -47,6 +48,7 @@ ScenarioReport RunFork(ProtocolKind protocol, uint32_t k) {
 }  // namespace
 
 int main() {
+  bench::JsonOut json("bench_partition_attack");
   std::printf("F1: partition attack — detection delay vs sync period k\n");
   std::printf("(4 users; fork at round 60; group B = users 3,4 forked off)\n\n");
 
@@ -66,6 +68,7 @@ int main() {
     }
   }
   table.Print();
+  json.Add("detection delay vs sync period k", table);
 
   std::printf(
       "Expected shape: NoExternalComm never detects (Theorem 3.1); Protocols\n"

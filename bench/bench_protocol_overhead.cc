@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench/json_out.h"
 #include "bench/table.h"
 #include "core/scenario.h"
 #include "workload/workload.h"
@@ -65,6 +66,7 @@ Row RunConcurrent(ProtocolKind protocol, uint32_t num_users, uint32_t ops_each) 
 }  // namespace
 
 int main() {
+  bench::JsonOut json("bench_protocol_overhead");
   const uint32_t kUsers = 6, kOps = 15;
   std::printf("E6: protocol overhead under concurrency\n");
   std::printf("(%u users x %u commits, all eligible at round 1, honest server)\n\n",
@@ -82,6 +84,7 @@ int main() {
                   Num(row.messages), Num(row.bytes), Num(row.bytes_per_op)});
   }
   table.Print();
+  json.Add("protocol overhead under concurrency", table);
 
   std::printf(
       "Expected shape: Plain and NoExternalComm/ProtocolII complete in the\n"

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/json_out.h"
 #include "bench/table.h"
 #include "core/scenario.h"
 
@@ -22,6 +23,7 @@ using tcvs::bench::Table;
 using tcvs::bench::YesNo;
 
 int main() {
+  bench::JsonOut json("bench_replay_attack");
   std::printf("F3: Figure-3 replay attack — fingerprint tagging ablation\n");
   std::printf("(5 users; transitions 3 and 4 replayed to users 4 and 5)\n\n");
 
@@ -40,6 +42,7 @@ int main() {
                   YesNo(r.detected), r.detected ? Num(r.detection_round) : "-"});
   }
   table.Print();
+  json.Add("fingerprint tagging ablation", table);
 
   std::printf(
       "Expected shape: both rows show a real deviation (two transactions per\n"

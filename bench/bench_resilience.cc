@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/benchmark_json_main.h"
+
 #include <thread>
 
 #include "net/socket.h"
@@ -95,4 +97,4 @@ BENCHMARK(BM_LoopbackFrameRoundTrip)->Arg(64)->Arg(4096)->Arg(65536);
 }  // namespace
 }  // namespace tcvs
 
-BENCHMARK_MAIN();
+TCVS_BENCHMARK_JSON_MAIN("bench_resilience");

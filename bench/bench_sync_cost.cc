@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/json_out.h"
 #include "bench/table.h"
 #include "core/scenario.h"
 #include "workload/workload.h"
@@ -41,6 +42,7 @@ ScenarioReport RunHonest(uint32_t num_users, uint32_t k, uint32_t ops_per_user,
 }  // namespace
 
 int main() {
+  bench::JsonOut json("bench_sync_cost");
   std::printf("E7: sync-up cost vs population size (Protocol II, honest)\n");
   std::printf("(24 ops per user; k = 8 unless noted)\n\n");
 
@@ -56,6 +58,7 @@ int main() {
                   Num(double(r.traffic.external_messages) / per_sync)});
   }
   table.Print();
+  json.Add("sync-up cost vs population size", table);
 
   Table ktable({"k", "external msgs", "external bytes", "syncs (approx)"});
   for (uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
@@ -64,6 +67,7 @@ int main() {
                    Num(r.traffic.external_bytes), Num(uint64_t(8 * 24 / k))});
   }
   ktable.Print();
+  json.Add("sync traffic vs sync period k", ktable);
 
   // Future-work extension (paper §6, item 2): aggregation-tree sync brings
   // the per-sync cost from Θ(n²) broadcast messages to Θ(n), with O(1) work
@@ -82,6 +86,7 @@ int main() {
                    Num(reduction) + "x"});
   }
   mtable.Print();
+  json.Add("aggregation-tree extension", mtable);
 
   std::printf(
       "Expected shape: per-sync messages grow ~n^2 (every user broadcasts a\n"

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/json_out.h"
 #include "bench/table.h"
 #include "core/scenario.h"
 #include "workload/workload.h"
@@ -38,6 +39,7 @@ uint64_t BurstLatency(ProtocolKind protocol, uint32_t num_users,
 }  // namespace
 
 int main() {
+  bench::JsonOut json("bench_workload_preservation");
   std::printf("E5: workload preservation — burst of 8 back-to-back commits\n");
   std::printf("by one user; worst-case latency in rounds vs user count n\n\n");
 
@@ -50,6 +52,7 @@ int main() {
                   Num(BurstLatency(ProtocolKind::kProtocolII, n, kBurst))});
   }
   table.Print();
+  json.Add("burst latency vs user count", table);
 
   std::printf(
       "Expected shape: the TokenBaseline column grows linearly in n (one\n"

@@ -1,0 +1,57 @@
+#pragma once
+
+// Drop-in replacement for BENCHMARK_MAIN() that, in addition to the normal
+// console output, writes google-benchmark's native JSON report to
+// BENCH_<name>.json (see bench/json_out.h for the output-directory rule).
+// The JSON schema is the library's own — {"context": {...},
+// "benchmarks": [{"name", "real_time", "cpu_time", ...}]} — documented in
+// EXPERIMENTS.md alongside the table-bench schema.
+//
+// Implemented by injecting --benchmark_out/--benchmark_out_format into the
+// argument list (the library refuses a file reporter without the flag); an
+// explicit --benchmark_out on the command line wins.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/json_out.h"
+
+namespace tcvs {
+namespace bench {
+
+inline int BenchmarkMainWithJson(const char* bench_name, int argc,
+                                 char** argv) {
+  const std::string path = JsonOutputPath(bench_name);
+  std::string out_flag = "--benchmark_out=" + path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) user_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  if (!user_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  args.push_back(nullptr);
+
+  int n = static_cast<int>(args.size()) - 1;
+  ::benchmark::Initialize(&n, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!user_out) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace tcvs
+
+#define TCVS_BENCHMARK_JSON_MAIN(name)                            \
+  int main(int argc, char** argv) {                               \
+    return ::tcvs::bench::BenchmarkMainWithJson(name, argc, argv); \
+  }

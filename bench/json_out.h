@@ -1,0 +1,135 @@
+#pragma once
+
+// Machine-readable results for the scenario-driven experiment binaries:
+// alongside the stdout tables, each bench writes BENCH_<name>.json so result
+// trajectories accumulate across runs.
+//
+// Schema (schema_version 1, documented in EXPERIMENTS.md):
+//   {"bench": "<name>", "schema_version": 1,
+//    "tables": [{"title": "...", "headers": ["..."], "rows": [["..."]]}]}
+//
+// All cells are strings, exactly as printed in the human table — consumers
+// parse numbers themselves, so the JSON can never disagree with the stdout
+// table it mirrors.
+//
+// The file lands in $TCVS_BENCH_JSON_DIR when set, else the working
+// directory. google-benchmark binaries use bench/benchmark_json_main.h
+// instead (the library's native JSON schema).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/table.h"
+
+namespace tcvs {
+namespace bench {
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Where BENCH_*.json files land: $TCVS_BENCH_JSON_DIR or the working dir.
+inline std::string JsonOutputPath(const std::string& bench_name) {
+  const char* dir = std::getenv("TCVS_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  return path + "/BENCH_" + bench_name + ".json";
+}
+
+/// \brief Accumulates the tables a bench produces and writes them as one
+/// BENCH_<name>.json when destroyed (or on an explicit Write()). Declare one
+/// at the top of main, Add() each table next to its Print().
+class JsonOut {
+ public:
+  explicit JsonOut(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  ~JsonOut() {
+    if (!written_) Write();
+  }
+
+  JsonOut(const JsonOut&) = delete;
+  JsonOut& operator=(const JsonOut&) = delete;
+
+  void Add(const std::string& title, const Table& table) {
+    tables_.push_back(Entry{title, table.headers(), table.rows()});
+  }
+
+  /// Writes the JSON file; failure is reported on stderr, never fatal (the
+  /// stdout table already carries the result).
+  void Write() {
+    written_ = true;
+    std::string out = "{\"bench\":\"" + JsonEscape(bench_name_) +
+                      "\",\"schema_version\":1,\"tables\":[";
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      const Entry& e = tables_[t];
+      if (t > 0) out.push_back(',');
+      out += "{\"title\":\"" + JsonEscape(e.title) + "\",\"headers\":[";
+      for (size_t c = 0; c < e.headers.size(); ++c) {
+        if (c > 0) out.push_back(',');
+        out += "\"" + JsonEscape(e.headers[c]) + "\"";
+      }
+      out += "],\"rows\":[";
+      for (size_t r = 0; r < e.rows.size(); ++r) {
+        if (r > 0) out.push_back(',');
+        out.push_back('[');
+        for (size_t c = 0; c < e.rows[r].size(); ++c) {
+          if (c > 0) out.push_back(',');
+          out += "\"" + JsonEscape(e.rows[r][c]) + "\"";
+        }
+        out.push_back(']');
+      }
+      out += "]}";
+    }
+    out += "]}\n";
+
+    const std::string path = JsonOutputPath(bench_name_);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write %s\n", bench_name_.c_str(),
+                   path.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string bench_name_;
+  std::vector<Entry> tables_;
+  bool written_ = false;
+};
+
+}  // namespace bench
+}  // namespace tcvs

@@ -18,6 +18,12 @@ class Table {
 
   void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
+  /// \name Raw cells, for machine-readable emission (bench/json_out.h).
+  /// @{
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  /// @}
+
   void Print() const {
     std::vector<size_t> width(headers_.size());
     for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();

@@ -4,6 +4,7 @@
 
 #include "core/forensics.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace tcvs {
 namespace core {
@@ -452,7 +453,18 @@ void ProtocolUser::HandleSyncReport(sim::RoundContext* ctx,
   (void)ctx;
 }
 
-void ProtocolUser::FinishSyncSuccess(uint64_t sync_id) {
+void ProtocolUser::FinishSyncSuccess(sim::RoundContext* ctx,
+                                     uint64_t sync_id) {
+  static util::Counter* const completed =
+      util::MetricsRegistry::Instance().GetCounter(
+          "core.sync.completed_total");
+  static util::LatencyHistogram* const duration =
+      util::MetricsRegistry::Instance().GetLatency("core.sync.duration_rounds");
+  completed->Increment();
+  // sync_id is the announce round, so this is the end-to-end sync-up lag.
+  if (ctx != nullptr && ctx->round() >= sync_id) {
+    duration->Record(ctx->round() - sync_id);
+  }
   syncs_.erase(sync_id);
   ops_since_sync_ = 0;
   // Everything verified up to the counters covered by this sync: advance the
@@ -530,7 +542,7 @@ void ProtocolUser::StepTreeSyncOne(sim::RoundContext* ctx, SyncState* sync_ptr) 
       success.sync_id = sync.sync_id;
       success.user = options_.id;
       ctx->Broadcast(kMsgAggSuccess, success.Serialize());
-      FinishSyncSuccess(sync.sync_id);
+      FinishSyncSuccess(ctx, sync.sync_id);
       return;
     }
     if (ctx->round() >= *sync.success_deadline) {
@@ -570,8 +582,7 @@ void ProtocolUser::HandleAggSuccess(sim::RoundContext* ctx,
   auto success_or = AggSuccess::Deserialize(msg.payload);
   if (!success_or.ok()) return;
   if (syncs_.count(success_or->sync_id) == 0) return;
-  FinishSyncSuccess(success_or->sync_id);
-  (void)ctx;
+  FinishSyncSuccess(ctx, success_or->sync_id);
 }
 
 void ProtocolUser::EvaluateSyncIfComplete(sim::RoundContext* ctx) {
@@ -643,7 +654,7 @@ void ProtocolUser::EvaluateBroadcastSync(sim::RoundContext* ctx, uint64_t id) {
     dead_ = true;
     return;
   }
-  FinishSyncSuccess(id);
+  FinishSyncSuccess(ctx, id);
 }
 
 void ProtocolUser::MaybeRequestAudit(sim::RoundContext* ctx) {
@@ -654,6 +665,16 @@ void ProtocolUser::MaybeRequestAudit(sim::RoundContext* ctx) {
   while (next_audit_epoch_ + 2 <= current_epoch_) {
     uint64_t e = next_audit_epoch_;
     if (AuditorOf(e, options_.num_users) == options_.id) {
+      static util::Counter* const audits =
+          util::MetricsRegistry::Instance().GetCounter(
+              "core.audit.requests_total");
+      static util::LatencyHistogram* const lag =
+          util::MetricsRegistry::Instance().GetLatency(
+              "core.audit.epoch_lag_epochs");
+      audits->Increment();
+      // How far behind the current epoch this audit runs: the epoch
+      // detection lag the paper's §4.4 audit schedule induces.
+      lag->Record(current_epoch_ - e);
       EpochStatesRequest req;
       req.epoch = e;
       ctx->Send(sim::kServerId, kMsgEpochStatesRequest, req.Serialize());

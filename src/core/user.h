@@ -143,7 +143,10 @@ class ProtocolUser : public sim::Agent {
   /// child aggregates arrived; evaluate totals and deadlines.
   void StepTreeSync(sim::RoundContext* ctx);
   void StepTreeSyncOne(sim::RoundContext* ctx, SyncState* sync);
-  void FinishSyncSuccess(uint64_t sync_id);
+  /// Marks the sync complete. `ctx` is used only for observability: in the
+  /// simulator `sync_id` is the announce round, so completion round minus
+  /// sync_id is the sync-up duration.
+  void FinishSyncSuccess(sim::RoundContext* ctx, uint64_t sync_id);
   void MaybeRequestAudit(sim::RoundContext* ctx);
 
   /// Verifies a response and folds it into local state.

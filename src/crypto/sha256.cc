@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/metrics.h"
+
 namespace tcvs {
 namespace crypto {
 
@@ -102,6 +104,16 @@ void Sha256::Update(const uint8_t* data, size_t len) {
 }
 
 Digest Sha256::Finish() {
+  // Counted here, not in Update: `bit_count_` is exactly the message bytes,
+  // whereas Update also sees the padding Finish feeds back through it.
+  static util::Counter* const hashes =
+      util::MetricsRegistry::Instance().GetCounter(
+          "crypto.sha256.hashes_total");
+  static util::Counter* const hashed_bytes =
+      util::MetricsRegistry::Instance().GetCounter(
+          "crypto.sha256.bytes_total");
+  hashes->Increment();
+  hashed_bytes->Increment(bit_count_ / 8);
   uint64_t bits = bit_count_;
   // Append 0x80 then zero-pad to 56 mod 64, then the 64-bit big-endian length.
   uint8_t pad = 0x80;

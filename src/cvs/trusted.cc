@@ -1,5 +1,6 @@
 #include "cvs/trusted.h"
 
+#include "util/metrics.h"
 #include "util/serde.h"
 
 namespace tcvs {
@@ -161,6 +162,7 @@ Result<LogCheckpointReply> UntrustedServer::LogCheckpoint(uint64_t old_size) {
 Result<ServerReply> UntrustedServer::Transact(uint32_t user,
                                               const std::vector<FileOp>& ops) {
   if (ops.empty()) return Status::InvalidArgument("empty transaction");
+  TCVS_SPAN("cvs.server.transact");
 
   // Phase 1 — decide: every commit's base revision must match the revision
   // the file will have when that sub-op runs (earlier sub-ops of the same
@@ -227,6 +229,15 @@ Result<ServerReply> UntrustedServer::Transact(uint32_t user,
     }
     reply.files.push_back(std::move(f));
   }
+  static util::Counter* const transactions =
+      util::MetricsRegistry::Instance().GetCounter(
+          "cvs.server.transactions_total");
+  static util::LatencyHistogram* const vo_bytes =
+      util::MetricsRegistry::Instance().GetLatency("cvs.server.vo_bytes");
+  transactions->Increment();
+  uint64_t vo_total = 0;
+  for (const auto& f : reply.files) vo_total += f.vo.size();
+  vo_bytes->Record(vo_total);
 
   // One transaction, one counter tick; the requesting user is the new
   // state's creator. The post-state lands in the transparency log.
@@ -251,10 +262,14 @@ Bytes PrefixUpperBound(const std::string& prefix) {
 
 Result<ListReply> UntrustedServer::List(uint32_t user,
                                         const std::string& prefix) {
+  TCVS_SPAN("cvs.server.list");
   ListReply reply;
   reply.range_vo =
       tree_.ProveRange(util::ToBytes(prefix), PrefixUpperBound(prefix))
           .Serialize();
+  static util::LatencyHistogram* const vo_bytes =
+      util::MetricsRegistry::Instance().GetLatency("cvs.server.range_vo_bytes");
+  vo_bytes->Record(reply.range_vo.size());
   reply.ctr = ctr_;
   reply.creator = creator_;
   // A listing is a read transaction: the counter advances, the state stays.
@@ -318,6 +333,16 @@ Result<ServerReply> VerifyingClient::Execute(
     const std::vector<FileOp>& ops,
     std::vector<std::optional<FileRecord>>* pre_records) {
   TCVS_ASSIGN_OR_RETURN(ServerReply reply, server_->Transact(user_id_, ops));
+  TCVS_SPAN("cvs.client.verify_transact");
+  static util::Counter* const transactions =
+      util::MetricsRegistry::Instance().GetCounter(
+          "cvs.client.transactions_total");
+  static util::LatencyHistogram* const vo_bytes =
+      util::MetricsRegistry::Instance().GetLatency("cvs.client.vo_bytes");
+  transactions->Increment();
+  uint64_t vo_total = 0;
+  for (const auto& f : reply.files) vo_total += f.vo.size();
+  vo_bytes->Record(vo_total);
   if (reply.files.size() != ops.size()) {
     return Status::DeviationDetected("server answered a different transaction");
   }
@@ -485,6 +510,11 @@ Result<std::vector<uint64_t>> VerifyingClient::CommitMany(
 Result<std::vector<std::pair<std::string, uint64_t>>> VerifyingClient::ListDir(
     const std::string& prefix) {
   TCVS_ASSIGN_OR_RETURN(ListReply reply, server_->List(user_id_, prefix));
+  TCVS_SPAN("cvs.client.verify_list");
+  static util::LatencyHistogram* const vo_bytes =
+      util::MetricsRegistry::Instance().GetLatency(
+          "cvs.client.range_vo_bytes");
+  vo_bytes->Record(reply.range_vo.size());
   if (reply.ctr < gctr_) {
     return Status::DeviationDetected("server presented a stale counter");
   }

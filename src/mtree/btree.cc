@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/serde.h"
 
 namespace tcvs {
@@ -153,6 +154,7 @@ NodeView MerkleBTree::BuildPointView(const Node* node, const Bytes& key) const {
 }
 
 PointVO MerkleBTree::ProvePoint(const Bytes& key) const {
+  TCVS_SPAN("mtree.tree.prove_point");
   return PointVO{BuildPointView(root_.get(), key)};
 }
 
@@ -185,6 +187,7 @@ NodeView MerkleBTree::BuildRangeView(const Node* node, const Bytes& lo,
 }
 
 RangeVO MerkleBTree::ProveRange(const Bytes& lo, const Bytes& hi) const {
+  TCVS_SPAN("mtree.tree.prove_range");
   return RangeVO{BuildRangeView(root_.get(), lo, hi)};
 }
 
@@ -253,6 +256,7 @@ std::optional<MerkleBTree::SplitResult> MerkleBTree::UpsertRec(Node* node,
 }
 
 PointVO MerkleBTree::Upsert(const Bytes& key, const Bytes& value) {
+  TCVS_SPAN("mtree.tree.upsert");
   PointVO vo = ProvePoint(key);
   auto split = UpsertRec(root_.get(), key, value);
   if (split.has_value()) {
@@ -304,6 +308,7 @@ bool MerkleBTree::DeleteRec(Node* node, const Bytes& key, bool* found) {
 }
 
 PointVO MerkleBTree::Delete(const Bytes& key, bool* found) {
+  TCVS_SPAN("mtree.tree.delete");
   PointVO vo = ProvePoint(key);
   *found = false;
   DeleteRec(root_.get(), key, found);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
 #include "util/serde.h"
 
 namespace tcvs {
@@ -208,6 +209,7 @@ Result<std::optional<Bytes>> VerifyPointRead(const Digest& trusted_root,
                                              const TreeParams& params,
                                              const Bytes& key, const PointVO& vo) {
   (void)params;
+  TCVS_SPAN("mtree.vo.verify_point");
   TCVS_ASSIGN_OR_RETURN(Digest root_digest, vo.root.VerifiedDigest());
   if (root_digest != trusted_root) {
     return Status::VerificationFailure("VO root digest does not match trusted root");
@@ -306,6 +308,7 @@ Result<UpsertResult> ReplayUpsert(const NodeView& node, const TreeParams& params
 Result<Digest> VerifyAndApplyUpsert(const Digest& trusted_root,
                                     const TreeParams& params, const Bytes& key,
                                     const Bytes& value, const PointVO& vo) {
+  TCVS_SPAN("mtree.vo.apply_upsert");
   TCVS_ASSIGN_OR_RETURN(Digest root_digest, vo.root.VerifiedDigest());
   if (root_digest != trusted_root) {
     return Status::VerificationFailure("VO root digest does not match trusted root");
@@ -374,6 +377,7 @@ Result<DeleteResult> ReplayDelete(const NodeView& node, const TreeParams& params
 Result<Digest> VerifyAndApplyDelete(const Digest& trusted_root,
                                     const TreeParams& params, const Bytes& key,
                                     const PointVO& vo) {
+  TCVS_SPAN("mtree.vo.apply_delete");
   TCVS_ASSIGN_OR_RETURN(Digest root_digest, vo.root.VerifiedDigest());
   if (root_digest != trusted_root) {
     return Status::VerificationFailure("VO root digest does not match trusted root");
@@ -427,6 +431,7 @@ Result<std::vector<std::pair<Bytes, Bytes>>> VerifyRangeRead(
     const Digest& trusted_root, const TreeParams& params, const Bytes& lo,
     const Bytes& hi, const RangeVO& vo) {
   (void)params;
+  TCVS_SPAN("mtree.vo.verify_range");
   if (hi < lo) return Status::InvalidArgument("range bounds reversed");
   TCVS_ASSIGN_OR_RETURN(Digest root_digest, vo.root.VerifiedDigest());
   if (root_digest != trusted_root) {

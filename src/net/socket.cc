@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "util/fault.h"
+#include "util/metrics.h"
 
 namespace tcvs {
 namespace net {
@@ -248,6 +249,14 @@ Status TcpConnection::SendFrame(const Bytes& payload) {
   }
   // A deadline mid-frame leaves the stream unframed; poison the connection.
   if (st.IsDeadlineExceeded()) Close();
+  if (st.ok()) {
+    static util::Counter* const frames =
+        util::MetricsRegistry::Instance().GetCounter("net.frames_sent_total");
+    static util::Counter* const bytes =
+        util::MetricsRegistry::Instance().GetCounter("net.bytes_sent_total");
+    frames->Increment();
+    bytes->Increment(4 + payload.size());
+  }
   return st;
 }
 
@@ -283,6 +292,12 @@ Result<Bytes> TcpConnection::ReceiveFrame() {
       return st;
     }
   }
+  static util::Counter* const frames =
+      util::MetricsRegistry::Instance().GetCounter("net.frames_received_total");
+  static util::Counter* const bytes =
+      util::MetricsRegistry::Instance().GetCounter("net.bytes_received_total");
+  frames->Increment();
+  bytes->Increment(4 + payload.size());
   return payload;
 }
 

@@ -39,7 +39,7 @@ Result<RpcRequest> RpcRequest::Deserialize(const Bytes& data) {
   util::Reader r(data);
   RpcRequest req;
   TCVS_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
-  if (type < 1 || type > 5) return Status::InvalidArgument("bad rpc type");
+  if (type < 1 || type > 6) return Status::InvalidArgument("bad rpc type");
   req.type = static_cast<RpcType>(type);
   TCVS_ASSIGN_OR_RETURN(req.user, r.GetU32());
   TCVS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());

@@ -22,6 +22,9 @@ enum class RpcType : uint8_t {
   /// Transparency-log checkpoint + consistency proof
   /// (cvs::ServerApi::LogCheckpoint).
   kLogCheckpoint = 5,
+  /// Serialized util::MetricsSnapshot of the server process (observability;
+  /// `tcvs stats`). Read-only, never cached, carries no payload fields.
+  kStats = 6,
 };
 
 /// \brief One request frame.

@@ -10,6 +10,7 @@
 
 #include "util/fault.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/serde.h"
 
@@ -55,6 +56,45 @@ Result<T> DeserializeVerified(const Bytes& payload, const char* what) {
                                        parsed.status().ToString());
   }
   return parsed;
+}
+
+/// Per-method client call latency, indexed by RpcType (1-based, bounds
+/// guaranteed by RpcRequest construction). Literal names keep the
+/// metric-name lint rule able to see the full inventory.
+util::LatencyHistogram* ClientMethodLatency(RpcType type) {
+  static util::LatencyHistogram* const kLatency[] = {
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.client.transact.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.client.get_params.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.client.shutdown.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency("rpc.client.list.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.client.log_checkpoint.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.client.stats.latency_us"),
+  };
+  return kLatency[static_cast<size_t>(type) - 1];
+}
+
+/// Per-method serve-side request counts, same indexing.
+util::Counter* ServeMethodRequests(RpcType type) {
+  static util::Counter* const kRequests[] = {
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.serve.transact.requests_total"),
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.serve.get_params.requests_total"),
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.serve.shutdown.requests_total"),
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.serve.list.requests_total"),
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.serve.log_checkpoint.requests_total"),
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.serve.stats.requests_total"),
+  };
+  return kRequests[static_cast<size_t>(type) - 1];
 }
 
 }  // namespace
@@ -107,10 +147,31 @@ Status RemoteServer::Reconnect() {
   conn_ = std::move(conn_or).ValueOrDie();
   conn_.set_io_timeout_ms(options_.io_timeout_ms);
   ++reconnects_;
+  static util::Counter* const reconnects =
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.client.reconnects_total");
+  reconnects->Increment();
   return Status::OK();
 }
 
 Result<RpcResponse> RemoteServer::Call(RpcRequest request) {
+  static util::Counter* const retry_count =
+      util::MetricsRegistry::Instance().GetCounter("rpc.client.retries_total");
+  static util::Counter* const deadline_count =
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.client.deadline_exceeded_total");
+  static util::Counter* const transport_errors =
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.client.transport_errors_total");
+  static util::Counter* const bytes_sent =
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.client.bytes_sent_total");
+  static util::Counter* const bytes_received =
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.client.bytes_received_total");
+  util::LatencyHistogram* const latency = ClientMethodLatency(request.type);
+  const uint64_t start_us = util::MonotonicMicros();
+
   // One id per logical call, shared by all retries: the serve loop's reply
   // cache turns a replayed execution into a replayed *reply*.
   do {
@@ -122,6 +183,7 @@ Result<RpcResponse> RemoteServer::Call(RpcRequest request) {
   for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++retries_;
+      retry_count->Increment();
       std::this_thread::sleep_for(std::chrono::milliseconds(
           options_.retry.BackoffMs(attempt - 1, &rng_)));
     }
@@ -134,13 +196,17 @@ Result<RpcResponse> RemoteServer::Call(RpcRequest request) {
       }
     }
     Status st = conn_.SendFrame(wire);
+    if (st.ok()) bytes_sent->Increment(wire.size());
     Result<Bytes> frame = st.ok() ? conn_.ReceiveFrame() : st;
     if (!frame.ok()) {
+      transport_errors->Increment();
+      if (frame.status().IsDeadlineExceeded()) deadline_count->Increment();
       if (!IsRetryableTransport(frame.status())) return frame.status();
       last = frame.status();
       conn_.Close();  // Stream state is unknown; reconnect on next attempt.
       continue;
     }
+    bytes_received->Increment(frame->size());
     auto resp = RpcResponse::Deserialize(*frame);
     if (!resp.ok()) {
       // The frame arrived intact but does not parse: corruption on a
@@ -148,6 +214,7 @@ Result<RpcResponse> RemoteServer::Call(RpcRequest request) {
       return Status::VerificationFailure("malformed RPC response: " +
                                          resp.status().ToString());
     }
+    latency->Record(util::MonotonicMicros() - start_us);
     return resp;
   }
   return Status::Unavailable(
@@ -195,6 +262,22 @@ Status RemoteServer::Shutdown() {
   return resp.ToStatus();
 }
 
+Result<util::MetricsSnapshot> RemoteServer::Stats() {
+  RpcRequest req;
+  req.type = RpcType::kStats;
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  TCVS_RETURN_NOT_OK(resp.ToStatus());
+  // A stats reply is diagnostic, not verified state: a parse failure is
+  // still loud (it indicates version skew or corruption) but reported as
+  // what it is.
+  auto snap = util::MetricsSnapshot::Deserialize(resp.payload);
+  if (!snap.ok()) {
+    return Status::InvalidArgument("malformed stats reply from server: " +
+                                   snap.status().ToString());
+  }
+  return snap;
+}
+
 namespace {
 
 /// Bounded request-id → serialized-reply cache: enough to cover every
@@ -209,13 +292,21 @@ class ReplyCache {
   }
 
   void Insert(uint64_t id, Bytes reply) {
+    static util::Counter* const insertions =
+        util::MetricsRegistry::Instance().GetCounter(
+            "rpc.serve.reply_cache.insertions_total");
+    static util::Counter* const evictions =
+        util::MetricsRegistry::Instance().GetCounter(
+            "rpc.serve.reply_cache.evictions_total");
     if (replies_.count(id) > 0) return;
     if (order_.size() >= kCapacity) {
       replies_.erase(order_.front());
       order_.pop_front();
+      evictions->Increment();
     }
     order_.push_back(id);
     replies_.emplace(id, std::move(reply));
+    insertions->Increment();
   }
 
  private:
@@ -242,11 +333,31 @@ class ServeState {
   /// Handles one request frame end to end; returns the wire reply.
   /// Sets *shutdown when the frame was a kShutdown request.
   Bytes HandleFrame(const Bytes& frame, bool* shutdown) {
+    TCVS_SPAN("rpc.serve.handle_frame");
+    // `requests` increments strictly before `replies` on every path, so any
+    // concurrent Stats snapshot observes replies_total ≤ requests_total.
+    static util::Counter* const requests =
+        util::MetricsRegistry::Instance().GetCounter(
+            "rpc.serve.requests_total");
+    static util::Counter* const replies =
+        util::MetricsRegistry::Instance().GetCounter("rpc.serve.replies_total");
+    static util::Counter* const cache_hits =
+        util::MetricsRegistry::Instance().GetCounter(
+            "rpc.serve.reply_cache.hits_total");
+    static util::Counter* const cache_misses =
+        util::MetricsRegistry::Instance().GetCounter(
+            "rpc.serve.reply_cache.misses_total");
+    static util::Counter* const malformed =
+        util::MetricsRegistry::Instance().GetCounter(
+            "rpc.serve.malformed_requests_total");
     auto req_or = RpcRequest::Deserialize(frame);
     if (!req_or.ok()) {
+      malformed->Increment();
       return RpcResponse::FromStatus(req_or.status()).Serialize();
     }
     const RpcRequest& req = *req_or;
+    requests->Increment();
+    ServeMethodRequests(req.type)->Increment();
     // Counter-bearing transactions replay idempotently via the cache;
     // GetParams/LogCheckpoint are naturally idempotent, Shutdown is not a
     // transaction.
@@ -258,8 +369,11 @@ class ServeState {
       if (const Bytes* hit = reply_cache_.Find(req.request_id)) {
         // Replay of a request we already executed: return the original
         // reply; the operation counter must not advance twice.
+        cache_hits->Increment();
+        replies->Increment();
         return *hit;
       }
+      cache_misses->Increment();
     }
     RpcResponse resp;
     switch (req.type) {
@@ -296,21 +410,35 @@ class ServeState {
       case RpcType::kShutdown:
         *shutdown = true;
         break;
+      case RpcType::kStats:
+        // A read-only snapshot of this process's metrics. The registry lock
+        // ranks below the serve execution lock `mu_` held here (metrics code
+        // never calls back into the serve loop), so this cannot deadlock.
+        resp.payload = util::MetricsRegistry::Instance().Snapshot().Serialize();
+        break;
     }
     Bytes wire = resp.Serialize();
     if (cacheable) reply_cache_.Insert(req.request_id, wire);
+    replies->Increment();
     return wire;
   }
 
   /// Accept side: enqueue a connection, blocking while the queue is full.
   /// False once the server is stopping (the connection is dropped).
   bool PushConnection(net::TcpConnection conn) {
+    static util::Counter* const accepted =
+        util::MetricsRegistry::Instance().GetCounter(
+            "rpc.serve.connections_total");
+    static util::Gauge* const depth =
+        util::MetricsRegistry::Instance().GetGauge("rpc.serve.queue_depth");
     util::MutexLock lock(&queue_mu_);
     while (queue_.size() >= options_.queue_capacity && !stopping()) {
       queue_cv_.WaitFor(&queue_mu_, options_.poll_interval_ms);
     }
     if (stopping()) return false;
     queue_.push_back(std::move(conn));
+    accepted->Increment();
+    depth->Set(static_cast<int64_t>(queue_.size()));
     queue_cv_.SignalAll();
     return true;
   }
@@ -318,6 +446,8 @@ class ServeState {
   /// Worker side: dequeue the next connection. False = stopping, no more
   /// work (queued-but-unserved connections are simply closed).
   bool PopConnection(net::TcpConnection* out) {
+    static util::Gauge* const depth =
+        util::MetricsRegistry::Instance().GetGauge("rpc.serve.queue_depth");
     util::MutexLock lock(&queue_mu_);
     while (queue_.empty() && !stopping()) {
       queue_cv_.WaitFor(&queue_mu_, options_.poll_interval_ms);
@@ -325,6 +455,7 @@ class ServeState {
     if (stopping()) return false;
     *out = std::move(queue_.front());
     queue_.pop_front();
+    depth->Set(static_cast<int64_t>(queue_.size()));
     queue_cv_.SignalAll();
     return true;
   }
@@ -402,9 +533,13 @@ void ServeConnection(ServeState* state, net::TcpConnection* conn,
 }
 
 void WorkerLoop(ServeState* state, const ServeOptions& options) {
+  static util::Gauge* const busy = util::MetricsRegistry::Instance().GetGauge(
+      "rpc.serve.busy_workers");
   net::TcpConnection conn;
   while (state->PopConnection(&conn)) {
+    busy->Increment();
     ServeConnection(state, &conn, options);
+    busy->Decrement();
     conn.Close();
   }
 }

@@ -7,6 +7,7 @@
 #include "net/socket.h"
 #include "rpc/protocol.h"
 #include "rpc/retry.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace tcvs {
@@ -59,6 +60,10 @@ class RemoteServer : public cvs::ServerApi {
 
   /// Asks the server's serving loop to exit (operator tooling / tests).
   Status Shutdown();
+
+  /// Fetches the server process's metrics snapshot (observability; powers
+  /// `tcvs stats`). Read-only and side-effect free on the server.
+  Result<util::MetricsSnapshot> Stats();
 
   /// Transport-level retries performed so far (observability / tests).
   uint64_t transport_retries() const { return retries_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace tcvs {
 namespace sim {
@@ -52,6 +53,12 @@ void Kernel::Enqueue(Message m) {
 
 void Kernel::OnDetection(AgentId who, const std::string& reason) {
   if (detection_.has_value()) return;  // First detection wins.
+  static util::Counter* const detections =
+      util::MetricsRegistry::Instance().GetCounter("sim.detections_total");
+  static util::LatencyHistogram* const round =
+      util::MetricsRegistry::Instance().GetLatency("sim.detection_round");
+  detections->Increment();
+  round->Record(now_);
   SimReport r;
   r.detected = true;
   r.detection_round = now_;

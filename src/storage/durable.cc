@@ -1,6 +1,7 @@
 #include "storage/durable.h"
 
 #include "rpc/protocol.h"
+#include "util/metrics.h"
 #include "util/serde.h"
 
 namespace tcvs {
@@ -106,9 +107,16 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
   bool truncated = false;
   TCVS_ASSIGN_OR_RETURN(std::vector<Bytes> records,
                         ReadWal(WalPath(dir), &truncated));
-  for (const auto& record : records) {
-    TCVS_RETURN_NOT_OK(ReplayRecord(record, server.get()));
+  {
+    TCVS_SPAN("storage.recovery.replay");
+    for (const auto& record : records) {
+      TCVS_RETURN_NOT_OK(ReplayRecord(record, server.get()));
+    }
   }
+  static util::Counter* const recoveries =
+      util::MetricsRegistry::Instance().GetCounter(
+          "storage.recovery.opens_total");
+  recoveries->Increment();
   if (truncated) {
     // Drop the torn tail so future appends start from a clean prefix: fold
     // the replayed state into a snapshot and reset the log.
@@ -163,6 +171,11 @@ uint64_t DurableServer::wal_records() const {
 }
 
 Status DurableServer::Checkpoint() {
+  TCVS_SPAN("storage.checkpoint");
+  static util::Counter* const checkpoints =
+      util::MetricsRegistry::Instance().GetCounter(
+          "storage.checkpoints_total");
+  checkpoints->Increment();
   util::MutexLock lock(&mu_);
   TCVS_RETURN_NOT_OK(AtomicWriteFile(SnapshotPath(dir_),
                                      EncodeSnapshot(*server_)));

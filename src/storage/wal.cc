@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "util/fault.h"
+#include "util/metrics.h"
 
 namespace tcvs {
 namespace storage {
@@ -80,6 +81,14 @@ Result<WalWriter> WalWriter::Open(const std::string& path, bool sync) {
 
 Status WalWriter::Append(const Bytes& record) {
   if (file_ == nullptr) return Status::FailedPrecondition("wal closed");
+  TCVS_SPAN("storage.wal.append");
+  static util::Counter* const appends =
+      util::MetricsRegistry::Instance().GetCounter(
+          "storage.wal.appends_total");
+  static util::Counter* const bytes = util::MetricsRegistry::Instance()
+                                          .GetCounter("storage.wal.bytes_total");
+  appends->Increment();
+  bytes->Increment(8 + record.size());
   uint8_t header[8];
   uint32_t len = static_cast<uint32_t>(record.size());
   uint32_t crc = Crc32(record);
@@ -116,6 +125,11 @@ Status WalWriter::Flush() {
       return Status::IOError("fault injected: " +
                              std::string(kFaultWalSyncFail));
     }
+    TCVS_SPAN("storage.wal.fsync");
+    static util::Counter* const fsyncs =
+        util::MetricsRegistry::Instance().GetCounter(
+            "storage.wal.fsyncs_total");
+    fsyncs->Increment();
     if (::fdatasync(::fileno(file_)) != 0) return Errno("wal fdatasync");
   }
   return Status::OK();
@@ -156,6 +170,13 @@ Result<std::vector<Bytes>> ReadWal(const std::string& path, bool* truncated) {
     records.push_back(std::move(payload));
   }
   std::fclose(f);
+  static util::Counter* const replayed =
+      util::MetricsRegistry::Instance().GetCounter(
+          "storage.wal.replayed_records_total");
+  static util::Counter* const torn = util::MetricsRegistry::Instance().GetCounter(
+      "storage.wal.torn_tails_total");
+  replayed->Increment(records.size());
+  if (truncated != nullptr && *truncated) torn->Increment();
   return records;
 }
 

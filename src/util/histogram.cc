@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
+
+#include "util/serde.h"
 
 namespace tcvs {
 namespace util {
@@ -56,13 +59,64 @@ void Histogram::Reset() {
 uint64_t Histogram::Quantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  // Continuous rank in [0, count]; the containing bucket is the first whose
+  // cumulative count reaches it. Returning the bucket's upper bound would
+  // bias every quantile upward by up to the bucket width (25% relative), so
+  // interpolate linearly across the bucket span instead.
+  const double rank = q * static_cast<double>(count_);
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const uint64_t before = seen;
     seen += buckets_[i];
-    if (seen > target) return std::min(BucketUpperBound(i), max_);
+    if (static_cast<double>(seen) < rank) continue;
+    const uint64_t lower = i == 0 ? 0 : BucketUpperBound(i - 1);
+    const uint64_t upper = BucketUpperBound(i);
+    const double frac =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets_[i]);
+    const double width = static_cast<double>(upper - lower);
+    const uint64_t value =
+        lower + static_cast<uint64_t>(std::llround(frac * width));
+    return std::clamp(value, min_, max_);
   }
   return max_;
+}
+
+void Histogram::SerializeTo(Writer* w) const {
+  w->PutU64(count_);
+  w->PutU64(sum_);
+  w->PutU64(min_);
+  w->PutU64(max_);
+  uint32_t nonzero = 0;
+  for (size_t i = 0; i < kBuckets; ++i) nonzero += buckets_[i] != 0;
+  w->PutU32(nonzero);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    w->PutU32(static_cast<uint32_t>(i));
+    w->PutU64(buckets_[i]);
+  }
+}
+
+Result<Histogram> Histogram::DeserializeFrom(Reader* r) {
+  Histogram h;
+  TCVS_ASSIGN_OR_RETURN(h.count_, r->GetU64());
+  TCVS_ASSIGN_OR_RETURN(h.sum_, r->GetU64());
+  TCVS_ASSIGN_OR_RETURN(h.min_, r->GetU64());
+  TCVS_ASSIGN_OR_RETURN(h.max_, r->GetU64());
+  TCVS_ASSIGN_OR_RETURN(uint32_t nonzero, r->GetU32());
+  if (nonzero > kBuckets) return Status::InvalidArgument("bad histogram");
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < nonzero; ++i) {
+    TCVS_ASSIGN_OR_RETURN(uint32_t bucket, r->GetU32());
+    TCVS_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+    if (bucket >= kBuckets) return Status::InvalidArgument("bad bucket index");
+    h.buckets_[bucket] = n;
+    total += n;
+  }
+  if (total != h.count_) {
+    return Status::InvalidArgument("histogram bucket counts disagree");
+  }
+  return h;
 }
 
 std::string Histogram::Summary() const {

@@ -4,13 +4,20 @@
 #include <string>
 #include <vector>
 
+#include "util/result.h"
+
 namespace tcvs {
 namespace util {
 
+class Reader;
+class Writer;
+
 /// \brief Fixed-memory latency histogram with exponential buckets (powers of
 /// two with 4 sub-buckets each, HdrHistogram-lite). Records values in
-/// arbitrary units; quantiles are approximate to the bucket width (≤ 25%
-/// relative error), which is plenty for round-count latencies.
+/// arbitrary units; quantiles are approximate to the bucket width (the
+/// reported value is linearly interpolated within the containing bucket, so
+/// the error is bounded by the bucket width and carries no systematic upward
+/// bias), which is plenty for round-count and microsecond latencies.
 class Histogram {
  public:
   Histogram();
@@ -20,13 +27,15 @@ class Histogram {
   void Reset();
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
   double mean() const {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
   }
 
-  /// Value at quantile q ∈ [0, 1] (upper bound of the containing bucket).
+  /// Value at quantile q ∈ [0, 1], linearly interpolated within the
+  /// containing bucket and clamped to [min(), max()].
   uint64_t Quantile(double q) const;
   uint64_t p50() const { return Quantile(0.50); }
   uint64_t p90() const { return Quantile(0.90); }
@@ -34,6 +43,12 @@ class Histogram {
 
   /// "count=… mean=… p50=… p90=… p99=… max=…" one-liner for reports.
   std::string Summary() const;
+
+  /// \name Wire form (sparse bucket encoding), for metrics snapshots.
+  /// @{
+  void SerializeTo(Writer* w) const;
+  static Result<Histogram> DeserializeFrom(Reader* r);
+  /// @}
 
  private:
   static size_t BucketFor(uint64_t value);

@@ -1,0 +1,325 @@
+#include "util/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/serde.h"
+
+namespace tcvs {
+namespace util {
+
+namespace {
+
+/// Dots become underscores and everything gets a `tcvs_` prefix, so
+/// `rpc.serve.requests_total` exposes as `tcvs_rpc_serve_requests_total` —
+/// valid Prometheus metric names without changing the registry's dotted
+/// naming scheme.
+std::string ExpositionName(const std::string& name) {
+  std::string out = "tcvs_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked singleton: metric pointers cached in call-site statics must stay
+  // valid through every destructor that might still record.
+  static MetricsRegistry* const instance = new MetricsRegistry();  // lint:allow-new
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  MutexLock lock(&mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    TCVS_CHECK(gauges_.find(name) == gauges_.end());
+    TCVS_CHECK(latencies_.find(name) == latencies_.end());
+    it = counters_
+             .emplace(std::string(name), std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  MutexLock lock(&mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    TCVS_CHECK(counters_.find(name) == counters_.end());
+    TCVS_CHECK(latencies_.find(name) == latencies_.end());
+    it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetLatency(std::string_view name) {
+  MutexLock lock(&mu_);
+  auto it = latencies_.find(name);
+  if (it == latencies_.end()) {
+    TCVS_CHECK(counters_.find(name) == counters_.end());
+    TCVS_CHECK(gauges_.find(name) == gauges_.end());
+    it = latencies_
+             .emplace(std::string(name),
+                      std::unique_ptr<LatencyHistogram>(new LatencyHistogram()))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  MutexLock lock(&mu_);
+  // Order matters for cross-metric invariants: histograms (and the counters
+  // they pair with) are copied while the registry lock serializes
+  // registration, but each value is read individually — a snapshot is a
+  // consistent *inventory*, with per-metric values each atomically read.
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, latency] : latencies_) {
+    snap.histograms.emplace(name, latency->Snapshot());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::TextFormat() const { return Snapshot().TextFormat(); }
+
+void MetricsRegistry::RecordTraceEvent(const TraceEvent& event) {
+  MutexLock lock(&trace_mu_);
+  if (trace_.size() < kTraceCapacity) {
+    trace_.push_back(event);
+    return;
+  }
+  trace_[trace_next_] = event;
+  trace_next_ = (trace_next_ + 1) % kTraceCapacity;
+  trace_wrapped_ = true;
+}
+
+std::vector<TraceEvent> MetricsRegistry::DrainTrace() {
+  MutexLock lock(&trace_mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(trace_.size());
+  if (trace_wrapped_) {
+    out.insert(out.end(), trace_.begin() + static_cast<ptrdiff_t>(trace_next_),
+               trace_.end());
+    out.insert(out.end(), trace_.begin(),
+               trace_.begin() + static_cast<ptrdiff_t>(trace_next_));
+  } else {
+    out = trace_;
+  }
+  trace_.clear();
+  trace_next_ = 0;
+  trace_wrapped_ = false;
+  return out;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  {
+    MutexLock lock(&mu_);
+    for (auto& [name, counter] : counters_) {
+      counter->value_.store(0, std::memory_order_relaxed);
+    }
+    for (auto& [name, gauge] : gauges_) {
+      gauge->value_.store(0, std::memory_order_relaxed);
+    }
+    for (auto& [name, latency] : latencies_) {
+      MutexLock hist_lock(&latency->mu_);
+      latency->hist_.Reset();
+    }
+  }
+  MutexLock lock(&trace_mu_);
+  trace_.clear();
+  trace_next_ = 0;
+  trace_wrapped_ = false;
+}
+
+std::string MetricsSnapshot::TextFormat() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    std::string n = ExpositionName(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " ";
+    AppendU64(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : gauges) {
+    std::string n = ExpositionName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " ";
+    AppendI64(&out, static_cast<int64_t>(value));
+    out.push_back('\n');
+  }
+  for (const auto& [name, hist] : histograms) {
+    std::string n = ExpositionName(name);
+    out += "# TYPE " + n + " summary\n";
+    for (double q : {0.5, 0.9, 0.99}) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "{quantile=\"%.2g\"} ", q);
+      out += n + label;
+      AppendU64(&out, hist.Quantile(q));
+      out.push_back('\n');
+    }
+    out += n + "_sum ";
+    AppendU64(&out, hist.sum());
+    out.push_back('\n');
+    out += n + "_count ";
+    AppendU64(&out, hist.count());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::JsonFormat() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendU64(&out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendI64(&out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":{\"count\":";
+    AppendU64(&out, hist.count());
+    out += ",\"sum\":";
+    AppendU64(&out, hist.sum());
+    out += ",\"min\":";
+    AppendU64(&out, hist.min());
+    out += ",\"max\":";
+    AppendU64(&out, hist.max());
+    char mean[32];
+    std::snprintf(mean, sizeof(mean), ",\"mean\":%.2f", hist.mean());
+    out += mean;
+    out += ",\"p50\":";
+    AppendU64(&out, hist.p50());
+    out += ",\"p90\":";
+    AppendU64(&out, hist.p90());
+    out += ",\"p99\":";
+    AppendU64(&out, hist.p99());
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+Bytes MetricsSnapshot::Serialize() const {
+  Writer w;
+  w.PutU32(static_cast<uint32_t>(counters.size()));
+  for (const auto& [name, value] : counters) {
+    w.PutString(name);
+    w.PutU64(value);
+  }
+  w.PutU32(static_cast<uint32_t>(gauges.size()));
+  for (const auto& [name, value] : gauges) {
+    w.PutString(name);
+    w.PutU64(static_cast<uint64_t>(value));
+  }
+  w.PutU32(static_cast<uint32_t>(histograms.size()));
+  for (const auto& [name, hist] : histograms) {
+    w.PutString(name);
+    hist.SerializeTo(&w);
+  }
+  return w.Take();
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::Deserialize(const Bytes& data) {
+  constexpr uint32_t kMaxMetrics = 1u << 16;  // Cap a malicious snapshot.
+  Reader r(data);
+  MetricsSnapshot snap;
+  TCVS_ASSIGN_OR_RETURN(uint32_t n_counters, r.GetU32());
+  if (n_counters > kMaxMetrics) return Status::InvalidArgument("too many counters");
+  for (uint32_t i = 0; i < n_counters; ++i) {
+    TCVS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    TCVS_ASSIGN_OR_RETURN(uint64_t value, r.GetU64());
+    snap.counters.emplace(std::move(name), value);
+  }
+  TCVS_ASSIGN_OR_RETURN(uint32_t n_gauges, r.GetU32());
+  if (n_gauges > kMaxMetrics) return Status::InvalidArgument("too many gauges");
+  for (uint32_t i = 0; i < n_gauges; ++i) {
+    TCVS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    TCVS_ASSIGN_OR_RETURN(uint64_t value, r.GetU64());
+    snap.gauges.emplace(std::move(name), static_cast<int64_t>(value));
+  }
+  TCVS_ASSIGN_OR_RETURN(uint32_t n_hists, r.GetU32());
+  if (n_hists > kMaxMetrics) return Status::InvalidArgument("too many histograms");
+  for (uint32_t i = 0; i < n_hists; ++i) {
+    TCVS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    TCVS_ASSIGN_OR_RETURN(Histogram hist, Histogram::DeserializeFrom(&r));
+    snap.histograms.emplace(std::move(name), std::move(hist));
+  }
+  return snap;
+}
+
+uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint32_t TraceSpan::CurrentThreadHash() {
+  return static_cast<uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace util
+}  // namespace tcvs

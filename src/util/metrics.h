@@ -1,0 +1,240 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/histogram.h"
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/thread_annotations.h"
+
+namespace tcvs {
+namespace util {
+
+/// \file
+/// Process-wide observability: a thread-safe registry of named counters,
+/// gauges, and latency histograms, plus RAII trace spans.
+///
+/// Naming convention (enforced by tools/lint.py, rule `metric-name`):
+/// lowercase dotted `component.metric_name`, e.g.
+/// `rpc.serve.reply_cache.hits_total`. Suffixes follow Prometheus idiom:
+/// `_total` for counters, `_us` / `_rounds` / `_bytes` for histogram units.
+/// Every metric is created through MetricsRegistry (the constructors are
+/// private), so the registry's snapshot is always the complete inventory.
+///
+/// Hot-path cost: counters and gauges are single relaxed atomics; histograms
+/// take one per-metric util::Mutex (never the registry-wide lock). Call
+/// sites cache the metric pointer in a function-local static, so the
+/// name lookup happens once per process:
+///
+/// \code
+///   static Counter* const hits =
+///       MetricsRegistry::Instance().GetCounter("rpc.serve.cache.hits_total");
+///   hits->Increment();
+/// \endcode
+///
+/// Lock ranking: subsystem locks (serve `mu_`/`queue_mu_`, DurableServer
+/// `mu_`) may be held while touching metrics; the registry lock and the
+/// per-metric locks are LEAVES — no metrics code calls back into any
+/// subsystem, so the ordering `subsystem lock → registry mu_ → metric mu_`
+/// is acyclic by construction (see ARCHITECTURE.md, "Observability").
+
+/// \brief Monotonically increasing event count. Lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous level (queue depth, active workers). Lock-free.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  void Decrement() { Add(-1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief A util::Histogram behind its own mutex: recording contends only
+/// with other recorders of the SAME metric and with snapshots, never with
+/// the registry or other metrics.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t value) {
+    MutexLock lock(&mu_);
+    hist_.Record(value);
+  }
+
+  Histogram Snapshot() const {
+    MutexLock lock(&mu_);
+    return hist_;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  LatencyHistogram() = default;
+
+  mutable Mutex mu_;
+  Histogram hist_ TCVS_GUARDED_BY(mu_);
+};
+
+/// \brief One completed trace span in the ring-buffer event trace.
+struct TraceEvent {
+  /// Span name (a string literal; TCVS_SPAN guarantees static lifetime).
+  const char* name = nullptr;
+  /// Span start, microseconds on the process steady clock.
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  /// Hashed std::thread::id of the recording thread.
+  uint32_t thread = 0;
+};
+
+/// \brief Point-in-time copy of every registered metric, detached from the
+/// registry: safe to serialize, ship over the Stats RPC, and render offline.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  /// Prometheus-style text exposition (`tcvs_` prefix, dots → underscores,
+  /// histograms as summaries with quantile labels).
+  std::string TextFormat() const;
+
+  /// One JSON object (single line, no trailing newline) for JSON-lines
+  /// structured logging: {"counters":{…},"gauges":{…},"histograms":{…}}.
+  std::string JsonFormat() const;
+
+  Bytes Serialize() const;
+  static Result<MetricsSnapshot> Deserialize(const Bytes& data);
+};
+
+/// \brief The process-wide metric registry. Get-or-create returns stable
+/// pointers that live until process exit (ResetForTesting zeroes values but
+/// never invalidates pointers, so cached call-site statics stay safe).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  /// \name Get-or-create by name. A name is permanently one kind: asking
+  /// for an existing name with a different kind aborts (a programming
+  /// error caught in every test run).
+  /// @{
+  Counter* GetCounter(std::string_view name) TCVS_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) TCVS_EXCLUDES(mu_);
+  LatencyHistogram* GetLatency(std::string_view name) TCVS_EXCLUDES(mu_);
+  /// @}
+
+  MetricsSnapshot Snapshot() const TCVS_EXCLUDES(mu_);
+
+  /// Prometheus-style exposition of the current state (Snapshot().TextFormat).
+  std::string TextFormat() const TCVS_EXCLUDES(mu_);
+
+  /// \name Ring-buffer event trace (off by default; ~free when disabled —
+  /// one relaxed atomic load per completed span).
+  /// @{
+  void set_trace_enabled(bool enabled) {
+    trace_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool trace_enabled() const {
+    return trace_enabled_.load(std::memory_order_relaxed);
+  }
+  void RecordTraceEvent(const TraceEvent& event) TCVS_EXCLUDES(trace_mu_);
+  /// Returns the buffered events oldest-first and clears the buffer.
+  std::vector<TraceEvent> DrainTrace() TCVS_EXCLUDES(trace_mu_);
+  /// @}
+
+  /// Zeroes every counter/gauge/histogram and clears the trace, WITHOUT
+  /// unregistering anything: pointers cached by call sites stay valid.
+  void ResetForTesting() TCVS_EXCLUDES(mu_, trace_mu_);
+
+  /// Events the trace ring buffer holds before overwriting the oldest.
+  static constexpr size_t kTraceCapacity = 4096;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TCVS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      TCVS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      latencies_ TCVS_GUARDED_BY(mu_);
+
+  std::atomic<bool> trace_enabled_{false};
+  mutable Mutex trace_mu_;
+  std::vector<TraceEvent> trace_ TCVS_GUARDED_BY(trace_mu_);
+  size_t trace_next_ TCVS_GUARDED_BY(trace_mu_) = 0;
+  bool trace_wrapped_ TCVS_GUARDED_BY(trace_mu_) = false;
+};
+
+/// Microseconds since an arbitrary process-local epoch (steady clock).
+uint64_t MonotonicMicros();
+
+/// \brief RAII span: times a scope, records the elapsed microseconds into a
+/// latency histogram on destruction, and (when tracing is enabled) appends a
+/// TraceEvent. Use via TCVS_SPAN.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, LatencyHistogram* latency)
+      : name_(name), latency_(latency), start_us_(MonotonicMicros()) {}
+  ~TraceSpan() {
+    const uint64_t duration = MonotonicMicros() - start_us_;
+    latency_->Record(duration);
+    MetricsRegistry& registry = MetricsRegistry::Instance();
+    if (registry.trace_enabled()) {
+      registry.RecordTraceEvent(
+          {name_, start_us_, duration, CurrentThreadHash()});
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  static uint32_t CurrentThreadHash();
+
+ private:
+  const char* name_;
+  LatencyHistogram* latency_;
+  uint64_t start_us_;
+};
+
+#define TCVS_SPAN_CONCAT_INNER_(a, b) a##b
+#define TCVS_SPAN_CONCAT_(a, b) TCVS_SPAN_CONCAT_INNER_(a, b)
+
+/// Times the enclosing scope into the latency histogram `name ".latency_us"`
+/// and the event trace. `name` MUST be a string literal (the trace stores
+/// the pointer) matching the metric-name lint rule, e.g.
+/// `TCVS_SPAN("mtree.vo.verify_point");`.
+#define TCVS_SPAN(name)                                                       \
+  static ::tcvs::util::LatencyHistogram* const TCVS_SPAN_CONCAT_(             \
+      tcvs_span_hist_, __LINE__) =                                            \
+      ::tcvs::util::MetricsRegistry::Instance().GetLatency(name              \
+                                                           ".latency_us");    \
+  ::tcvs::util::TraceSpan TCVS_SPAN_CONCAT_(tcvs_span_, __LINE__)(            \
+      name, TCVS_SPAN_CONCAT_(tcvs_span_hist_, __LINE__))
+
+}  // namespace util
+}  // namespace tcvs

@@ -26,6 +26,7 @@
 #include "net/socket.h"
 #include "rpc/remote.h"
 #include "util/fault.h"
+#include "util/metrics.h"
 
 namespace tcvs {
 namespace {
@@ -269,6 +270,123 @@ TEST_F(ConcurrentServerTest, LostRepliesReplayIdempotentlyUnderConcurrency) {
   for (const auto& s : states) sum_lctr += s.lctr;
   EXPECT_EQ(sum_lctr, static_cast<uint64_t>(kClients * kIterations));
   EXPECT_TRUE(cvs::VerifyingClient::SyncCheck(states).ok());
+}
+
+TEST_F(ConcurrentServerTest, ConcurrentStatsSnapshotsStayConsistent) {
+  // Clients hammer the server while a poller thread pulls Stats snapshots
+  // mid-flight. Every snapshot must be internally consistent — the serve
+  // loop increments requests_total strictly before replies_total, so
+  // replies ≤ requests must hold in EVERY observation, not just at rest.
+  util::MetricsRegistry::Instance().ResetForTesting();
+
+  auto counter_of = [](const util::MetricsSnapshot& snap,
+                       const std::string& name) -> uint64_t {
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> snapshots_taken{0};
+
+  std::thread poller([&] {
+    auto remote =
+        rpc::RemoteServer::Connect("127.0.0.1", port_, FastRetryOptions());
+    if (!remote.ok()) {
+      ++failures;
+      return;
+    }
+    while (!done.load(std::memory_order_relaxed)) {
+      auto snap = (*remote)->Stats();
+      if (!snap.ok()) {
+        ++failures;
+        return;
+      }
+      ++snapshots_taken;
+      const uint64_t requests = counter_of(*snap, "rpc.serve.requests_total");
+      const uint64_t replies = counter_of(*snap, "rpc.serve.replies_total");
+      if (replies > requests) {
+        ++failures;
+        return;
+      }
+      const uint64_t hits =
+          counter_of(*snap, "rpc.serve.reply_cache.hits_total");
+      const uint64_t misses =
+          counter_of(*snap, "rpc.serve.reply_cache.misses_total");
+      if (hits + misses > requests) {
+        ++failures;  // Every cache lookup belongs to a parsed request.
+        return;
+      }
+    }
+  });
+
+  std::atomic<int> client_failures{0};
+  auto client_body = [&](int idx) {
+    auto remote =
+        rpc::RemoteServer::Connect("127.0.0.1", port_, FastRetryOptions());
+    if (!remote.ok()) {
+      ++client_failures;
+      return;
+    }
+    cvs::VerifyingClient client(static_cast<uint32_t>(idx + 1),
+                                remote->get());
+    const std::string path = "stats/file" + std::to_string(idx);
+    for (int it = 0; it < kIterations; ++it) {
+      auto rev = client.Commit(path, "v" + std::to_string(it),
+                               static_cast<uint64_t>(it));
+      if (!rev.ok()) {
+        ++client_failures;
+        return;
+      }
+      auto rec = client.Checkout(path);
+      if (!rec.ok()) {
+        ++client_failures;
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) clients.emplace_back(client_body, i);
+  for (auto& t : clients) t.join();
+  done.store(true);
+  poller.join();
+
+  ASSERT_EQ(client_failures.load(), 0);
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_GT(snapshots_taken.load(), 0u);
+
+  // The quiesced snapshot carries non-zero values for every instrumented
+  // layer the workload exercised: RPC serve/client, reply cache, per-method
+  // counts, Merkle-tree proof building, client-side VO verification, and
+  // the hash engine underneath it all.
+  auto remote =
+      rpc::RemoteServer::Connect("127.0.0.1", port_, FastRetryOptions());
+  ASSERT_TRUE(remote.ok());
+  auto snap = (*remote)->Stats();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+
+  const uint64_t expected_transactions =
+      static_cast<uint64_t>(kClients) * kIterations * 2;  // Commit + Checkout.
+  EXPECT_GE(counter_of(*snap, "rpc.serve.transact.requests_total"),
+            expected_transactions);
+  EXPECT_GT(counter_of(*snap, "rpc.serve.requests_total"), 0u);
+  EXPECT_GT(counter_of(*snap, "rpc.serve.stats.requests_total"), 0u);
+  EXPECT_GT(counter_of(*snap, "rpc.serve.reply_cache.insertions_total"), 0u);
+  EXPECT_GT(counter_of(*snap, "cvs.server.transactions_total"), 0u);
+  EXPECT_GT(counter_of(*snap, "crypto.sha256.hashes_total"), 0u);
+  EXPECT_GT(counter_of(*snap, "net.bytes_sent_total"), 0u);
+
+  auto hist_count = [&](const std::string& name) -> uint64_t {
+    auto it = snap->histograms.find(name);
+    return it == snap->histograms.end() ? 0 : it->second.count();
+  };
+  EXPECT_GT(hist_count("rpc.serve.handle_frame.latency_us"), 0u);
+  EXPECT_GT(hist_count("mtree.tree.upsert.latency_us"), 0u);
+  EXPECT_GT(hist_count("mtree.tree.prove_point.latency_us"), 0u);
+  EXPECT_GT(hist_count("mtree.vo.verify_point.latency_us"), 0u);
+  EXPECT_GT(hist_count("rpc.client.transact.latency_us"), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,261 @@
+// Tests for the util::MetricsRegistry observability layer: registry
+// get-or-create semantics, exact counting under contention (run under TSan
+// via the tsan preset — names contain "Concurrent" to match TSAN_FILTER),
+// the trace ring buffer, and the snapshot exposition/serde formats.
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace tcvs {
+namespace util {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Instance().ResetForTesting(); }
+  void TearDown() override { MetricsRegistry::Instance().ResetForTesting(); }
+};
+
+TEST_F(MetricsTest, GetOrCreateReturnsStablePointer) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* a = reg.GetCounter("test.metrics.stable_total");
+  Counter* b = reg.GetCounter("test.metrics.stable_total");
+  EXPECT_EQ(a, b);
+
+  Gauge* g1 = reg.GetGauge("test.metrics.stable_gauge");
+  Gauge* g2 = reg.GetGauge("test.metrics.stable_gauge");
+  EXPECT_EQ(g1, g2);
+
+  LatencyHistogram* l1 = reg.GetLatency("test.metrics.stable_us");
+  LatencyHistogram* l2 = reg.GetLatency("test.metrics.stable_us");
+  EXPECT_EQ(l1, l2);
+}
+
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsPointersValid) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("test.metrics.reset_total");
+  Gauge* g = reg.GetGauge("test.metrics.reset_gauge");
+  LatencyHistogram* l = reg.GetLatency("test.metrics.reset_us");
+  c->Increment(7);
+  g->Set(-3);
+  l->Record(42);
+
+  reg.ResetForTesting();
+
+  // The same pointers still work (call-site statics cache them for the
+  // process lifetime) and read zero.
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(l->Snapshot().count(), 0u);
+  EXPECT_EQ(reg.GetCounter("test.metrics.reset_total"), c);
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST_F(MetricsTest, GaugeTracksLevel) {
+  Gauge* g = MetricsRegistry::Instance().GetGauge("test.metrics.level");
+  g->Set(10);
+  g->Increment();
+  g->Increment();
+  g->Decrement();
+  g->Add(-5);
+  EXPECT_EQ(g->value(), 6);
+}
+
+// Eight threads hammer one counter, one gauge, and one histogram. Counter
+// sums must be EXACT (relaxed atomics lose no increments), the gauge must
+// return to its starting level, and the histogram must hold every sample.
+TEST_F(MetricsTest, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("test.metrics.concurrent_total");
+  Gauge* g = reg.GetGauge("test.metrics.concurrent_gauge");
+  LatencyHistogram* l = reg.GetLatency("test.metrics.concurrent_us");
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c->Increment();
+        g->Increment();
+        l->Record(static_cast<uint64_t>(t));
+        g->Decrement();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(c->value(), uint64_t{kThreads} * kIters);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(l->Snapshot().count(), uint64_t{kThreads} * kIters);
+}
+
+// Racing get-or-create on the same names must agree on one object per name;
+// every thread's increments land on the shared instance.
+TEST_F(MetricsTest, ConcurrentGetOrCreateConverges) {
+  constexpr int kThreads = 8;
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Counter* c = reg.GetCounter("test.metrics.race_total");
+      c->Increment();
+      seen[t] = c;
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(), uint64_t{kThreads});
+}
+
+// Concurrent TCVS_SPAN use with tracing enabled: spans record into the same
+// latency histogram and trace buffer without loss (histogram count is exact;
+// the ring buffer holds min(total, capacity) events).
+TEST_F(MetricsTest, ConcurrentSpansRecordExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.set_trace_enabled(true);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        TCVS_SPAN("test.metrics.span");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  reg.set_trace_enabled(false);
+
+  LatencyHistogram* l = reg.GetLatency("test.metrics.span.latency_us");
+  EXPECT_EQ(l->Snapshot().count(), uint64_t{kThreads} * kIters);
+  std::vector<TraceEvent> trace = reg.DrainTrace();
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kIters;
+  EXPECT_EQ(trace.size(),
+            std::min<uint64_t>(kTotal, MetricsRegistry::kTraceCapacity));
+  for (const TraceEvent& e : trace) {
+    EXPECT_STREQ(e.name, "test.metrics.span");
+  }
+}
+
+TEST_F(MetricsTest, TraceRingBufferWrapsOldestFirst) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.set_trace_enabled(true);
+  const size_t total = MetricsRegistry::kTraceCapacity + 100;
+  for (size_t i = 0; i < total; ++i) {
+    reg.RecordTraceEvent({"test.metrics.wrap", /*start_us=*/i,
+                          /*duration_us=*/1, /*thread=*/0});
+  }
+  std::vector<TraceEvent> trace = reg.DrainTrace();
+  reg.set_trace_enabled(false);
+
+  ASSERT_EQ(trace.size(), MetricsRegistry::kTraceCapacity);
+  // Oldest surviving event is #100; order is monotone in start_us.
+  EXPECT_EQ(trace.front().start_us, 100u);
+  EXPECT_EQ(trace.back().start_us, total - 1);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].start_us, trace[i - 1].start_us + 1);
+  }
+  // Drain clears: the second drain is empty.
+  EXPECT_TRUE(reg.DrainTrace().empty());
+}
+
+TEST_F(MetricsTest, TraceDisabledRecordsNothing) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  ASSERT_FALSE(reg.trace_enabled());
+  { TCVS_SPAN("test.metrics.disabled_span"); }
+  EXPECT_TRUE(reg.DrainTrace().empty());
+  // The latency histogram still records regardless of tracing.
+  EXPECT_EQ(
+      reg.GetLatency("test.metrics.disabled_span.latency_us")->Snapshot().count(),
+      1u);
+}
+
+TEST_F(MetricsTest, TextFormatIsPrometheusStyle) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.GetCounter("test.fmt.requests_total")->Increment(3);
+  reg.GetGauge("test.fmt.queue_depth")->Set(2);
+  LatencyHistogram* l = reg.GetLatency("test.fmt.latency_us");
+  for (uint64_t v = 1; v <= 100; ++v) l->Record(v);
+
+  const std::string text = reg.TextFormat();
+  EXPECT_NE(text.find("# TYPE tcvs_test_fmt_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcvs_test_fmt_requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("tcvs_test_fmt_queue_depth 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tcvs_test_fmt_latency_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcvs_test_fmt_latency_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcvs_test_fmt_latency_us_count 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcvs_test_fmt_latency_us_sum 5050"), std::string::npos);
+}
+
+TEST_F(MetricsTest, JsonFormatIsSingleLineWithAllSections) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.GetCounter("test.json.hits_total")->Increment(5);
+  reg.GetGauge("test.json.level")->Set(-4);
+  reg.GetLatency("test.json.latency_us")->Record(10);
+
+  const std::string json = reg.Snapshot().JsonFormat();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hits_total\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.level\":-4"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST_F(MetricsTest, SnapshotSerializeRoundTrips) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.GetCounter("test.serde.a_total")->Increment(123);
+  reg.GetCounter("test.serde.b_total")->Increment(456);
+  reg.GetGauge("test.serde.depth")->Set(-7);
+  LatencyHistogram* l = reg.GetLatency("test.serde.latency_us");
+  for (uint64_t v = 0; v < 1000; v += 7) l->Record(v);
+
+  MetricsSnapshot before = reg.Snapshot();
+  auto after = MetricsSnapshot::Deserialize(before.Serialize());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+  EXPECT_EQ(after->counters, before.counters);
+  EXPECT_EQ(after->gauges, before.gauges);
+  ASSERT_EQ(after->histograms.size(), before.histograms.size());
+  for (const auto& [name, hist] : before.histograms) {
+    auto it = after->histograms.find(name);
+    ASSERT_NE(it, after->histograms.end()) << name;
+    EXPECT_EQ(it->second.count(), hist.count()) << name;
+    EXPECT_EQ(it->second.sum(), hist.sum()) << name;
+    EXPECT_EQ(it->second.min(), hist.min()) << name;
+    EXPECT_EQ(it->second.max(), hist.max()) << name;
+    EXPECT_EQ(it->second.Quantile(0.5), hist.Quantile(0.5)) << name;
+    EXPECT_EQ(it->second.Quantile(0.99), hist.Quantile(0.99)) << name;
+  }
+}
+
+TEST_F(MetricsTest, DeserializeRejectsGarbage) {
+  Bytes garbage = {0xff, 0xff, 0xff, 0xff, 0x01, 0x02};
+  EXPECT_FALSE(MetricsSnapshot::Deserialize(garbage).ok());
+  EXPECT_FALSE(MetricsSnapshot::Deserialize(Bytes{}).ok());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace tcvs

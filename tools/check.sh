@@ -11,8 +11,13 @@
 #                 per .clang-tidy) over src/ and tools/
 #                 [SKIPPED with a notice when clang-tidy is not installed —
 #                  gcc-only containers still run stages 1-3 and 5]
-#   5. lint       tools/lint.py repo-invariant lint (raw-mutex ban,
-#                 naked-new ban, fault-point registry, header hygiene)
+#   5. stats      observability smoke: live tcvsd + real traffic, then the
+#                 Stats RPC must report non-zero metrics from every
+#                 instrumented layer and --log-json must emit parseable
+#                 JSON lines
+#   6. lint       tools/lint.py repo-invariant lint (raw-mutex ban,
+#                 naked-new ban, fault-point registry, header hygiene,
+#                 metric naming)
 #
 # Exit code: 0 iff every non-skipped stage passed. Suitable for CI as-is:
 #   ./tools/check.sh            # everything
@@ -95,16 +100,96 @@ stage_lint() {
   run_stage lint python3 tools/lint.py
 }
 
+# Live observability smoke: start tcvsd, drive real commits/reads through
+# tcvs, then assert `tcvs stats` reports non-zero metrics from the RPC,
+# storage, Merkle-tree, and crypto layers, and that --log-json produced
+# parseable JSON-lines on stderr.
+stats_smoke() {
+  local tmp port="" daemon rc=1
+  tmp=$(mktemp -d) || return 1
+  mkdir -p "$tmp/data"
+  ./build/tools/tcvsd --port 0 --data-dir "$tmp/data" \
+      --log-json --log-json-interval-ms 200 \
+      > "$tmp/tcvsd.out" 2> "$tmp/tcvsd.err" &
+  daemon=$!
+  while :; do  # Single-pass; break is the error exit.
+    for _ in $(seq 1 100); do
+      port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+             "$tmp/tcvsd.out")
+      [ -n "$port" ] && break
+      kill -0 "$daemon" 2>/dev/null || break
+      sleep 0.2
+    done
+    if [ -z "$port" ]; then
+      echo "stats: tcvsd never reported its port" >&2
+      cat "$tmp/tcvsd.out" "$tmp/tcvsd.err" >&2
+      break
+    fi
+    local cli="./build/tools/tcvs --server 127.0.0.1:$port"
+    $cli --user 1 --state "$tmp/state" commit a/hello 0 "hello world" || break
+    $cli --user 1 --state "$tmp/state" cat a/hello > /dev/null || break
+    $cli --user 1 --state "$tmp/state" ls a/ > /dev/null || break
+    $cli stats > "$tmp/stats.txt" || break
+    local metric missing=""
+    for metric in tcvs_rpc_serve_requests_total \
+                  tcvs_rpc_serve_transact_requests_total \
+                  tcvs_rpc_serve_stats_requests_total \
+                  tcvs_rpc_serve_reply_cache_insertions_total \
+                  tcvs_storage_wal_appends_total \
+                  tcvs_mtree_tree_upsert_latency_us_count \
+                  tcvs_cvs_server_transactions_total \
+                  tcvs_crypto_sha256_hashes_total; do
+      grep -E "^${metric} [1-9]" "$tmp/stats.txt" > /dev/null || missing="$metric"
+    done
+    if [ -n "$missing" ]; then
+      echo "stats: metric $missing missing or zero in tcvs stats output:" >&2
+      cat "$tmp/stats.txt" >&2
+      break
+    fi
+    $cli shutdown > /dev/null || break
+    wait "$daemon" || break
+    daemon=""
+    # Every --log-json line must be a JSON object with the three sections.
+    python3 - "$tmp/tcvsd.err" <<'PYEOF' || break
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.startswith("{")]
+assert lines, "no JSON lines on tcvsd stderr"
+for line in lines:
+    obj = json.loads(line)
+    assert "ts_ms" in obj and "metrics" in obj, obj.keys()
+    for section in ("counters", "gauges", "histograms"):
+        assert section in obj["metrics"], section
+assert lines and json.loads(lines[-1])["metrics"]["counters"].get(
+    "rpc.serve.requests_total", 0) > 0, "final JSON line has zero requests"
+print(f"stats: {len(lines)} JSON log lines OK")
+PYEOF
+    rc=0
+    break
+  done
+  [ -n "${daemon:-}" ] && kill "$daemon" 2>/dev/null
+  rm -rf "$tmp"
+  return $rc
+}
+
+stage_stats() {
+  run_stage stats cmake --preset default
+  [ "${RESULT[stats]}" = FAIL ] && return
+  run_stage stats cmake --build --preset default -j "$JOBS" --target tcvs tcvsd
+  [ "${RESULT[stats]}" = FAIL ] && return
+  run_stage stats stats_smoke
+}
+
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy lint)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats lint)
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     default) stage_default ;;
     asan)    stage_asan ;;
     tsan)    stage_tsan ;;
     tidy)    stage_tidy ;;
+    stats)   stage_stats ;;
     lint)    stage_lint ;;
-    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy lint)" >&2
+    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats lint)" >&2
        exit 2 ;;
   esac
 done

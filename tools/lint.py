@@ -25,6 +25,14 @@ Rules (each violation prints `file:line: [rule] message`; exit 1 if any):
   header-hygiene every header starts with #pragma once (before any code)
                  and declares no top-level `using namespace`.
 
+  metric-name    every metric registered through util::MetricsRegistry
+                 (GetCounter/GetGauge/GetLatency) or timed with TCVS_SPAN
+                 must use a literal lowercase dotted name
+                 (`component.metric_name`, e.g. `rpc.serve.requests_total`);
+                 computed names in production code are flagged because they
+                 escape the snapshot inventory the same way an unregistered
+                 fault point escapes the fault registry.
+
 Run from anywhere: paths are resolved relative to the repo root (the parent
 of this script's directory). `tools/check.sh` runs this as its last stage.
 """
@@ -58,6 +66,18 @@ FAULT_SPEC_RE = re.compile(
 )
 
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+
+# Metric registration sites: a string literal directly inside the call, or
+# nothing literal at all (a computed name). The registry itself passes names
+# through, so it is exempt from the literal requirement.
+METRIC_CALL_RE = re.compile(
+    r"\b(GetCounter|GetGauge|GetLatency|TCVS_SPAN)\s*\(\s*(\"(?:[^\"\\]|\\.)*\")?"
+)
+METRIC_NAME_OK_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+METRIC_DYNAMIC_ALLOWED = {
+    Path("src/util/metrics.h"),   # declarations + the TCVS_SPAN macro body
+    Path("src/util/metrics.cc"),  # get-or-create definitions
+}
 
 
 def source_files(dirs, suffixes):
@@ -157,6 +177,25 @@ def main():
                            "literal in production code; define and use a "
                            "kFault* constant")
             prev_code = code_no_str
+
+        # Metric-name hygiene. Calls wrap across lines (the formatter breaks
+        # after the open paren), so scan the comment-stripped file as one
+        # string and map match offsets back to line numbers.
+        joined = "\n".join(code_lines.get(n, "") for n in range(1, len(lines) + 1))
+        for m in METRIC_CALL_RE.finditer(joined):
+            lineno = joined.count("\n", 0, m.start()) + 1
+            if m.group(2) is None:
+                if in_production and rel not in METRIC_DYNAMIC_ALLOWED:
+                    report(path, lineno, "metric-name",
+                           f"{m.group(1)} with a computed name in production "
+                           "code; metrics must register literal names so the "
+                           "snapshot inventory is complete")
+                continue
+            name = m.group(2)[1:-1]
+            if not METRIC_NAME_OK_RE.match(name):
+                report(path, lineno, "metric-name",
+                       f'metric name "{name}" is not lowercase dotted '
+                       "component.metric_name (e.g. rpc.serve.requests_total)")
 
         # Fault-spec strings may sit in comments (doc examples) — check the
         # raw text, not the comment-stripped one: a typo'd example misleads

@@ -14,6 +14,7 @@
 //   tcvs --state FILE state                # print the registers
 //   tcvs check STATE_FILE...               # offline sync-up over state files
 //   tcvs --server HOST:PORT shutdown
+//   tcvs --server HOST:PORT stats   # live server metrics (Prometheus text)
 //
 // Transport flags: --retries N, --backoff-ms MS, --timeout-ms MS tune the
 // retry policy (exponential backoff, jittered) and per-operation deadlines.
@@ -68,7 +69,7 @@ int Usage() {
                "usage: tcvs [--retries N] [--backoff-ms MS] [--timeout-ms MS] "
                "--server H:P --user N --state FILE "
                "checkout|cat|commit|remove ... | state | check FILES... | "
-               "shutdown\n");
+               "stats | shutdown\n");
   return 2;
 }
 
@@ -205,6 +206,14 @@ int main(int argc, char** argv) {
     Status st = (*remote)->Shutdown();
     if (!st.ok()) return Fail(st);
     std::printf("server shut down\n");
+    return 0;
+  }
+
+  if (cmd == "stats") {
+    auto snap = (*remote)->Stats();
+    if (!snap.ok()) return Fail(snap.status());
+    std::string text = snap->TextFormat();
+    std::fwrite(text.data(), 1, text.size(), stdout);
     return 0;
   }
 

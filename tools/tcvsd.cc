@@ -7,6 +7,7 @@
 //
 // Usage:
 //   tcvsd [--port N] [--fanout F] [--data-dir DIR] [--no-fsync] [--threads N]
+//         [--log-json] [--log-json-interval-ms MS]
 //
 // --threads sizes the serve loop's worker pool: N connections are answered
 // concurrently (I/O in parallel, transaction execution serialized under the
@@ -23,26 +24,89 @@
 // daemon (see util/fault.h), e.g. TCVS_FAULTS="rpc.serve.crash=nth:3" —
 // the harness for resilience tests against a real process.
 //
+// --log-json emits one JSON-lines metrics snapshot per interval (default
+// 1000 ms) to stderr, plus a final line on shutdown — structured logging a
+// collector can tail without scraping.
+//
 // Prints the bound port on stdout (useful with --port 0 for an ephemeral
 // port) and serves until a shutdown RPC arrives.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "cvs/trusted.h"
 #include "net/socket.h"
 #include "rpc/remote.h"
 #include "storage/durable.h"
 #include "util/fault.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
 
 using namespace tcvs;
+
+namespace {
+
+/// Emits one JSON-lines metrics snapshot to stderr.
+void EmitJsonMetrics() {
+  std::string metrics =
+      util::MetricsRegistry::Instance().Snapshot().JsonFormat();
+  long long ts_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::fprintf(stderr, "{\"ts_ms\":%lld,\"metrics\":%s}\n", ts_ms,
+               metrics.c_str());
+}
+
+/// Background JSON-lines metrics logger (--log-json): one snapshot per
+/// interval while serving, one final snapshot when stopped.
+class JsonLogger {
+ public:
+  explicit JsonLogger(int interval_ms) : interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { Run(); });
+  }
+  ~JsonLogger() { Stop(); }
+
+  void Stop() {
+    {
+      util::MutexLock lock(&mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.SignalAll();
+    thread_.join();
+    EmitJsonMetrics();  // Final state, after the serve loop drained.
+  }
+
+ private:
+  void Run() {
+    util::MutexLock lock(&mu_);
+    while (!stopped_) {
+      cv_.WaitFor(&mu_, interval_ms_);
+      if (stopped_) break;
+      EmitJsonMetrics();
+    }
+  }
+
+  const int interval_ms_;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  bool stopped_ TCVS_GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   uint16_t port = 7199;
   size_t fanout = 8;
   std::string data_dir;
   bool fsync = true;
+  bool log_json = false;
+  int log_json_interval_ms = 1000;
   rpc::ServeOptions serve_options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -57,10 +121,17 @@ int main(int argc, char** argv) {
       fsync = false;
     } else if (std::strcmp(argv[i], "--fsync") == 0) {
       fsync = true;
+    } else if (std::strcmp(argv[i], "--log-json") == 0) {
+      log_json = true;
+    } else if (std::strcmp(argv[i], "--log-json-interval-ms") == 0 &&
+               i + 1 < argc) {
+      log_json = true;
+      log_json_interval_ms = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: tcvsd [--port N] [--fanout F] [--data-dir DIR] "
-                   "[--no-fsync] [--threads N]\n");
+                   "[--no-fsync] [--threads N] [--log-json] "
+                   "[--log-json-interval-ms MS]\n");
       return 2;
     }
   }
@@ -106,7 +177,14 @@ int main(int argc, char** argv) {
   std::printf("tcvsd listening on 127.0.0.1:%u\n", listener->port());
   std::fflush(stdout);
 
+  std::unique_ptr<JsonLogger> json_logger;
+  if (log_json) {
+    if (log_json_interval_ms < 1) log_json_interval_ms = 1;
+    json_logger = std::make_unique<JsonLogger>(log_json_interval_ms);
+  }
+
   Status st = rpc::Serve(&listener.ValueOrDie(), api, serve_options);
+  if (json_logger != nullptr) json_logger->Stop();
   if (!st.ok()) {
     std::fprintf(stderr, "tcvsd: %s\n", st.ToString().c_str());
     return 1;
