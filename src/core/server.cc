@@ -1,6 +1,7 @@
 #include "core/server.h"
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace tcvs {
 namespace core {
@@ -117,6 +118,10 @@ void ProtocolServer::HandleQuery(sim::RoundContext* ctx, const sim::Message& msg
 void ProtocolServer::Execute(sim::RoundContext* ctx, sim::AgentId user,
                              const QueryRequest& req, Branch* branch,
                              bool record_replay_history) {
+  // Join the querying user's causal trace: the proof/upsert spans below and
+  // the response echo all carry the trace id the query arrived with.
+  util::ScopedTraceContext trace_ctx(req.trace_id, 0);
+  TCVS_SPAN("core.server.execute");
   const AttackConfig& attack = config_.attack;
 
   if (record_replay_history) {
@@ -132,6 +137,7 @@ void ProtocolServer::Execute(sim::RoundContext* ctx, sim::AgentId user,
   resp.creator = branch->creator;
   resp.sig = branch->sig;
   resp.epoch = ctx->round() / config_.epoch_rounds;
+  resp.trace_id = util::CurrentSpanContext().trace_id;
 
   const bool with_vo = config_.protocol != ProtocolKind::kPlain;
 

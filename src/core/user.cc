@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/forensics.h"
+#include "util/audit.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 
@@ -157,6 +158,10 @@ void ProtocolUser::SendOp(sim::RoundContext* ctx, const workload::ScheduledOp& o
   req.kind = op.kind;
   req.key = op.key;
   req.value = op.value;
+  // The query carries this round's trace; the server echoes it, so the
+  // response verification (and any deviation it uncovers) joins the trace
+  // of the round that issued the op.
+  req.trace_id = util::CurrentSpanContext().trace_id;
   if (options_.config.protocol == ProtocolKind::kProtocolIII &&
       !upload_queue_.empty()) {
     req.epoch_upload = upload_queue_.front();
@@ -219,6 +224,13 @@ bool ProtocolUser::VerifyAndFold(sim::RoundContext* ctx,
     Status st = options_.keystore->VerifyFrom(
         resp.creator, SignedStatePreimage(pre_root, resp.ctr), resp.sig);
     if (!st.ok()) {
+      util::AuditEvent event(util::AuditEventKind::kSignatureVerifyFailure);
+      event.user = options_.id;
+      event.ctr = resp.ctr;
+      event.epoch = current_epoch_;
+      event.detail = "state signature claimed from user " +
+                     std::to_string(resp.creator) + ": " + st.ToString();
+      util::AuditLog::Instance().Emit(std::move(event));
       ctx->ReportDetection("illegitimate state signature: " + st.ToString());
       return false;
     }
@@ -227,6 +239,14 @@ bool ProtocolUser::VerifyAndFold(sim::RoundContext* ctx,
   // 4. Counter monotonicity (Protocol II step 4): the server may never show
   //    this user a counter older than one it has already seen.
   if (UsesXorRegisters() && resp.ctr < gctr_) {
+    util::AuditEvent event(util::AuditEventKind::kCounterRegression);
+    event.user = options_.id;
+    event.ctr = resp.ctr;
+    event.gctr = gctr_;
+    event.epoch = current_epoch_;
+    event.detail = "server presented counter " + std::to_string(resp.ctr) +
+                   " after this user already saw " + std::to_string(gctr_);
+    util::AuditLog::Instance().Emit(std::move(event));
     ctx->ReportDetection("stale counter " + std::to_string(resp.ctr) +
                          " (already saw " + std::to_string(gctr_) + ")");
     return false;
@@ -357,6 +377,10 @@ void ProtocolUser::HandleResponse(sim::RoundContext* ctx,
     return;
   }
   const QueryResponse& resp = *resp_or;
+  // Re-enter the trace of the query this response answers: verification
+  // spans and audit events below pivot back to the originating exchange.
+  util::ScopedTraceContext trace_ctx(resp.trace_id, 0);
+  TCVS_SPAN("core.user.handle_response");
   if (!inflight_.has_value() || inflight_->qid != resp.qid) {
     ctx->ReportDetection("response to a query this user never issued");
     dead_ = true;
@@ -605,11 +629,15 @@ void ProtocolUser::EvaluateSyncIfComplete(sim::RoundContext* ctx) {
 void ProtocolUser::EvaluateBroadcastSync(sim::RoundContext* ctx, uint64_t id) {
   SyncState& sync = syncs_.at(id);
   bool success = false;
+  uint64_t lctr_total = 0;
+  for (const auto& [user, report] : sync.reports) lctr_total += report.lctr;
+  // Protocol II divergence evidence, captured for the audit trail: this
+  // user's expected pooled XOR vs the one actually observed.
+  Bytes expected_x;
+  Bytes actual_x;
   if (options_.config.protocol == ProtocolKind::kProtocolI) {
-    uint64_t total = 0;
-    for (const auto& [user, report] : sync.reports) total += report.lctr;
     for (const auto& [user, report] : sync.reports) {
-      if (report.gctr == total) {
+      if (report.gctr == lctr_total) {
         success = true;
         break;
       }
@@ -625,6 +653,8 @@ void ProtocolUser::EvaluateBroadcastSync(sim::RoundContext* ctx, uint64_t id) {
       x = XorBytes(x, report.sigma);
     }
     const Bytes f0 = InitialFingerprint(Tagged());
+    expected_x = XorBytes(f0, last_);
+    actual_x = x;
     for (const auto& [user, report] : sync.reports) {
       if (XorBytes(f0, report.last) == x) {
         success = true;
@@ -634,6 +664,32 @@ void ProtocolUser::EvaluateBroadcastSync(sim::RoundContext* ctx, uint64_t id) {
   }
 
   if (!success) {
+    {
+      util::AuditEvent event(util::AuditEventKind::kSyncUpFail);
+      event.user = options_.id;
+      event.ctr = gctr_;
+      event.epoch = current_epoch_;
+      event.gctr = gctr_;
+      event.lctr_sum = lctr_total;
+      event.detail = "sync-up check failed: no user's state explains the "
+                     "pooled reports";
+      util::AuditLog::Instance().Emit(std::move(event));
+    }
+    {
+      // The paper's fork signal: no user's (f0 XOR last) accounts for the
+      // pooled register XOR, so at least two users were shown diverging
+      // histories. Record both sides of the divergence.
+      util::AuditEvent event(util::AuditEventKind::kForkDetected);
+      event.user = options_.id;
+      event.ctr = gctr_;
+      event.epoch = current_epoch_;
+      event.gctr = gctr_;
+      event.lctr_sum = lctr_total;
+      event.expected_digest = expected_x;
+      event.actual_digest = actual_x;
+      event.detail = "fork/partition detected at sync " + std::to_string(id);
+      util::AuditLog::Instance().Emit(std::move(event));
+    }
     std::string reason = "sync-up check failed: server deviated";
     if (options_.config.journal_len > 0) {
       // Fault localization (future-work extension): pool the bounded
@@ -645,6 +701,12 @@ void ProtocolUser::EvaluateBroadcastSync(sim::RoundContext* ctx, uint64_t id) {
                       report.journal.end());
       }
       if (auto fault = LocalizeFault(pooled); fault.has_value()) {
+        util::AuditEvent event(util::AuditEventKind::kForensicsLocalized);
+        event.user = options_.id;
+        event.ctr = fault->first_bad_ctr;
+        event.epoch = current_epoch_;
+        event.detail = fault->explanation;
+        util::AuditLog::Instance().Emit(std::move(event));
         reason += "; first fault at counter " +
                   std::to_string(fault->first_bad_ctr) + " (" +
                   fault->explanation + ")";
@@ -653,6 +715,15 @@ void ProtocolUser::EvaluateBroadcastSync(sim::RoundContext* ctx, uint64_t id) {
     ctx->ReportDetection(reason);
     dead_ = true;
     return;
+  }
+  {
+    util::AuditEvent event(util::AuditEventKind::kSyncUpPass);
+    event.user = options_.id;
+    event.ctr = gctr_;
+    event.epoch = current_epoch_;
+    event.gctr = gctr_;
+    event.lctr_sum = lctr_total;
+    util::AuditLog::Instance().Emit(std::move(event));
   }
   FinishSyncSuccess(ctx, id);
 }

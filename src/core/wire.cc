@@ -38,18 +38,24 @@ Result<EpochStateBlob> EpochStateBlob::Deserialize(const Bytes& data) {
 
 Bytes QueryRequest::Serialize() const {
   util::Writer w;
+  w.PutU8(kQueryWireVersion);
   w.PutU64(qid);
   w.PutU8(static_cast<uint8_t>(kind));
   w.PutBytes(key);
   w.PutBytes(value);
   w.PutU8(epoch_upload.has_value() ? 1 : 0);
   if (epoch_upload.has_value()) w.PutBytes(epoch_upload->Serialize());
+  w.PutU64(trace_id);
   return w.Take();
 }
 
 Result<QueryRequest> QueryRequest::Deserialize(const Bytes& data) {
   util::Reader r(data);
   QueryRequest q;
+  TCVS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kQueryWireVersion) {
+    return Status::InvalidArgument("unsupported query wire version");
+  }
   TCVS_ASSIGN_OR_RETURN(q.qid, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
   if (kind > 2) return Status::InvalidArgument("bad op kind");
@@ -62,11 +68,13 @@ Result<QueryRequest> QueryRequest::Deserialize(const Bytes& data) {
     TCVS_ASSIGN_OR_RETURN(EpochStateBlob b, EpochStateBlob::Deserialize(blob));
     q.epoch_upload = std::move(b);
   }
+  TCVS_ASSIGN_OR_RETURN(q.trace_id, r.GetU64());
   return q;
 }
 
 Bytes QueryResponse::Serialize() const {
   util::Writer w;
+  w.PutU8(kQueryWireVersion);
   w.PutU64(qid);
   w.PutU8(static_cast<uint8_t>(kind));
   w.PutU8(found ? 1 : 0);
@@ -76,12 +84,17 @@ Bytes QueryResponse::Serialize() const {
   w.PutU32(creator);
   w.PutBytes(sig);
   w.PutU64(epoch);
+  w.PutU64(trace_id);
   return w.Take();
 }
 
 Result<QueryResponse> QueryResponse::Deserialize(const Bytes& data) {
   util::Reader r(data);
   QueryResponse q;
+  TCVS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kQueryWireVersion) {
+    return Status::InvalidArgument("unsupported query wire version");
+  }
   TCVS_ASSIGN_OR_RETURN(q.qid, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
   if (kind > 2) return Status::InvalidArgument("bad op kind");
@@ -94,6 +107,7 @@ Result<QueryResponse> QueryResponse::Deserialize(const Bytes& data) {
   TCVS_ASSIGN_OR_RETURN(q.creator, r.GetU32());
   TCVS_ASSIGN_OR_RETURN(q.sig, r.GetBytes());
   TCVS_ASSIGN_OR_RETURN(q.epoch, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(q.trace_id, r.GetU64());
   return q;
 }
 

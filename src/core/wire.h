@@ -63,6 +63,11 @@ struct EpochStateBlob {
   bool operator==(const EpochStateBlob&) const = default;
 };
 
+/// \brief Query wire version. v2 prefixes both query messages with this
+/// byte and appends the causal trace id; v1 frames (no version byte) are no
+/// longer accepted — the simulated network has no cross-version peers.
+inline constexpr uint8_t kQueryWireVersion = 2;
+
 /// \brief User → server: one CVS operation (checkout / commit / delete) on a
 /// data item. Protocol III queries may piggyback the previous epoch's signed
 /// state blob (paper §4.4 step 2).
@@ -72,6 +77,8 @@ struct QueryRequest {
   Bytes key;
   Bytes value;
   std::optional<EpochStateBlob> epoch_upload;
+  /// Causal trace of the round that issued the query (0 = untraced).
+  uint64_t trace_id = 0;
 
   Bytes Serialize() const;
   static Result<QueryRequest> Deserialize(const Bytes& data);
@@ -94,6 +101,9 @@ struct QueryResponse {
   Bytes sig;
   /// Protocol III: the server's epoch number.
   uint64_t epoch = 0;
+  /// Echo of the query's trace id, so the user's verification of this
+  /// response (and any deviation it uncovers) joins the originating trace.
+  uint64_t trace_id = 0;
 
   Bytes Serialize() const;
   static Result<QueryResponse> Deserialize(const Bytes& data);

@@ -1,5 +1,8 @@
 #include "cvs/trusted.h"
 
+#include <algorithm>
+
+#include "util/audit.h"
 #include "util/metrics.h"
 #include "util/serde.h"
 
@@ -9,6 +12,24 @@ namespace cvs {
 using core::kInitialCreator;
 using core::StateFingerprint;
 using core::XorBytes;
+
+namespace {
+
+// Emits a typed audit event and returns the matching DeviationDetected
+// status. The trace id is filled from the active span by Emit, so events
+// raised while verifying a reply carry the trace of that exchange.
+Status Deviation(util::AuditEventKind kind, uint32_t user, uint64_t ctr,
+                 uint64_t gctr, std::string detail) {
+  util::AuditEvent event(kind);
+  event.user = user;
+  event.ctr = ctr;
+  event.gctr = gctr;
+  event.detail = detail;
+  util::AuditLog::Instance().Emit(std::move(event));
+  return Status::DeviationDetected(std::move(detail));
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Wire structs
@@ -310,9 +331,10 @@ Status VerifyingClient::AuditLog() {
   TCVS_ASSIGN_OR_RETURN(LogCheckpointReply reply,
                         server_->LogCheckpoint(log_size_));
   if (reply.size < log_size_) {
-    return Status::DeviationDetected(
+    return Deviation(
+        util::AuditEventKind::kDeviationDetected, user_id_, reply.size, gctr_,
         "server transparency log shrank from " + std::to_string(log_size_) +
-        " to " + std::to_string(reply.size) + ": history rolled back");
+            " to " + std::to_string(reply.size) + ": history rolled back");
   }
   // Before the first audit the local checkpoint is the empty log.
   crypto::Digest old_root =
@@ -320,9 +342,10 @@ Status VerifyingClient::AuditLog() {
   Status st = crypto::TransparencyLog::VerifyConsistency(
       log_size_, reply.size, old_root, reply.root, reply.consistency);
   if (!st.ok()) {
-    return Status::DeviationDetected(
+    return Deviation(
+        util::AuditEventKind::kDeviationDetected, user_id_, reply.size, gctr_,
         "server transparency log is not an extension of the checkpoint (" +
-        st.ToString() + "): history rewritten");
+            st.ToString() + "): history rewritten");
   }
   log_size_ = reply.size;
   log_root_ = reply.root;
@@ -344,12 +367,15 @@ Result<ServerReply> VerifyingClient::Execute(
   for (const auto& f : reply.files) vo_total += f.vo.size();
   vo_bytes->Record(vo_total);
   if (reply.files.size() != ops.size()) {
-    return Status::DeviationDetected("server answered a different transaction");
+    return Deviation(util::AuditEventKind::kDeviationDetected, user_id_,
+                     reply.ctr, gctr_,
+                     "server answered a different transaction");
   }
   if (reply.ctr < gctr_) {
-    return Status::DeviationDetected(
+    return Deviation(
+        util::AuditEventKind::kCounterRegression, user_id_, reply.ctr, gctr_,
         "server presented counter " + std::to_string(reply.ctr) +
-        " older than one already seen (" + std::to_string(gctr_) + ")");
+            " older than one already seen (" + std::to_string(gctr_) + ")");
   }
 
   // Walk the VO chain: each sub-op's proof must be rooted at the state the
@@ -372,6 +398,15 @@ Result<ServerReply> VerifyingClient::Execute(
     if (!chain_root.has_value()) {
       pre_root = root;
     } else if (root != *chain_root) {
+      util::AuditEvent event(util::AuditEventKind::kVoMismatch);
+      event.user = user_id_;
+      event.ctr = reply.ctr;
+      event.gctr = gctr_;
+      event.expected_digest = *chain_root;
+      event.actual_digest = root;
+      event.detail =
+          "verification-object chain broken at sub-op " + std::to_string(i);
+      util::AuditLog::Instance().Emit(std::move(event));
       return Status::DeviationDetected(
           "verification-object chain broken at sub-op " + std::to_string(i));
     }
@@ -382,7 +417,8 @@ Result<ServerReply> VerifyingClient::Execute(
     if (value.has_value()) {
       auto rec = FileRecord::Deserialize(*value);
       if (!rec.ok()) {
-        return Status::DeviationDetected("server stored a malformed file record");
+        return Deviation(util::AuditEventKind::kVoMismatch, user_id_, reply.ctr,
+                         gctr_, "server stored a malformed file record");
       }
       record = std::move(rec).ValueOrDie();
     }
@@ -396,8 +432,9 @@ Result<ServerReply> VerifyingClient::Execute(
     switch (op.kind) {
       case FileOp::Kind::kCheckout:
         if (value.has_value() != f.found) {
-          return Status::DeviationDetected(
-              "server's existence claim contradicts the proof");
+          return Deviation(util::AuditEventKind::kVoMismatch, user_id_,
+                           reply.ctr, gctr_,
+                           "server's existence claim contradicts the proof");
         }
         break;
       case FileOp::Kind::kCommit: {
@@ -419,8 +456,9 @@ Result<ServerReply> VerifyingClient::Execute(
               next_root, mtree::VerifyAndApplyDelete(root, params_, key, vo));
         }
         if (reply.applied && record.has_value() != f.found) {
-          return Status::DeviationDetected(
-              "server's removal claim contradicts the proof");
+          return Deviation(util::AuditEventKind::kVoMismatch, user_id_,
+                           reply.ctr, gctr_,
+                           "server's removal claim contradicts the proof");
         }
         break;
       }
@@ -429,10 +467,11 @@ Result<ServerReply> VerifyingClient::Execute(
   }
 
   if (expected_applies != reply.applied) {
-    return Status::DeviationDetected(
+    return Deviation(
+        util::AuditEventKind::kVoMismatch, user_id_, reply.ctr, gctr_,
         "server mis-decided the transaction (authenticated revisions say "
         "applied should be " +
-        std::string(expected_applies ? "true" : "false") + ")");
+            std::string(expected_applies ? "true" : "false") + ")");
   }
 
   // Fold the transaction into the Protocol II registers.
@@ -516,7 +555,8 @@ Result<std::vector<std::pair<std::string, uint64_t>>> VerifyingClient::ListDir(
           "cvs.client.range_vo_bytes");
   vo_bytes->Record(reply.range_vo.size());
   if (reply.ctr < gctr_) {
-    return Status::DeviationDetected("server presented a stale counter");
+    return Deviation(util::AuditEventKind::kCounterRegression, user_id_,
+                     reply.ctr, gctr_, "server presented a stale counter");
   }
   TCVS_ASSIGN_OR_RETURN(mtree::RangeVO vo,
                         mtree::RangeVO::Deserialize(reply.range_vo));
@@ -528,7 +568,8 @@ Result<std::vector<std::pair<std::string, uint64_t>>> VerifyingClient::ListDir(
   for (const auto& [key, value] : rows) {
     auto rec = FileRecord::Deserialize(value);
     if (!rec.ok()) {
-      return Status::DeviationDetected("server stored a malformed file record");
+      return Deviation(util::AuditEventKind::kVoMismatch, user_id_, reply.ctr,
+                       gctr_, "server stored a malformed file record");
     }
     out.emplace_back(util::ToString(key), rec->revision);
   }
@@ -560,18 +601,59 @@ Status VerifyingClient::SyncUp(const std::vector<VerifyingClient*>& clients) {
 }
 
 Status VerifyingClient::SyncCheck(const std::vector<ClientState>& states) {
+  if (states.empty()) {
+    return Status::InvalidArgument("sync-up needs at least one client state");
+  }
   Bytes x(crypto::kDigestSize, 0);
+  uint64_t lctr_sum = 0;
+  uint64_t max_gctr = 0;
   for (const auto& s : states) {
     if (s.sigma.size() != crypto::kDigestSize ||
         s.last.size() != crypto::kDigestSize) {
       return Status::InvalidArgument("malformed client state");
     }
     x = XorBytes(x, s.sigma);
+    lctr_sum += s.lctr;
+    max_gctr = std::max(max_gctr, s.gctr);
   }
   const Bytes f0 = core::InitialFingerprint(/*tagged=*/true);
   for (const auto& s : states) {
-    if (XorBytes(f0, s.last) == x) return Status::OK();
+    if (XorBytes(f0, s.last) == x) {
+      util::AuditEvent pass(util::AuditEventKind::kSyncUpPass);
+      pass.user = s.user_id;
+      pass.ctr = max_gctr;
+      pass.gctr = max_gctr;
+      pass.lctr_sum = lctr_sum;
+      util::AuditLog::Instance().Emit(std::move(pass));
+      return Status::OK();
+    }
   }
+  // No participant's final fingerprint explains the folded transitions:
+  // record both the sync failure and the fork evidence. The digests name
+  // the two sides of the divergence — what the transitions fold to versus
+  // what the highest-counter participant last observed.
+  const ClientState* latest = &states.front();
+  for (const auto& s : states) {
+    if (s.gctr >= latest->gctr) latest = &s;
+  }
+  util::AuditEvent fail(util::AuditEventKind::kSyncUpFail);
+  fail.user = latest->user_id;
+  fail.ctr = max_gctr;
+  fail.gctr = max_gctr;
+  fail.lctr_sum = lctr_sum;
+  fail.detail = "sync-up over " + std::to_string(states.size()) +
+                " clients failed to close the XOR telescope";
+  util::AuditLog::Instance().Emit(std::move(fail));
+  util::AuditEvent fork(util::AuditEventKind::kForkDetected);
+  fork.user = latest->user_id;
+  fork.ctr = max_gctr;
+  fork.gctr = max_gctr;
+  fork.lctr_sum = lctr_sum;
+  fork.expected_digest = XorBytes(f0, latest->last);
+  fork.actual_digest = x;
+  fork.detail = "fork/partition detected at sync (gctr " +
+                std::to_string(max_gctr) + ")";
+  util::AuditLog::Instance().Emit(std::move(fork));
   return Status::DeviationDetected(
       "sync-up failed: the clients' observed transitions do not form a "
       "single serial history — the server forked or replayed state");

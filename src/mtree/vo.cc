@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/audit.h"
 #include "util/metrics.h"
 #include "util/serde.h"
 
@@ -9,6 +10,19 @@ namespace tcvs {
 namespace mtree {
 
 namespace {
+
+/// A root-digest mismatch is THE core deviation signal of the paper: the
+/// server's VO describes a tree that is not the one the client trusts.
+/// Record both digests so an auditor sees exactly what diverged.
+Status RootMismatch(const char* op, const Digest& trusted_root,
+                    const Digest& root_digest) {
+  util::AuditEvent event(util::AuditEventKind::kVoMismatch);
+  event.expected_digest = trusted_root;
+  event.actual_digest = root_digest;
+  event.detail = std::string(op) + ": VO root digest does not match trusted root";
+  util::AuditLog::Instance().Emit(std::move(event));
+  return Status::VerificationFailure("VO root digest does not match trusted root");
+}
 
 // Routing rule shared by server and client: the child index for `key` is the
 // number of separators <= key.
@@ -212,7 +226,7 @@ Result<std::optional<Bytes>> VerifyPointRead(const Digest& trusted_root,
   TCVS_SPAN("mtree.vo.verify_point");
   TCVS_ASSIGN_OR_RETURN(Digest root_digest, vo.root.VerifiedDigest());
   if (root_digest != trusted_root) {
-    return Status::VerificationFailure("VO root digest does not match trusted root");
+    return RootMismatch("verify_point", trusted_root, root_digest);
   }
   const NodeView* node = &vo.root;
   int depth = 0;
@@ -311,7 +325,7 @@ Result<Digest> VerifyAndApplyUpsert(const Digest& trusted_root,
   TCVS_SPAN("mtree.vo.apply_upsert");
   TCVS_ASSIGN_OR_RETURN(Digest root_digest, vo.root.VerifiedDigest());
   if (root_digest != trusted_root) {
-    return Status::VerificationFailure("VO root digest does not match trusted root");
+    return RootMismatch("apply_upsert", trusted_root, root_digest);
   }
   TCVS_ASSIGN_OR_RETURN(UpsertResult r, ReplayUpsert(vo.root, params, key, value));
   if (!r.split.has_value()) return r.digest;
@@ -380,7 +394,7 @@ Result<Digest> VerifyAndApplyDelete(const Digest& trusted_root,
   TCVS_SPAN("mtree.vo.apply_delete");
   TCVS_ASSIGN_OR_RETURN(Digest root_digest, vo.root.VerifiedDigest());
   if (root_digest != trusted_root) {
-    return Status::VerificationFailure("VO root digest does not match trusted root");
+    return RootMismatch("apply_delete", trusted_root, root_digest);
   }
   TCVS_ASSIGN_OR_RETURN(DeleteResult r, ReplayDelete(vo.root, params, key));
   if (!r.found) return Status::NotFound("key not present (authenticated)");
@@ -435,7 +449,7 @@ Result<std::vector<std::pair<Bytes, Bytes>>> VerifyRangeRead(
   if (hi < lo) return Status::InvalidArgument("range bounds reversed");
   TCVS_ASSIGN_OR_RETURN(Digest root_digest, vo.root.VerifiedDigest());
   if (root_digest != trusted_root) {
-    return Status::VerificationFailure("VO root digest does not match trusted root");
+    return RootMismatch("verify_range", trusted_root, root_digest);
   }
   std::vector<std::pair<Bytes, Bytes>> out;
   TCVS_RETURN_NOT_OK(CollectRange(vo.root, lo, hi, &out, 0));

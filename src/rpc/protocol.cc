@@ -25,6 +25,8 @@ Result<cvs::FileOp> DeserializeFileOp(util::Reader* r) {
 
 Bytes RpcRequest::Serialize() const {
   util::Writer w;
+  w.PutU8(kRpcVersionEscape);
+  w.PutU8(kRpcWireVersion);
   w.PutU8(static_cast<uint8_t>(type));
   w.PutU32(user);
   w.PutU32(static_cast<uint32_t>(ops.size()));
@@ -32,14 +34,30 @@ Bytes RpcRequest::Serialize() const {
   w.PutString(prefix);
   w.PutU64(old_size);
   w.PutU64(request_id);
+  w.PutU64(trace_id);
+  w.PutU64(span_id);
+  w.PutU64(parent_span_id);
   return w.Take();
 }
 
 Result<RpcRequest> RpcRequest::Deserialize(const Bytes& data) {
   util::Reader r(data);
   RpcRequest req;
-  TCVS_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
-  if (type < 1 || type > 6) return Status::InvalidArgument("bad rpc type");
+  TCVS_ASSIGN_OR_RETURN(uint8_t first, r.GetU8());
+  uint8_t version = 1;
+  uint8_t type = first;
+  if (first == kRpcVersionEscape) {
+    TCVS_ASSIGN_OR_RETURN(version, r.GetU8());
+    if (version < 2 || version > kRpcWireVersion) {
+      return Status::InvalidArgument("unsupported rpc wire version");
+    }
+    TCVS_ASSIGN_OR_RETURN(type, r.GetU8());
+  }
+  // v1 peers predate kTraceDump/kEvents; reject those types from them.
+  const uint8_t max_type = version >= 2 ? 8 : 6;
+  if (type < 1 || type > max_type) {
+    return Status::InvalidArgument("bad rpc type");
+  }
   req.type = static_cast<RpcType>(type);
   TCVS_ASSIGN_OR_RETURN(req.user, r.GetU32());
   TCVS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
@@ -51,6 +69,11 @@ Result<RpcRequest> RpcRequest::Deserialize(const Bytes& data) {
   TCVS_ASSIGN_OR_RETURN(req.prefix, r.GetString());
   TCVS_ASSIGN_OR_RETURN(req.old_size, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(req.request_id, r.GetU64());
+  if (version >= 2) {
+    TCVS_ASSIGN_OR_RETURN(req.trace_id, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(req.span_id, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(req.parent_span_id, r.GetU64());
+  }
   return req;
 }
 

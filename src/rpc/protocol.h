@@ -25,7 +25,21 @@ enum class RpcType : uint8_t {
   /// Serialized util::MetricsSnapshot of the server process (observability;
   /// `tcvs stats`). Read-only, never cached, carries no payload fields.
   kStats = 6,
+  /// Drain-and-return the server's trace ring as a serialized
+  /// util::TraceDump (`tcvs trace`). Read-only, never cached.
+  kTraceDump = 7,
+  /// Serialized util::AuditLog snapshot of the server process
+  /// (`tcvs events`). Read-only, never cached.
+  kEvents = 8,
 };
+
+/// \brief Request wire versioning. v1 frames began directly with the type
+/// byte (1..6). v2 frames start with the kRpcVersionEscape byte — a value
+/// no v1 type ever used — then the version, then the v1 layout, then the
+/// trace-context triple. Deserialize accepts both, so a v2 server still
+/// understands v1 clients.
+inline constexpr uint8_t kRpcWireVersion = 2;
+inline constexpr uint8_t kRpcVersionEscape = 0xFF;
 
 /// \brief One request frame.
 struct RpcRequest {
@@ -40,6 +54,14 @@ struct RpcRequest {
   /// counter-bearing transaction stays exactly-once within a server
   /// incarnation, and the client's register chain has no gap.
   uint64_t request_id = 0;
+  /// \name Causal-trace context (Dapper-style; v2 wire). The client copies
+  /// its active span here; the serve loop installs it so server handler
+  /// spans join the caller's trace. All-zero from v1 clients.
+  /// @{
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  /// @}
 
   Bytes Serialize() const;
   static Result<RpcRequest> Deserialize(const Bytes& data);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/audit.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -74,6 +75,10 @@ util::LatencyHistogram* ClientMethodLatency(RpcType type) {
           "rpc.client.log_checkpoint.latency_us"),
       util::MetricsRegistry::Instance().GetLatency(
           "rpc.client.stats.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.client.trace_dump.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.client.events.latency_us"),
   };
   return kLatency[static_cast<size_t>(type) - 1];
 }
@@ -93,6 +98,10 @@ util::Counter* ServeMethodRequests(RpcType type) {
           "rpc.serve.log_checkpoint.requests_total"),
       util::MetricsRegistry::Instance().GetCounter(
           "rpc.serve.stats.requests_total"),
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.serve.trace_dump.requests_total"),
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.serve.events.requests_total"),
   };
   return kRequests[static_cast<size_t>(type) - 1];
 }
@@ -102,6 +111,11 @@ util::Counter* ServeMethodRequests(RpcType type) {
 Result<std::unique_ptr<RemoteServer>> RemoteServer::Connect(
     const std::string& host, uint16_t port, RemoteOptions options) {
   util::Rng rng(SeedFromOs());
+  // The handshake is traced like any call: its context rides the request
+  // header (same across retries), so the server's handler span joins this
+  // trace instead of minting an orphan one.
+  TCVS_SPAN("rpc.client.connect");
+  const util::SpanContext span_ctx = util::CurrentSpanContext();
   Status last = Status::Unavailable("no connect attempt made");
   for (int attempt = 0; attempt < options.retry.max_attempts; ++attempt) {
     if (attempt > 0) {
@@ -120,6 +134,9 @@ Result<std::unique_ptr<RemoteServer>> RemoteServer::Connect(
     // Fetch tree parameters so the client can replay proofs.
     RpcRequest req;
     req.type = RpcType::kGetParams;
+    req.trace_id = span_ctx.trace_id;
+    req.span_id = span_ctx.span_id;
+    req.parent_span_id = span_ctx.parent_span_id;
     Status st = conn.SendFrame(req.Serialize());
     Result<Bytes> frame = st.ok() ? conn.ReceiveFrame() : st;
     if (!frame.ok()) {
@@ -170,6 +187,15 @@ Result<RpcResponse> RemoteServer::Call(RpcRequest request) {
       util::MetricsRegistry::Instance().GetCounter(
           "rpc.client.bytes_received_total");
   util::LatencyHistogram* const latency = ClientMethodLatency(request.type);
+  // The call itself is a span (child of whatever the caller had open); its
+  // identity rides the request header so the server's handler spans join
+  // this trace. Injection happens before Serialize — every retry carries
+  // the same context, like the same request id.
+  TCVS_SPAN("rpc.client.call");
+  const util::SpanContext span_ctx = util::CurrentSpanContext();
+  request.trace_id = span_ctx.trace_id;
+  request.span_id = span_ctx.span_id;
+  request.parent_span_id = span_ctx.parent_span_id;
   const uint64_t start_us = util::MonotonicMicros();
 
   // One id per logical call, shared by all retries: the serve loop's reply
@@ -278,6 +304,32 @@ Result<util::MetricsSnapshot> RemoteServer::Stats() {
   return snap;
 }
 
+Result<util::TraceDump> RemoteServer::TraceDump() {
+  RpcRequest req;
+  req.type = RpcType::kTraceDump;
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  TCVS_RETURN_NOT_OK(resp.ToStatus());
+  auto dump = util::TraceDump::Deserialize(resp.payload);
+  if (!dump.ok()) {
+    return Status::InvalidArgument("malformed trace dump from server: " +
+                                   dump.status().ToString());
+  }
+  return dump;
+}
+
+Result<std::vector<util::AuditEvent>> RemoteServer::Events() {
+  RpcRequest req;
+  req.type = RpcType::kEvents;
+  TCVS_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  TCVS_RETURN_NOT_OK(resp.ToStatus());
+  auto events = util::AuditLog::Deserialize(resp.payload);
+  if (!events.ok()) {
+    return Status::InvalidArgument("malformed events reply from server: " +
+                                   events.status().ToString());
+  }
+  return events;
+}
+
 namespace {
 
 /// Bounded request-id → serialized-reply cache: enough to cover every
@@ -333,7 +385,6 @@ class ServeState {
   /// Handles one request frame end to end; returns the wire reply.
   /// Sets *shutdown when the frame was a kShutdown request.
   Bytes HandleFrame(const Bytes& frame, bool* shutdown) {
-    TCVS_SPAN("rpc.serve.handle_frame");
     // `requests` increments strictly before `replies` on every path, so any
     // concurrent Stats snapshot observes replies_total ≤ requests_total.
     static util::Counter* const requests =
@@ -356,6 +407,11 @@ class ServeState {
       return RpcResponse::FromStatus(req_or.status()).Serialize();
     }
     const RpcRequest& req = *req_or;
+    // Adopt the caller's trace context before opening any span: every span
+    // below — handler, mtree verify, WAL append — attaches to the client's
+    // trace, with the client's call span as parent.
+    util::ScopedTraceContext trace_ctx(req.trace_id, req.span_id);
+    TCVS_SPAN("rpc.serve.handle_frame");
     requests->Increment();
     ServeMethodRequests(req.type)->Increment();
     // Counter-bearing transactions replay idempotently via the cache;
@@ -415,6 +471,18 @@ class ServeState {
         // ranks below the serve execution lock `mu_` held here (metrics code
         // never calls back into the serve loop), so this cannot deadlock.
         resp.payload = util::MetricsRegistry::Instance().Snapshot().Serialize();
+        break;
+      case RpcType::kTraceDump:
+        // Drain-and-ship the trace ring (the drain keeps the ring from
+        // re-serving old spans; the caller owns stitching dumps together).
+        resp.payload = util::TraceDump::FromEvents(
+                           util::MetricsRegistry::Instance().DrainTrace())
+                           .Serialize();
+        break;
+      case RpcType::kEvents:
+        // Snapshot (not drain): audit history stays queryable by later
+        // auditors up to the log's retention bound.
+        resp.payload = util::AuditLog::Instance().Serialize();
         break;
     }
     Bytes wire = resp.Serialize();

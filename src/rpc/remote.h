@@ -7,6 +7,7 @@
 #include "net/socket.h"
 #include "rpc/protocol.h"
 #include "rpc/retry.h"
+#include "util/audit.h"
 #include "util/metrics.h"
 #include "util/random.h"
 
@@ -64,6 +65,14 @@ class RemoteServer : public cvs::ServerApi {
   /// Fetches the server process's metrics snapshot (observability; powers
   /// `tcvs stats`). Read-only and side-effect free on the server.
   Result<util::MetricsSnapshot> Stats();
+
+  /// Drains and fetches the server process's trace ring (powers
+  /// `tcvs trace`). The server's buffer is cleared by this call.
+  Result<util::TraceDump> TraceDump();
+
+  /// Fetches the server process's security audit-event log (powers
+  /// `tcvs events`). Read-only; the server's log is NOT cleared.
+  Result<std::vector<util::AuditEvent>> Events();
 
   /// Transport-level retries performed so far (observability / tests).
   uint64_t transport_retries() const { return retries_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/audit.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 
@@ -52,6 +53,15 @@ void Kernel::Enqueue(Message m) {
 }
 
 void Kernel::OnDetection(AgentId who, const std::string& reason) {
+  // EVERY ReportDetection becomes an audit event, even after the first
+  // detection was recorded: later detectors are forensic evidence too.
+  // The trace id is filled by Emit from the active span (the agent-round
+  // span, or a query's context installed by the protocol layer).
+  util::AuditEvent event(util::AuditEventKind::kDeviationDetected);
+  event.user = who;
+  event.ctr = now_;  // For sim-kernel events the counter slot is the round.
+  event.detail = reason;
+  util::AuditLog::Instance().Emit(std::move(event));
   if (detection_.has_value()) return;  // First detection wins.
   static util::Counter* const detections =
       util::MetricsRegistry::Instance().GetCounter("sim.detections_total");
@@ -92,6 +102,10 @@ SimReport Kernel::Continue(Round additional_rounds, bool stop_on_detection) {
     // Step agents in fixed (ascending id) order — the deterministic serial
     // order the paper's trusted server mirrors.
     for (auto& [id, agent] : agents_) {
+      // One span per agent-round: anything the agent emits (audit events,
+      // child spans) gets a non-zero trace id even when no query context
+      // has been installed yet.
+      TCVS_SPAN("sim.kernel.agent_round");
       std::vector<Message> inbox = std::move(inboxes[id]);
       RoundContext ctx(this, id, now_, &inbox);
       agent->OnRound(&ctx);

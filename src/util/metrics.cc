@@ -1,8 +1,10 @@
 #include "util/metrics.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <functional>
+#include <random>
 #include <thread>
 
 #include "util/logging.h"
@@ -12,6 +14,37 @@ namespace tcvs {
 namespace util {
 
 namespace {
+
+/// The thread's active span identity. Maintained by TraceSpan (push on
+/// construction, pop on destruction) and ScopedTraceContext (install a
+/// remote caller's context). Zero-initialized: code outside any span sees
+/// trace_id == 0 and allocates a fresh trace when it opens one.
+thread_local SpanContext tls_span_context;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Process-unique non-zero ids: a once-seeded random base (so ids from
+/// different processes in one trace dump do not collide) mixed through
+/// SplitMix64 with a global counter (so ids within the process never do).
+uint64_t NewId() {
+  static const uint64_t process_seed = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ static_cast<uint64_t>(rd()) ^
+           MonotonicMicros();
+  }();
+  static std::atomic<uint64_t> sequence{0};
+  uint64_t id = 0;
+  while (id == 0) {
+    id = SplitMix64(process_seed ^
+                    sequence.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
 
 /// Dots become underscores and everything gets a `tcvs_` prefix, so
 /// `rpc.serve.requests_total` exposes as `tcvs_rpc_serve_requests_total` —
@@ -60,6 +93,50 @@ void AppendI64(std::string* out, int64_t v) {
 }
 
 }  // namespace
+
+SpanContext CurrentSpanContext() { return tls_span_context; }
+
+uint64_t NewTraceId() { return NewId(); }
+
+ScopedTraceContext::ScopedTraceContext(uint64_t trace_id, uint64_t span_id)
+    : saved_(tls_span_context) {
+  SpanContext remote;
+  remote.trace_id = trace_id != 0 ? trace_id : NewId();
+  remote.span_id = span_id;
+  remote.parent_span_id = 0;
+  tls_span_context = remote;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_span_context = saved_; }
+
+TraceSpan::TraceSpan(const char* name, LatencyHistogram* latency)
+    : name_(name),
+      latency_(latency),
+      start_us_(MonotonicMicros()),
+      saved_(tls_span_context) {
+  ctx_.trace_id = saved_.trace_id != 0 ? saved_.trace_id : NewId();
+  ctx_.span_id = NewId();
+  ctx_.parent_span_id = saved_.span_id;
+  tls_span_context = ctx_;
+}
+
+TraceSpan::~TraceSpan() {
+  tls_span_context = saved_;
+  const uint64_t duration = MonotonicMicros() - start_us_;
+  latency_->Record(duration);
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  if (registry.trace_enabled()) {
+    TraceEvent event;
+    event.name = name_;
+    event.start_us = start_us_;
+    event.duration_us = duration;
+    event.thread = CurrentThreadHash();
+    event.trace_id = ctx_.trace_id;
+    event.span_id = ctx_.span_id;
+    event.parent_span_id = ctx_.parent_span_id;
+    registry.RecordTraceEvent(event);
+  }
+}
 
 MetricsRegistry& MetricsRegistry::Instance() {
   // Leaked singleton: metric pointers cached in call-site statics must stay
@@ -130,13 +207,28 @@ std::string MetricsRegistry::TextFormat() const { return Snapshot().TextFormat()
 
 void MetricsRegistry::RecordTraceEvent(const TraceEvent& event) {
   MutexLock lock(&trace_mu_);
-  if (trace_.size() < kTraceCapacity) {
+  if (trace_.size() < trace_capacity_) {
     trace_.push_back(event);
     return;
   }
   trace_[trace_next_] = event;
-  trace_next_ = (trace_next_ + 1) % kTraceCapacity;
+  trace_next_ = (trace_next_ + 1) % trace_capacity_;
   trace_wrapped_ = true;
+}
+
+void MetricsRegistry::set_trace_capacity(size_t capacity) {
+  capacity = std::max(kMinTraceCapacity, std::min(kMaxTraceCapacity, capacity));
+  MutexLock lock(&trace_mu_);
+  trace_capacity_ = capacity;
+  trace_.clear();
+  trace_.shrink_to_fit();
+  trace_next_ = 0;
+  trace_wrapped_ = false;
+}
+
+size_t MetricsRegistry::trace_capacity() const {
+  MutexLock lock(&trace_mu_);
+  return trace_capacity_;
 }
 
 std::vector<TraceEvent> MetricsRegistry::DrainTrace() {
@@ -175,6 +267,7 @@ void MetricsRegistry::ResetForTesting() {
   trace_.clear();
   trace_next_ = 0;
   trace_wrapped_ = false;
+  trace_capacity_ = kTraceCapacity;
 }
 
 std::string MetricsSnapshot::TextFormat() const {
@@ -307,6 +400,108 @@ Result<MetricsSnapshot> MetricsSnapshot::Deserialize(const Bytes& data) {
     snap.histograms.emplace(std::move(name), std::move(hist));
   }
   return snap;
+}
+
+TraceDump TraceDump::FromEvents(const std::vector<TraceEvent>& events) {
+  TraceDump dump;
+  dump.events.reserve(events.size());
+  for (const TraceEvent& in : events) {
+    Event out;
+    out.name = in.name != nullptr ? in.name : "";
+    out.start_us = in.start_us;
+    out.duration_us = in.duration_us;
+    out.thread = in.thread;
+    out.trace_id = in.trace_id;
+    out.span_id = in.span_id;
+    out.parent_span_id = in.parent_span_id;
+    dump.events.push_back(std::move(out));
+  }
+  return dump;
+}
+
+namespace {
+
+void AppendHexId(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"%016" PRIx64 "\"", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string TraceDump::ChromeTraceJson() const {
+  std::vector<const Event*> sorted;
+  sorted.reserve(events.size());
+  for (const Event& e : events) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event* a, const Event* b) {
+                     return a->start_us < b->start_us;
+                   });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event* e : sorted) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, e->name);
+    out += ",\"cat\":\"tcvs\",\"ph\":\"X\",\"ts\":";
+    AppendU64(&out, e->start_us);
+    out += ",\"dur\":";
+    AppendU64(&out, e->duration_us);
+    out += ",\"pid\":1,\"tid\":";
+    AppendU64(&out, e->thread);
+    out += ",\"args\":{\"trace_id\":";
+    AppendHexId(&out, e->trace_id);
+    out += ",\"span_id\":";
+    AppendHexId(&out, e->span_id);
+    out += ",\"parent_span_id\":";
+    AppendHexId(&out, e->parent_span_id);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Bytes TraceDump::Serialize() const {
+  Writer w;
+  w.PutU8(1);  // TraceDump wire version.
+  w.PutU32(static_cast<uint32_t>(events.size()));
+  for (const Event& e : events) {
+    w.PutString(e.name);
+    w.PutU64(e.start_us);
+    w.PutU64(e.duration_us);
+    w.PutU32(e.thread);
+    w.PutU64(e.trace_id);
+    w.PutU64(e.span_id);
+    w.PutU64(e.parent_span_id);
+  }
+  return w.Take();
+}
+
+Result<TraceDump> TraceDump::Deserialize(const Bytes& data) {
+  Reader r(data);
+  TCVS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != 1) {
+    return Status::InvalidArgument("unsupported trace dump version");
+  }
+  TCVS_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (count > MetricsRegistry::kMaxTraceCapacity) {
+    return Status::InvalidArgument("trace dump too large");
+  }
+  TraceDump dump;
+  dump.events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Event e;
+    TCVS_ASSIGN_OR_RETURN(e.name, r.GetString());
+    TCVS_ASSIGN_OR_RETURN(e.start_us, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(e.duration_us, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(e.thread, r.GetU32());
+    TCVS_ASSIGN_OR_RETURN(e.trace_id, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(e.span_id, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(e.parent_span_id, r.GetU64());
+    dump.events.push_back(std::move(e));
+  }
+  return dump;
 }
 
 uint64_t MonotonicMicros() {

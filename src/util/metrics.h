@@ -109,6 +109,75 @@ struct TraceEvent {
   uint64_t duration_us = 0;
   /// Hashed std::thread::id of the recording thread.
   uint32_t thread = 0;
+  /// \name Causal identity (Dapper-style). trace_id groups every span caused
+  /// by one root operation, across threads and — via the RPC header — across
+  /// processes. parent_span_id is 0 for root spans.
+  /// @{
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  /// @}
+};
+
+/// \brief The identity of the active span on the current thread. TCVS_SPAN
+/// pushes a fresh context on entry and restores the previous one on exit;
+/// the RPC layer copies it into request headers (client) and installs the
+/// received one via ScopedTraceContext (server).
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+};
+
+/// The active span context of the calling thread ({0,0,0} outside any span).
+SpanContext CurrentSpanContext();
+
+/// A fresh process-unique non-zero 64-bit id (also usable as a span id).
+uint64_t NewTraceId();
+
+/// \brief Installs a remote caller's trace context as the thread's active
+/// context for the current scope, so every TCVS_SPAN below joins the
+/// caller's trace; restores the previous context on destruction. A zero
+/// `trace_id` starts a fresh trace (legacy peers that predate the trace
+/// header still get coherent server-side traces).
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(uint64_t trace_id, uint64_t span_id);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  SpanContext saved_;
+};
+
+/// \brief A drained copy of the trace ring, detached from the registry:
+/// safe to serialize, ship over the kTraceDump RPC, and render offline as
+/// Chrome trace-event JSON (chrome://tracing, Perfetto).
+struct TraceDump {
+  /// TraceEvent with an owned name — dumps outlive the emitting process.
+  struct Event {
+    std::string name;
+    uint64_t start_us = 0;
+    uint64_t duration_us = 0;
+    uint32_t thread = 0;
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span_id = 0;
+  };
+  std::vector<Event> events;
+
+  static TraceDump FromEvents(const std::vector<TraceEvent>& events);
+
+  /// Chrome trace-event JSON: {"traceEvents":[{"name","ph":"X","ts","dur",
+  /// "pid","tid","args":{"trace_id",...}}]} with events sorted by start
+  /// time. Ids are rendered as 16-hex-digit strings (64-bit ids do not fit
+  /// exactly in JSON numbers).
+  std::string ChromeTraceJson() const;
+
+  Bytes Serialize() const;
+  static Result<TraceDump> Deserialize(const Bytes& data);
 };
 
 /// \brief Point-in-time copy of every registered metric, detached from the
@@ -163,14 +232,24 @@ class MetricsRegistry {
   void RecordTraceEvent(const TraceEvent& event) TCVS_EXCLUDES(trace_mu_);
   /// Returns the buffered events oldest-first and clears the buffer.
   std::vector<TraceEvent> DrainTrace() TCVS_EXCLUDES(trace_mu_);
+  /// Resizes the trace ring, clamped to [kMinTraceCapacity,
+  /// kMaxTraceCapacity]. Clears buffered events (the ring invariants are
+  /// tied to the capacity they were recorded under).
+  void set_trace_capacity(size_t capacity) TCVS_EXCLUDES(trace_mu_);
+  size_t trace_capacity() const TCVS_EXCLUDES(trace_mu_);
   /// @}
 
-  /// Zeroes every counter/gauge/histogram and clears the trace, WITHOUT
-  /// unregistering anything: pointers cached by call sites stay valid.
+  /// Zeroes every counter/gauge/histogram, clears the trace, and restores
+  /// the default trace capacity, WITHOUT unregistering anything: pointers
+  /// cached by call sites stay valid.
   void ResetForTesting() TCVS_EXCLUDES(mu_, trace_mu_);
 
-  /// Events the trace ring buffer holds before overwriting the oldest.
+  /// Default number of events the trace ring holds before overwriting the
+  /// oldest (tunable per process via set_trace_capacity / tcvsd
+  /// --trace-capacity).
   static constexpr size_t kTraceCapacity = 4096;
+  static constexpr size_t kMinTraceCapacity = 64;
+  static constexpr size_t kMaxTraceCapacity = 1u << 20;
 
  private:
   MetricsRegistry() = default;
@@ -188,6 +267,7 @@ class MetricsRegistry {
   std::vector<TraceEvent> trace_ TCVS_GUARDED_BY(trace_mu_);
   size_t trace_next_ TCVS_GUARDED_BY(trace_mu_) = 0;
   bool trace_wrapped_ TCVS_GUARDED_BY(trace_mu_) = false;
+  size_t trace_capacity_ TCVS_GUARDED_BY(trace_mu_) = kTraceCapacity;
 };
 
 /// Microseconds since an arbitrary process-local epoch (steady clock).
@@ -195,20 +275,16 @@ uint64_t MonotonicMicros();
 
 /// \brief RAII span: times a scope, records the elapsed microseconds into a
 /// latency histogram on destruction, and (when tracing is enabled) appends a
-/// TraceEvent. Use via TCVS_SPAN.
+/// TraceEvent. On construction it pushes a fresh SpanContext — inheriting
+/// the current trace (or starting one) and parenting itself under the
+/// enclosing span — and restores the previous context on destruction.
+/// Context maintenance always happens (audit events need trace ids even
+/// when event recording is off); the ring write is gated on trace_enabled.
+/// Use via TCVS_SPAN.
 class TraceSpan {
  public:
-  TraceSpan(const char* name, LatencyHistogram* latency)
-      : name_(name), latency_(latency), start_us_(MonotonicMicros()) {}
-  ~TraceSpan() {
-    const uint64_t duration = MonotonicMicros() - start_us_;
-    latency_->Record(duration);
-    MetricsRegistry& registry = MetricsRegistry::Instance();
-    if (registry.trace_enabled()) {
-      registry.RecordTraceEvent(
-          {name_, start_us_, duration, CurrentThreadHash()});
-    }
-  }
+  TraceSpan(const char* name, LatencyHistogram* latency);
+  ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -219,6 +295,8 @@ class TraceSpan {
   const char* name_;
   LatencyHistogram* latency_;
   uint64_t start_us_;
+  SpanContext saved_;  // The enclosing context, restored on destruction.
+  SpanContext ctx_;    // This span's own identity.
 };
 
 #define TCVS_SPAN_CONCAT_INNER_(a, b) a##b

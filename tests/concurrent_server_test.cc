@@ -9,7 +9,10 @@
 //     (gctr = Σ lctr_k, the §4 sync-up identity),
 //   * the cross-client SyncCheck detects no fork,
 //   * a request id is answered by ONE execution no matter how many times
-//     transport faults force its replay.
+//     transport faults force its replay,
+//   * every server handler span joins the trace of the client call that
+//     issued it — causal identity survives 8 threads interleaving on the
+//     wire.
 //
 // These tests are the TSan preset's main prey: run them under
 // `cmake --preset tsan` (tools/check.sh does) to turn latent data races in
@@ -18,6 +21,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -387,6 +393,135 @@ TEST_F(ConcurrentServerTest, ConcurrentStatsSnapshotsStayConsistent) {
   EXPECT_GT(hist_count("mtree.tree.prove_point.latency_us"), 0u);
   EXPECT_GT(hist_count("mtree.vo.verify_point.latency_us"), 0u);
   EXPECT_GT(hist_count("rpc.client.transact.latency_us"), 0u);
+}
+
+TEST_F(ConcurrentServerTest, TracePropagatesFromEveryClientIntoServerSpans) {
+  // 8 concurrent clients, tracing on: every server handler span must carry
+  // the trace id the issuing client's RPC span minted, parented under that
+  // exact span — across threads, interleaved on the wire.
+  util::MetricsRegistry& reg = util::MetricsRegistry::Instance();
+  reg.ResetForTesting();
+  reg.set_trace_capacity(size_t{1} << 15);  // Headroom for every span.
+  reg.set_trace_enabled(true);
+
+  std::atomic<int> failures{0};
+  auto client_body = [&](int idx) {
+    auto remote =
+        rpc::RemoteServer::Connect("127.0.0.1", port_, FastRetryOptions());
+    if (!remote.ok()) {
+      ++failures;
+      return;
+    }
+    cvs::VerifyingClient client(static_cast<uint32_t>(idx + 1),
+                                remote->get());
+    const std::string path = "trace/file" + std::to_string(idx);
+    for (int it = 0; it < kIterations; ++it) {
+      auto rev = client.Commit(path, "v" + std::to_string(it),
+                               static_cast<uint64_t>(it));
+      if (!rev.ok()) {
+        ++failures;
+        return;
+      }
+      auto rec = client.Checkout(path);
+      if (!rec.ok()) {
+        ++failures;
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) clients.emplace_back(client_body, i);
+  for (auto& t : clients) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Drain through the kTraceDump RPC — the same path `tcvs trace` uses.
+  auto remote =
+      rpc::RemoteServer::Connect("127.0.0.1", port_, FastRetryOptions());
+  ASSERT_TRUE(remote.ok());
+  auto dump = (*remote)->TraceDump();
+  reg.set_trace_enabled(false);
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+
+  // Index the client-side RPC spans (calls and connect handshakes) by span
+  // id; collect the server handler spans.
+  std::map<uint64_t, const util::TraceDump::Event*> client_spans;
+  std::vector<const util::TraceDump::Event*> server_spans;
+  for (const auto& e : dump->events) {
+    if (e.name == "rpc.client.call" || e.name == "rpc.client.connect") {
+      client_spans[e.span_id] = &e;
+    }
+    if (e.name == "rpc.serve.handle_frame") server_spans.push_back(&e);
+  }
+  // Every commit/checkout produced one client span + one server span (the
+  // in-flight TraceDump call itself is still open, so it is in neither).
+  const size_t expected = size_t{kClients} * kIterations * 2;
+  EXPECT_GE(client_spans.size(), expected);
+  ASSERT_GE(server_spans.size(), expected);
+
+  for (const auto* server : server_spans) {
+    EXPECT_NE(server->trace_id, 0u);
+    auto parent = client_spans.find(server->parent_span_id);
+    ASSERT_NE(parent, client_spans.end())
+        << "server span has no issuing client RPC span";
+    const auto* client = parent->second;
+    EXPECT_EQ(server->trace_id, client->trace_id)
+        << "handler must join the caller's trace, not start its own";
+    // Same process, same clock: the handler runs strictly inside the
+    // client's RPC window.
+    EXPECT_GE(server->start_us, client->start_us);
+    EXPECT_LE(server->start_us + server->duration_us,
+              client->start_us + client->duration_us);
+  }
+
+  // Distinct clients never share a trace: with no outer span, every RPC
+  // mints a fresh trace id.
+  std::set<uint64_t> trace_ids;
+  for (const auto& [span_id, e] : client_spans) trace_ids.insert(e->trace_id);
+  EXPECT_EQ(trace_ids.size(), client_spans.size());
+
+  // The export is structurally valid Chrome trace JSON: one object, every
+  // brace/bracket balanced outside strings, ids as quoted hex (64-bit ids
+  // as bare JSON numbers would silently lose precision past 2^53).
+  const std::string json = dump->ChromeTraceJson();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      ASSERT_GT(depth, 0) << "unbalanced at offset " << i;
+      --depth;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.find("\"trace_id\":0"), std::string::npos)
+      << "trace ids must be quoted hex strings, never bare numbers";
+
+  // Chronological consistency: the exported "ts" values are non-decreasing,
+  // so a Perfetto/Chrome load shows causally ordered slices.
+  uint64_t prev_ts = 0;
+  size_t ts_seen = 0;
+  for (size_t pos = json.find("\"ts\":"); pos != std::string::npos;
+       pos = json.find("\"ts\":", pos + 5)) {
+    const uint64_t ts = std::strtoull(json.c_str() + pos + 5, nullptr, 10);
+    EXPECT_GE(ts, prev_ts) << "trace events must be sorted by start time";
+    prev_ts = ts;
+    ++ts_seen;
+  }
+  EXPECT_EQ(ts_seen, dump->events.size());
+  reg.ResetForTesting();
 }
 
 }  // namespace

@@ -9,10 +9,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "util/bytes.h"
 #include "util/histogram.h"
 
 namespace tcvs {
@@ -185,6 +187,139 @@ TEST_F(MetricsTest, TraceDisabledRecordsNothing) {
   EXPECT_EQ(
       reg.GetLatency("test.metrics.disabled_span.latency_us")->Snapshot().count(),
       1u);
+}
+
+TEST_F(MetricsTest, SpanContextNestsParentChild) {
+  // Outside any span there is no active context.
+  EXPECT_EQ(CurrentSpanContext().trace_id, 0u);
+  uint64_t outer_trace = 0, outer_span = 0;
+  {
+    TCVS_SPAN("test.metrics.outer");
+    SpanContext outer = CurrentSpanContext();
+    outer_trace = outer.trace_id;
+    outer_span = outer.span_id;
+    EXPECT_NE(outer.trace_id, 0u);
+    EXPECT_NE(outer.span_id, 0u);
+    EXPECT_EQ(outer.parent_span_id, 0u);  // Root span of a fresh trace.
+    {
+      TCVS_SPAN("test.metrics.inner");
+      SpanContext inner = CurrentSpanContext();
+      EXPECT_EQ(inner.trace_id, outer_trace);  // Same trace...
+      EXPECT_NE(inner.span_id, outer_span);    // ...new span...
+      EXPECT_EQ(inner.parent_span_id, outer_span);  // ...parented correctly.
+    }
+    // Inner scope exit restores the outer context.
+    EXPECT_EQ(CurrentSpanContext().span_id, outer_span);
+  }
+  EXPECT_EQ(CurrentSpanContext().trace_id, 0u);
+}
+
+TEST_F(MetricsTest, ScopedTraceContextAdoptsRemoteTrace) {
+  {
+    ScopedTraceContext remote(/*trace_id=*/42, /*span_id=*/7);
+    SpanContext ctx = CurrentSpanContext();
+    EXPECT_EQ(ctx.trace_id, 42u);
+    EXPECT_EQ(ctx.span_id, 7u);
+    {
+      TCVS_SPAN("test.metrics.handler");
+      SpanContext handler = CurrentSpanContext();
+      EXPECT_EQ(handler.trace_id, 42u);     // Joined the caller's trace.
+      EXPECT_EQ(handler.parent_span_id, 7u);  // Child of the caller's span.
+    }
+  }
+  EXPECT_EQ(CurrentSpanContext().trace_id, 0u);
+}
+
+TEST_F(MetricsTest, ScopedTraceContextZeroTraceStartsFresh) {
+  // A v1 peer sends all-zero context: the handler still gets a real trace.
+  ScopedTraceContext remote(/*trace_id=*/0, /*span_id=*/0);
+  EXPECT_NE(CurrentSpanContext().trace_id, 0u);
+}
+
+TEST_F(MetricsTest, TraceEventsCarrySpanIdentity) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.set_trace_enabled(true);
+  {
+    TCVS_SPAN("test.metrics.id_outer");
+    TCVS_SPAN("test.metrics.id_inner");
+  }
+  std::vector<TraceEvent> trace = reg.DrainTrace();
+  reg.set_trace_enabled(false);
+  ASSERT_EQ(trace.size(), 2u);
+  // Spans close inner-first, so the inner event records first.
+  const TraceEvent& inner = trace[0];
+  const TraceEvent& outer = trace[1];
+  EXPECT_EQ(inner.trace_id, outer.trace_id);
+  EXPECT_NE(inner.span_id, 0u);
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_EQ(outer.parent_span_id, 0u);
+}
+
+TEST_F(MetricsTest, TraceCapacityIsClampedAndResizes) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.set_trace_capacity(1);
+  EXPECT_EQ(reg.trace_capacity(), MetricsRegistry::kMinTraceCapacity);
+  reg.set_trace_capacity(size_t{1} << 40);
+  EXPECT_EQ(reg.trace_capacity(), MetricsRegistry::kMaxTraceCapacity);
+  reg.set_trace_capacity(128);
+  ASSERT_EQ(reg.trace_capacity(), 128u);
+
+  reg.set_trace_enabled(true);
+  for (size_t i = 0; i < 300; ++i) {
+    reg.RecordTraceEvent({"test.metrics.cap", /*start_us=*/i,
+                          /*duration_us=*/1, /*thread=*/0});
+  }
+  std::vector<TraceEvent> trace = reg.DrainTrace();
+  reg.set_trace_enabled(false);
+  ASSERT_EQ(trace.size(), 128u);
+  EXPECT_EQ(trace.front().start_us, 300u - 128u);  // Oldest evicted first.
+
+  reg.ResetForTesting();
+  EXPECT_EQ(reg.trace_capacity(), MetricsRegistry::kTraceCapacity);
+}
+
+TEST_F(MetricsTest, TraceDumpSerializeRoundTrips) {
+  TraceDump dump;
+  TraceDump::Event e;
+  e.name = "test.metrics.dump_span";
+  e.start_us = 10;
+  e.duration_us = 5;
+  e.thread = 3;
+  e.trace_id = 0xAABBCCDDEEFF0011ull;
+  e.span_id = 2;
+  e.parent_span_id = 1;
+  dump.events.push_back(e);
+  auto back = TraceDump::Deserialize(dump.Serialize());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->events.size(), 1u);
+  EXPECT_EQ(back->events[0].name, "test.metrics.dump_span");
+  EXPECT_EQ(back->events[0].start_us, 10u);
+  EXPECT_EQ(back->events[0].duration_us, 5u);
+  EXPECT_EQ(back->events[0].thread, 3u);
+  EXPECT_EQ(back->events[0].trace_id, 0xAABBCCDDEEFF0011ull);
+  EXPECT_EQ(back->events[0].span_id, 2u);
+  EXPECT_EQ(back->events[0].parent_span_id, 1u);
+  EXPECT_FALSE(TraceDump::Deserialize(util::ToBytes("garbage")).ok());
+}
+
+TEST_F(MetricsTest, ChromeTraceJsonHasCompleteEvents) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.set_trace_enabled(true);
+  { TCVS_SPAN("test.metrics.chrome_span"); }
+  TraceDump dump = TraceDump::FromEvents(reg.DrainTrace());
+  reg.set_trace_enabled(false);
+  ASSERT_EQ(dump.events.size(), 1u);
+  const std::string json = dump.ChromeTraceJson();
+  // Chrome trace-event format: X-phase events with 16-hex-digit id strings
+  // (64-bit ids as JSON numbers would lose precision past 2^53).
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.metrics.chrome_span\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  char id[32];
+  std::snprintf(id, sizeof(id), "\"trace_id\":\"%016llx\"",
+                (unsigned long long)dump.events[0].trace_id);
+  EXPECT_NE(json.find(id), std::string::npos);
 }
 
 TEST_F(MetricsTest, TextFormatIsPrometheusStyle) {

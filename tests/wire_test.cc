@@ -73,8 +73,37 @@ TEST(WireTest, BadOpKindRejected) {
   q.kind = sim::OpKind::kCommit;
   q.key = util::ToBytes("k");
   Bytes wire = q.Serialize();
-  wire[8] = 9;  // The op-kind byte follows the u64 qid.
+  wire[9] = 9;  // The op-kind byte follows the version byte and u64 qid.
   EXPECT_TRUE(QueryRequest::Deserialize(wire).status().IsInvalidArgument());
+}
+
+TEST(WireTest, BadWireVersionRejected) {
+  QueryRequest q;
+  q.kind = sim::OpKind::kCheckout;
+  q.key = util::ToBytes("k");
+  Bytes wire = q.Serialize();
+  ASSERT_EQ(wire[0], kQueryWireVersion);
+  wire[0] = kQueryWireVersion + 1;
+  EXPECT_TRUE(QueryRequest::Deserialize(wire).status().IsInvalidArgument());
+}
+
+TEST(WireTest, QueryTraceIdRoundTrip) {
+  QueryRequest q;
+  q.qid = 7;
+  q.kind = sim::OpKind::kCheckout;
+  q.key = util::ToBytes("f");
+  q.trace_id = 0xDEADBEEFCAFEF00Dull;
+  auto req_back = QueryRequest::Deserialize(q.Serialize());
+  ASSERT_TRUE(req_back.ok());
+  EXPECT_EQ(req_back->trace_id, 0xDEADBEEFCAFEF00Dull);
+
+  QueryResponse resp;
+  resp.qid = 7;
+  resp.kind = sim::OpKind::kCheckout;
+  resp.trace_id = 0x1234567890ABCDEFull;
+  auto resp_back = QueryResponse::Deserialize(resp.Serialize());
+  ASSERT_TRUE(resp_back.ok());
+  EXPECT_EQ(resp_back->trace_id, 0x1234567890ABCDEFull);
 }
 
 TEST(WireTest, SyncReportWithJournalRoundTrip) {

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json results and flag regressions.
+
+Usage:
+    tools/bench_compare.py BASE_DIR NEW_DIR [--threshold PCT] [--json]
+
+Both directories hold the machine-readable bench output produced by running
+the bench binaries with TCVS_BENCH_JSON_DIR set (see EXPERIMENTS.md). Two
+schemas are understood, keyed off the file contents:
+
+  * schema_version 1 (bench/json_out.h): {"bench", "schema_version": 1,
+    "tables": [{"title", "headers", "rows"}]}. All cells are strings; rows
+    are keyed by their non-numeric leading cells and numeric cells are
+    compared column-by-column.
+  * google-benchmark native JSON (bench/benchmark_json_main.h): entries in
+    "benchmarks" are keyed by "name" and compared on cpu_time.
+
+Direction is inferred from the column header (or gbench time semantics):
+headers containing latency/time/us/ms/bytes/cost/overhead/rounds are
+lower-is-better; throughput/rate/ops/per_sec are higher-is-better; anything
+else is reported as informational and never fails the comparison. A change
+past --threshold percent (default 10) in the bad direction is a REGRESSION;
+past it in the good direction is an IMPROVEMENT.
+
+Exit code: 0 if no regression, 1 if any metric regressed, 2 on usage or
+unreadable input. Benchmarks present in BASE but missing from NEW are
+reported loudly (a silently dropped bench reads as "no regression" when it
+really means "no data") but do not fail the run.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+LOWER_BETTER_RE = re.compile(
+    r"latency|time|_us\b|\(us\)|_ms\b|\(ms\)|\bus\b|\bms\b|bytes|cost|"
+    r"overhead|round|cycles|allocs",
+    re.IGNORECASE,
+)
+HIGHER_BETTER_RE = re.compile(
+    r"throughput|rate|ops|per_sec|per sec|/s\b|qps|detections", re.IGNORECASE
+)
+NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?([eE][+-]?\d+)?$")
+
+
+def direction(header):
+    """Returns -1 (lower is better), +1 (higher is better), or 0 (skip)."""
+    if HIGHER_BETTER_RE.search(header):
+        return 1
+    if LOWER_BETTER_RE.search(header):
+        return -1
+    return 0
+
+
+def parse_number(cell):
+    """Parses a table cell as a float, tolerating units glued to the number
+    (e.g. "12.3us", "45%"). Returns None for non-numeric cells."""
+    cell = cell.strip()
+    if NUMBER_RE.match(cell):
+        return float(cell)
+    m = re.match(r"^(-?\d+(?:\.\d+)?)\s*[a-zA-Z%/]+$", cell)
+    return float(m.group(1)) if m else None
+
+
+def load_metrics(path):
+    """Flattens one BENCH_*.json into {metric_key: (value, direction)}."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise ValueError(f"{path}: unreadable bench JSON: {e}")
+    metrics = {}
+    if isinstance(doc, dict) and doc.get("schema_version") == 1:
+        for table in doc.get("tables", []):
+            headers = table.get("headers", [])
+            for row_index, row in enumerate(table.get("rows", [])):
+                # The row key is every leading non-numeric cell (scenario
+                # names, protocol labels); numeric cells are the metrics.
+                # All-numeric rows fall back to their position.
+                key_cells = []
+                for cell in row:
+                    if parse_number(cell) is None:
+                        key_cells.append(cell)
+                    else:
+                        break
+                row_key = "/".join(key_cells) or f"row{row_index}"
+                for i, cell in enumerate(row):
+                    value = parse_number(cell)
+                    if value is None:
+                        continue
+                    header = headers[i] if i < len(headers) else f"col{i}"
+                    name = f"{table.get('title', '?')}/{row_key}/{header}"
+                    metrics[name] = (value, direction(header))
+    elif isinstance(doc, dict) and "benchmarks" in doc:
+        for entry in doc["benchmarks"]:
+            if entry.get("run_type") == "aggregate":
+                continue  # Mean/median/stddev duplicate the iterations.
+            name = entry.get("name")
+            if name is None or "cpu_time" not in entry:
+                continue
+            metrics[f"{name}/cpu_time"] = (float(entry["cpu_time"]), -1)
+    else:
+        raise ValueError(f"{path}: neither schema_version 1 nor gbench JSON")
+    return metrics
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two BENCH_*.json directories for perf regressions"
+    )
+    ap.add_argument("base", type=Path, help="baseline results directory")
+    ap.add_argument("new", type=Path, help="candidate results directory")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="percent change that counts as a regression (default 10)",
+    )
+    ap.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON lines"
+    )
+    args = ap.parse_args()
+
+    if not args.base.is_dir() or not args.new.is_dir():
+        print(
+            f"bench_compare: {args.base} and {args.new} must be directories",
+            file=sys.stderr,
+        )
+        return 2
+
+    base_files = {p.name: p for p in sorted(args.base.glob("BENCH_*.json"))}
+    new_files = {p.name: p for p in sorted(args.new.glob("BENCH_*.json"))}
+    if not base_files:
+        print(f"bench_compare: no BENCH_*.json in {args.base}", file=sys.stderr)
+        return 2
+
+    rows = []  # (verdict, metric, base, new, pct)
+    missing = sorted(set(base_files) - set(new_files))
+    regressions = 0
+    for name in sorted(base_files):
+        if name not in new_files:
+            continue
+        try:
+            base_metrics = load_metrics(base_files[name])
+            new_metrics = load_metrics(new_files[name])
+        except ValueError as e:
+            print(f"bench_compare: {e}", file=sys.stderr)
+            return 2
+        for metric in sorted(set(base_metrics) - set(new_metrics)):
+            missing.append(f"{name}:{metric}")
+        for metric, (base_value, sense) in sorted(base_metrics.items()):
+            if metric not in new_metrics:
+                continue
+            new_value = new_metrics[metric][0]
+            if base_value == 0:
+                pct = 0.0 if new_value == 0 else float("inf")
+            else:
+                pct = 100.0 * (new_value - base_value) / abs(base_value)
+            if sense == 0:
+                verdict = "info"
+            elif sense * pct < -args.threshold:
+                verdict = "REGRESSION"
+                regressions += 1
+            elif sense * pct > args.threshold:
+                verdict = "improvement"
+            else:
+                verdict = "ok"
+            rows.append((verdict, f"{name}:{metric}", base_value, new_value, pct))
+
+    if args.json:
+        for verdict, metric, base_value, new_value, pct in rows:
+            print(
+                json.dumps(
+                    {
+                        "metric": metric,
+                        "base": base_value,
+                        "new": new_value,
+                        "pct_change": None if pct == float("inf") else pct,
+                        "verdict": verdict,
+                    }
+                )
+            )
+    else:
+        width = max((len(r[1]) for r in rows), default=10)
+        for verdict, metric, base_value, new_value, pct in rows:
+            if verdict == "ok" or (verdict == "info" and pct == 0):
+                continue  # Within threshold / unchanged: noise, not signal.
+            print(
+                f"{verdict:<12} {metric:<{width}} "
+                f"{base_value:>14g} -> {new_value:>14g} ({pct:+.1f}%)"
+            )
+        compared = len(rows)
+        print(
+            f"bench_compare: {compared} metrics compared, "
+            f"{regressions} regression(s), threshold {args.threshold:g}%"
+        )
+    for m in missing:
+        print(f"bench_compare: WARNING: {m} present in base but not in new",
+              file=sys.stderr)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,9 +15,14 @@
 #                 Stats RPC must report non-zero metrics from every
 #                 instrumented layer and --log-json must emit parseable
 #                 JSON lines
-#   6. lint       tools/lint.py repo-invariant lint (raw-mutex ban,
+#   6. bench      bench-output smoke: the fast table benches must emit valid
+#                 schema_version-1 JSON into $TCVS_BENCH_JSON_DIR, a
+#                 self-comparison with tools/bench_compare.py must pass, and
+#                 an inflated copy must trip the regression detector
+#   7. lint       tools/lint.py repo-invariant lint (raw-mutex ban,
 #                 naked-new ban, fault-point registry, header hygiene,
-#                 metric naming)
+#                 metric naming, RPC-method metric coverage, typed audit
+#                 events)
 #
 # Exit code: 0 iff every non-skipped stage passed. Suitable for CI as-is:
 #   ./tools/check.sh            # everything
@@ -100,6 +105,65 @@ stage_lint() {
   run_stage lint python3 tools/lint.py
 }
 
+# Bench-output smoke: run the fast table benches with TCVS_BENCH_JSON_DIR
+# set, validate the schema_version-1 JSON they emit, then self-compare the
+# directory with bench_compare.py (identical inputs must find metrics to
+# compare and zero regressions) and check the regression path fires when a
+# latency-like value is inflated past the threshold.
+bench_smoke() {
+  local tmp rc=1
+  tmp=$(mktemp -d) || return 1
+  mkdir -p "$tmp/base"
+  while :; do  # Single-pass; break is the error exit.
+    TCVS_BENCH_JSON_DIR="$tmp/base" ./build/bench/bench_replay_attack \
+        > /dev/null || break
+    TCVS_BENCH_JSON_DIR="$tmp/base" ./build/bench/bench_sync_cost \
+        > /dev/null || break
+    python3 - "$tmp/base" <<'PYEOF' || break
+import json, pathlib, sys
+files = sorted(pathlib.Path(sys.argv[1]).glob("BENCH_*.json"))
+assert len(files) == 2, [f.name for f in files]
+for f in files:
+    doc = json.loads(f.read_text())
+    assert doc["schema_version"] == 1, f
+    assert doc["tables"] and all(t["headers"] and t["rows"] for t in doc["tables"]), f
+print(f"bench: {len(files)} schema_version-1 JSON files OK")
+PYEOF
+    python3 tools/bench_compare.py "$tmp/base" "$tmp/base" \
+        --threshold 5 || break
+    # Inflate every numeric cell 10x in a copy: the compare must now fail.
+    mkdir -p "$tmp/slow"
+    python3 - "$tmp/base" "$tmp/slow" <<'PYEOF' || break
+import json, pathlib, re, sys
+base, slow = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+for f in base.glob("BENCH_*.json"):
+    doc = json.loads(f.read_text())
+    for t in doc["tables"]:
+        t["rows"] = [[re.sub(r"^(\d+(\.\d+)?)$", lambda m: str(float(m.group(1)) * 10), c)
+                      for c in row] for row in t["rows"]]
+    (slow / f.name).write_text(json.dumps(doc))
+PYEOF
+    if python3 tools/bench_compare.py "$tmp/base" "$tmp/slow" \
+        --threshold 5 > /dev/null; then
+      echo "bench: bench_compare.py missed a 10x inflation" >&2
+      break
+    fi
+    rc=0
+    break
+  done
+  rm -rf "$tmp"
+  return $rc
+}
+
+stage_bench() {
+  run_stage bench cmake --preset default
+  [ "${RESULT[bench]}" = FAIL ] && return
+  run_stage bench cmake --build --preset default -j "$JOBS" \
+      --target bench_replay_attack bench_sync_cost
+  [ "${RESULT[bench]}" = FAIL ] && return
+  run_stage bench bench_smoke
+}
+
 # Live observability smoke: start tcvsd, drive real commits/reads through
 # tcvs, then assert `tcvs stats` reports non-zero metrics from the RPC,
 # storage, Merkle-tree, and crypto layers, and that --log-json produced
@@ -180,7 +244,7 @@ stage_stats() {
 }
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats lint)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats bench lint)
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     default) stage_default ;;
@@ -188,8 +252,9 @@ for stage in "${STAGES[@]}"; do
     tsan)    stage_tsan ;;
     tidy)    stage_tidy ;;
     stats)   stage_stats ;;
+    bench)   stage_bench ;;
     lint)    stage_lint ;;
-    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats lint)" >&2
+    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats bench lint)" >&2
        exit 2 ;;
   esac
 done

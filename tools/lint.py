@@ -33,6 +33,23 @@ Rules (each violation prints `file:line: [rule] message`; exit 1 if any):
                  escape the snapshot inventory the same way an unregistered
                  fault point escapes the fault registry.
 
+  rpc-method-metrics
+                 every RpcType enumerator in src/rpc/protocol.h must have a
+                 per-method client latency metric
+                 (`rpc.client.<method>.latency_us`) and a per-method serve
+                 counter (`rpc.serve.<method>.requests_total`) registered as
+                 literals in src/rpc/remote.cc. A new RPC added without its
+                 metric pair is invisible in `tcvs stats` — exactly the op
+                 you'll want latencies for when it misbehaves.
+
+  audit-event    security audit events are typed: every AuditEventKind
+                 enumerator in src/util/audit.h must be emitted (referenced
+                 as `AuditEventKind::kName`) somewhere outside
+                 util/audit.{h,cc}, and production code must never smuggle a
+                 kind as a string (`AuditEvent("...")` / `Emit("...")`) —
+                 ad-hoc strings escape the per-kind counters and the
+                 `tcvs events` inventory.
+
 Run from anywhere: paths are resolved relative to the repo root (the parent
 of this script's directory). `tools/check.sh` runs this as its last stage.
 """
@@ -66,6 +83,21 @@ FAULT_SPEC_RE = re.compile(
 )
 
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+
+# Enumerator lines like `kTransact = 1,` inside the RpcType/AuditEventKind
+# enum bodies (each enumerator carries an explicit wire-stable value).
+ENUMERATOR_RE = re.compile(r"\bk([A-Z]\w*)\s*=\s*\d+\s*,")
+AUDIT_STRING_KIND_RE = re.compile(r"\b(?:AuditEvent|Emit)\(\s*\"")
+
+
+def camel_to_snake(name):
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+
+def enum_body(text, enum_name):
+    m = re.search(rf"enum\s+class\s+{enum_name}\b[^{{]*{{(.*?)}};", text,
+                  re.DOTALL)
+    return m.group(1) if m else ""
 
 # Metric registration sites: a string literal directly inside the call, or
 # nothing literal at all (a computed name). The registry itself passes names
@@ -176,6 +208,12 @@ def main():
                            f'fault point "{m.group(1)}" consulted via string '
                            "literal in production code; define and use a "
                            "kFault* constant")
+                if AUDIT_STRING_KIND_RE.search(code):
+                    report(path, lineno, "audit-event",
+                           "audit event constructed from a string; use a "
+                           "typed util::AuditEventKind enumerator so the "
+                           "event hits its per-kind counter and the "
+                           "`tcvs events` inventory")
             prev_code = code_no_str
 
         # Metric-name hygiene. Calls wrap across lines (the formatter breaks
@@ -223,6 +261,51 @@ def main():
                 report(path, lineno, "header-hygiene",
                        "`using namespace` in a header leaks into every "
                        "includer")
+
+    # Pass 4: RPC-method metric coverage. The enum is the source of truth;
+    # the metric pair must exist as literals in the transport.
+    protocol = REPO / "src/rpc/protocol.h"
+    remote = REPO / "src/rpc/remote.cc"
+    rpc_methods = ENUMERATOR_RE.findall(enum_body(protocol.read_text(),
+                                                  "RpcType"))
+    if not rpc_methods:
+        print("lint.py: internal error: found no RpcType enumerators",
+              file=sys.stderr)
+        return 1
+    remote_text = remote.read_text()
+    for method in rpc_methods:
+        snake = camel_to_snake(method)
+        for metric in (f"rpc.client.{snake}.latency_us",
+                       f"rpc.serve.{snake}.requests_total"):
+            if f'"{metric}"' not in remote_text:
+                report(protocol, 1, "rpc-method-metrics",
+                       f"RpcType::k{method} has no \"{metric}\" literal in "
+                       f"{remote.relative_to(REPO)}; every RPC method needs "
+                       "its per-method latency + request-count pair")
+
+    # Pass 5: audit-event kind coverage. Every declared kind must be emitted
+    # through the typed enum somewhere outside the audit module itself —
+    # a kind nothing raises is inventory that can never appear in
+    # `tcvs events`, usually a sign the emission site regressed.
+    audit_header = REPO / "src/util/audit.h"
+    audit_kinds = ENUMERATOR_RE.findall(enum_body(audit_header.read_text(),
+                                                  "AuditEventKind"))
+    if not audit_kinds:
+        print("lint.py: internal error: found no AuditEventKind enumerators",
+              file=sys.stderr)
+        return 1
+    audit_module = {Path("src/util/audit.h"), Path("src/util/audit.cc")}
+    references = ""
+    for path in source_files(["src", "tools"], {".h", ".cc"}):
+        if path.relative_to(REPO) in audit_module:
+            continue
+        references += path.read_text()
+    for kind in audit_kinds:
+        if f"AuditEventKind::k{kind}" not in references:
+            report(audit_header, 1, "audit-event",
+                   f"AuditEventKind::k{kind} is declared but never emitted "
+                   "outside util/audit.{h,cc}; wire up an emission site or "
+                   "retire the kind")
 
     for v in violations:
         print(v)

@@ -15,6 +15,8 @@
 //   tcvs check STATE_FILE...               # offline sync-up over state files
 //   tcvs --server HOST:PORT shutdown
 //   tcvs --server HOST:PORT stats   # live server metrics (Prometheus text)
+//   tcvs --server HOST:PORT trace   # drain server spans (Chrome trace JSON)
+//   tcvs --server HOST:PORT events [--json]   # security audit-event log
 //
 // Transport flags: --retries N, --backoff-ms MS, --timeout-ms MS tune the
 // retry policy (exponential backoff, jittered) and per-operation deadlines.
@@ -37,7 +39,9 @@
 #include "cvs/cache.h"
 #include "cvs/trusted.h"
 #include "rpc/remote.h"
+#include "util/audit.h"
 #include "util/bytes.h"
+#include "util/metrics.h"
 
 using namespace tcvs;
 
@@ -69,7 +73,7 @@ int Usage() {
                "usage: tcvs [--retries N] [--backoff-ms MS] [--timeout-ms MS] "
                "--server H:P --user N --state FILE "
                "checkout|cat|commit|remove ... | state | check FILES... | "
-               "stats | shutdown\n");
+               "stats | trace | events [--json] | shutdown\n");
   return 2;
 }
 
@@ -214,6 +218,41 @@ int main(int argc, char** argv) {
     if (!snap.ok()) return Fail(snap.status());
     std::string text = snap->TextFormat();
     std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+
+  if (cmd == "trace") {
+    auto dump = (*remote)->TraceDump();
+    if (!dump.ok()) return Fail(dump.status());
+    std::string json = dump->ChromeTraceJson();
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+
+  if (cmd == "events") {
+    bool json = false;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--json") json = true;
+    }
+    auto events = (*remote)->Events();
+    if (!events.ok()) return Fail(events.status());
+    if (json) {
+      for (const auto& e : *events) {
+        std::printf("%s\n", e.JsonFormat().c_str());
+      }
+      return 0;
+    }
+    std::printf("%-5s %-26s %-5s %-8s %-6s %-16s %s\n", "SEQ", "KIND", "USER",
+                "CTR", "EPOCH", "TRACE", "DETAIL");
+    for (const auto& e : *events) {
+      std::printf("%-5llu %-26s %-5u %-8llu %-6llu %016llx %s\n",
+                  (unsigned long long)e.seq, util::AuditEventKindName(e.kind),
+                  e.user, (unsigned long long)e.ctr,
+                  (unsigned long long)e.epoch, (unsigned long long)e.trace_id,
+                  e.detail.c_str());
+    }
+    std::printf("%zu audit events\n", events->size());
     return 0;
   }
 

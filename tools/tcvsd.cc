@@ -8,6 +8,7 @@
 // Usage:
 //   tcvsd [--port N] [--fanout F] [--data-dir DIR] [--no-fsync] [--threads N]
 //         [--log-json] [--log-json-interval-ms MS]
+//         [--trace] [--trace-capacity N]
 //
 // --threads sizes the serve loop's worker pool: N connections are answered
 // concurrently (I/O in parallel, transaction execution serialized under the
@@ -26,7 +27,15 @@
 //
 // --log-json emits one JSON-lines metrics snapshot per interval (default
 // 1000 ms) to stderr, plus a final line on shutdown — structured logging a
-// collector can tail without scraping.
+// collector can tail without scraping. Security audit events (signature
+// failures, counter regressions, fork evidence — see util/audit.h) are
+// appended as their own {"ts_ms":...,"audit_event":{...}} lines, each
+// exactly once.
+//
+// --trace turns on span recording into the bounded in-process ring
+// (`tcvs trace` drains it as Chrome trace-event JSON); --trace-capacity N
+// sizes the ring and implies --trace. Trace-context propagation across RPC
+// is always on regardless — it costs three integers per request.
 //
 // Prints the bound port on stdout (useful with --port 0 for an ephemeral
 // port) and serves until a shutdown RPC arrives.
@@ -41,6 +50,7 @@
 #include "net/socket.h"
 #include "rpc/remote.h"
 #include "storage/durable.h"
+#include "util/audit.h"
 #include "util/fault.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
@@ -49,16 +59,30 @@ using namespace tcvs;
 
 namespace {
 
+long long WallClockMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Emits one JSON-lines metrics snapshot to stderr.
 void EmitJsonMetrics() {
   std::string metrics =
       util::MetricsRegistry::Instance().Snapshot().JsonFormat();
-  long long ts_ms =
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count();
-  std::fprintf(stderr, "{\"ts_ms\":%lld,\"metrics\":%s}\n", ts_ms,
+  std::fprintf(stderr, "{\"ts_ms\":%lld,\"metrics\":%s}\n", WallClockMs(),
                metrics.c_str());
+}
+
+/// Emits every audit event past `last_seq` as its own JSON line and
+/// returns the highest seq emitted, so each event is logged exactly once.
+uint64_t EmitJsonAuditEvents(uint64_t last_seq) {
+  for (const util::AuditEvent& e :
+       util::AuditLog::Instance().SnapshotSince(last_seq)) {
+    std::fprintf(stderr, "{\"ts_ms\":%lld,\"audit_event\":%s}\n", WallClockMs(),
+                 e.JsonFormat().c_str());
+    last_seq = e.seq;
+  }
+  return last_seq;
 }
 
 /// Background JSON-lines metrics logger (--log-json): one snapshot per
@@ -78,7 +102,9 @@ class JsonLogger {
     }
     cv_.SignalAll();
     thread_.join();
-    EmitJsonMetrics();  // Final state, after the serve loop drained.
+    // Final state, after the serve loop drained.
+    EmitJsonMetrics();
+    last_audit_seq_ = EmitJsonAuditEvents(last_audit_seq_);
   }
 
  private:
@@ -88,6 +114,7 @@ class JsonLogger {
       cv_.WaitFor(&mu_, interval_ms_);
       if (stopped_) break;
       EmitJsonMetrics();
+      last_audit_seq_ = EmitJsonAuditEvents(last_audit_seq_);
     }
   }
 
@@ -95,6 +122,9 @@ class JsonLogger {
   util::Mutex mu_;
   util::CondVar cv_;
   bool stopped_ TCVS_GUARDED_BY(mu_) = false;
+  // Touched only by the logger thread, then by Stop() after join(): the
+  // join is the synchronization point, so no lock is needed.
+  uint64_t last_audit_seq_ = 0;
   std::thread thread_;
 };
 
@@ -107,6 +137,8 @@ int main(int argc, char** argv) {
   bool fsync = true;
   bool log_json = false;
   int log_json_interval_ms = 1000;
+  bool trace = false;
+  uint64_t trace_capacity = 0;
   rpc::ServeOptions serve_options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -127,17 +159,32 @@ int main(int argc, char** argv) {
                i + 1 < argc) {
       log_json = true;
       log_json_interval_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--trace-capacity") == 0 && i + 1 < argc) {
+      trace = true;  // Asking for a buffer size implies wanting the buffer.
+      trace_capacity = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: tcvsd [--port N] [--fanout F] [--data-dir DIR] "
                    "[--no-fsync] [--threads N] [--log-json] "
-                   "[--log-json-interval-ms MS]\n");
+                   "[--log-json-interval-ms MS] [--trace] "
+                   "[--trace-capacity N]\n");
       return 2;
     }
   }
   if (serve_options.num_threads < 1) {
     std::fprintf(stderr, "tcvsd: --threads must be >= 1\n");
     return 2;
+  }
+
+  // Span recording is opt-in; context propagation itself is always on.
+  if (trace) {
+    util::MetricsRegistry::Instance().set_trace_enabled(true);
+    if (trace_capacity != 0) {
+      util::MetricsRegistry::Instance().set_trace_capacity(
+          static_cast<size_t>(trace_capacity));
+    }
   }
 
   // Cross-process fault injection for resilience tests (no-op when unset).
