@@ -77,9 +77,48 @@ enum class AttackKind : uint8_t {
   /// at the trigger round. Only the b*-bounded-transaction liveness check
   /// can catch this (no response ever arrives to verify).
   kStall = 7,
+  /// Rollback (schedule-only): the server reverts its state by `arg`
+  /// transitions and continues from the resurrected past — a fork whose
+  /// second branch is history itself.
+  kRollback = 8,
+  /// Equivocation (schedule-only): commits from the victims inside the
+  /// active window are applied with altered content while everyone else
+  /// sees the honest value — per-operation integrity lies.
+  kEquivocate = 9,
+  /// Delay (schedule-only): responses to the victims inside the active
+  /// window are held back `arg` extra rounds. Not a deviation by itself
+  /// (bounded delay is within the model) — campaign noise that perturbs
+  /// interleavings and sync timing.
+  kDelay = 10,
 };
 
 std::string_view AttackKindToString(AttackKind kind);
+
+/// \brief One step of a composed adversarial schedule. The campaign
+/// generator (sim/campaign.h) emits randomized sequences of these; the
+/// server executes all of them over one run, which is how fork + rollback +
+/// replay + equivocation + selective-drop + delay compose into the
+/// interleaved adversaries Cachin–Ohrimenko's fork-consistency results say
+/// are the interesting ones. When `AttackConfig::schedule` is non-empty it
+/// supersedes the single `kind` below.
+struct AttackStep {
+  /// kFork, kRollback, kReplaySegment, kEquivocate, kDrop, or kDelay.
+  AttackKind kind = AttackKind::kHonest;
+  /// Round at/after which the step engages.
+  sim::Round at = 0;
+  /// Active window in rounds for windowed kinds (kEquivocate, kDrop,
+  /// kDelay); 0 means one round. One-shot kinds (kFork, kRollback,
+  /// kReplaySegment) ignore it.
+  sim::Round duration = 0;
+  /// Users the step targets. kFork: users routed to the forked branch;
+  /// kReplaySegment: users served recorded transitions; kEquivocate /
+  /// kDrop / kDelay: users whose operations are affected (empty = all).
+  std::set<sim::AgentId> victims;
+  /// Kind-specific: kRollback = transitions to revert (≥1); kDelay = extra
+  /// rounds to hold responses; kReplaySegment = initial transitions the
+  /// replay cursor skips.
+  uint64_t arg = 0;
+};
 
 struct AttackConfig {
   AttackKind kind = AttackKind::kHonest;
@@ -96,6 +135,11 @@ struct AttackConfig {
   uint32_t replay_skip = 0;
   /// kOmitEpochState / kStaleEpochState: whose blob to suppress/staleify.
   sim::AgentId victim = 0;
+  /// Composed adversarial schedule (campaign generator). Non-empty
+  /// supersedes `kind`/`trigger_round`: the server executes every step at
+  /// its own round, so one run can fork, roll back, replay, and equivocate
+  /// in sequence.
+  std::vector<AttackStep> schedule;
 };
 
 /// Per-user local clock period for p-partial synchrony (§2.1): a user with
@@ -140,6 +184,11 @@ struct ScenarioConfig {
   /// an availability violation (the trusted server answers within b*; a
   /// stalling server is deviating). 0 disables the liveness check.
   sim::Round b_star = 0;
+  /// Scenario seed for reproducibility bookkeeping: recorded in the
+  /// ScenarioReport and appended to every deviation-detection audit event's
+  /// detail, so any logged detection names the exact seed that reproduces
+  /// it. 0 = unseeded (hand-scripted scenario).
+  uint64_t seed = 0;
 };
 
 }  // namespace core

@@ -63,6 +63,12 @@ std::string_view AttackKindToString(AttackKind kind) {
       return "StaleEpochState";
     case AttackKind::kStall:
       return "Stall";
+    case AttackKind::kRollback:
+      return "Rollback";
+    case AttackKind::kEquivocate:
+      return "Equivocate";
+    case AttackKind::kDelay:
+      return "Delay";
   }
   return "Unknown";
 }
@@ -71,6 +77,7 @@ Scenario::Scenario(ScenarioConfig config, workload::Workload workload)
     : config_(std::move(config)) {
   const uint32_t n = config_.num_users;
   TCVS_CHECK(workload.size() <= n);
+  kernel_.set_run_seed(config_.seed);
 
   // PKI: a certificate authority plus one MSS signing key per user; every
   // user's key store holds everyone's verified certificate.
@@ -172,6 +179,7 @@ ScenarioReport Scenario::BuildReport(const sim::SimReport& sim_report) {
   report.detection_reason = sim_report.detection_reason;
   report.rounds_executed = sim_report.rounds_executed;
   report.traffic = sim_report.traffic;
+  report.seed = config_.seed;
 
   report.attack_engaged_round = server_->attack_engaged_round();
   if (report.detected && report.attack_engaged_round != 0 &&

@@ -49,6 +49,10 @@ struct ScenarioReport {
   /// All scripted (non-filler) operations finished before the run ended.
   bool all_scripts_done = false;
   sim::TrafficStats traffic;
+  /// Seed the scenario was built from (ScenarioConfig::seed; 0 = unseeded).
+  /// Carried here so campaign reports and logged detections both name the
+  /// exact seed that reproduces the run.
+  uint64_t seed = 0;
 };
 
 /// \brief Builds and runs one untrusted-CVS scenario: a ProtocolServer

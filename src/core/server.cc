@@ -1,10 +1,21 @@
 #include "core/server.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "util/metrics.h"
 
 namespace tcvs {
 namespace core {
+
+namespace {
+bool ScheduleHas(const AttackConfig& attack, AttackKind kind) {
+  for (const AttackStep& step : attack.schedule) {
+    if (step.kind == kind) return true;
+  }
+  return false;
+}
+}  // namespace
 
 ProtocolServer::ProtocolServer(ScenarioConfig config, Bytes initial_sig,
                                uint32_t initial_signer)
@@ -12,13 +23,89 @@ ProtocolServer::ProtocolServer(ScenarioConfig config, Bytes initial_sig,
   main_.sig = std::move(initial_sig);
   main_.creator = initial_signer;
   replay_cursor_ = config_.attack.replay_skip;
+  sched_activated_.assign(config_.attack.schedule.size(), false);
 }
 
 void ProtocolServer::MarkAttackEngaged(sim::Round round) {
   if (attack_engaged_round_ == 0) attack_engaged_round_ = round;
 }
 
+void ProtocolServer::StepSchedule(sim::RoundContext* ctx) {
+  const auto& schedule = config_.attack.schedule;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const AttackStep& step = schedule[i];
+    if (sched_activated_[i] || ctx->round() < step.at) continue;
+    switch (step.kind) {
+      case AttackKind::kFork: {
+        if (!fork_.has_value()) {
+          fork_.emplace(config_.tree_params);
+          fork_->db = main_.db.Clone();
+          fork_->ctr = main_.ctr;
+          fork_->creator = main_.creator;
+          fork_->sig = main_.sig;
+        }
+        sched_forked_.insert(step.victims.begin(), step.victims.end());
+        sched_activated_[i] = true;
+        break;
+      }
+      case AttackKind::kRollback: {
+        // Nothing to resurrect yet: stay armed until history exists.
+        if (rollback_log_.empty()) break;
+        size_t depth = static_cast<size_t>(std::max<uint64_t>(step.arg, 1));
+        depth = std::min(depth, rollback_log_.size());
+        ReplayEntry& entry = rollback_log_[rollback_log_.size() - depth];
+        main_.db = entry.pre_db.Clone();
+        main_.ctr = entry.ctr;
+        main_.creator = entry.creator;
+        main_.sig = entry.sig;
+        rollback_log_.resize(rollback_log_.size() - depth);
+        MarkAttackEngaged(ctx->round());
+        sched_activated_[i] = true;
+        break;
+      }
+      case AttackKind::kReplaySegment: {
+        // Arm the replay cursor; victims are served from the recorded
+        // transitions as their queries arrive (HandleQuery).
+        sched_replay_serving_ = true;
+        replay_cursor_ =
+            std::min(static_cast<size_t>(step.arg), replay_history_.size());
+        sched_activated_[i] = true;
+        break;
+      }
+      default:
+        // Windowed kinds (equivocate / drop / delay) match per-operation via
+        // ActiveStep; no one-shot state transition to make.
+        sched_activated_[i] = true;
+        break;
+    }
+  }
+
+  // Release delayed responses whose hold expired.
+  std::deque<DelayedSend> still_held;
+  for (auto& d : delayed_) {
+    if (d.due <= ctx->round()) {
+      ctx->Send(d.to, kMsgQueryResponse, std::move(d.payload));
+    } else {
+      still_held.push_back(std::move(d));
+    }
+  }
+  delayed_ = std::move(still_held);
+}
+
+const AttackStep* ProtocolServer::ActiveStep(AttackKind kind, sim::Round round,
+                                             sim::AgentId user) const {
+  for (const AttackStep& step : config_.attack.schedule) {
+    if (step.kind != kind) continue;
+    if (round < step.at || round > step.at + step.duration) continue;
+    if (!step.victims.empty() && step.victims.count(user) == 0) continue;
+    return &step;
+  }
+  return nullptr;
+}
+
 void ProtocolServer::OnRound(sim::RoundContext* ctx) {
+  if (ScheduleMode()) StepSchedule(ctx);
+
   // Fork attack: split the state at the trigger round, not at first use, so
   // transactions landing on the main branch after the trigger are invisible
   // to the partitioned users (the Figure-1 attack needs t1 ∉ fork).
@@ -71,6 +158,13 @@ void ProtocolServer::OnRound(sim::RoundContext* ctx) {
 ProtocolServer::Branch* ProtocolServer::RouteBranch(sim::RoundContext* ctx,
                                                     sim::AgentId user) {
   const AttackConfig& attack = config_.attack;
+  if (ScheduleMode()) {
+    if (fork_.has_value() && sched_forked_.count(user) > 0) {
+      MarkAttackEngaged(ctx->round());
+      return &fork_.value();
+    }
+    return &main_;
+  }
   if (attack.kind == AttackKind::kFork && fork_.has_value() &&
       attack.partition_a.count(user) > 0) {
     MarkAttackEngaged(ctx->round());
@@ -92,6 +186,39 @@ void ProtocolServer::HandleQuery(sim::RoundContext* ctx, const sim::Message& msg
   }
 
   const AttackConfig& attack = config_.attack;
+
+  if (ScheduleMode()) {
+    // Composed schedule: serve replay victims from the recorded transitions
+    // (same mechanics as the Figure-3 attack), honest transitions of
+    // non-victims feed the recording whenever a replay step exists.
+    const AttackStep* replay_step = nullptr;
+    for (const AttackStep& step : attack.schedule) {
+      if (step.kind == AttackKind::kReplaySegment &&
+          step.victims.count(msg.from) > 0) {
+        replay_step = &step;
+        break;
+      }
+    }
+    if (sched_replay_serving_ && replay_step != nullptr &&
+        replay_cursor_ < replay_history_.size()) {
+      MarkAttackEngaged(ctx->round());
+      ReplayEntry& entry = replay_history_[replay_cursor_++];
+      Branch replay_branch(config_.tree_params);
+      replay_branch.db = entry.pre_db.Clone();
+      replay_branch.ctr = entry.ctr;
+      replay_branch.creator = entry.creator;
+      replay_branch.sig = entry.sig;
+      Execute(ctx, msg.from, req, &replay_branch,
+              /*record_replay_history=*/false);
+      return;
+    }
+    Branch* branch = RouteBranch(ctx, msg.from);
+    bool record_history =
+        replay_step == nullptr &&
+        ScheduleHas(attack, AttackKind::kReplaySegment) && branch == &main_;
+    Execute(ctx, msg.from, req, branch, record_history);
+    return;
+  }
 
   // Figure-3 replay: serve mirror users recorded transitions.
   if (attack.kind == AttackKind::kReplaySegment &&
@@ -130,6 +257,17 @@ void ProtocolServer::Execute(sim::RoundContext* ctx, sim::AgentId user,
     replay_history_.push_back(std::move(entry));
   }
 
+  // Composed schedule with a rollback step: keep a bounded log of the main
+  // branch's pre-transition states so the rollback can resurrect one.
+  if (ScheduleMode() && branch == &main_ &&
+      ScheduleHas(attack, AttackKind::kRollback)) {
+    if (rollback_log_.size() == kMaxRollbackLog) {
+      rollback_log_.erase(rollback_log_.begin());
+    }
+    rollback_log_.push_back(
+        ReplayEntry{main_.db.Clone(), main_.ctr, main_.creator, main_.sig});
+  }
+
   QueryResponse resp;
   resp.qid = req.qid;
   resp.kind = req.kind;
@@ -149,6 +287,17 @@ void ProtocolServer::Execute(sim::RoundContext* ctx, sim::AgentId user,
   bool drop_now = attack.kind == AttackKind::kDrop && !one_shot_done_ &&
                   ctx->round() >= attack.trigger_round &&
                   req.kind == sim::OpKind::kCommit;
+
+  // Composed schedule: equivocate (tamper) and selective-drop windows apply
+  // to every victim commit inside the window, not just one shot.
+  if (ScheduleMode() && req.kind == sim::OpKind::kCommit) {
+    if (ActiveStep(AttackKind::kEquivocate, ctx->round(), user) != nullptr) {
+      tamper_now = true;
+    }
+    if (ActiveStep(AttackKind::kDrop, ctx->round(), user) != nullptr) {
+      drop_now = true;
+    }
+  }
 
   switch (req.kind) {
     case sim::OpKind::kCheckout: {
@@ -198,6 +347,19 @@ void ProtocolServer::Execute(sim::RoundContext* ctx, sim::AgentId user,
 
   ++ops_processed_;
   if (attack_engaged_round_ != 0) ++ops_after_attack_;
+
+  // Composed schedule: hold the response back inside a delay window. Bounded
+  // delay is within the model (not a deviation), so no engagement mark — it
+  // exists to perturb interleavings and sync timing in campaigns.
+  const AttackStep* delay =
+      ScheduleMode() ? ActiveStep(AttackKind::kDelay, ctx->round(), user)
+                     : nullptr;
+  if (delay != nullptr && delay->arg > 0) {
+    delayed_.push_back(DelayedSend{
+        ctx->round() + static_cast<sim::Round>(delay->arg), user,
+        resp.Serialize()});
+    return;
+  }
 
   ctx->Send(user, kMsgQueryResponse, resp.Serialize());
 }

@@ -64,6 +64,18 @@ class ProtocolServer : public sim::Agent {
   void HandleSigUpload(const sim::Message& msg);
   void HandleEpochRequest(sim::RoundContext* ctx, const sim::Message& msg);
 
+  /// \name Composed-schedule attacks (AttackConfig::schedule).
+  /// @{
+  bool ScheduleMode() const { return !config_.attack.schedule.empty(); }
+  /// Activates one-shot steps due this round (fork split, rollback, replay
+  /// start) and releases delayed responses whose hold expired.
+  void StepSchedule(sim::RoundContext* ctx);
+  /// First step of `kind` whose window covers `round` and targets `user`
+  /// (empty victims = everyone); nullptr when none is active.
+  const AttackStep* ActiveStep(AttackKind kind, sim::Round round,
+                               sim::AgentId user) const;
+  /// @}
+
   /// Picks the branch that serves this user under the current attack.
   Branch* RouteBranch(sim::RoundContext* ctx, sim::AgentId user);
 
@@ -93,6 +105,22 @@ class ProtocolServer : public sim::Agent {
   };
   std::vector<ReplayEntry> replay_history_;
   size_t replay_cursor_ = 0;
+
+  // Composed-schedule state. `sched_activated_` marks one-shot steps that
+  // already fired; fork victims accumulate across kFork steps; rollback
+  // snapshots reuse ReplayEntry (pre-transition state of the main branch),
+  // bounded so soak campaigns stay O(1) in history length.
+  static constexpr size_t kMaxRollbackLog = 128;
+  std::vector<bool> sched_activated_;
+  std::set<sim::AgentId> sched_forked_;
+  bool sched_replay_serving_ = false;
+  std::vector<ReplayEntry> rollback_log_;
+  struct DelayedSend {
+    sim::Round due = 0;
+    sim::AgentId to = 0;
+    Bytes payload;
+  };
+  std::deque<DelayedSend> delayed_;
 
   // Protocol III: stored signed per-epoch user states.
   std::map<uint64_t, std::map<uint32_t, EpochStateBlob>> epoch_states_;

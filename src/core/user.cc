@@ -247,6 +247,23 @@ bool ProtocolUser::VerifyAndFold(sim::RoundContext* ctx,
     event.detail = "server presented counter " + std::to_string(resp.ctr) +
                    " after this user already saw " + std::to_string(gctr_);
     util::AuditLog::Instance().Emit(std::move(event));
+    // A regressed counter is fork evidence in itself: the server claims a
+    // state on a branch this user already advanced past (a rollback or a
+    // replayed segment). Record both sides of the divergence — the
+    // fingerprint this user last trusted vs the one the claimed
+    // (state, ctr, creator) implies — so the forensic story matches what
+    // sync-up fork detection logs.
+    util::AuditEvent fork(util::AuditEventKind::kForkDetected);
+    fork.user = options_.id;
+    fork.ctr = resp.ctr;
+    fork.gctr = gctr_;
+    fork.epoch = current_epoch_;
+    fork.expected_digest = last_;
+    fork.actual_digest = Fp(pre_root, resp.ctr, resp.creator);
+    fork.detail = "counter regression fork: server resurrected ctr " +
+                  std::to_string(resp.ctr) + " behind this user's " +
+                  std::to_string(gctr_);
+    util::AuditLog::Instance().Emit(std::move(fork));
     ctx->ReportDetection("stale counter " + std::to_string(resp.ctr) +
                          " (already saw " + std::to_string(gctr_) + ")");
     return false;

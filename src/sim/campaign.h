@@ -1,0 +1,191 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "workload/workload.h"
+
+namespace tcvs {
+namespace campaign {
+
+/// \file
+/// Seeded Byzantine campaign generator and soak harness.
+///
+/// A *campaign* hammers the detection protocols with many randomized
+/// adversarial scenarios — composed schedules of fork / rollback / replay /
+/// equivocation / selective-drop / delay primitives executed by the
+/// ProtocolServer (AttackConfig::schedule) — and asserts on every run:
+///
+///   (a) the n·k detection bound: a detected deviation was caught within
+///       DetectionBound(n, k) operations of the attack engaging, and an
+///       undetected ground-truth deviation had fewer than that many
+///       post-attack operations to be caught in (the horizon ended first);
+///   (b) fork evidence: every detection left a typed audit event
+///       (fork_detected / vo_mismatch) carrying BOTH divergent digests;
+///   (c) soundness: honest (empty or delay-only) schedules never detect;
+///   (d) reproducibility: the same seed yields an identical report.
+///
+/// Schedules that trip an invariant are delta-debug minimized (ddmin over
+/// steps, then per-field shrinking) and persisted as text fixtures
+/// (CampaignFixture) that campaign_test replays as regressions.
+
+/// \brief One seeded adversarial scenario: population/protocol parameters
+/// plus the composed schedule of attack steps the server executes.
+struct CampaignSchedule {
+  /// Generator seed that produced this schedule; also seeds the workload
+  /// and is recorded in the ScenarioReport / detection audit events.
+  uint64_t seed = 0;
+  core::ProtocolKind protocol = core::ProtocolKind::kProtocolII;
+  uint32_t num_users = 4;
+  uint32_t sync_k = 6;
+  /// Max rounds to simulate (runs stop early at first detection).
+  sim::Round horizon = 600;
+  uint32_t ops_per_user = 26;
+  uint32_t num_files = 12;
+  std::vector<core::AttackStep> steps;
+
+  /// True when the schedule cannot deviate: no steps, or delay-only
+  /// (bounded delay is within the model). Such runs must never detect.
+  bool IsHonest() const;
+
+  /// ScenarioConfig with attack.schedule = steps and seed recorded.
+  core::ScenarioConfig ToConfig() const;
+  /// Deterministic CVS workload derived from the same seed.
+  workload::Workload MakeWorkload() const;
+  /// One-line summary, e.g. "ProtocolII n=4 k=6 | fork@40{2,3} delay@60+20#4".
+  std::string Describe() const;
+
+  /// util/serde wire form (versioned); the fixture format embeds its hex.
+  Bytes Serialize() const;
+  static Result<CampaignSchedule> Deserialize(const Bytes& data);
+};
+
+/// The paper's detection-delay guarantee in operations, plus the harness
+/// slack for operations the server processes while sync-up reports and the
+/// final detecting exchange are in flight.
+uint64_t DetectionBound(uint32_t num_users, uint32_t sync_k);
+
+/// \brief Outcome of one schedule run with the invariant checks applied.
+struct ScheduleOutcome {
+  core::ScenarioReport report;
+  /// The attack actually altered processing (server ground truth).
+  bool engaged = false;
+  bool detected = false;
+  /// Ground-truth deviation ran past the detection bound undetected.
+  bool escaped = false;
+  /// Detected, but later than DetectionBound allows.
+  bool bound_violated = false;
+  /// Detected without a digest-pair fork-evidence audit event.
+  bool missing_evidence = false;
+  /// Honest schedule raised the alarm.
+  bool false_alarm = false;
+  /// Ops processed after the attack engaged until detection (or horizon).
+  uint64_t delay_ops = 0;
+  /// Human-readable first violation; empty when all invariants held.
+  std::string violation;
+
+  bool Violated() const {
+    return escaped || bound_violated || missing_evidence || false_alarm;
+  }
+};
+
+/// Runs one schedule through a full Scenario and applies invariants (a)-(c).
+/// Uses an AuditLog sequence cursor, so it composes with other emitters in
+/// the same process (single-threaded use).
+ScheduleOutcome RunSchedule(const CampaignSchedule& schedule);
+
+/// Properties MinimizeSchedule can preserve while shrinking.
+enum class ScheduleProperty : uint8_t {
+  /// The run detects a deviation (with all invariants intact).
+  kDetected = 0,
+  /// The run escapes: ground-truth deviation past the bound, undetected.
+  kEscaped = 1,
+  /// The run trips any invariant (ScheduleOutcome::Violated()).
+  kViolation = 2,
+};
+
+bool HasProperty(const ScheduleOutcome& outcome, ScheduleProperty property);
+
+/// Delta-debug minimization: smallest step subset that still exhibits
+/// `property`, then per-step shrinking (victims, duration, arg) and
+/// parameter shrinking (ops_per_user, horizon). Deterministic. `runs`, when
+/// non-null, returns the number of schedule executions spent minimizing.
+CampaignSchedule MinimizeSchedule(const CampaignSchedule& schedule,
+                                  ScheduleProperty property,
+                                  uint32_t* runs = nullptr);
+
+/// Seeded schedule generator. Identical seeds yield identical schedules.
+/// `honest` draws a control-arm schedule (no steps, or delay-only noise).
+CampaignSchedule GenerateSchedule(uint64_t seed, bool honest = false);
+
+/// \brief Campaign parameters.
+struct CampaignOptions {
+  uint64_t seed = 1;
+  uint32_t scenarios = 50;
+  /// Fraction of control-arm honest scenarios (false-alarm check).
+  double honest_fraction = 0.1;
+  /// ddmin schedules that trip an invariant.
+  bool minimize = true;
+  /// Override every generated schedule's protocol (ablations: the untagged
+  /// kProtocolIINaive arm escapes on replay). kProtocolII = no override.
+  core::ProtocolKind protocol = core::ProtocolKind::kProtocolII;
+};
+
+/// \brief An invariant-tripping schedule, kept for the report and fixtures.
+struct ViolationRecord {
+  CampaignSchedule schedule;
+  std::string reason;
+  /// Minimized reproduction (equals `schedule` when minimize was off).
+  CampaignSchedule minimized;
+};
+
+/// \brief Aggregated campaign results. JsonFormat is deterministic: same
+/// options ⇒ byte-identical output (no timestamps, no float formatting).
+struct CampaignReport {
+  CampaignOptions options;
+  uint32_t scenarios = 0;
+  uint32_t honest_runs = 0;
+  uint32_t engaged = 0;
+  uint32_t detected = 0;
+  uint32_t escapes = 0;
+  uint32_t bound_violations = 0;
+  uint32_t missing_evidence = 0;
+  uint32_t false_alarms = 0;
+  /// Detection delays (ops) of all detected runs, in scenario order.
+  std::vector<uint64_t> delays_ops;
+  std::vector<ViolationRecord> violations;
+
+  bool ok() const { return violations.empty(); }
+  uint64_t DelayPercentile(double p) const;
+  std::string JsonFormat() const;
+};
+
+/// Runs `options.scenarios` generated schedules and aggregates outcomes.
+CampaignReport RunCampaign(const CampaignOptions& options);
+
+/// \brief A persisted regression scenario: schedule + expected outcome.
+/// Text format (tests/campaign_fixtures/*.fixture):
+///
+///   # tcvs-campaign-fixture v1
+///   name: <slug>
+///   protocol: <ProtocolKindToString name>   (informational)
+///   describe: <CampaignSchedule::Describe>  (informational)
+///   expect_detected: 0|1
+///   expect_escape: 0|1
+///   schedule: <hex of CampaignSchedule::Serialize>
+struct CampaignFixture {
+  std::string name;
+  CampaignSchedule schedule;
+  bool expect_detected = false;
+  bool expect_escape = false;
+
+  std::string ToText() const;
+  static Result<CampaignFixture> FromText(std::string_view text);
+};
+
+}  // namespace campaign
+}  // namespace tcvs

@@ -61,6 +61,10 @@ void Kernel::OnDetection(AgentId who, const std::string& reason) {
   event.user = who;
   event.ctr = now_;  // For sim-kernel events the counter slot is the round.
   event.detail = reason;
+  // Name the run's seed so the logged detection is reproducible as-is.
+  if (run_seed_ != 0) {
+    event.detail += " [seed=" + std::to_string(run_seed_) + "]";
+  }
   util::AuditLog::Instance().Emit(std::move(event));
   if (detection_.has_value()) return;  // First detection wins.
   static util::Counter* const detections =

@@ -102,6 +102,12 @@ class Kernel {
   void set_message_delay(Round delay) { message_delay_ = delay == 0 ? 1 : delay; }
   Round message_delay() const { return message_delay_; }
 
+  /// Seed of the run driving this kernel (0 = unseeded). Appended to every
+  /// deviation-detection audit event's detail as " [seed=N]", so a logged
+  /// detection names the exact seed that reproduces it.
+  void set_run_seed(uint64_t seed) { run_seed_ = seed; }
+  uint64_t run_seed() const { return run_seed_; }
+
   /// True if `id` was registered as a user (a broadcast recipient).
   bool IsUser(AgentId id) const {
     for (AgentId u : users_) {
@@ -118,6 +124,7 @@ class Kernel {
 
   Round now_ = 0;
   Round message_delay_ = 1;
+  uint64_t run_seed_ = 0;
   std::map<AgentId, std::shared_ptr<Agent>> agents_;
   std::vector<AgentId> users_;
   std::vector<Message> in_flight_;

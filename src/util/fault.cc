@@ -1,5 +1,6 @@
 #include "util/fault.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace tcvs {
@@ -27,15 +28,33 @@ FaultSpec FaultSpec::Nth(uint64_t n, uint64_t arg) {
   return s;
 }
 
-FaultSpec FaultSpec::Probability(double p, uint64_t arg) {
+FaultSpec FaultSpec::Probability(double p, uint64_t arg, uint64_t seed) {
   FaultSpec s;
   s.trigger = Trigger::kProbability;
   s.probability = p;
   s.arg = arg;
+  s.seed = seed;
   return s;
 }
 
-FaultInjector::FaultInjector() : rng_state_(0x9E3779B97F4A7C15ull) {}
+namespace {
+
+/// Seed of a point's private probability stream: the explicit spec seed, or
+/// an FNV-1a hash of the point name — stable across runs and processes, and
+/// distinct per point, so two prob-armed points draw independent sequences.
+uint64_t PointSeed(const std::string& point, const FaultSpec& spec) {
+  if (spec.seed != 0) return spec.seed;
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : point) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() = default;
 
 FaultInjector& FaultInjector::Instance() {
   // Intentionally leaked: fault points fire from arbitrary threads during
@@ -52,6 +71,7 @@ void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
   p.armed = true;
   p.hits = 0;
   p.fires = 0;
+  p.rng_state = PointSeed(point, spec);
 }
 
 void FaultInjector::Disarm(const std::string& point) {
@@ -95,9 +115,9 @@ bool FaultInjector::ShouldFail(const std::string& point, uint64_t* arg) {
       fire = (p.hits == p.spec.n);
       break;
     case FaultSpec::Trigger::kProbability: {
-      // splitmix64 draw, mapped to [0, 1).
-      rng_state_ += 0x9E3779B97F4A7C15ull;
-      uint64_t z = rng_state_;
+      // splitmix64 draw from this point's private stream, mapped to [0, 1).
+      p.rng_state += 0x9E3779B97F4A7C15ull;
+      uint64_t z = p.rng_state;
       z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
       z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
       z ^= z >> 31;
@@ -131,16 +151,45 @@ uint64_t FaultInjector::fires(const std::string& point) const {
   return it == points_.end() ? 0 : it->second.fires;
 }
 
+namespace {
+
+/// Strict u64 parse: nonempty, all-digit, no trailing junk. strtoull-style
+/// leniency here would silently arm a zeroed spec from a typo'd entry.
+bool ParseU64Strict(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() || s[0] == '-') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseProbStrict(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
 Status FaultInjector::ArmFromString(const std::string& entry) {
   size_t eq = entry.find('=');
-  if (eq == std::string::npos || eq == 0) {
+  if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
     return Status::InvalidArgument("fault entry needs point=trigger: " + entry);
   }
   std::string point = entry.substr(0, eq);
   std::string rest = entry.substr(eq + 1);
   uint64_t arg = 0;
   if (size_t at = rest.find('@'); at != std::string::npos) {
-    arg = std::strtoull(rest.c_str() + at + 1, nullptr, 10);
+    if (!ParseU64Strict(rest.substr(at + 1), &arg)) {
+      return Status::InvalidArgument("malformed fault @arg: " + entry);
+    }
     rest = rest.substr(0, at);
   }
   FaultSpec spec;
@@ -149,11 +198,27 @@ Status FaultInjector::ArmFromString(const std::string& entry) {
   } else if (rest == "oneshot") {
     spec = FaultSpec::OneShot(arg);
   } else if (rest.rfind("nth:", 0) == 0) {
-    uint64_t n = std::strtoull(rest.c_str() + 4, nullptr, 10);
-    if (n == 0) return Status::InvalidArgument("nth trigger needs N >= 1");
+    uint64_t n = 0;
+    if (!ParseU64Strict(rest.substr(4), &n) || n == 0) {
+      return Status::InvalidArgument("nth trigger needs N >= 1: " + entry);
+    }
     spec = FaultSpec::Nth(n, arg);
   } else if (rest.rfind("prob:", 0) == 0) {
-    spec = FaultSpec::Probability(std::strtod(rest.c_str() + 5, nullptr), arg);
+    // prob:P or prob:P:SEED — the optional seed picks a different (still
+    // bit-exact) per-point draw sequence; see FaultSpec::seed.
+    std::string body = rest.substr(5);
+    uint64_t seed = 0;
+    if (size_t colon = body.find(':'); colon != std::string::npos) {
+      if (!ParseU64Strict(body.substr(colon + 1), &seed) || seed == 0) {
+        return Status::InvalidArgument("malformed prob seed: " + entry);
+      }
+      body = body.substr(0, colon);
+    }
+    double p = 0;
+    if (!ParseProbStrict(body, &p)) {
+      return Status::InvalidArgument("prob trigger needs P in [0, 1]: " + entry);
+    }
+    spec = FaultSpec::Probability(p, arg, seed);
   } else {
     return Status::InvalidArgument("unknown fault trigger: " + rest);
   }

@@ -29,11 +29,18 @@ struct FaultSpec {
   /// Action-specific parameter a fault point may consume (e.g. how many
   /// bytes of a torn write reach the disk, or a delay in milliseconds).
   uint64_t arg = 0;
+  /// kProbability only: seed of this point's private RNG stream. 0 means
+  /// "derive from the point name", which is still fully deterministic — the
+  /// same point armed with the same spec draws the same fire pattern in
+  /// every run and every process, so probabilistic fault campaigns replay
+  /// bit-exactly. A nonzero seed selects a different (equally reproducible)
+  /// pattern.
+  uint64_t seed = 0;
 
   static FaultSpec Always(uint64_t arg = 0);
   static FaultSpec OneShot(uint64_t arg = 0);
   static FaultSpec Nth(uint64_t n, uint64_t arg = 0);
-  static FaultSpec Probability(double p, uint64_t arg = 0);
+  static FaultSpec Probability(double p, uint64_t arg = 0, uint64_t seed = 0);
 };
 
 /// \brief Process-wide registry of named fault points.
@@ -83,10 +90,13 @@ class FaultInjector {
   /// Arms points from an environment variable (cross-process injection into
   /// spawned daemons). Grammar, comma-separated:
   ///
-  ///   point=always | point=oneshot | point=nth:N | point=prob:P  [@ARG]
+  ///   point=always | point=oneshot | point=nth:N | point=prob:P[:SEED]  [@ARG]
   ///
-  /// e.g. TCVS_FAULTS="rpc.serve.crash=nth:3,wal.append.torn=oneshot@12".
-  /// Unset/empty is OK (no-op).
+  /// e.g. TCVS_FAULTS="rpc.serve.crash=nth:3,wal.append.torn=oneshot@12" or
+  /// TCVS_FAULTS="net.send.drop=prob:0.05:42". Unset/empty is OK (no-op).
+  /// Malformed entries (unknown trigger, non-numeric N/P/SEED/ARG, P outside
+  /// [0, 1]) are InvalidArgument — a typo'd spec must fail loudly, not arm a
+  /// point that never fires.
   Status ArmFromEnv(const char* env_var = "TCVS_FAULTS");
 
   /// Parses and arms one `point=trigger[@arg]` entry (exposed for tests).
@@ -100,6 +110,11 @@ class FaultInjector {
     bool armed = false;
     uint64_t hits = 0;
     uint64_t fires = 0;
+    /// kProbability: this point's private splitmix64 stream, seeded at Arm
+    /// time from spec.seed (or the point name when 0). Per-point streams
+    /// mean arming or hitting unrelated points never perturbs this point's
+    /// draw sequence — campaign replays stay bit-exact across processes.
+    uint64_t rng_state = 0;
   };
 
   mutable Mutex mu_;
@@ -107,7 +122,6 @@ class FaultInjector {
   /// the release/acquire pairing with mu_.
   std::atomic<int> armed_count_{0};
   std::map<std::string, Point> points_ TCVS_GUARDED_BY(mu_);
-  uint64_t rng_state_ TCVS_GUARDED_BY(mu_);  // splitmix64 for kProbability.
 };
 
 }  // namespace util

@@ -1,0 +1,282 @@
+// Campaign generator + soak harness tests: seeded determinism, schedule
+// serde, invariant checking, delta-debug minimization, and replay of the
+// checked-in minimized regression fixtures (tests/campaign_fixtures/).
+
+#include "sim/campaign.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace tcvs {
+namespace campaign {
+namespace {
+
+// Key report fields that must be bit-equal for seed-exact reproducibility.
+std::string ReportFingerprint(const ScheduleOutcome& o) {
+  std::ostringstream out;
+  out << o.detected << "|" << o.report.detection_round << "|"
+      << o.report.detector << "|" << o.report.detection_reason << "|"
+      << o.report.attack_engaged_round << "|" << o.delay_ops << "|"
+      << o.report.ops_completed << "|" << o.report.rounds_executed << "|"
+      << o.report.traffic.messages << "|" << o.report.traffic.bytes << "|"
+      << o.report.traffic.external_messages << "|" << o.report.seed;
+  return out.str();
+}
+
+TEST(CampaignGenerator, SameSeedSameSchedule) {
+  const CampaignSchedule a = GenerateSchedule(1234);
+  const CampaignSchedule b = GenerateSchedule(1234);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  EXPECT_EQ(a.Describe(), b.Describe());
+}
+
+TEST(CampaignGenerator, DifferentSeedsDiffer) {
+  // Not guaranteed for every pair, but across a handful of seeds at least
+  // one field must vary or the generator is ignoring its seed.
+  std::set<Bytes> forms;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    forms.insert(GenerateSchedule(seed).Serialize());
+  }
+  EXPECT_GT(forms.size(), 1u);
+}
+
+TEST(CampaignGenerator, HonestArmIsDelayOnly) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const CampaignSchedule s = GenerateSchedule(seed, /*honest=*/true);
+    EXPECT_TRUE(s.IsHonest()) << s.Describe();
+    for (const core::AttackStep& step : s.steps) {
+      EXPECT_EQ(step.kind, core::AttackKind::kDelay);
+    }
+  }
+}
+
+TEST(CampaignSchedule, SerdeRoundTrip) {
+  const CampaignSchedule s = GenerateSchedule(77);
+  ASSERT_FALSE(s.steps.empty());
+  const Bytes wire = s.Serialize();
+  auto back = CampaignSchedule::Deserialize(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->Serialize(), wire);
+  EXPECT_EQ(back->seed, s.seed);
+  EXPECT_EQ(back->Describe(), s.Describe());
+}
+
+TEST(CampaignSchedule, DeserializeRejectsMalformedInput) {
+  const Bytes wire = GenerateSchedule(77).Serialize();
+
+  Bytes bad_version = wire;
+  bad_version[0] = 0x7F;
+  EXPECT_FALSE(CampaignSchedule::Deserialize(bad_version).ok());
+
+  Bytes trailing = wire;
+  trailing.push_back(0xAB);
+  EXPECT_FALSE(CampaignSchedule::Deserialize(trailing).ok());
+
+  Bytes truncated(wire.begin(), wire.begin() + wire.size() / 2);
+  EXPECT_FALSE(CampaignSchedule::Deserialize(truncated).ok());
+
+  EXPECT_FALSE(CampaignSchedule::Deserialize(Bytes{}).ok());
+}
+
+TEST(CampaignRun, SameSeedSameOutcome) {
+  const CampaignSchedule s = GenerateSchedule(42);
+  const ScheduleOutcome a = RunSchedule(s);
+  const ScheduleOutcome b = RunSchedule(s);
+  EXPECT_EQ(ReportFingerprint(a), ReportFingerprint(b));
+}
+
+TEST(CampaignRun, RecordsSeedInReport) {
+  const CampaignSchedule s = GenerateSchedule(42);
+  const ScheduleOutcome outcome = RunSchedule(s);
+  EXPECT_EQ(outcome.report.seed, 42u);
+}
+
+TEST(CampaignRun, DetectionBoundGrowsWithNK) {
+  EXPECT_LT(DetectionBound(3, 4), DetectionBound(6, 8));
+  EXPECT_GE(DetectionBound(3, 4), 3u * 4u);
+}
+
+// The tentpole soak: 200 randomized adversarial scenarios, every run
+// checked against the n·k bound, fork-evidence, and false-alarm
+// invariants. Any violation fails with the offending schedule's seed and
+// description in the report JSON.
+TEST(CampaignSoak, TwoHundredScenariosAllInvariantsHold) {
+  CampaignOptions options;
+  options.seed = 42;
+  options.scenarios = 200;
+  options.minimize = false;  // Violations fail the test; no need to shrink.
+  const CampaignReport report = RunCampaign(options);
+
+  EXPECT_TRUE(report.ok()) << report.JsonFormat();
+  EXPECT_EQ(report.scenarios, 200u);
+  EXPECT_EQ(report.escapes, 0u);
+  EXPECT_EQ(report.bound_violations, 0u);
+  EXPECT_EQ(report.missing_evidence, 0u);
+  EXPECT_EQ(report.false_alarms, 0u);
+  // The mix must actually exercise the protocol: most scenarios engage an
+  // attack and most engaged attacks are detected.
+  EXPECT_GT(report.honest_runs, 0u);
+  EXPECT_GT(report.engaged, report.scenarios / 2);
+  EXPECT_GT(report.detected, report.engaged / 2);
+  EXPECT_EQ(report.delays_ops.size(), report.detected);
+}
+
+TEST(CampaignSoak, ReportJsonIsDeterministic) {
+  CampaignOptions options;
+  options.seed = 7;
+  options.scenarios = 25;
+  const std::string a = RunCampaign(options).JsonFormat();
+  const std::string b = RunCampaign(options).JsonFormat();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"ok\":true"), std::string::npos) << a;
+}
+
+TEST(CampaignSoak, HonestCampaignNeverDetects) {
+  CampaignOptions options;
+  options.seed = 5;
+  options.scenarios = 20;
+  options.honest_fraction = 1.0;
+  const CampaignReport report = RunCampaign(options);
+  EXPECT_EQ(report.detected, 0u) << report.JsonFormat();
+  EXPECT_EQ(report.false_alarms, 0u);
+  EXPECT_EQ(report.honest_runs, report.scenarios);
+}
+
+// The untagged ablation arm: randomized campaign replays are still caught
+// (per-user counter monotonicity sees the regressed counters); only the
+// engineered Figure-3 XOR cancellation escapes the untagged variant, which
+// impossibility_test pins via MakeReplayScenario.
+TEST(CampaignSoak, UntaggedArmHoldsUnderRandomizedCampaign) {
+  CampaignOptions options;
+  options.seed = 11;
+  options.scenarios = 40;
+  options.minimize = false;
+  options.protocol = core::ProtocolKind::kProtocolIINaive;
+  const CampaignReport report = RunCampaign(options);
+  EXPECT_TRUE(report.ok()) << report.JsonFormat();
+  EXPECT_GT(report.detected, 0u);
+}
+
+TEST(CampaignMinimize, PreservesDetectionAndShrinks) {
+  // Seed 7's schedule minimizes to a single step (verified when the
+  // regression fixture was pinned); assert the generic contract here.
+  const CampaignSchedule original = GenerateSchedule(7);
+  const ScheduleOutcome before = RunSchedule(original);
+  ASSERT_TRUE(before.detected);
+
+  uint32_t runs = 0;
+  const CampaignSchedule minimized =
+      MinimizeSchedule(original, ScheduleProperty::kDetected, &runs);
+  EXPECT_GT(runs, 0u);
+  EXPECT_LE(minimized.steps.size(), original.steps.size());
+  EXPECT_LE(minimized.horizon, original.horizon);
+
+  const ScheduleOutcome after = RunSchedule(minimized);
+  EXPECT_TRUE(after.detected);
+  EXPECT_FALSE(after.Violated()) << after.violation;
+}
+
+TEST(CampaignMinimize, ReturnsInputWhenPropertyAbsent) {
+  CampaignSchedule honest = GenerateSchedule(5, /*honest=*/true);
+  const CampaignSchedule minimized =
+      MinimizeSchedule(honest, ScheduleProperty::kDetected);
+  EXPECT_EQ(minimized.Serialize(), honest.Serialize());
+}
+
+TEST(CampaignFixtureFormat, TextRoundTrip) {
+  CampaignFixture fixture;
+  fixture.name = "round-trip";
+  fixture.schedule = GenerateSchedule(99);
+  fixture.expect_detected = true;
+  const std::string text = fixture.ToText();
+
+  auto back = CampaignFixture::FromText(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->name, "round-trip");
+  EXPECT_TRUE(back->expect_detected);
+  EXPECT_FALSE(back->expect_escape);
+  EXPECT_EQ(back->schedule.Serialize(), fixture.schedule.Serialize());
+}
+
+TEST(CampaignFixtureFormat, RejectsMalformedText) {
+  EXPECT_FALSE(CampaignFixture::FromText("").ok());
+  EXPECT_FALSE(CampaignFixture::FromText("name: x\n").ok());  // No header.
+  EXPECT_FALSE(
+      CampaignFixture::FromText("# tcvs-campaign-fixture v1\nname: x\n").ok());
+  EXPECT_FALSE(CampaignFixture::FromText(
+                   "# tcvs-campaign-fixture v1\nname: x\nexpect_detected: "
+                   "2\nschedule: 00\n")
+                   .ok());
+  EXPECT_FALSE(CampaignFixture::FromText(
+                   "# tcvs-campaign-fixture v1\nname: x\nschedule: zz\n")
+                   .ok());
+}
+
+// Replays every checked-in minimized regression fixture: the schedule must
+// still produce exactly the pinned outcome (detection stays detection, and
+// no run may newly escape or trip an invariant).
+TEST(CampaignFixtures, ReplayCheckedInFixtures) {
+  const std::filesystem::path dir = TCVS_CAMPAIGN_FIXTURE_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".fixture") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 3u) << "campaign fixture corpus went missing";
+
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    auto fixture = CampaignFixture::FromText(buf.str());
+    ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+
+    const ScheduleOutcome outcome = RunSchedule(fixture->schedule);
+    EXPECT_EQ(outcome.detected, fixture->expect_detected)
+        << fixture->schedule.Describe();
+    EXPECT_EQ(outcome.escaped, fixture->expect_escape)
+        << fixture->schedule.Describe();
+    if (!fixture->expect_escape) {
+      EXPECT_FALSE(outcome.Violated()) << outcome.violation;
+    }
+  }
+}
+
+// The five checked-in fixtures cover the five deviating primitives.
+TEST(CampaignFixtures, CorpusCoversAllPrimitives) {
+  const std::filesystem::path dir = TCVS_CAMPAIGN_FIXTURE_DIR;
+  std::set<core::AttackKind> kinds;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".fixture") continue;
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto fixture = CampaignFixture::FromText(buf.str());
+    ASSERT_TRUE(fixture.ok());
+    for (const core::AttackStep& step : fixture->schedule.steps) {
+      kinds.insert(step.kind);
+    }
+  }
+  EXPECT_TRUE(kinds.count(core::AttackKind::kFork));
+  EXPECT_TRUE(kinds.count(core::AttackKind::kRollback));
+  EXPECT_TRUE(kinds.count(core::AttackKind::kReplaySegment));
+  EXPECT_TRUE(kinds.count(core::AttackKind::kEquivocate));
+  EXPECT_TRUE(kinds.count(core::AttackKind::kDrop));
+}
+
+}  // namespace
+}  // namespace campaign
+}  // namespace tcvs

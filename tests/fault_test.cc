@@ -99,6 +99,93 @@ TEST_F(FaultTest, ArmFromEnvGrammar) {
   EXPECT_FALSE(fi.ArmFromString("p=nth:0").ok());
 }
 
+TEST_F(FaultTest, ArmFromStringRejectsMalformedEntries) {
+  auto& fi = FaultInjector::Instance();
+  // A typo'd spec must fail loudly, not arm a point that never fires.
+  EXPECT_FALSE(fi.ArmFromString("=always").ok());        // Missing point.
+  EXPECT_FALSE(fi.ArmFromString("p=").ok());             // Missing trigger.
+  EXPECT_FALSE(fi.ArmFromString("p=prob:").ok());        // Missing P.
+  EXPECT_FALSE(fi.ArmFromString("p=prob:1.5").ok());     // P outside [0, 1].
+  EXPECT_FALSE(fi.ArmFromString("p=prob:-0.1").ok());    // P outside [0, 1].
+  EXPECT_FALSE(fi.ArmFromString("p=prob:abc").ok());     // Non-numeric P.
+  EXPECT_FALSE(fi.ArmFromString("p=prob:0.5junk").ok()); // Trailing junk.
+  EXPECT_FALSE(fi.ArmFromString("p=prob:0.5:").ok());    // Empty seed.
+  EXPECT_FALSE(fi.ArmFromString("p=prob:0.5:0").ok());   // Zero seed.
+  EXPECT_FALSE(fi.ArmFromString("p=prob:0.5:9x").ok());  // Non-numeric seed.
+  EXPECT_FALSE(fi.ArmFromString("p=nth:").ok());         // Missing N.
+  EXPECT_FALSE(fi.ArmFromString("p=nth:two").ok());      // Non-numeric N.
+  EXPECT_FALSE(fi.ArmFromString("p=oneshot@").ok());     // Missing arg.
+  EXPECT_FALSE(fi.ArmFromString("p=oneshot@2x").ok());   // Non-numeric arg.
+  EXPECT_FALSE(fi.ArmFromString("p=oneshot@-3").ok());   // Negative arg.
+  // None of the rejected entries may have armed anything.
+  EXPECT_FALSE(fi.ShouldFail("p"));
+}
+
+TEST_F(FaultTest, ArmFromEnvRejectsMalformedList) {
+  auto& fi = FaultInjector::Instance();
+  ::setenv("TCVS_TEST_FAULTS", "a.b=oneshot,c.d=prob:nope", 1);
+  EXPECT_FALSE(fi.ArmFromEnv("TCVS_TEST_FAULTS").ok());
+  ::unsetenv("TCVS_TEST_FAULTS");
+}
+
+// Collects the fire pattern of `n` consecutive hits at `point`.
+static std::vector<bool> FirePattern(FaultInjector* fi,
+                                     const std::string& point, int n) {
+  std::vector<bool> pattern;
+  pattern.reserve(n);
+  for (int i = 0; i < n; ++i) pattern.push_back(fi->ShouldFail(point));
+  return pattern;
+}
+
+TEST_F(FaultTest, SeededProbabilityReplaysBitExactly) {
+  auto& fi = FaultInjector::Instance();
+
+  // Same point, same spec ⇒ identical draw sequence after re-arming —
+  // the property that makes probabilistic fault campaigns replayable.
+  fi.Arm("p", FaultSpec::Probability(0.5));
+  const std::vector<bool> first = FirePattern(&fi, "p", 64);
+  fi.Arm("p", FaultSpec::Probability(0.5));
+  EXPECT_EQ(FirePattern(&fi, "p", 64), first);
+
+  // Full Reset + re-arm (a fresh process) draws the same pattern too.
+  fi.Reset();
+  fi.Arm("p", FaultSpec::Probability(0.5));
+  EXPECT_EQ(FirePattern(&fi, "p", 64), first);
+
+  // An explicit seed selects a different (still reproducible) pattern.
+  fi.Arm("p", FaultSpec::Probability(0.5, /*arg=*/0, /*seed=*/1234));
+  const std::vector<bool> seeded = FirePattern(&fi, "p", 64);
+  EXPECT_NE(seeded, first);
+  fi.Arm("p", FaultSpec::Probability(0.5, /*arg=*/0, /*seed=*/1234));
+  EXPECT_EQ(FirePattern(&fi, "p", 64), seeded);
+
+  // The env grammar's prob:P:SEED arms the same stream as the factory.
+  ASSERT_TRUE(fi.ArmFromString("p=prob:0.5:1234").ok());
+  EXPECT_EQ(FirePattern(&fi, "p", 64), seeded);
+}
+
+TEST_F(FaultTest, ProbabilityStreamsArePerPoint) {
+  auto& fi = FaultInjector::Instance();
+
+  // Two points with the same spec draw *different* sequences (name-derived
+  // seeds), and interleaving hits at one point never perturbs the other.
+  fi.Arm("p.one", FaultSpec::Probability(0.5));
+  fi.Arm("p.two", FaultSpec::Probability(0.5));
+  const std::vector<bool> one = FirePattern(&fi, "p.one", 64);
+  const std::vector<bool> two = FirePattern(&fi, "p.two", 64);
+  EXPECT_NE(one, two);
+
+  fi.Reset();
+  fi.Arm("p.one", FaultSpec::Probability(0.5));
+  fi.Arm("p.two", FaultSpec::Probability(0.5));
+  std::vector<bool> interleaved_one;
+  for (int i = 0; i < 64; ++i) {
+    interleaved_one.push_back(fi.ShouldFail("p.one"));
+    fi.ShouldFail("p.two");  // Noise on an unrelated point.
+  }
+  EXPECT_EQ(interleaved_one, one);
+}
+
 // ---------------------------------------------------------------------------
 // RetryPolicy
 // ---------------------------------------------------------------------------

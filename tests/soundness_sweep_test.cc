@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "core/scenario.h"
+#include "util/audit.h"
 #include "util/random.h"
 #include "workload/workload.h"
 
@@ -22,6 +23,22 @@ namespace core {
 namespace {
 
 class SoundnessSweep : public ::testing::TestWithParam<uint64_t> {};
+
+// True iff the audit log gained (since `min_seq`) a fork-evidence event —
+// fork_detected or vo_mismatch — carrying BOTH divergent digests. Every
+// detected run must leave one: detection without evidence is an assertion,
+// not an audit trail.
+bool HasForkEvidenceSince(uint64_t min_seq) {
+  for (const util::AuditEvent& ev :
+       util::AuditLog::Instance().SnapshotSince(min_seq)) {
+    if ((ev.kind == util::AuditEventKind::kForkDetected ||
+         ev.kind == util::AuditEventKind::kVoMismatch) &&
+        !ev.expected_digest.empty() && !ev.actual_digest.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
 
 TEST_P(SoundnessSweep, HonestServerNeverAccused) {
   util::Rng rng(GetParam() * 1000 + 1);
@@ -91,6 +108,7 @@ TEST_P(SoundnessSweep, RandomAttacksDetectedAndNeverBeforeEngaging) {
     opts.mean_think_rounds = 1 + rng.Uniform(4);
     opts.offline_probability = 0.0;
     opts.seed = rng.Next();
+    const uint64_t audit_cursor = util::AuditLog::Instance().total_emitted();
     Scenario scenario(config, workload::MakeCvsWorkload(opts));
     ScenarioReport r = scenario.Run(4000);
 
@@ -100,6 +118,11 @@ TEST_P(SoundnessSweep, RandomAttacksDetectedAndNeverBeforeEngaging) {
       ASSERT_GT(r.attack_engaged_round, 0u)
           << "iter " << iter << ": alarm with no attack: " << r.detection_reason;
       ASSERT_GE(r.detection_round, r.attack_engaged_round) << "iter " << iter;
+      // Forensics: every detection leaves a typed fork-evidence audit event
+      // with both divergent digests, whatever the attack primitive was.
+      ASSERT_TRUE(HasForkEvidenceSince(audit_cursor))
+          << "iter " << iter << ": detection without digest-pair evidence ("
+          << r.detection_reason << ")";
     } else {
       // Undetected is acceptable only when the attack never engaged (e.g. a
       // tamper trigger past the workload's last commit) or no transaction

@@ -16,9 +16,10 @@ schemas are understood, keyed off the file contents:
     "benchmarks" are keyed by "name" and compared on cpu_time.
 
 Direction is inferred from the column header (or gbench time semantics):
-headers containing latency/time/us/ms/bytes/cost/overhead/rounds are
-lower-is-better; throughput/rate/ops/per_sec are higher-is-better; anything
-else is reported as informational and never fails the comparison. A change
+headers containing latency/time/us/ms/bytes/cost/overhead/rounds — and the
+campaign-soak columns delay/escapes/violations — are lower-is-better;
+throughput/rate/ops/per_sec/detected are higher-is-better; anything else is
+reported as informational and never fails the comparison. A change
 past --threshold percent (default 10) in the bad direction is a REGRESSION;
 past it in the good direction is an IMPROVEMENT.
 
@@ -34,13 +35,17 @@ import re
 import sys
 from pathlib import Path
 
+# Campaign soak columns (BENCH_bench_campaign.json): detection delay,
+# escapes, and invariant violations are all lower-is-better; a detected
+# count is higher-is-better alongside the older "detections" spelling.
 LOWER_BETTER_RE = re.compile(
     r"latency|time|_us\b|\(us\)|_ms\b|\(ms\)|\bus\b|\bms\b|bytes|cost|"
-    r"overhead|round|cycles|allocs",
+    r"overhead|round|cycles|allocs|delay|escape|violation",
     re.IGNORECASE,
 )
 HIGHER_BETTER_RE = re.compile(
-    r"throughput|rate|ops|per_sec|per sec|/s\b|qps|detections", re.IGNORECASE
+    r"throughput|rate|ops|per_sec|per sec|/s\b|qps|detections|\bdetected\b",
+    re.IGNORECASE,
 )
 NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?([eE][+-]?\d+)?$")
 

@@ -19,10 +19,16 @@
 #                 schema_version-1 JSON into $TCVS_BENCH_JSON_DIR, a
 #                 self-comparison with tools/bench_compare.py must pass, and
 #                 an inflated copy must trip the regression detector
-#   7. lint       tools/lint.py repo-invariant lint (raw-mutex ban,
+#   7. soak       seeded Byzantine campaign smoke: a short randomized
+#                 campaign (TCVS_SOAK_ROUNDS scenarios, default 40 — crank
+#                 it up for nightly runs) must hold every harness invariant
+#                 (n·k bound, digest-pair fork evidence, honest arm clean)
+#                 and the same seed twice must produce byte-identical JSON
+#                 reports, under the default, asan, AND tsan presets
+#   8. lint       tools/lint.py repo-invariant lint (raw-mutex ban,
 #                 naked-new ban, fault-point registry, header hygiene,
 #                 metric naming, RPC-method metric coverage, typed audit
-#                 events)
+#                 events, campaign-fixture hygiene)
 #
 # Exit code: 0 iff every non-skipped stage passed. Suitable for CI as-is:
 #   ./tools/check.sh            # everything
@@ -235,6 +241,52 @@ PYEOF
   return $rc
 }
 
+# Seeded Byzantine campaign smoke: a short randomized campaign must exit 0
+# (every invariant held: n·k detection bound, digest-pair fork evidence,
+# no false alarms on the honest arm) and the same seed run twice must
+# produce byte-identical JSON reports — seed-exact reproducibility is load-
+# bearing for the checked-in regression fixtures. TCVS_SOAK_ROUNDS sets the
+# scenario budget (default 40; nightly runs use hundreds).
+soak_smoke() {  # soak_smoke <build-dir>
+  local bindir="$1" tmp rc=1 rounds="${TCVS_SOAK_ROUNDS:-40}"
+  tmp=$(mktemp -d) || return 1
+  while :; do  # Single-pass; break is the error exit.
+    "$bindir/tools/tcvs_campaign" --seed 42 --scenarios "$rounds" \
+        > "$tmp/run1.json" || { cat "$tmp/run1.json" >&2; break; }
+    "$bindir/tools/tcvs_campaign" --seed 42 --scenarios "$rounds" \
+        > "$tmp/run2.json" || { cat "$tmp/run2.json" >&2; break; }
+    if ! cmp -s "$tmp/run1.json" "$tmp/run2.json"; then
+      echo "soak: same-seed campaign reports differ under $bindir" \
+           "(determinism broken)" >&2
+      diff "$tmp/run1.json" "$tmp/run2.json" | head -20 >&2
+      break
+    fi
+    echo "soak: $rounds scenarios OK under $bindir," \
+         "same-seed reports byte-identical"
+    rc=0
+    break
+  done
+  rm -rf "$tmp"
+  return $rc
+}
+
+stage_soak() {
+  local preset bindir
+  for preset in default asan tsan; do
+    case "$preset" in
+      default) bindir=build ;;
+      *)       bindir=build-$preset ;;
+    esac
+    run_stage soak cmake --preset "$preset"
+    [ "${RESULT[soak]}" = FAIL ] && return
+    run_stage soak cmake --build --preset "$preset" -j "$JOBS" \
+        --target tcvs_campaign_tool
+    [ "${RESULT[soak]}" = FAIL ] && return
+    run_stage soak soak_smoke "$bindir"
+    [ "${RESULT[soak]}" = FAIL ] && return
+  done
+}
+
 stage_stats() {
   run_stage stats cmake --preset default
   [ "${RESULT[stats]}" = FAIL ] && return
@@ -244,7 +296,7 @@ stage_stats() {
 }
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats bench lint)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats bench soak lint)
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     default) stage_default ;;
@@ -253,8 +305,9 @@ for stage in "${STAGES[@]}"; do
     tidy)    stage_tidy ;;
     stats)   stage_stats ;;
     bench)   stage_bench ;;
+    soak)    stage_soak ;;
     lint)    stage_lint ;;
-    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats bench lint)" >&2
+    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats bench soak lint)" >&2
        exit 2 ;;
   esac
 done

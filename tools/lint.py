@@ -50,6 +50,13 @@ Rules (each violation prints `file:line: [rule] message`; exit 1 if any):
                  ad-hoc strings escape the per-kind counters and the
                  `tcvs events` inventory.
 
+  campaign-fixture
+                 every tests/campaign_fixtures/*.fixture is a well-formed
+                 v1 campaign fixture: version header first, the required
+                 keys present, `name` matching the filename, and an
+                 even-length hex `schedule` — a malformed fixture makes
+                 campaign_test fail far from the file that caused it.
+
 Run from anywhere: paths are resolved relative to the repo root (the parent
 of this script's directory). `tools/check.sh` runs this as its last stage.
 """
@@ -77,9 +84,11 @@ FAULT_DEF_RE = re.compile(r"constexpr\s+char\s+kFault\w+\[\]\s*=\s*\"([^\"]+)\""
 # literals (tests/bench may probe unknown points deliberately).
 FAULT_CALL_LITERAL_RE = re.compile(r"\b(?:ShouldFail|Arm|Disarm)\(\s*\"([^\"]+)\"")
 # The TCVS_FAULTS grammar: dotted.point.name=trigger — wherever it appears
-# (env strings in tests, doc examples), the point must exist.
+# (env strings in tests, doc examples), the point must exist. `prob` takes
+# an optional per-point stream seed (`prob:P:SEED`) for bit-exact replays.
 FAULT_SPEC_RE = re.compile(
-    r"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+){2,})=(?:always|oneshot|nth:\d+|prob:[0-9.]+)"
+    r"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+){2,})="
+    r"(?:always|oneshot|nth:\d+|prob:[0-9.]+(?::\d+)?)"
 )
 
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
@@ -306,6 +315,46 @@ def main():
                    f"AuditEventKind::k{kind} is declared but never emitted "
                    "outside util/audit.{h,cc}; wire up an emission site or "
                    "retire the kind")
+
+    # Pass 6: campaign-fixture hygiene. The checked-in adversarial corpus is
+    # replayed verbatim by campaign_test; catch malformed fixtures here with
+    # a file:line message instead of a distant deserialization failure.
+    fixture_dir = REPO / "tests/campaign_fixtures"
+    required_keys = ("name", "protocol", "expect_detected", "expect_escape",
+                     "schedule")
+    for path in sorted(fixture_dir.glob("*.fixture")):
+        lines = path.read_text().splitlines()
+        if not lines or lines[0].strip() != "# tcvs-campaign-fixture v1":
+            report(path, 1, "campaign-fixture",
+                   'first line must be "# tcvs-campaign-fixture v1"')
+            continue
+        kv = {}
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            key, sep, value = line.partition(":")
+            if not sep:
+                report(path, lineno, "campaign-fixture",
+                       f'not a "key: value" line: "{line}"')
+                continue
+            kv[key.strip()] = (lineno, value.strip())
+        for key in required_keys:
+            if key not in kv:
+                report(path, 1, "campaign-fixture", f'missing key "{key}"')
+        if "name" in kv and kv["name"][1] != path.stem:
+            report(path, kv["name"][0], "campaign-fixture",
+                   f'name "{kv["name"][1]}" does not match filename stem '
+                   f'"{path.stem}"')
+        for key in ("expect_detected", "expect_escape"):
+            if key in kv and kv[key][1] not in ("0", "1"):
+                report(path, kv[key][0], "campaign-fixture",
+                       f'{key} must be 0 or 1, got "{kv[key][1]}"')
+        if "schedule" in kv:
+            lineno, hexstr = kv["schedule"]
+            if (not hexstr or len(hexstr) % 2 != 0
+                    or not re.fullmatch(r"[0-9a-f]+", hexstr)):
+                report(path, lineno, "campaign-fixture",
+                       "schedule must be non-empty even-length lowercase hex")
 
     for v in violations:
         print(v)

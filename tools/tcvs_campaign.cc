@@ -1,0 +1,203 @@
+// tcvs_campaign — seeded Byzantine soak campaigns against the detection
+// protocols.
+//
+// Generates `--scenarios` randomized adversarial schedules (composed fork /
+// rollback / replay / equivocation / selective-drop / delay steps), runs
+// each through a full simulated scenario, and asserts the harness
+// invariants: the n·k detection bound, digest-pair fork evidence on every
+// detection, and no false alarms on the honest control arm. Schedules that
+// trip an invariant are delta-debug minimized (unless --no-minimize) and,
+// with --fixture-dir, persisted as replayable regression fixtures.
+//
+// The JSON report on stdout is deterministic: the same --seed and options
+// produce byte-identical output (run it twice and `cmp` — check.sh soak
+// does exactly that).
+//
+// A second mode pins regression fixtures: `--pin SEED --fixture-dir DIR`
+// generates the seed's schedule, minimizes it while preserving its outcome
+// (detection, or an escape if the run had one), and writes the fixture —
+// how the checked-in tests/campaign_fixtures/ corpus was produced.
+//
+// Usage: tcvs_campaign [--seed N] [--scenarios N] [--honest-pct P]
+//                      [--protocol NAME] [--no-minimize] [--fixture-dir DIR]
+//        tcvs_campaign --pin SEED --fixture-dir DIR [--name SLUG]
+//                      [--protocol NAME]
+// Exit codes: 0 all invariants held, 1 violations found, 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/campaign.h"
+#include "util/bytes.h"
+
+using namespace tcvs;
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: tcvs_campaign [--seed N] [--scenarios N] [--honest-pct P]\n"
+      "                     [--protocol ProtocolII|ProtocolIIUntagged]\n"
+      "                     [--no-minimize] [--fixture-dir DIR]\n");
+}
+
+bool ParseU64(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+bool WriteFixture(const campaign::CampaignFixture& fixture,
+                  const std::string& dir) {
+  const std::string path = dir + "/" + fixture.name + ".fixture";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "tcvs_campaign: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string text = fixture.ToText();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "tcvs_campaign: wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  campaign::CampaignOptions options;
+  std::string fixture_dir;
+  std::string pin_name;
+  uint64_t pin_seed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    uint64_t v = 0;
+    if (arg == "--seed") {
+      if (!ParseU64(next(), &v) || v == 0) {
+        std::fprintf(stderr, "tcvs_campaign: --seed needs a nonzero integer\n");
+        return 2;
+      }
+      options.seed = v;
+    } else if (arg == "--scenarios") {
+      if (!ParseU64(next(), &v) || v == 0) {
+        std::fprintf(stderr,
+                     "tcvs_campaign: --scenarios needs a positive integer\n");
+        return 2;
+      }
+      options.scenarios = static_cast<uint32_t>(v);
+    } else if (arg == "--honest-pct") {
+      if (!ParseU64(next(), &v) || v > 100) {
+        std::fprintf(stderr, "tcvs_campaign: --honest-pct needs 0..100\n");
+        return 2;
+      }
+      options.honest_fraction = static_cast<double>(v) / 100.0;
+    } else if (arg == "--protocol") {
+      const char* name = next();
+      if (name != nullptr && std::strcmp(name, "ProtocolII") == 0) {
+        options.protocol = core::ProtocolKind::kProtocolII;
+      } else if (name != nullptr &&
+                 std::strcmp(name, "ProtocolIIUntagged") == 0) {
+        options.protocol = core::ProtocolKind::kProtocolIINaive;
+      } else {
+        std::fprintf(stderr,
+                     "tcvs_campaign: --protocol must be ProtocolII or "
+                     "ProtocolIIUntagged\n");
+        return 2;
+      }
+    } else if (arg == "--pin") {
+      if (!ParseU64(next(), &v) || v == 0) {
+        std::fprintf(stderr, "tcvs_campaign: --pin needs a nonzero seed\n");
+        return 2;
+      }
+      pin_seed = v;
+    } else if (arg == "--name") {
+      const char* name = next();
+      if (name == nullptr) {
+        std::fprintf(stderr, "tcvs_campaign: --name needs a slug\n");
+        return 2;
+      }
+      pin_name = name;
+    } else if (arg == "--no-minimize") {
+      options.minimize = false;
+    } else if (arg == "--minimize") {
+      options.minimize = true;
+    } else if (arg == "--fixture-dir") {
+      const char* dir = next();
+      if (dir == nullptr) {
+        std::fprintf(stderr, "tcvs_campaign: --fixture-dir needs a path\n");
+        return 2;
+      }
+      fixture_dir = dir;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  if (pin_seed != 0) {
+    if (fixture_dir.empty()) {
+      std::fprintf(stderr, "tcvs_campaign: --pin needs --fixture-dir\n");
+      return 2;
+    }
+    campaign::CampaignSchedule schedule = campaign::GenerateSchedule(pin_seed);
+    schedule.protocol = options.protocol;
+    campaign::ScheduleOutcome outcome = campaign::RunSchedule(schedule);
+    campaign::ScheduleProperty property;
+    if (outcome.escaped) {
+      property = campaign::ScheduleProperty::kEscaped;
+    } else if (outcome.detected) {
+      property = campaign::ScheduleProperty::kDetected;
+    } else {
+      std::fprintf(stderr,
+                   "tcvs_campaign: seed %llu neither detects nor escapes; "
+                   "nothing to pin\n",
+                   static_cast<unsigned long long>(pin_seed));
+      return 1;
+    }
+    uint32_t runs = 0;
+    campaign::CampaignFixture fixture;
+    fixture.schedule = campaign::MinimizeSchedule(schedule, property, &runs);
+    fixture.name = pin_name.empty()
+                       ? "pinned-seed-" + std::to_string(pin_seed)
+                       : pin_name;
+    campaign::ScheduleOutcome replay = campaign::RunSchedule(fixture.schedule);
+    fixture.expect_detected = replay.detected;
+    fixture.expect_escape = replay.escaped;
+    std::fprintf(stderr, "tcvs_campaign: minimized in %u runs: %s\n", runs,
+                 fixture.schedule.Describe().c_str());
+    return WriteFixture(fixture, fixture_dir) ? 0 : 1;
+  }
+
+  campaign::CampaignReport report = campaign::RunCampaign(options);
+  std::printf("%s\n", report.JsonFormat().c_str());
+
+  if (!fixture_dir.empty()) {
+    for (size_t i = 0; i < report.violations.size(); ++i) {
+      campaign::CampaignFixture fixture;
+      fixture.name = "violation-seed-" +
+                     std::to_string(report.violations[i].schedule.seed);
+      fixture.schedule = report.violations[i].minimized;
+      campaign::ScheduleOutcome replay =
+          campaign::RunSchedule(fixture.schedule);
+      fixture.expect_detected = replay.detected;
+      fixture.expect_escape = replay.escaped;
+      WriteFixture(fixture, fixture_dir);
+    }
+  }
+
+  return report.ok() ? 0 : 1;
+}
