@@ -176,7 +176,9 @@ ProtocolServer::Branch* ProtocolServer::RouteBranch(sim::RoundContext* ctx,
 void ProtocolServer::HandleQuery(sim::RoundContext* ctx, const sim::Message& msg) {
   auto req_or = QueryRequest::Deserialize(msg.payload);
   if (!req_or.ok()) return;  // Malformed request: drop (failures out of scope).
-  QueryRequest req = std::move(req_or).ValueOrDie();
+  // Server-side structural endorsement: the untrusted server consumes client
+  // frames as-is; no cryptographic property is claimed (see FrameChecked).
+  QueryRequest req = AcceptClientFrame(std::move(req_or).ValueOrDie());
 
   // Protocol III: store the piggybacked signed epoch state (the server is
   // just a blob store here; verification happens at the auditor).
@@ -367,7 +369,7 @@ void ProtocolServer::Execute(sim::RoundContext* ctx, sim::AgentId user,
 void ProtocolServer::HandleSigUpload(const sim::Message& msg) {
   auto up_or = RootSigUpload::Deserialize(msg.payload);
   if (!up_or.ok()) return;
-  RootSigUpload up = std::move(up_or).ValueOrDie();
+  RootSigUpload up = AcceptClientFrame(std::move(up_or).ValueOrDie());
   awaiting_sig_ = false;
   // Install the signature on whichever branch it continues. Replay-fork
   // uploads (stale counters) are silently discarded — the untrusted server
@@ -384,7 +386,8 @@ void ProtocolServer::HandleEpochRequest(sim::RoundContext* ctx,
                                         const sim::Message& msg) {
   auto req_or = EpochStatesRequest::Deserialize(msg.payload);
   if (!req_or.ok()) return;
-  const uint64_t epoch = req_or->epoch;
+  const EpochStatesRequest req = AcceptClientFrame(std::move(req_or).ValueOrDie());
+  const uint64_t epoch = req.epoch;
   const AttackConfig& attack = config_.attack;
 
   EpochStatesReply reply;

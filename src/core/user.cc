@@ -179,12 +179,18 @@ void ProtocolUser::SendOp(sim::RoundContext* ctx, const workload::ScheduledOp& o
 }
 
 bool ProtocolUser::VerifyAndFold(sim::RoundContext* ctx,
-                                 const QueryResponse& resp, const Inflight& op,
+                                 util::Tainted<QueryResponse> quarantined,
+                                 const Inflight& op,
                                  std::optional<Bytes>* observed) {
   const ProtocolKind protocol = options_.config.protocol;
   observed->reset();
+  // Borrow for the verification walk only; dies at the TCVS_ENDORSE below.
+  const QueryResponse& resp = quarantined.untrusted();
 
   if (protocol == ProtocolKind::kPlain) {
+    // The deliberately unverified baseline: it believes the reply as-is.
+    // That credulity is exactly what the experiments price verification
+    // against, so the reply is consumed straight from quarantine.
     if (resp.found) *observed = resp.answer;
     gctr_ = resp.ctr + 1;
     ++lctr_;
@@ -199,8 +205,8 @@ bool ProtocolUser::VerifyAndFold(sim::RoundContext* ctx,
                          vo_or.status().ToString());
     return false;
   }
-  const mtree::PointVO& vo = *vo_or;
-  auto root_or = vo.root.VerifiedDigest();
+  const util::Tainted<mtree::PointVO> vo = std::move(*vo_or);
+  auto root_or = mtree::VerifiedRootDigest(vo);
   if (!root_or.ok()) {
     ctx->ReportDetection("inconsistent verification object: " +
                          root_or.status().ToString());
@@ -347,23 +353,27 @@ bool ProtocolUser::VerifyAndFold(sim::RoundContext* ctx,
     }
   }
 
-  // 7. Fold into the protocol registers (and the bounded fault-localization
-  //    journal when enabled).
+  // 7. Every check passed: endorse the reply out of quarantine, then fold
+  //    into the protocol registers (and the bounded fault-localization
+  //    journal when enabled). The fold must read only the endorsed copy.
+  const QueryResponse verified =
+      TCVS_ENDORSE(std::move(quarantined), mtree::VoVerified{});
+  // `resp` dangles past this point — do not touch it.
   if (UsesXorRegisters()) {
-    const crypto::Digest pre_fp = Fp(pre_root, resp.ctr, resp.creator);
-    const crypto::Digest post_fp = Fp(post_root, resp.ctr + 1, options_.id);
+    const crypto::Digest pre_fp = Fp(pre_root, verified.ctr, verified.creator);
+    const crypto::Digest post_fp = Fp(post_root, verified.ctr + 1, options_.id);
     sigma_ = XorBytes(sigma_, pre_fp);
     sigma_ = XorBytes(sigma_, post_fp);
     last_ = post_fp;
     if (options_.config.journal_len > 0) {
-      journal_.push_back(TransitionRecord{pre_fp, post_fp, resp.ctr,
-                                          resp.creator, options_.id});
+      journal_.push_back(TransitionRecord{pre_fp, post_fp, verified.ctr,
+                                          verified.creator, options_.id});
       if (journal_.size() > options_.config.journal_len) {
         journal_.erase(journal_.begin());
       }
     }
   }
-  gctr_ = resp.ctr + 1;
+  gctr_ = verified.ctr + 1;
   ++lctr_;
 
   // 8. Protocol I / token baseline: return the signed new state to the
@@ -371,8 +381,9 @@ bool ProtocolUser::VerifyAndFold(sim::RoundContext* ctx,
   if (UsesSignedRoots()) {
     RootSigUpload up;
     up.user = options_.id;
-    up.ctr_after = resp.ctr + 1;
-    auto sig = options_.signer->Sign(SignedStatePreimage(post_root, resp.ctr + 1));
+    up.ctr_after = verified.ctr + 1;
+    auto sig =
+        options_.signer->Sign(SignedStatePreimage(post_root, verified.ctr + 1));
     if (!sig.ok()) {
       TCVS_LOG(Warn) << "user " << options_.id
                      << " signing key exhausted; leaving";
@@ -393,7 +404,10 @@ void ProtocolUser::HandleResponse(sim::RoundContext* ctx,
     dead_ = true;
     return;
   }
-  const QueryResponse& resp = *resp_or;
+  util::Tainted<QueryResponse> quarantined = std::move(*resp_or);
+  // Borrow for dispatch only (trace join + in-flight matching); the full
+  // verification happens inside VerifyAndFold before anything is believed.
+  const QueryResponse& resp = quarantined.untrusted();
   // Re-enter the trace of the query this response answers: verification
   // spans and audit events below pivot back to the originating exchange.
   util::ScopedTraceContext trace_ctx(resp.trace_id, 0);
@@ -403,14 +417,18 @@ void ProtocolUser::HandleResponse(sim::RoundContext* ctx,
     dead_ = true;
     return;
   }
+  // Captured by value before the reply moves into VerifyAndFold; only
+  // recorded in the ground-truth trace once verification succeeded.
+  const uint64_t server_seq = resp.ctr;
   Inflight op = std::move(*inflight_);
   inflight_.reset();
 
   std::optional<Bytes> observed;
-  if (!VerifyAndFold(ctx, resp, op, &observed)) {
+  if (!VerifyAndFold(ctx, std::move(quarantined), op, &observed)) {
     dead_ = true;
     return;
   }
+  // `resp` dangles past the move above — do not touch it.
 
   if (!op.is_null) {
     ++ops_completed_;
@@ -427,7 +445,7 @@ void ProtocolUser::HandleResponse(sim::RoundContext* ctx,
       record.key = op.op.key;
       record.value = op.op.value;
       record.observed = observed;
-      record.server_seq = resp.ctr;
+      record.server_seq = server_seq;
       options_.trace->Record(std::move(record));
     }
     ++ops_since_sync_;
@@ -470,7 +488,10 @@ void ProtocolUser::SendSyncReport(sim::RoundContext* ctx, SyncState* sync) {
   report.last = last_;
   report.journal = journal_;
   ctx->Broadcast(kMsgSyncReport, report.Serialize());
-  sync->reports[options_.id] = std::move(report);
+  // The user's own report joins the pool through the same quarantine type as
+  // everyone else's — the evaluation treats all reports alike.
+  sync->reports.insert_or_assign(options_.id,
+                                 util::Tainted<SyncReport>(std::move(report)));
   sync->reported = true;
 }
 
@@ -479,8 +500,10 @@ void ProtocolUser::HandleSyncAnnounce(sim::RoundContext* ctx,
   if (!UsesSync()) return;
   auto ann_or = SyncAnnounce::Deserialize(msg.payload);
   if (!ann_or.ok()) return;
-  if (syncs_.count(ann_or->sync_id) > 0) return;  // Duplicate announce.
-  StartSync(ctx, ann_or->sync_id);
+  // An announce only names a sync id (a round number); nothing to verify.
+  const uint64_t sync_id = ann_or->untrusted().sync_id;
+  if (syncs_.count(sync_id) > 0) return;  // Duplicate announce.
+  StartSync(ctx, sync_id);
 }
 
 void ProtocolUser::HandleSyncReport(sim::RoundContext* ctx,
@@ -488,9 +511,12 @@ void ProtocolUser::HandleSyncReport(sim::RoundContext* ctx,
   if (!UsesSync()) return;
   auto rep_or = SyncReport::Deserialize(msg.payload);
   if (!rep_or.ok()) return;
-  auto it = syncs_.find(rep_or->sync_id);
+  const uint64_t sync_id = rep_or->untrusted().sync_id;
+  const uint32_t from_user = rep_or->untrusted().user;
+  auto it = syncs_.find(sync_id);
   if (it == syncs_.end()) return;  // Already evaluated; late duplicate.
-  it->second.reports[rep_or->user] = *rep_or;
+  // Pooled still quarantined; the sync-up evaluation is the verifier.
+  it->second.reports.insert_or_assign(from_user, std::move(*rep_or));
   (void)ctx;
 }
 
@@ -547,7 +573,10 @@ void ProtocolUser::StepTreeSyncOne(sim::RoundContext* ctx, SyncState* sync_ptr) 
       agg.user = options_.id;
       agg.sigma_xor = sigma_;
       agg.lctr_sum = lctr_;
-      for (const auto& [child, report] : sync.child_aggs) {
+      for (const auto& [child, quarantined] : sync.child_aggs) {
+        // Child aggregates fold into this subtree's aggregate unverified —
+        // only the final total-vs-register match check can vouch for them.
+        const AggReport& report = quarantined.untrusted();
         agg.sigma_xor = XorBytes(agg.sigma_xor, report.sigma_xor);
         agg.lctr_sum += report.lctr_sum;
       }
@@ -599,9 +628,11 @@ void ProtocolUser::HandleAggReport(sim::RoundContext* ctx,
                                    const sim::Message& msg) {
   auto agg_or = AggReport::Deserialize(msg.payload);
   if (!agg_or.ok()) return;
-  auto it = syncs_.find(agg_or->sync_id);
+  const uint64_t sync_id = agg_or->untrusted().sync_id;
+  const uint32_t from_user = agg_or->untrusted().user;
+  auto it = syncs_.find(sync_id);
   if (it == syncs_.end()) return;
-  it->second.child_aggs[agg_or->user] = *agg_or;
+  it->second.child_aggs.insert_or_assign(from_user, std::move(*agg_or));
   (void)ctx;
 }
 
@@ -609,11 +640,14 @@ void ProtocolUser::HandleAggTotal(sim::RoundContext* ctx,
                                   const sim::Message& msg) {
   auto total_or = AggTotal::Deserialize(msg.payload);
   if (!total_or.ok()) return;
-  auto it = syncs_.find(total_or->sync_id);
+  // The claimed total is only *stored*; believing it happens in the match
+  // check of StepTreeSyncOne, whose failure kills the client, not its state.
+  const AggTotal& total = total_or->untrusted();
+  auto it = syncs_.find(total.sync_id);
   if (it == syncs_.end()) return;
   it->second.total_received = true;
-  it->second.sigma_total = total_or->sigma_total;
-  it->second.lctr_total = total_or->lctr_total;
+  it->second.sigma_total = total.sigma_total;
+  it->second.lctr_total = total.lctr_total;
   it->second.success_deadline =
       ctx->round() + 4 + 2 * options_.config.num_users;  // Delay-tolerant.
 }
@@ -622,8 +656,9 @@ void ProtocolUser::HandleAggSuccess(sim::RoundContext* ctx,
                                     const sim::Message& msg) {
   auto success_or = AggSuccess::Deserialize(msg.payload);
   if (!success_or.ok()) return;
-  if (syncs_.count(success_or->sync_id) == 0) return;
-  FinishSyncSuccess(ctx, success_or->sync_id);
+  const uint64_t sync_id = success_or->untrusted().sync_id;
+  if (syncs_.count(sync_id) == 0) return;
+  FinishSyncSuccess(ctx, sync_id);
 }
 
 void ProtocolUser::EvaluateSyncIfComplete(sim::RoundContext* ctx) {
@@ -647,14 +682,19 @@ void ProtocolUser::EvaluateBroadcastSync(sim::RoundContext* ctx, uint64_t id) {
   SyncState& sync = syncs_.at(id);
   bool success = false;
   uint64_t lctr_total = 0;
-  for (const auto& [user, report] : sync.reports) lctr_total += report.lctr;
+  // The pooled reports are consumed straight from quarantine: the pooled
+  // check below IS their verification — it either passes (some user's state
+  // explains the pool) or kills the client. No register is folded from them.
+  for (const auto& [user, report] : sync.reports) {
+    lctr_total += report.untrusted().lctr;
+  }
   // Protocol II divergence evidence, captured for the audit trail: this
   // user's expected pooled XOR vs the one actually observed.
   Bytes expected_x;
   Bytes actual_x;
   if (options_.config.protocol == ProtocolKind::kProtocolI) {
     for (const auto& [user, report] : sync.reports) {
-      if (report.gctr == lctr_total) {
+      if (report.untrusted().gctr == lctr_total) {
         success = true;
         break;
       }
@@ -662,18 +702,18 @@ void ProtocolUser::EvaluateBroadcastSync(sim::RoundContext* ctx, uint64_t id) {
   } else {
     Bytes x(crypto::kDigestSize, 0);
     for (const auto& [user, report] : sync.reports) {
-      if (report.sigma.size() != crypto::kDigestSize) {
+      if (report.untrusted().sigma.size() != crypto::kDigestSize) {
         ctx->ReportDetection("malformed sync report");
         dead_ = true;
         return;
       }
-      x = XorBytes(x, report.sigma);
+      x = XorBytes(x, report.untrusted().sigma);
     }
     const Bytes f0 = InitialFingerprint(Tagged());
     expected_x = XorBytes(f0, last_);
     actual_x = x;
     for (const auto& [user, report] : sync.reports) {
-      if (XorBytes(f0, report.last) == x) {
+      if (XorBytes(f0, report.untrusted().last) == x) {
         success = true;
         break;
       }
@@ -714,8 +754,8 @@ void ProtocolUser::EvaluateBroadcastSync(sim::RoundContext* ctx, uint64_t id) {
       // counter.
       std::vector<TransitionRecord> pooled;
       for (const auto& [user, report] : sync.reports) {
-        pooled.insert(pooled.end(), report.journal.begin(),
-                      report.journal.end());
+        pooled.insert(pooled.end(), report.untrusted().journal.begin(),
+                      report.untrusted().journal.end());
       }
       if (auto fault = LocalizeFault(pooled); fault.has_value()) {
         util::AuditEvent event(util::AuditEventKind::kForensicsLocalized);
@@ -783,7 +823,10 @@ void ProtocolUser::HandleEpochReply(sim::RoundContext* ctx,
     dead_ = true;
     return;
   }
-  const EpochStatesReply& reply = *reply_or;
+  // The reply is a bag of stored blobs; each blob is endorsed individually
+  // below, once its owner's signature verifies. The envelope itself carries
+  // nothing trustworthy beyond the epoch it claims to answer.
+  const EpochStatesReply& reply = reply_or->untrusted();
   if (!audit_inflight_epoch_.has_value() ||
       reply.epoch != *audit_inflight_epoch_) {
     return;
@@ -801,10 +844,14 @@ void ProtocolUser::HandleEpochReply(sim::RoundContext* ctx,
       }
       TCVS_RETURN_NOT_OK(options_.keystore->VerifyFrom(
           blob.user, blob.Preimage(), blob.signature));
-      if (out->count(blob.user) > 0 && (*out)[blob.user] != blob) {
+      // The owner's signature is the verification — the server is only a
+      // blob store here, so SignatureVerified endorses each blob alone.
+      EpochStateBlob verified = TCVS_ENDORSE(
+          util::Tainted<EpochStateBlob>(blob), crypto::SignatureVerified{});
+      if (out->count(verified.user) > 0 && (*out)[verified.user] != verified) {
         return Status::VerificationFailure("conflicting stored states");
       }
-      (*out)[blob.user] = blob;
+      (*out)[verified.user] = std::move(verified);
     }
     if (out->size() != options_.num_users) {
       return Status::VerificationFailure(

@@ -87,9 +87,13 @@ class ProtocolUser : public sim::Agent {
   struct SyncState {
     uint64_t sync_id = 0;
     bool reported = false;
-    std::map<uint32_t, SyncReport> reports;
+    /// Quarantine pools: peer reports arrive off the (adversary-scheduled)
+    /// network and stay Tainted until the sync-up evaluation — which is
+    /// itself the verification that consumes them. The pooled XOR check
+    /// never feeds a register; it only passes or kills the client.
+    std::map<uint32_t, util::Tainted<SyncReport>> reports;
     // Aggregation-tree mode:
-    std::map<uint32_t, AggReport> child_aggs;
+    std::map<uint32_t, util::Tainted<AggReport>> child_aggs;
     bool total_received = false;
     Bytes sigma_total;
     uint64_t lctr_total = 0;
@@ -149,10 +153,13 @@ class ProtocolUser : public sim::Agent {
   void FinishSyncSuccess(sim::RoundContext* ctx, uint64_t sync_id);
   void MaybeRequestAudit(sim::RoundContext* ctx);
 
-  /// Verifies a response and folds it into local state.
+  /// Verifies a quarantined response and folds it into local state: the
+  /// reply is borrowed for the checks and endorsed (mtree::VoVerified) only
+  /// after every one passes; the register fold reads the endorsed copy.
   /// On any verification failure, reports detection and returns false.
-  bool VerifyAndFold(sim::RoundContext* ctx, const QueryResponse& resp,
-                     const Inflight& op, std::optional<Bytes>* observed);
+  bool VerifyAndFold(sim::RoundContext* ctx,
+                     util::Tainted<QueryResponse> resp, const Inflight& op,
+                     std::optional<Bytes>* observed);
 
   Options options_;
   uint64_t next_qid_ = 1;

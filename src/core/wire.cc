@@ -5,6 +5,25 @@
 namespace tcvs {
 namespace core {
 
+namespace {
+
+/// Raw field parser shared by EpochStateBlob::Deserialize and the composite
+/// messages that embed blobs (QueryRequest, EpochStatesReply). Internal
+/// composition stays on plain structs; only the *public* Deserialize entry
+/// points quarantine, so a nested blob is not double-wrapped.
+Result<EpochStateBlob> ParseEpochStateBlob(const Bytes& data) {
+  util::Reader r(data);
+  EpochStateBlob b;
+  TCVS_ASSIGN_OR_RETURN(b.user, r.GetU32());
+  TCVS_ASSIGN_OR_RETURN(b.epoch, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(b.sigma, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(b.last, r.GetBytes());
+  TCVS_ASSIGN_OR_RETURN(b.signature, r.GetBytes());
+  return b;
+}
+
+}  // namespace
+
 Bytes EpochStateBlob::Preimage() const {
   util::Writer w;
   w.PutString("tcvs-p3-epoch-state");
@@ -25,15 +44,10 @@ Bytes EpochStateBlob::Serialize() const {
   return w.Take();
 }
 
-Result<EpochStateBlob> EpochStateBlob::Deserialize(const Bytes& data) {
-  util::Reader r(data);
-  EpochStateBlob b;
-  TCVS_ASSIGN_OR_RETURN(b.user, r.GetU32());
-  TCVS_ASSIGN_OR_RETURN(b.epoch, r.GetU64());
-  TCVS_ASSIGN_OR_RETURN(b.sigma, r.GetBytes());
-  TCVS_ASSIGN_OR_RETURN(b.last, r.GetBytes());
-  TCVS_ASSIGN_OR_RETURN(b.signature, r.GetBytes());
-  return b;
+Result<util::Tainted<EpochStateBlob>> EpochStateBlob::Deserialize(
+    const Bytes& data) {
+  TCVS_ASSIGN_OR_RETURN(EpochStateBlob b, ParseEpochStateBlob(data));
+  return util::Tainted<EpochStateBlob>(std::move(b));
 }
 
 Bytes QueryRequest::Serialize() const {
@@ -49,7 +63,8 @@ Bytes QueryRequest::Serialize() const {
   return w.Take();
 }
 
-Result<QueryRequest> QueryRequest::Deserialize(const Bytes& data) {
+Result<util::Tainted<QueryRequest>> QueryRequest::Deserialize(
+    const Bytes& data) {
   util::Reader r(data);
   QueryRequest q;
   TCVS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
@@ -65,11 +80,11 @@ Result<QueryRequest> QueryRequest::Deserialize(const Bytes& data) {
   TCVS_ASSIGN_OR_RETURN(uint8_t has_upload, r.GetU8());
   if (has_upload) {
     TCVS_ASSIGN_OR_RETURN(Bytes blob, r.GetBytes());
-    TCVS_ASSIGN_OR_RETURN(EpochStateBlob b, EpochStateBlob::Deserialize(blob));
+    TCVS_ASSIGN_OR_RETURN(EpochStateBlob b, ParseEpochStateBlob(blob));
     q.epoch_upload = std::move(b);
   }
   TCVS_ASSIGN_OR_RETURN(q.trace_id, r.GetU64());
-  return q;
+  return util::Tainted<QueryRequest>(std::move(q));
 }
 
 Bytes QueryResponse::Serialize() const {
@@ -88,7 +103,8 @@ Bytes QueryResponse::Serialize() const {
   return w.Take();
 }
 
-Result<QueryResponse> QueryResponse::Deserialize(const Bytes& data) {
+Result<util::Tainted<QueryResponse>> QueryResponse::Deserialize(
+    const Bytes& data) {
   util::Reader r(data);
   QueryResponse q;
   TCVS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
@@ -108,7 +124,7 @@ Result<QueryResponse> QueryResponse::Deserialize(const Bytes& data) {
   TCVS_ASSIGN_OR_RETURN(q.sig, r.GetBytes());
   TCVS_ASSIGN_OR_RETURN(q.epoch, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(q.trace_id, r.GetU64());
-  return q;
+  return util::Tainted<QueryResponse>(std::move(q));
 }
 
 Bytes RootSigUpload::Serialize() const {
@@ -119,13 +135,14 @@ Bytes RootSigUpload::Serialize() const {
   return w.Take();
 }
 
-Result<RootSigUpload> RootSigUpload::Deserialize(const Bytes& data) {
+Result<util::Tainted<RootSigUpload>> RootSigUpload::Deserialize(
+    const Bytes& data) {
   util::Reader r(data);
   RootSigUpload u;
   TCVS_ASSIGN_OR_RETURN(u.user, r.GetU32());
   TCVS_ASSIGN_OR_RETURN(u.ctr_after, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(u.sig, r.GetBytes());
-  return u;
+  return util::Tainted<RootSigUpload>(std::move(u));
 }
 
 Bytes SyncAnnounce::Serialize() const {
@@ -134,11 +151,12 @@ Bytes SyncAnnounce::Serialize() const {
   return w.Take();
 }
 
-Result<SyncAnnounce> SyncAnnounce::Deserialize(const Bytes& data) {
+Result<util::Tainted<SyncAnnounce>> SyncAnnounce::Deserialize(
+    const Bytes& data) {
   util::Reader r(data);
   SyncAnnounce a;
   TCVS_ASSIGN_OR_RETURN(a.sync_id, r.GetU64());
-  return a;
+  return util::Tainted<SyncAnnounce>(std::move(a));
 }
 
 Bytes SyncReport::Serialize() const {
@@ -160,7 +178,7 @@ Bytes SyncReport::Serialize() const {
   return w.Take();
 }
 
-Result<SyncReport> SyncReport::Deserialize(const Bytes& data) {
+Result<util::Tainted<SyncReport>> SyncReport::Deserialize(const Bytes& data) {
   util::Reader r(data);
   SyncReport s;
   TCVS_ASSIGN_OR_RETURN(s.sync_id, r.GetU64());
@@ -180,7 +198,7 @@ Result<SyncReport> SyncReport::Deserialize(const Bytes& data) {
     TCVS_ASSIGN_OR_RETURN(t.user, r.GetU32());
     s.journal.push_back(std::move(t));
   }
-  return s;
+  return util::Tainted<SyncReport>(std::move(s));
 }
 
 Bytes AggReport::Serialize() const {
@@ -192,14 +210,14 @@ Bytes AggReport::Serialize() const {
   return w.Take();
 }
 
-Result<AggReport> AggReport::Deserialize(const Bytes& data) {
+Result<util::Tainted<AggReport>> AggReport::Deserialize(const Bytes& data) {
   util::Reader r(data);
   AggReport a;
   TCVS_ASSIGN_OR_RETURN(a.sync_id, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(a.user, r.GetU32());
   TCVS_ASSIGN_OR_RETURN(a.sigma_xor, r.GetBytes());
   TCVS_ASSIGN_OR_RETURN(a.lctr_sum, r.GetU64());
-  return a;
+  return util::Tainted<AggReport>(std::move(a));
 }
 
 Bytes AggTotal::Serialize() const {
@@ -210,13 +228,13 @@ Bytes AggTotal::Serialize() const {
   return w.Take();
 }
 
-Result<AggTotal> AggTotal::Deserialize(const Bytes& data) {
+Result<util::Tainted<AggTotal>> AggTotal::Deserialize(const Bytes& data) {
   util::Reader r(data);
   AggTotal a;
   TCVS_ASSIGN_OR_RETURN(a.sync_id, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(a.sigma_total, r.GetBytes());
   TCVS_ASSIGN_OR_RETURN(a.lctr_total, r.GetU64());
-  return a;
+  return util::Tainted<AggTotal>(std::move(a));
 }
 
 Bytes AggSuccess::Serialize() const {
@@ -226,12 +244,12 @@ Bytes AggSuccess::Serialize() const {
   return w.Take();
 }
 
-Result<AggSuccess> AggSuccess::Deserialize(const Bytes& data) {
+Result<util::Tainted<AggSuccess>> AggSuccess::Deserialize(const Bytes& data) {
   util::Reader r(data);
   AggSuccess a;
   TCVS_ASSIGN_OR_RETURN(a.sync_id, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(a.user, r.GetU32());
-  return a;
+  return util::Tainted<AggSuccess>(std::move(a));
 }
 
 Bytes EpochStatesRequest::Serialize() const {
@@ -240,11 +258,12 @@ Bytes EpochStatesRequest::Serialize() const {
   return w.Take();
 }
 
-Result<EpochStatesRequest> EpochStatesRequest::Deserialize(const Bytes& data) {
+Result<util::Tainted<EpochStatesRequest>> EpochStatesRequest::Deserialize(
+    const Bytes& data) {
   util::Reader r(data);
   EpochStatesRequest q;
   TCVS_ASSIGN_OR_RETURN(q.epoch, r.GetU64());
-  return q;
+  return util::Tainted<EpochStatesRequest>(std::move(q));
 }
 
 Bytes EpochStatesReply::Serialize() const {
@@ -257,23 +276,24 @@ Bytes EpochStatesReply::Serialize() const {
   return w.Take();
 }
 
-Result<EpochStatesReply> EpochStatesReply::Deserialize(const Bytes& data) {
+Result<util::Tainted<EpochStatesReply>> EpochStatesReply::Deserialize(
+    const Bytes& data) {
   util::Reader r(data);
   EpochStatesReply reply;
   TCVS_ASSIGN_OR_RETURN(reply.epoch, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
   for (uint32_t i = 0; i < n; ++i) {
     TCVS_ASSIGN_OR_RETURN(Bytes blob, r.GetBytes());
-    TCVS_ASSIGN_OR_RETURN(EpochStateBlob b, EpochStateBlob::Deserialize(blob));
+    TCVS_ASSIGN_OR_RETURN(EpochStateBlob b, ParseEpochStateBlob(blob));
     reply.states.push_back(std::move(b));
   }
   TCVS_ASSIGN_OR_RETURN(uint32_t m, r.GetU32());
   for (uint32_t i = 0; i < m; ++i) {
     TCVS_ASSIGN_OR_RETURN(Bytes blob, r.GetBytes());
-    TCVS_ASSIGN_OR_RETURN(EpochStateBlob b, EpochStateBlob::Deserialize(blob));
+    TCVS_ASSIGN_OR_RETURN(EpochStateBlob b, ParseEpochStateBlob(blob));
     reply.prev_states.push_back(std::move(b));
   }
-  return reply;
+  return util::Tainted<EpochStatesReply>(std::move(reply));
 }
 
 }  // namespace core

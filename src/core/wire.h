@@ -6,9 +6,26 @@
 #include "sim/trace.h"
 #include "sim/types.h"
 #include "util/result.h"
+#include "util/untrusted.h"
 
 namespace tcvs {
 namespace core {
+
+/// Taint-verifier token for the *server/simulator side* of the wire: a
+/// client-originated frame was structurally parsed and is consumed by a
+/// party that is itself outside the TCB (the untrusted server executes
+/// whatever it is asked; its misbehaviour is what the clients detect).
+/// Client-side consumption of server-originated frames must NOT use this —
+/// it endorses no cryptographic property.
+struct FrameChecked {
+  TCVS_TAINT_VERIFIER(FrameChecked);
+};
+
+/// Structural endorsement for the server/simulator side (see FrameChecked).
+template <typename T>
+TCVS_ENDORSER T AcceptClientFrame(util::Tainted<T> frame) {
+  return TCVS_ENDORSE(std::move(frame), FrameChecked{});
+}
 
 /// Message type tags used on the simulated network.
 enum MsgType : uint32_t {
@@ -58,7 +75,8 @@ struct EpochStateBlob {
   Bytes Preimage() const;
 
   Bytes Serialize() const;
-  static Result<EpochStateBlob> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<EpochStateBlob>> Deserialize(const Bytes& data);
 
   bool operator==(const EpochStateBlob&) const = default;
 };
@@ -81,7 +99,8 @@ struct QueryRequest {
   uint64_t trace_id = 0;
 
   Bytes Serialize() const;
-  static Result<QueryRequest> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<QueryRequest>> Deserialize(const Bytes& data);
 };
 
 /// \brief Server → user: the paper's Φ = (Q(D), v(Q,D), ctr, j, sig), plus
@@ -106,7 +125,8 @@ struct QueryResponse {
   uint64_t trace_id = 0;
 
   Bytes Serialize() const;
-  static Result<QueryResponse> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<QueryResponse>> Deserialize(const Bytes& data);
 };
 
 /// \brief Protocol I: user → server, sign_i(h(M(D′) ‖ ctr+1)).
@@ -116,7 +136,8 @@ struct RootSigUpload {
   Bytes sig;
 
   Bytes Serialize() const;
-  static Result<RootSigUpload> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<RootSigUpload>> Deserialize(const Bytes& data);
 };
 
 /// \brief Broadcast: "sync-up" announcement (the announcing user's report is
@@ -125,7 +146,8 @@ struct SyncAnnounce {
   uint64_t sync_id = 0;
 
   Bytes Serialize() const;
-  static Result<SyncAnnounce> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<SyncAnnounce>> Deserialize(const Bytes& data);
 };
 
 /// \brief Broadcast: one user's synchronization report. Protocol I consumes
@@ -142,7 +164,8 @@ struct SyncReport {
   std::vector<TransitionRecord> journal;
 
   Bytes Serialize() const;
-  static Result<SyncReport> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<SyncReport>> Deserialize(const Bytes& data);
 };
 
 /// \brief Aggregation-tree sync: the partial aggregate of the subtree rooted
@@ -154,7 +177,8 @@ struct AggReport {
   uint64_t lctr_sum = 0;
 
   Bytes Serialize() const;
-  static Result<AggReport> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<AggReport>> Deserialize(const Bytes& data);
 };
 
 /// \brief Aggregation-tree sync: the root's total, sent to every user.
@@ -164,7 +188,8 @@ struct AggTotal {
   uint64_t lctr_total = 0;
 
   Bytes Serialize() const;
-  static Result<AggTotal> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<AggTotal>> Deserialize(const Bytes& data);
 };
 
 /// \brief Aggregation-tree sync: "my local state matches the total" — at
@@ -174,7 +199,8 @@ struct AggSuccess {
   uint32_t user = 0;
 
   Bytes Serialize() const;
-  static Result<AggSuccess> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<AggSuccess>> Deserialize(const Bytes& data);
 };
 
 /// \brief Protocol III: auditor → server, "give me the stored states of
@@ -183,7 +209,8 @@ struct EpochStatesRequest {
   uint64_t epoch = 0;
 
   Bytes Serialize() const;
-  static Result<EpochStatesRequest> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<EpochStatesRequest>> Deserialize(const Bytes& data);
 };
 
 /// \brief Protocol III: server → auditor reply.
@@ -193,7 +220,8 @@ struct EpochStatesReply {
   std::vector<EpochStateBlob> prev_states;  // Epoch e−1 blobs (for S_init).
 
   Bytes Serialize() const;
-  static Result<EpochStatesReply> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<EpochStatesReply>> Deserialize(const Bytes& data);
 };
 
 }  // namespace core

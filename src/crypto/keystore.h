@@ -6,9 +6,17 @@
 
 #include "crypto/merkle_sig.h"
 #include "crypto/signature.h"
+#include "util/untrusted.h"
 
 namespace tcvs {
 namespace crypto {
+
+/// Taint-verifier token: the value's signature was checked against a
+/// certificate in a KeyStore (KeyStore::VerifyFrom succeeded over the
+/// value's canonical preimage). See util/untrusted.h.
+struct SignatureVerified {
+  TCVS_TAINT_VERIFIER(SignatureVerified);
+};
 
 /// Numeric identity of a principal (user id in the protocols).
 using PrincipalId = uint32_t;
@@ -63,8 +71,9 @@ class KeyStore {
   Result<Certificate> Get(PrincipalId principal) const;
 
   /// Verifies `signature` over `message` as coming from `principal`.
-  Status VerifyFrom(PrincipalId principal, const Bytes& message,
-                    const Bytes& signature) const;
+  /// Success justifies endorsing the signed value with SignatureVerified.
+  TCVS_ENDORSER Status VerifyFrom(PrincipalId principal, const Bytes& message,
+                                  const Bytes& signature) const;
 
   size_t size() const { return certs_.size(); }
 

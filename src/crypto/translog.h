@@ -4,9 +4,17 @@
 
 #include "crypto/sha256.h"
 #include "util/result.h"
+#include "util/untrusted.h"
 
 namespace tcvs {
 namespace crypto {
+
+/// Taint-verifier token: a checkpoint reply passed
+/// TransparencyLog::VerifyConsistency against the client's remembered
+/// (size, root) checkpoint. See util/untrusted.h.
+struct ConsistencyVerified {
+  TCVS_TAINT_VERIFIER(ConsistencyVerified);
+};
 
 /// \brief An append-only Merkle log with inclusion and consistency proofs
 /// (the Certificate-Transparency construction, RFC 6962 §2.1).
@@ -53,11 +61,11 @@ class TransparencyLog {
                                 const std::vector<Digest>& proof);
 
   /// Checks that a log of size `n` with root `new_root` extends the log of
-  /// size `m` with root `old_root`.
-  static Status VerifyConsistency(uint64_t m, uint64_t n,
-                                  const Digest& old_root,
-                                  const Digest& new_root,
-                                  const std::vector<Digest>& proof);
+  /// size `m` with root `old_root`. Success justifies endorsing the
+  /// checkpoint with ConsistencyVerified.
+  TCVS_ENDORSER static Status VerifyConsistency(
+      uint64_t m, uint64_t n, const Digest& old_root, const Digest& new_root,
+      const std::vector<Digest>& proof);
   /// @}
 
   /// Leaf hash H(0x00 ‖ entry), exposed for tests.

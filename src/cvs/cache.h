@@ -6,6 +6,7 @@
 
 #include "cvs/repository.h"
 #include "util/result.h"
+#include "util/taint_annotations.h"
 
 namespace tcvs {
 namespace cvs {
@@ -22,10 +23,11 @@ namespace cvs {
 class LocalCache {
  public:
   /// Records the verified state of `path` (checkout hit or applied commit).
-  void Put(const std::string& path, FileRecord record);
+  /// Trusted sink: `record` must come from an endorsed server reply.
+  TCVS_TRUSTED_SINK void Put(const std::string& path, FileRecord record);
 
   /// Records a verified removal (or authenticated absence) of `path`.
-  void Erase(const std::string& path);
+  TCVS_TRUSTED_SINK void Erase(const std::string& path);
 
   /// The last verified record, or nullptr if never seen.
   const FileRecord* Find(const std::string& path) const;
@@ -39,6 +41,8 @@ class LocalCache {
   size_t size() const { return files_.size(); }
 
   Bytes Serialize() const;
+  // taint-exempt: local-origin — parses the client's own cache file, whose
+  // contents were verified before they were written.
   static Result<LocalCache> Deserialize(const Bytes& data);
 
  private:

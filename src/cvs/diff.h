@@ -31,6 +31,8 @@ struct Patch {
   size_t lines_removed() const;
 
   Bytes Serialize() const;
+  // taint-exempt: local-origin — patches are computed and parsed by the same
+  // process; server-sent file content arrives quarantined via QueryResponse.
   static Result<Patch> Deserialize(const Bytes& data);
 
   /// Unified-diff-style rendering for humans.

@@ -18,6 +18,9 @@ struct FileRecord {
   std::string content;
 
   Bytes Serialize() const;
+  // taint-exempt: verified-origin — record bytes are parsed only out of the
+  // server's own store or out of VO-authenticated leaf values, after the
+  // Merkle proof over those values has already been checked.
   static Result<FileRecord> Deserialize(const Bytes& data);
 
   bool operator==(const FileRecord&) const = default;

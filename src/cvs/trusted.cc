@@ -48,7 +48,7 @@ Bytes ServerReply::Serialize() const {
   return w.Take();
 }
 
-Result<ServerReply> ServerReply::Deserialize(const Bytes& data) {
+Result<util::Tainted<ServerReply>> ServerReply::Deserialize(const Bytes& data) {
   util::Reader r(data);
   ServerReply reply;
   TCVS_ASSIGN_OR_RETURN(uint8_t applied, r.GetU8());
@@ -64,7 +64,7 @@ Result<ServerReply> ServerReply::Deserialize(const Bytes& data) {
   }
   TCVS_ASSIGN_OR_RETURN(reply.ctr, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(reply.creator, r.GetU32());
-  return reply;
+  return util::Tainted<ServerReply>(std::move(reply));
 }
 
 Bytes ListReply::Serialize() const {
@@ -75,13 +75,13 @@ Bytes ListReply::Serialize() const {
   return w.Take();
 }
 
-Result<ListReply> ListReply::Deserialize(const Bytes& data) {
+Result<util::Tainted<ListReply>> ListReply::Deserialize(const Bytes& data) {
   util::Reader r(data);
   ListReply reply;
   TCVS_ASSIGN_OR_RETURN(reply.range_vo, r.GetBytes());
   TCVS_ASSIGN_OR_RETURN(reply.ctr, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(reply.creator, r.GetU32());
-  return reply;
+  return util::Tainted<ListReply>(std::move(reply));
 }
 
 Bytes LogEntry(uint64_t ctr, const crypto::Digest& root) {
@@ -100,7 +100,8 @@ Bytes LogCheckpointReply::Serialize() const {
   return w.Take();
 }
 
-Result<LogCheckpointReply> LogCheckpointReply::Deserialize(const Bytes& data) {
+Result<util::Tainted<LogCheckpointReply>> LogCheckpointReply::Deserialize(
+    const Bytes& data) {
   util::Reader r(data);
   LogCheckpointReply reply;
   TCVS_ASSIGN_OR_RETURN(reply.size, r.GetU64());
@@ -111,7 +112,7 @@ Result<LogCheckpointReply> LogCheckpointReply::Deserialize(const Bytes& data) {
     TCVS_ASSIGN_OR_RETURN(crypto::Digest d, r.GetRaw(crypto::kDigestSize));
     reply.consistency.push_back(std::move(d));
   }
-  return reply;
+  return util::Tainted<LogCheckpointReply>(std::move(reply));
 }
 
 Bytes ClientState::Serialize() const {
@@ -166,22 +167,23 @@ void UntrustedServer::AppendLogEntry() {
   log_.Append(LogEntry(ctr_, tree_.root_digest()));
 }
 
-Result<LogCheckpointReply> UntrustedServer::LogCheckpoint(uint64_t old_size) {
+Result<util::Tainted<LogCheckpointReply>> UntrustedServer::LogCheckpoint(
+    uint64_t old_size) {
   LogCheckpointReply reply;
   reply.size = log_.size();
   reply.root = log_.Root();
   if (old_size > log_.size()) {
     // The honest server can never be behind a client checkpoint; answer with
     // the (smaller) truth and let the client detect the rollback.
-    return reply;
+    return util::Tainted<LogCheckpointReply>(std::move(reply));
   }
   TCVS_ASSIGN_OR_RETURN(reply.consistency,
                         log_.ConsistencyProof(old_size, log_.size()));
-  return reply;
+  return util::Tainted<LogCheckpointReply>(std::move(reply));
 }
 
-Result<ServerReply> UntrustedServer::Transact(uint32_t user,
-                                              const std::vector<FileOp>& ops) {
+Result<util::Tainted<ServerReply>> UntrustedServer::Transact(
+    uint32_t user, const std::vector<FileOp>& ops) {
   if (ops.empty()) return Status::InvalidArgument("empty transaction");
   TCVS_SPAN("cvs.server.transact");
 
@@ -265,7 +267,9 @@ Result<ServerReply> UntrustedServer::Transact(uint32_t user,
   ctr_ += 1;
   creator_ = user;
   AppendLogEntry();
-  return reply;
+  // Even the in-process server's output is quarantined: it is the untrusted
+  // vendor, and only the client's chain walk may unwrap its replies.
+  return util::Tainted<ServerReply>(std::move(reply));
 }
 
 namespace {
@@ -281,8 +285,8 @@ Bytes PrefixUpperBound(const std::string& prefix) {
 
 }  // namespace
 
-Result<ListReply> UntrustedServer::List(uint32_t user,
-                                        const std::string& prefix) {
+Result<util::Tainted<ListReply>> UntrustedServer::List(
+    uint32_t user, const std::string& prefix) {
   TCVS_SPAN("cvs.server.list");
   ListReply reply;
   reply.range_vo =
@@ -297,7 +301,7 @@ Result<ListReply> UntrustedServer::List(uint32_t user,
   ctr_ += 1;
   creator_ = user;
   AppendLogEntry();
-  return reply;
+  return util::Tainted<ListReply>(std::move(reply));
 }
 
 // ---------------------------------------------------------------------------
@@ -328,8 +332,11 @@ ClientState VerifyingClient::state() const {
 }
 
 Status VerifyingClient::AuditLog() {
-  TCVS_ASSIGN_OR_RETURN(LogCheckpointReply reply,
+  TCVS_ASSIGN_OR_RETURN(util::Tainted<LogCheckpointReply> quarantined,
                         server_->LogCheckpoint(log_size_));
+  // Borrow for verification only; the checkpoint registers advance from the
+  // endorsed copy below.
+  const LogCheckpointReply& reply = quarantined.untrusted();
   if (reply.size < log_size_) {
     return Deviation(
         util::AuditEventKind::kDeviationDetected, user_id_, reply.size, gctr_,
@@ -347,16 +354,27 @@ Status VerifyingClient::AuditLog() {
         "server transparency log is not an extension of the checkpoint (" +
             st.ToString() + "): history rewritten");
   }
-  log_size_ = reply.size;
-  log_root_ = reply.root;
+  const LogCheckpointReply verified =
+      TCVS_ENDORSE(std::move(quarantined), crypto::ConsistencyVerified{});
+  AdvanceLogCheckpoint(verified.size, verified.root);
   return Status::OK();
+}
+
+void VerifyingClient::AdvanceLogCheckpoint(uint64_t size,
+                                           const crypto::Digest& root) {
+  log_size_ = size;
+  log_root_ = root;
 }
 
 Result<ServerReply> VerifyingClient::Execute(
     const std::vector<FileOp>& ops,
     std::vector<std::optional<FileRecord>>* pre_records) {
-  TCVS_ASSIGN_OR_RETURN(ServerReply reply, server_->Transact(user_id_, ops));
+  TCVS_ASSIGN_OR_RETURN(util::Tainted<ServerReply> quarantined,
+                        server_->Transact(user_id_, ops));
   TCVS_SPAN("cvs.client.verify_transact");
+  // Borrow for the chain walk; every use below is a check. The borrow dies
+  // at the TCVS_ENDORSE, and the register fold reads the endorsed copy.
+  const ServerReply& reply = quarantined.untrusted();
   static util::Counter* const transactions =
       util::MetricsRegistry::Instance().GetCounter(
           "cvs.client.transactions_total");
@@ -393,8 +411,9 @@ Result<ServerReply> VerifyingClient::Execute(
     const ServerReply::PerFile& f = reply.files[i];
     Bytes key = util::ToBytes(op.path);
 
-    TCVS_ASSIGN_OR_RETURN(mtree::PointVO vo, mtree::PointVO::Deserialize(f.vo));
-    TCVS_ASSIGN_OR_RETURN(crypto::Digest root, vo.root.VerifiedDigest());
+    TCVS_ASSIGN_OR_RETURN(util::Tainted<mtree::PointVO> vo,
+                          mtree::PointVO::Deserialize(f.vo));
+    TCVS_ASSIGN_OR_RETURN(crypto::Digest root, mtree::VerifiedRootDigest(vo));
     if (!chain_root.has_value()) {
       pre_root = root;
     } else if (root != *chain_root) {
@@ -474,15 +493,24 @@ Result<ServerReply> VerifyingClient::Execute(
             std::string(expected_applies ? "true" : "false") + ")");
   }
 
-  // Fold the transaction into the Protocol II registers.
-  sigma_ = XorBytes(sigma_, StateFingerprint(pre_root, reply.ctr, reply.creator));
-  const crypto::Digest post_fp =
-      StateFingerprint(*chain_root, reply.ctr + 1, user_id_);
+  // Every check passed: endorse, then fold the transaction into the
+  // Protocol II registers from the endorsed copy only. (`reply` dangles past
+  // this point — do not touch it.)
+  const ServerReply verified =
+      TCVS_ENDORSE(std::move(quarantined), ChainVerified{});
+  FoldTransaction(pre_root, *chain_root, verified.ctr, verified.creator);
+  return verified;
+}
+
+void VerifyingClient::FoldTransaction(const crypto::Digest& pre_root,
+                                      const crypto::Digest& post_root,
+                                      uint64_t ctr, uint32_t creator) {
+  sigma_ = XorBytes(sigma_, StateFingerprint(pre_root, ctr, creator));
+  const crypto::Digest post_fp = StateFingerprint(post_root, ctr + 1, user_id_);
   sigma_ = XorBytes(sigma_, post_fp);
   last_ = post_fp;
-  gctr_ = reply.ctr + 1;
+  gctr_ = ctr + 1;
   ++lctr_;
-  return reply;
 }
 
 Result<FileRecord> VerifyingClient::Checkout(const std::string& path) {
@@ -548,8 +576,10 @@ Result<std::vector<uint64_t>> VerifyingClient::CommitMany(
 
 Result<std::vector<std::pair<std::string, uint64_t>>> VerifyingClient::ListDir(
     const std::string& prefix) {
-  TCVS_ASSIGN_OR_RETURN(ListReply reply, server_->List(user_id_, prefix));
+  TCVS_ASSIGN_OR_RETURN(util::Tainted<ListReply> quarantined,
+                        server_->List(user_id_, prefix));
   TCVS_SPAN("cvs.client.verify_list");
+  const ListReply& reply = quarantined.untrusted();
   static util::LatencyHistogram* const vo_bytes =
       util::MetricsRegistry::Instance().GetLatency(
           "cvs.client.range_vo_bytes");
@@ -558,9 +588,9 @@ Result<std::vector<std::pair<std::string, uint64_t>>> VerifyingClient::ListDir(
     return Deviation(util::AuditEventKind::kCounterRegression, user_id_,
                      reply.ctr, gctr_, "server presented a stale counter");
   }
-  TCVS_ASSIGN_OR_RETURN(mtree::RangeVO vo,
+  TCVS_ASSIGN_OR_RETURN(util::Tainted<mtree::RangeVO> vo,
                         mtree::RangeVO::Deserialize(reply.range_vo));
-  TCVS_ASSIGN_OR_RETURN(crypto::Digest root, vo.root.VerifiedDigest());
+  TCVS_ASSIGN_OR_RETURN(crypto::Digest root, mtree::VerifiedRootDigest(vo));
   TCVS_ASSIGN_OR_RETURN(
       auto rows, mtree::VerifyRangeRead(root, params_, util::ToBytes(prefix),
                                         PrefixUpperBound(prefix), vo));
@@ -573,14 +603,11 @@ Result<std::vector<std::pair<std::string, uint64_t>>> VerifyingClient::ListDir(
     }
     out.emplace_back(util::ToString(key), rec->revision);
   }
-  // Fold the read transaction: same root before and after, counter +1.
-  sigma_ = XorBytes(sigma_, StateFingerprint(root, reply.ctr, reply.creator));
-  const crypto::Digest post_fp =
-      StateFingerprint(root, reply.ctr + 1, user_id_);
-  sigma_ = XorBytes(sigma_, post_fp);
-  last_ = post_fp;
-  gctr_ = reply.ctr + 1;
-  ++lctr_;
+  // Fold the read transaction (same root before and after, counter +1) from
+  // the endorsed copy; the range proof was the endorsement.
+  const ListReply verified =
+      TCVS_ENDORSE(std::move(quarantined), mtree::VoVerified{});
+  FoldTransaction(root, root, verified.ctr, verified.creator);
   return out;
 }
 

@@ -9,9 +9,18 @@
 #include "cvs/repository.h"
 #include "mtree/btree.h"
 #include "util/result.h"
+#include "util/untrusted.h"
 
 namespace tcvs {
 namespace cvs {
+
+/// Taint-verifier token: a full server reply survived VerifyingClient's
+/// chained walk — every per-file VO verified against the running root, every
+/// answer authenticated, every update locally replayed, and the applied flag
+/// cross-checked. The strongest endorsement in the cvs layer.
+struct ChainVerified {
+  TCVS_TAINT_VERIFIER(ChainVerified);
+};
 
 /// \brief One file operation inside a (possibly multi-file) transaction —
 /// the paper's `commit <file names>` takes a list.
@@ -43,7 +52,8 @@ struct ServerReply {
   uint32_t creator = 0;
 
   Bytes Serialize() const;
-  static Result<ServerReply> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<ServerReply>> Deserialize(const Bytes& data);
 };
 
 /// \brief A signed-tree-head-style checkpoint of the server's transparency
@@ -61,7 +71,9 @@ struct LogCheckpointReply {
   std::vector<crypto::Digest> consistency;
 
   Bytes Serialize() const;
-  static Result<LogCheckpointReply> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<LogCheckpointReply>> Deserialize(
+      const Bytes& data);
 };
 
 /// \brief Canonical transparency-log entry for transaction `ctr` producing
@@ -76,12 +88,17 @@ struct ListReply {
   uint32_t creator = 0;
 
   Bytes Serialize() const;
-  static Result<ListReply> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<ListReply>> Deserialize(const Bytes& data);
 };
 
 /// \brief Transport-independent server interface: implemented in-process by
 /// UntrustedServer and over TCP by rpc::RemoteServer. Every method is one
 /// atomic transaction (one counter increment).
+///
+/// Every reply is quarantined: whether it was built in-process or parsed off
+/// a socket, it is the *untrusted vendor's* output, and VerifyingClient's
+/// chain walk is the only thing that may unwrap it.
 class ServerApi {
  public:
   virtual ~ServerApi() = default;
@@ -90,18 +107,20 @@ class ServerApi {
   /// transactions containing commits, the server applies all of them only
   /// if every commit's base revision matches (CVS semantics per file);
   /// otherwise it applies none and `applied` is false.
-  virtual Result<ServerReply> Transact(uint32_t user,
-                                       const std::vector<FileOp>& ops) = 0;
+  virtual Result<util::Tainted<ServerReply>> Transact(
+      uint32_t user, const std::vector<FileOp>& ops) = 0;
 
   /// Read-only directory listing transaction: a range proof over
   /// [prefix, prefix ∥ 0xFF…] plus the Protocol II envelope. The proof is
   /// COMPLETE — a vendor hiding files is caught by the range verification.
-  virtual Result<ListReply> List(uint32_t user, const std::string& prefix) = 0;
+  virtual Result<util::Tainted<ListReply>> List(uint32_t user,
+                                                const std::string& prefix) = 0;
 
   /// Current transparency-log checkpoint with a consistency proof from the
   /// caller's previous checkpoint size (not a transaction; the counter does
   /// not advance).
-  virtual Result<LogCheckpointReply> LogCheckpoint(uint64_t old_size) = 0;
+  virtual Result<util::Tainted<LogCheckpointReply>> LogCheckpoint(
+      uint64_t old_size) = 0;
 
   /// Tree geometry, needed by clients for VO replay.
   virtual mtree::TreeParams tree_params() const = 0;
@@ -124,10 +143,12 @@ class UntrustedServer : public ServerApi {
   UntrustedServer(mtree::MerkleBTree tree, uint64_t ctr, uint32_t creator,
                   std::vector<crypto::Digest> log_leaves = {});
 
-  Result<ServerReply> Transact(uint32_t user,
-                               const std::vector<FileOp>& ops) override;
-  Result<ListReply> List(uint32_t user, const std::string& prefix) override;
-  Result<LogCheckpointReply> LogCheckpoint(uint64_t old_size) override;
+  Result<util::Tainted<ServerReply>> Transact(
+      uint32_t user, const std::vector<FileOp>& ops) override;
+  Result<util::Tainted<ListReply>> List(uint32_t user,
+                                        const std::string& prefix) override;
+  Result<util::Tainted<LogCheckpointReply>> LogCheckpoint(
+      uint64_t old_size) override;
   mtree::TreeParams tree_params() const override { return params_; }
 
   uint64_t ctr() const { return ctr_; }
@@ -174,6 +195,8 @@ struct ClientState {
   Bytes log_root;
 
   Bytes Serialize() const;
+  // taint-exempt: local-origin — parses the client's own persisted state
+  // file, which never crosses the server trust boundary.
   static Result<ClientState> Deserialize(const Bytes& data);
 };
 
@@ -246,8 +269,22 @@ class VerifyingClient {
   uint64_t log_checkpoint_size() const { return log_size_; }
 
  private:
+  /// Runs the full chain walk over a quarantined reply; on success the
+  /// reply is endorsed (ChainVerified) and the registers folded.
   Result<ServerReply> Execute(const std::vector<FileOp>& ops,
                               std::vector<std::optional<FileRecord>>* pre_records);
+
+  /// Folds one verified transaction into the Protocol II registers. The
+  /// arguments must derive from an endorsed reply — this is the register
+  /// trusted sink.
+  TCVS_TRUSTED_SINK void FoldTransaction(const crypto::Digest& pre_root,
+                                         const crypto::Digest& post_root,
+                                         uint64_t ctr, uint32_t creator);
+
+  /// Advances the transparency-log checkpoint after a verified consistency
+  /// proof — the audit trusted sink.
+  TCVS_TRUSTED_SINK void AdvanceLogCheckpoint(uint64_t size,
+                                              const crypto::Digest& root);
 
   uint32_t user_id_;
   ServerApi* server_;

@@ -113,6 +113,8 @@ class MerkleBTree {
 
   /// Restores a tree from Serialize() output, recomputing and validating
   /// all digests. \return Corruption/InvalidArgument on malformed input.
+  // taint-exempt: local-origin — restores the server's own persisted tree;
+  // every digest is recomputed and validated during the parse.
   static Result<MerkleBTree> Deserialize(const Bytes& data,
                                          TreeParams params = TreeParams{});
 

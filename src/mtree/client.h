@@ -32,11 +32,21 @@ class TreeClient {
   Result<std::optional<Bytes>> Read(const Bytes& key, const PointVO& vo) const {
     return VerifyPointRead(root_, params_, key, vo);
   }
+  /// Same, straight from a quarantined wire VO — the verify call endorses.
+  TCVS_ENDORSER Result<std::optional<Bytes>> Read(
+      const Bytes& key, const util::Tainted<PointVO>& vo) const {
+    return VerifyPointRead(root_, params_, key, vo);
+  }
 
   /// Verifies an authenticated range read. Does not change M.
   Result<std::vector<std::pair<Bytes, Bytes>>> ReadRange(const Bytes& lo,
                                                          const Bytes& hi,
                                                          const RangeVO& vo) const {
+    return VerifyRangeRead(root_, params_, lo, hi, vo);
+  }
+  TCVS_ENDORSER Result<std::vector<std::pair<Bytes, Bytes>>> ReadRange(
+      const Bytes& lo, const Bytes& hi,
+      const util::Tainted<RangeVO>& vo) const {
     return VerifyRangeRead(root_, params_, lo, hi, vo);
   }
 
@@ -49,12 +59,26 @@ class TreeClient {
     root_ = next;
     return root_;
   }
+  TCVS_ENDORSER Result<Digest> ApplyUpsert(const Bytes& key, const Bytes& value,
+                                           const util::Tainted<PointVO>& vo) {
+    TCVS_ASSIGN_OR_RETURN(Digest next, VerifyAndApplyUpsert(root_, params_, key,
+                                                            value, vo));
+    root_ = next;
+    return root_;
+  }
 
   /// Verifies the pre-state VO of a delete, replays it, and advances M.
   /// \return the new root digest; NotFound (M unchanged) when the VO proves
   /// the key absent.
   Result<Digest> ApplyDelete(const Bytes& key, const PointVO& vo) {
     TCVS_ASSIGN_OR_RETURN(Digest next, VerifyAndApplyDelete(root_, params_, key, vo));
+    root_ = next;
+    return root_;
+  }
+  TCVS_ENDORSER Result<Digest> ApplyDelete(const Bytes& key,
+                                           const util::Tainted<PointVO>& vo) {
+    TCVS_ASSIGN_OR_RETURN(Digest next,
+                          VerifyAndApplyDelete(root_, params_, key, vo));
     root_ = next;
     return root_;
   }

@@ -195,11 +195,11 @@ Bytes PointVO::Serialize() const {
   return w.Take();
 }
 
-Result<PointVO> PointVO::Deserialize(const Bytes& data) {
+Result<util::Tainted<PointVO>> PointVO::Deserialize(const Bytes& data) {
   util::Reader r(data);
   TCVS_ASSIGN_OR_RETURN(NodeView root, DeserializeView(&r, 0));
   if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after VO");
-  return PointVO{std::move(root)};
+  return util::Tainted<PointVO>(PointVO{std::move(root)});
 }
 
 Bytes RangeVO::Serialize() const {
@@ -208,11 +208,11 @@ Bytes RangeVO::Serialize() const {
   return w.Take();
 }
 
-Result<RangeVO> RangeVO::Deserialize(const Bytes& data) {
+Result<util::Tainted<RangeVO>> RangeVO::Deserialize(const Bytes& data) {
   util::Reader r(data);
   TCVS_ASSIGN_OR_RETURN(NodeView root, DeserializeView(&r, 0));
   if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes after VO");
-  return RangeVO{std::move(root)};
+  return util::Tainted<RangeVO>(RangeVO{std::move(root)});
 }
 
 // ---------------------------------------------------------------------------

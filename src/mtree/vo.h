@@ -7,11 +7,19 @@
 #include "crypto/sha256.h"
 #include "util/bytes.h"
 #include "util/result.h"
+#include "util/untrusted.h"
 
 namespace tcvs {
 namespace mtree {
 
 using crypto::Digest;
+
+/// Taint-verifier token: the value was endorsed by Merkle verification-object
+/// checking — VerifiedDigest / VerifyPointRead / VerifyAndApply* /
+/// VerifyRangeRead succeeded against a trusted root (see util/untrusted.h).
+struct VoVerified {
+  TCVS_TAINT_VERIFIER(VoVerified);
+};
 
 /// Fanout / node-size parameters of the Merkle B⁺-tree. Server and client
 /// must agree on these: the client *replays* structural changes (splits,
@@ -84,7 +92,11 @@ struct PointVO {
   NodeView root;
 
   Bytes Serialize() const;
-  static Result<PointVO> Deserialize(const Bytes& data);
+  /// Parses server-supplied bytes; the result is quarantined until a verify
+  /// call endorses it (hand the Tainted VO straight to VerifyPointRead /
+  /// VerifyAndApply*).
+  TCVS_UNTRUSTED_SOURCE static Result<util::Tainted<PointVO>> Deserialize(
+      const Bytes& data);
 };
 
 /// \brief Verification object for a range scan: the minimal subtree covering
@@ -93,7 +105,10 @@ struct RangeVO {
   NodeView root;
 
   Bytes Serialize() const;
-  static Result<RangeVO> Deserialize(const Bytes& data);
+  /// Parses server-supplied bytes; quarantined until VerifyRangeRead
+  /// endorses it.
+  TCVS_UNTRUSTED_SOURCE static Result<util::Tainted<RangeVO>> Deserialize(
+      const Bytes& data);
 };
 
 /// \brief Client-side verification of a point read.
@@ -104,9 +119,9 @@ struct RangeVO {
 /// (non-membership).
 ///
 /// \return the value if present, std::nullopt if provably absent.
-Result<std::optional<Bytes>> VerifyPointRead(const Digest& trusted_root,
-                                             const TreeParams& params,
-                                             const Bytes& key, const PointVO& vo);
+TCVS_ENDORSER Result<std::optional<Bytes>> VerifyPointRead(
+    const Digest& trusted_root, const TreeParams& params, const Bytes& key,
+    const PointVO& vo);
 
 /// \brief Client-side verification + replay of an update (upsert).
 ///
@@ -114,18 +129,21 @@ Result<std::optional<Bytes>> VerifyPointRead(const Digest& trusted_root,
 /// the upsert of (key,value) — including leaf/internal splits — and returns
 /// the new root digest the honest server must now have (paper §4.1: "the
 /// user ... computes the new root digest of the tree").
-Result<Digest> VerifyAndApplyUpsert(const Digest& trusted_root,
-                                    const TreeParams& params, const Bytes& key,
-                                    const Bytes& value, const PointVO& vo);
+TCVS_ENDORSER Result<Digest> VerifyAndApplyUpsert(const Digest& trusted_root,
+                                                  const TreeParams& params,
+                                                  const Bytes& key,
+                                                  const Bytes& value,
+                                                  const PointVO& vo);
 
 /// \brief Client-side verification + replay of a delete.
 ///
 /// Verifies the pre-state path, replays the removal (including empty-leaf
 /// unlinking and root collapse), and returns the new root digest.
 /// \return NotFound if the key is provably absent (tree unchanged).
-Result<Digest> VerifyAndApplyDelete(const Digest& trusted_root,
-                                    const TreeParams& params, const Bytes& key,
-                                    const PointVO& vo);
+TCVS_ENDORSER Result<Digest> VerifyAndApplyDelete(const Digest& trusted_root,
+                                                  const TreeParams& params,
+                                                  const Bytes& key,
+                                                  const PointVO& vo);
 
 /// \brief Client-side verification of a range scan over [lo, hi] inclusive.
 ///
@@ -134,9 +152,52 @@ Result<Digest> VerifyAndApplyDelete(const Digest& trusted_root,
 /// carries a value matching its hash (soundness).
 ///
 /// \return the in-range (key,value) pairs in key order.
-Result<std::vector<std::pair<Bytes, Bytes>>> VerifyRangeRead(
+TCVS_ENDORSER Result<std::vector<std::pair<Bytes, Bytes>>> VerifyRangeRead(
     const Digest& trusted_root, const TreeParams& params, const Bytes& lo,
     const Bytes& hi, const RangeVO& vo);
+
+// ---- Tainted-VO entry points ----------------------------------------------
+// The verify functions ARE the endorsers for wire VOs: a Tainted VO from
+// PointVO/RangeVO::Deserialize goes straight in, and a successful result is
+// the endorsed product (a value / a new trusted root digest). The plain
+// overloads above remain for the server side and for locally built VOs.
+
+/// Recomputes and consistency-checks the root digest of a quarantined VO —
+/// the first endorsement step of every client chain walk (the digest, not
+/// the VO, is what becomes trusted).
+TCVS_ENDORSER inline Result<Digest> VerifiedRootDigest(
+    const util::Tainted<PointVO>& vo) {
+  return vo.untrusted().root.VerifiedDigest();
+}
+TCVS_ENDORSER inline Result<Digest> VerifiedRootDigest(
+    const util::Tainted<RangeVO>& vo) {
+  return vo.untrusted().root.VerifiedDigest();
+}
+
+TCVS_ENDORSER inline Result<std::optional<Bytes>> VerifyPointRead(
+    const Digest& trusted_root, const TreeParams& params, const Bytes& key,
+    const util::Tainted<PointVO>& vo) {
+  return VerifyPointRead(trusted_root, params, key, vo.untrusted());
+}
+
+TCVS_ENDORSER inline Result<Digest> VerifyAndApplyUpsert(
+    const Digest& trusted_root, const TreeParams& params, const Bytes& key,
+    const Bytes& value, const util::Tainted<PointVO>& vo) {
+  return VerifyAndApplyUpsert(trusted_root, params, key, value, vo.untrusted());
+}
+
+TCVS_ENDORSER inline Result<Digest> VerifyAndApplyDelete(
+    const Digest& trusted_root, const TreeParams& params, const Bytes& key,
+    const util::Tainted<PointVO>& vo) {
+  return VerifyAndApplyDelete(trusted_root, params, key, vo.untrusted());
+}
+
+TCVS_ENDORSER inline Result<std::vector<std::pair<Bytes, Bytes>>>
+VerifyRangeRead(const Digest& trusted_root, const TreeParams& params,
+                const Bytes& lo, const Bytes& hi,
+                const util::Tainted<RangeVO>& vo) {
+  return VerifyRangeRead(trusted_root, params, lo, hi, vo.untrusted());
+}
 
 /// \brief Digest of an empty tree (a single empty leaf); the well-known
 /// initial root digest M(D₀) of the paper.

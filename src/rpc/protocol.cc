@@ -40,7 +40,7 @@ Bytes RpcRequest::Serialize() const {
   return w.Take();
 }
 
-Result<RpcRequest> RpcRequest::Deserialize(const Bytes& data) {
+Result<util::Tainted<RpcRequest>> RpcRequest::Deserialize(const Bytes& data) {
   util::Reader r(data);
   RpcRequest req;
   TCVS_ASSIGN_OR_RETURN(uint8_t first, r.GetU8());
@@ -74,7 +74,7 @@ Result<RpcRequest> RpcRequest::Deserialize(const Bytes& data) {
     TCVS_ASSIGN_OR_RETURN(req.span_id, r.GetU64());
     TCVS_ASSIGN_OR_RETURN(req.parent_span_id, r.GetU64());
   }
-  return req;
+  return util::Tainted<RpcRequest>(std::move(req));
 }
 
 RpcResponse RpcResponse::FromStatus(const Status& status) {
@@ -97,13 +97,25 @@ Bytes RpcResponse::Serialize() const {
   return w.Take();
 }
 
-Result<RpcResponse> RpcResponse::Deserialize(const Bytes& data) {
+Result<util::Tainted<RpcResponse>> RpcResponse::Deserialize(const Bytes& data) {
   util::Reader r(data);
   RpcResponse resp;
   TCVS_ASSIGN_OR_RETURN(resp.status_code, r.GetU32());
   TCVS_ASSIGN_OR_RETURN(resp.status_message, r.GetString());
   TCVS_ASSIGN_OR_RETURN(resp.payload, r.GetBytes());
-  return resp;
+  return util::Tainted<RpcResponse>(std::move(resp));
+}
+
+Result<RpcResponse> CheckResponseEnvelope(util::Tainted<RpcResponse> resp) {
+  const uint32_t code = resp.untrusted().status_code;
+  if (code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::VerificationFailure("rpc response carries unknown status code");
+  }
+  return TCVS_ENDORSE(std::move(resp), EnvelopeChecked{});
+}
+
+Result<RpcRequest> CheckRequestEnvelope(util::Tainted<RpcRequest> req) {
+  return TCVS_ENDORSE(std::move(req), EnvelopeChecked{});
 }
 
 }  // namespace rpc

@@ -5,9 +5,19 @@
 #include "cvs/trusted.h"
 #include "util/result.h"
 #include "util/serde.h"
+#include "util/untrusted.h"
 
 namespace tcvs {
 namespace rpc {
+
+/// Taint-verifier token: an RPC envelope passed the structural checks in
+/// CheckRequestEnvelope / CheckResponseEnvelope. Deliberately narrow — it
+/// attests a well-formed frame, nothing cryptographic. A response PAYLOAD
+/// (serialized ServerReply etc.) stays quarantined through its own
+/// Deserialize and is endorsed only by the cvs verification chain.
+struct EnvelopeChecked {
+  TCVS_TAINT_VERIFIER(EnvelopeChecked);
+};
 
 /// RPC message kinds between `tcvs` clients and a `tcvsd` server.
 enum class RpcType : uint8_t {
@@ -64,7 +74,8 @@ struct RpcRequest {
   /// @}
 
   Bytes Serialize() const;
-  static Result<RpcRequest> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<RpcRequest>> Deserialize(const Bytes& data);
 };
 
 /// \brief One response frame: a Status (code + message) plus, on success,
@@ -79,10 +90,26 @@ struct RpcResponse {
   Status ToStatus() const;
 
   Bytes Serialize() const;
-  static Result<RpcResponse> Deserialize(const Bytes& data);
+  TCVS_UNTRUSTED_SOURCE
+  static Result<util::Tainted<RpcResponse>> Deserialize(const Bytes& data);
 };
 
-/// FileOp wire helpers (shared by request serialization and tests).
+/// \brief Structural endorsement of a parsed response frame (client side):
+/// the status code must map onto a known StatusCode. See EnvelopeChecked for
+/// what this does — and does not — attest.
+TCVS_ENDORSER Result<RpcResponse> CheckResponseEnvelope(
+    util::Tainted<RpcResponse> resp);
+
+/// \brief Structural endorsement of a parsed request frame (serve side): the
+/// type tag and op count were already bounds-checked by Deserialize, and the
+/// server executes whatever a client asks — clients, not the server, carry
+/// the verification burden.
+TCVS_ENDORSER Result<RpcRequest> CheckRequestEnvelope(
+    util::Tainted<RpcRequest> req);
+
+/// FileOp wire helpers (shared by request serialization and tests). These
+/// parse *sub-fields inside an already quarantined frame*, so they stay on
+/// plain values; the enclosing Deserialize applies the taint wrapper.
 void SerializeFileOp(const cvs::FileOp& op, util::Writer* w);
 Result<cvs::FileOp> DeserializeFileOp(util::Reader* r);
 

@@ -48,8 +48,11 @@ uint64_t SeedFromOs() {
 /// A payload that fails to parse on a *successfully framed* reply is not a
 /// transport fault: the channel delivered exactly what the untrusted server
 /// sent. Surface it as a verification failure — loud, never retried.
+/// The parse yields a still-quarantined value: structural validity is not
+/// endorsement, and the Tainted wrapper rides back to VerifyingClient intact.
 template <typename T>
-Result<T> DeserializeVerified(const Bytes& payload, const char* what) {
+Result<util::Tainted<T>> DeserializeVerified(const Bytes& payload,
+                                             const char* what) {
   auto parsed = T::Deserialize(payload);
   if (!parsed.ok()) {
     return Status::VerificationFailure(std::string("malformed ") + what +
@@ -144,7 +147,10 @@ Result<std::unique_ptr<RemoteServer>> RemoteServer::Connect(
       last = frame.status();
       continue;
     }
-    TCVS_ASSIGN_OR_RETURN(RpcResponse resp, RpcResponse::Deserialize(*frame));
+    TCVS_ASSIGN_OR_RETURN(util::Tainted<RpcResponse> quarantined,
+                          RpcResponse::Deserialize(*frame));
+    TCVS_ASSIGN_OR_RETURN(RpcResponse resp,
+                          CheckResponseEnvelope(std::move(quarantined)));
     TCVS_RETURN_NOT_OK(resp.ToStatus());
     TCVS_ASSIGN_OR_RETURN(mtree::TreeParams params,
                           DeserializeParams(resp.payload));
@@ -240,8 +246,12 @@ Result<RpcResponse> RemoteServer::Call(RpcRequest request) {
       return Status::VerificationFailure("malformed RPC response: " +
                                          resp.status().ToString());
     }
+    // Envelope endorsement only: the payload inside remains quarantined
+    // until VerifyingClient's chain walk accepts it.
+    auto checked = CheckResponseEnvelope(std::move(*resp));
+    if (!checked.ok()) return checked.status();  // Never retried either.
     latency->Record(util::MonotonicMicros() - start_us);
-    return resp;
+    return checked;
   }
   return Status::Unavailable(
       "server unreachable after " +
@@ -249,7 +259,7 @@ Result<RpcResponse> RemoteServer::Call(RpcRequest request) {
       " attempts; last error: " + last.ToString());
 }
 
-Result<cvs::ServerReply> RemoteServer::Transact(
+Result<util::Tainted<cvs::ServerReply>> RemoteServer::Transact(
     uint32_t user, const std::vector<cvs::FileOp>& ops) {
   RpcRequest req;
   req.type = RpcType::kTransact;
@@ -260,8 +270,8 @@ Result<cvs::ServerReply> RemoteServer::Transact(
   return DeserializeVerified<cvs::ServerReply>(resp.payload, "transact reply");
 }
 
-Result<cvs::ListReply> RemoteServer::List(uint32_t user,
-                                          const std::string& prefix) {
+Result<util::Tainted<cvs::ListReply>> RemoteServer::List(
+    uint32_t user, const std::string& prefix) {
   RpcRequest req;
   req.type = RpcType::kList;
   req.user = user;
@@ -271,7 +281,8 @@ Result<cvs::ListReply> RemoteServer::List(uint32_t user,
   return DeserializeVerified<cvs::ListReply>(resp.payload, "list reply");
 }
 
-Result<cvs::LogCheckpointReply> RemoteServer::LogCheckpoint(uint64_t old_size) {
+Result<util::Tainted<cvs::LogCheckpointReply>> RemoteServer::LogCheckpoint(
+    uint64_t old_size) {
   RpcRequest req;
   req.type = RpcType::kLogCheckpoint;
   req.old_size = old_size;
@@ -406,7 +417,14 @@ class ServeState {
       malformed->Increment();
       return RpcResponse::FromStatus(req_or.status()).Serialize();
     }
-    const RpcRequest& req = *req_or;
+    // Server-side structural endorsement: the serving process executes
+    // whatever a client asks; clients' own verification is what matters.
+    auto checked_or = CheckRequestEnvelope(std::move(*req_or));
+    if (!checked_or.ok()) {
+      malformed->Increment();
+      return RpcResponse::FromStatus(checked_or.status()).Serialize();
+    }
+    const RpcRequest& req = *checked_or;
     // Adopt the caller's trace context before opening any span: every span
     // below — handler, mtree verify, WAL append — attaches to the client's
     // trace, with the client's call span as parent.
@@ -441,7 +459,9 @@ class ServeState {
         if (!reply_or.ok()) {
           resp = RpcResponse::FromStatus(reply_or.status());
         } else {
-          resp.payload = reply_or->Serialize();
+          // Pass-through of the quarantined reply: serializing its bytes
+          // claims nothing about them (the client re-quarantines on parse).
+          resp.payload = reply_or->untrusted().Serialize();
         }
         break;
       }
@@ -450,7 +470,9 @@ class ServeState {
         if (!reply_or.ok()) {
           resp = RpcResponse::FromStatus(reply_or.status());
         } else {
-          resp.payload = reply_or->Serialize();
+          // Pass-through of the quarantined reply: serializing its bytes
+          // claims nothing about them (the client re-quarantines on parse).
+          resp.payload = reply_or->untrusted().Serialize();
         }
         break;
       }
@@ -459,7 +481,9 @@ class ServeState {
         if (!reply_or.ok()) {
           resp = RpcResponse::FromStatus(reply_or.status());
         } else {
-          resp.payload = reply_or->Serialize();
+          // Pass-through of the quarantined reply: serializing its bytes
+          // claims nothing about them (the client re-quarantines on parse).
+          resp.payload = reply_or->untrusted().Serialize();
         }
         break;
       }

@@ -53,10 +53,15 @@ class RemoteServer : public cvs::ServerApi {
   static Result<std::unique_ptr<RemoteServer>> Connect(
       const std::string& host, uint16_t port, RemoteOptions options = {});
 
-  Result<cvs::ServerReply> Transact(uint32_t user,
-                                    const std::vector<cvs::FileOp>& ops) override;
-  Result<cvs::ListReply> List(uint32_t user, const std::string& prefix) override;
-  Result<cvs::LogCheckpointReply> LogCheckpoint(uint64_t old_size) override;
+  /// ServerApi replies stay quarantined across the transport: the payload is
+  /// parsed (structure only) and re-wrapped; VerifyingClient's chain walk is
+  /// still the only endorser.
+  Result<util::Tainted<cvs::ServerReply>> Transact(
+      uint32_t user, const std::vector<cvs::FileOp>& ops) override;
+  Result<util::Tainted<cvs::ListReply>> List(uint32_t user,
+                                             const std::string& prefix) override;
+  Result<util::Tainted<cvs::LogCheckpointReply>> LogCheckpoint(
+      uint64_t old_size) override;
   mtree::TreeParams tree_params() const override { return params_; }
 
   /// Asks the server's serving loop to exit (operator tooling / tests).

@@ -61,6 +61,8 @@ struct CampaignSchedule {
 
   /// util/serde wire form (versioned); the fixture format embeds its hex.
   Bytes Serialize() const;
+  // taint-exempt: local-origin — parses checked-in campaign fixtures and
+  // generator output, never network bytes.
   static Result<CampaignSchedule> Deserialize(const Bytes& data);
 };
 

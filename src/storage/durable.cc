@@ -36,7 +36,10 @@ Bytes EncodeList(uint32_t user, const std::string& prefix) {
   return w.Take();
 }
 
-Status ReplayRecord(const Bytes& record, cvs::UntrustedServer* server) {
+// WAL apply is a trusted sink on the server's own durable state; the WAL is
+// written by this process, so its records are local-origin, not tainted.
+TCVS_TRUSTED_SINK Status ReplayRecord(const Bytes& record,
+                                      cvs::UntrustedServer* server) {
   util::Reader r(record);
   TCVS_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
   TCVS_ASSIGN_OR_RETURN(uint32_t user, r.GetU32());
@@ -133,7 +136,7 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
                         records.size()));
 }
 
-Result<cvs::ServerReply> DurableServer::Transact(
+Result<util::Tainted<cvs::ServerReply>> DurableServer::Transact(
     uint32_t user, const std::vector<cvs::FileOp>& ops) {
   // Log first, then apply: a reply only exists once its transaction is
   // durable, so recovery can never lose an acknowledged state transition.
@@ -146,15 +149,15 @@ Result<cvs::ServerReply> DurableServer::Transact(
   return server_->Transact(user, ops);
 }
 
-Result<cvs::ListReply> DurableServer::List(uint32_t user,
-                                           const std::string& prefix) {
+Result<util::Tainted<cvs::ListReply>> DurableServer::List(
+    uint32_t user, const std::string& prefix) {
   util::MutexLock lock(&mu_);
   TCVS_RETURN_NOT_OK(wal_.Append(EncodeList(user, prefix)));
   ++wal_records_;
   return server_->List(user, prefix);
 }
 
-Result<cvs::LogCheckpointReply> DurableServer::LogCheckpoint(
+Result<util::Tainted<cvs::LogCheckpointReply>> DurableServer::LogCheckpoint(
     uint64_t old_size) {
   util::MutexLock lock(&mu_);
   return server_->LogCheckpoint(old_size);

@@ -44,10 +44,12 @@ class DurableServer : public cvs::ServerApi {
   /// mutex, so the WAL append and the in-memory apply are one atomic unit
   /// even when tcvsd's worker pool calls in concurrently.
   /// @{
-  Result<cvs::ServerReply> Transact(uint32_t user,
+  Result<util::Tainted<cvs::ServerReply>> Transact(uint32_t user,
                                     const std::vector<cvs::FileOp>& ops) override;
-  Result<cvs::ListReply> List(uint32_t user, const std::string& prefix) override;
-  Result<cvs::LogCheckpointReply> LogCheckpoint(uint64_t old_size) override;
+  Result<util::Tainted<cvs::ListReply>> List(uint32_t user,
+                                             const std::string& prefix) override;
+  Result<util::Tainted<cvs::LogCheckpointReply>> LogCheckpoint(
+      uint64_t old_size) override;
   mtree::TreeParams tree_params() const override;
   /// @}
 

@@ -143,6 +143,8 @@ class AuditLog {
 
   /// Wire form of Snapshot() — the kEvents RPC payload.
   Bytes Serialize() const TCVS_EXCLUDES(mu_);
+  // taint-exempt: observability-only — the kEvents payload is rendered for
+  // diagnostics and feeds no trusted sink or protocol register.
   static Result<std::vector<AuditEvent>> Deserialize(const Bytes& data);
 
   /// Drops every retained event and restores defaults; the sequence

@@ -177,6 +177,8 @@ struct TraceDump {
   std::string ChromeTraceJson() const;
 
   Bytes Serialize() const;
+  // taint-exempt: observability-only — trace dumps are rendered for humans
+  // (Chrome trace JSON) and feed no trusted sink or protocol register.
   static Result<TraceDump> Deserialize(const Bytes& data);
 };
 
@@ -196,6 +198,8 @@ struct MetricsSnapshot {
   std::string JsonFormat() const;
 
   Bytes Serialize() const;
+  // taint-exempt: observability-only — the Stats payload is rendered for
+  // humans and feeds no trusted sink or protocol register.
   static Result<MetricsSnapshot> Deserialize(const Bytes& data);
 };
 

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file
+/// Trust-boundary taint attribute macros (the util/thread_annotations.h
+/// idiom, applied to data provenance instead of locks).
+///
+/// The soundness argument of Trusted CVS rests on one invariant: every byte
+/// that arrives from the untrusted server — query replies, verification
+/// objects, signed root digests, epoch-state blobs — must pass a
+/// cryptographic check before it may influence trusted client state. These
+/// macros make the three roles of that invariant visible to tooling:
+///
+///  - TCVS_UNTRUSTED_SOURCE  marks a function whose return value crosses the
+///    trust boundary inward (wire deserializers). Such functions return
+///    `Result<util::Tainted<T>>` so the type system quarantines the value.
+///  - TCVS_ENDORSER          marks a function that performs the cryptographic
+///    or structural check which justifies unwrapping (VO verify, signature
+///    verify, consistency proof, envelope check). Only endorsers may launder
+///    taint, and each is tied to a registered verifier token (see
+///    util/untrusted.h).
+///  - TCVS_TRUSTED_SINK      marks a function that mutates trusted state
+///    (verified cache writes, WAL apply, gctr/sigma register folds). Sinks
+///    accept only unwrapped values; handing them anything derived from an
+///    unendorsed `.untrusted()` borrow is a taint-check finding.
+///
+/// Under Clang the macros expand to `[[clang::annotate("tcvs::...")]]` so a
+/// libclang AST pass (tools/taint_check.py) can follow source→sink flows in
+/// the compiled AST. Under GCC they expand to nothing; the pure-Python
+/// engine in tools/taint_check.py and the registry rules in tools/lint.py
+/// remain the portable backstop (mirroring how -Wthread-safety degrades to
+/// the TSan preset, see tools/check.sh).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(annotate)
+#define TCVS_TAINT_ANNOTATION_(x) [[clang::annotate(x)]]
+#else
+#define TCVS_TAINT_ANNOTATION_(x)  // no-op
+#endif
+#else
+#define TCVS_TAINT_ANNOTATION_(x)  // no-op
+#endif
+
+/// Function whose return value is server-originated and unverified.
+#define TCVS_UNTRUSTED_SOURCE TCVS_TAINT_ANNOTATION_("tcvs::untrusted_source")
+
+/// Function performing the check that justifies unwrapping a Tainted<T>.
+#define TCVS_ENDORSER TCVS_TAINT_ANNOTATION_("tcvs::endorser")
+
+/// Function mutating trusted client state; accepts only unwrapped values.
+#define TCVS_TRUSTED_SINK TCVS_TAINT_ANNOTATION_("tcvs::trusted_sink")

@@ -1,0 +1,8 @@
+// libFuzzer target for PointVo's untrusted-source Deserialize. Built only
+// under -DTCVS_FUZZ=ON with Clang; seed corpus in
+// tests/fuzz_corpora/point_vo/. The harness property lives in harness.h.
+#include "tests/fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return tcvs::fuzz::FuzzPointVo(data, size);
+}

@@ -1,0 +1,8 @@
+// libFuzzer target for RangeVo's untrusted-source Deserialize. Built only
+// under -DTCVS_FUZZ=ON with Clang; seed corpus in
+// tests/fuzz_corpora/range_vo/. The harness property lives in harness.h.
+#include "tests/fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return tcvs::fuzz::FuzzRangeVo(data, size);
+}

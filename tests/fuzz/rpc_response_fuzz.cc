@@ -1,0 +1,8 @@
+// libFuzzer target for RpcResponse's untrusted-source Deserialize. Built only
+// under -DTCVS_FUZZ=ON with Clang; seed corpus in
+// tests/fuzz_corpora/rpc_response/. The harness property lives in harness.h.
+#include "tests/fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return tcvs::fuzz::FuzzRpcResponse(data, size);
+}

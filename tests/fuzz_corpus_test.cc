@@ -1,0 +1,102 @@
+// Replays the checked-in libFuzzer seed corpora (tests/fuzz_corpora/)
+// through the shared fuzz harnesses on EVERY build — including gcc-only
+// containers where the libFuzzer targets themselves cannot build. This
+// keeps the corpora honest: each target directory must exist, be non-empty,
+// contain at least one seed the current wire format still accepts, and no
+// seed may crash its harness or violate the parse-stability property.
+//
+// Regenerating seeds after a deliberate wire-format change:
+//   cmake --build build --target gen_fuzz_corpus
+//   ./build/tools/gen_fuzz_corpus      # writes tests/fuzz_corpora/ afresh
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tests/fuzz/harness.h"
+
+namespace tcvs {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Target {
+  std::string name;
+  std::function<int(const uint8_t*, size_t)> harness;
+  // True when the seed bytes must parse under the current wire format.
+  std::function<bool(const Bytes&)> accepts;
+};
+
+std::vector<Target> Targets() {
+  return {
+      {"rpc_request", fuzz::FuzzRpcRequest,
+       [](const Bytes& b) { return rpc::RpcRequest::Deserialize(b).ok(); }},
+      {"rpc_response", fuzz::FuzzRpcResponse,
+       [](const Bytes& b) { return rpc::RpcResponse::Deserialize(b).ok(); }},
+      {"point_vo", fuzz::FuzzPointVo,
+       [](const Bytes& b) { return mtree::PointVO::Deserialize(b).ok(); }},
+      {"range_vo", fuzz::FuzzRangeVo,
+       [](const Bytes& b) { return mtree::RangeVO::Deserialize(b).ok(); }},
+      {"query_response", fuzz::FuzzQueryResponse,
+       [](const Bytes& b) {
+         return core::QueryResponse::Deserialize(b).ok();
+       }},
+  };
+}
+
+Bytes ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+TEST(FuzzCorpusTest, EveryTargetHasValidSeeds) {
+  const fs::path root = TCVS_FUZZ_CORPUS_DIR;
+  ASSERT_TRUE(fs::is_directory(root)) << root;
+  for (const Target& target : Targets()) {
+    SCOPED_TRACE(target.name);
+    const fs::path dir = root / target.name;
+    ASSERT_TRUE(fs::is_directory(dir)) << "missing corpus dir " << dir;
+    size_t seeds = 0, accepted = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      ++seeds;
+      Bytes data = ReadFile(entry.path());
+      // The harness aborts on a property violation; merely running it over
+      // every seed is the regression check.
+      target.harness(data.data(), data.size());
+      if (target.accepts(data)) ++accepted;
+    }
+    EXPECT_GE(seeds, 2u) << "corpus too small to seed mutation";
+    EXPECT_GE(accepted, 1u)
+        << "no seed parses under the current wire format — regenerate "
+           "tests/fuzz_corpora/" << target.name;
+  }
+}
+
+TEST(FuzzCorpusTest, HarnessesRejectJunkWithoutCrashing) {
+  // A quick in-process mutation smoke so even gcc containers exercise the
+  // reject paths: bit-flips and truncations of every committed seed.
+  const fs::path root = TCVS_FUZZ_CORPUS_DIR;
+  for (const Target& target : Targets()) {
+    SCOPED_TRACE(target.name);
+    for (const auto& entry : fs::directory_iterator(root / target.name)) {
+      if (!entry.is_regular_file()) continue;
+      Bytes seed = ReadFile(entry.path());
+      for (size_t i = 0; i < seed.size(); i += 7) {
+        Bytes mutated = seed;
+        mutated[i] ^= 0x5a;
+        target.harness(mutated.data(), mutated.size());
+        target.harness(mutated.data(), i);  // Truncation at the flip point.
+      }
+      target.harness(nullptr, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcvs

@@ -104,11 +104,12 @@ TEST(RpcProtocolTest, RequestRoundTrip) {
   req.ops.push_back({cvs::FileOp::Kind::kCheckout, "b.c", "", 0});
   auto back = rpc::RpcRequest::Deserialize(req.Serialize());
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back->user, 7u);
-  ASSERT_EQ(back->ops.size(), 2u);
-  EXPECT_EQ(back->ops[0].path, "a.c");
-  EXPECT_EQ(back->ops[0].base_revision, 3u);
-  EXPECT_EQ(back->ops[1].kind, cvs::FileOp::Kind::kCheckout);
+  const rpc::RpcRequest& got = back->untrusted();
+  EXPECT_EQ(got.user, 7u);
+  ASSERT_EQ(got.ops.size(), 2u);
+  EXPECT_EQ(got.ops[0].path, "a.c");
+  EXPECT_EQ(got.ops[0].base_revision, 3u);
+  EXPECT_EQ(got.ops[1].kind, cvs::FileOp::Kind::kCheckout);
 }
 
 TEST(RpcProtocolTest, ResponseCarriesStatus) {
@@ -116,8 +117,8 @@ TEST(RpcProtocolTest, ResponseCarriesStatus) {
       rpc::RpcResponse::FromStatus(Status::NotFound("missing"));
   auto back = rpc::RpcResponse::Deserialize(resp.Serialize());
   ASSERT_TRUE(back.ok());
-  EXPECT_TRUE(back->ToStatus().IsNotFound());
-  EXPECT_EQ(back->ToStatus().message(), "missing");
+  EXPECT_TRUE(back->untrusted().ToStatus().IsNotFound());
+  EXPECT_EQ(back->untrusted().ToStatus().message(), "missing");
 }
 
 TEST(RpcProtocolTest, JunkNeverCrashes) {

@@ -1,0 +1,24 @@
+// Seeded-bad fixture for `tools/taint_check.py --self-test`. NEVER compiled
+// or linked.
+//
+// Bug: taint laundering. The quarantined reply is borrowed, copied into a
+// fresh plainly-typed variable, and the COPY is fed to a trusted sink. The
+// copy carries no Tainted<> wrapper, so only flow tracking (one-level copy
+// propagation in the checker) catches it.
+#include "core/wire.h"
+#include "storage/durable.h"
+#include "util/untrusted.h"
+
+namespace tcvs {
+namespace storage {
+
+void BadLaunder(DurableStore& store,
+                const util::Tainted<core::QueryResponse>& quarantined) {
+  const core::QueryResponse& borrowed = quarantined.untrusted();
+  core::QueryResponse laundered = borrowed;  // Copying does not clean taint.
+  // taint-expect: unendorsed-sink-flow
+  store.ReplayRecord(laundered.path, laundered.record);
+}
+
+}  // namespace storage
+}  // namespace tcvs

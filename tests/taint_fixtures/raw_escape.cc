@@ -1,0 +1,21 @@
+// Seeded-bad fixture for `tools/taint_check.py --self-test`. NEVER compiled
+// or linked.
+//
+// Bug: the .raw() escape hatch (reserved for Tainted<T>'s own plumbing in
+// util/untrusted.h) is used in application code to strip quarantine without
+// any verification. Both the checker and tools/lint.py ban this.
+#include <utility>
+
+#include "cvs/trusted.h"
+#include "util/untrusted.h"
+
+namespace tcvs {
+namespace cvs {
+
+ServerReply BadRawEscape(util::Tainted<ServerReply> quarantined) {
+  // taint-expect: raw-escape
+  return std::move(quarantined).raw();  // Quarantine stripped, nothing checked.
+}
+
+}  // namespace cvs
+}  // namespace tcvs

@@ -1,0 +1,23 @@
+// Seeded-bad fixture for `tools/taint_check.py --self-test`. NEVER compiled
+// or linked — it exists so the checker's regression suite can prove the
+// pure-python engine flags this shape of bug.
+//
+// Bug: a quarantined server reply is borrowed with .untrusted() and written
+// straight into the verified cache. No VO verification ever ran, so a
+// Byzantine server could plant arbitrary records in trusted state.
+#include "core/wire.h"
+#include "cvs/cache.h"
+#include "util/untrusted.h"
+
+namespace tcvs {
+namespace cvs {
+
+void BadCachePut(LocalCache& cache,
+                 const util::Tainted<core::QueryResponse>& quarantined) {
+  const core::QueryResponse& reply = quarantined.untrusted();
+  // taint-expect: unendorsed-sink-flow
+  cache.Put(reply.path, *reply.record);  // Unverified write to trusted state.
+}
+
+}  // namespace cvs
+}  // namespace tcvs

@@ -1,0 +1,25 @@
+// Seeded-bad fixture for `tools/taint_check.py --self-test`. NEVER compiled
+// or linked.
+//
+// Bug: quarantine is "endorsed" with a home-made token that carries no
+// TCVS_TAINT_VERIFIER registration. The C++ layer rejects this at compile
+// time (Endorse() is SFINAE-constrained on the registration tag); the
+// checker must flag it too so the bug is caught in code that has not been
+// compiled yet (reviews, patches, generated code).
+#include <utility>
+
+#include "cvs/trusted.h"
+#include "util/untrusted.h"
+
+namespace tcvs {
+namespace cvs {
+
+struct LooksLegit {};  // No TCVS_TAINT_VERIFIER — a counterfeit token.
+
+ServerReply BadEndorse(util::Tainted<ServerReply> quarantined) {
+  // taint-expect: unregistered-verifier
+  return TCVS_ENDORSE(std::move(quarantined), LooksLegit{});
+}
+
+}  // namespace cvs
+}  // namespace tcvs

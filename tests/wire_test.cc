@@ -18,11 +18,11 @@ TEST(WireTest, QueryRequestRoundTrip) {
   q.value = util::ToBytes("content");
   auto back = QueryRequest::Deserialize(q.Serialize());
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back->qid, 42u);
-  EXPECT_EQ(back->kind, sim::OpKind::kCommit);
-  EXPECT_EQ(back->key, q.key);
-  EXPECT_EQ(back->value, q.value);
-  EXPECT_FALSE(back->epoch_upload.has_value());
+  EXPECT_EQ(back->untrusted().qid, 42u);
+  EXPECT_EQ(back->untrusted().kind, sim::OpKind::kCommit);
+  EXPECT_EQ(back->untrusted().key, q.key);
+  EXPECT_EQ(back->untrusted().value, q.value);
+  EXPECT_FALSE(back->untrusted().epoch_upload.has_value());
 }
 
 TEST(WireTest, QueryRequestWithEpochUpload) {
@@ -39,8 +39,8 @@ TEST(WireTest, QueryRequestWithEpochUpload) {
   q.epoch_upload = blob;
   auto back = QueryRequest::Deserialize(q.Serialize());
   ASSERT_TRUE(back.ok());
-  ASSERT_TRUE(back->epoch_upload.has_value());
-  EXPECT_EQ(*back->epoch_upload, blob);
+  ASSERT_TRUE(back->untrusted().epoch_upload.has_value());
+  EXPECT_EQ(*back->untrusted().epoch_upload, blob);
 }
 
 TEST(WireTest, QueryResponseRoundTrip) {
@@ -57,15 +57,15 @@ TEST(WireTest, QueryResponseRoundTrip) {
   resp.epoch = 3;
   auto back = QueryResponse::Deserialize(resp.Serialize());
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back->qid, 9u);
-  EXPECT_EQ(back->kind, sim::OpKind::kDelete);
-  EXPECT_TRUE(back->found);
-  EXPECT_EQ(back->answer, resp.answer);
-  EXPECT_EQ(back->vo, resp.vo);
-  EXPECT_EQ(back->ctr, 12345u);
-  EXPECT_EQ(back->creator, 6u);
-  EXPECT_EQ(back->sig, resp.sig);
-  EXPECT_EQ(back->epoch, 3u);
+  EXPECT_EQ(back->untrusted().qid, 9u);
+  EXPECT_EQ(back->untrusted().kind, sim::OpKind::kDelete);
+  EXPECT_TRUE(back->untrusted().found);
+  EXPECT_EQ(back->untrusted().answer, resp.answer);
+  EXPECT_EQ(back->untrusted().vo, resp.vo);
+  EXPECT_EQ(back->untrusted().ctr, 12345u);
+  EXPECT_EQ(back->untrusted().creator, 6u);
+  EXPECT_EQ(back->untrusted().sig, resp.sig);
+  EXPECT_EQ(back->untrusted().epoch, 3u);
 }
 
 TEST(WireTest, BadOpKindRejected) {
@@ -95,7 +95,7 @@ TEST(WireTest, QueryTraceIdRoundTrip) {
   q.trace_id = 0xDEADBEEFCAFEF00Dull;
   auto req_back = QueryRequest::Deserialize(q.Serialize());
   ASSERT_TRUE(req_back.ok());
-  EXPECT_EQ(req_back->trace_id, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(req_back->untrusted().trace_id, 0xDEADBEEFCAFEF00Dull);
 
   QueryResponse resp;
   resp.qid = 7;
@@ -103,7 +103,7 @@ TEST(WireTest, QueryTraceIdRoundTrip) {
   resp.trace_id = 0x1234567890ABCDEFull;
   auto resp_back = QueryResponse::Deserialize(resp.Serialize());
   ASSERT_TRUE(resp_back.ok());
-  EXPECT_EQ(resp_back->trace_id, 0x1234567890ABCDEFull);
+  EXPECT_EQ(resp_back->untrusted().trace_id, 0x1234567890ABCDEFull);
 }
 
 TEST(WireTest, SyncReportWithJournalRoundTrip) {
@@ -120,11 +120,11 @@ TEST(WireTest, SyncReportWithJournalRoundTrip) {
       TransitionRecord{Bytes(32, 2), Bytes(32, 3), 17, 2, 2});
   auto back = SyncReport::Deserialize(report.Serialize());
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back->sync_id, 100u);
-  EXPECT_EQ(back->gctr, 17u);
-  ASSERT_EQ(back->journal.size(), 2u);
-  EXPECT_EQ(back->journal[0], report.journal[0]);
-  EXPECT_EQ(back->journal[1], report.journal[1]);
+  EXPECT_EQ(back->untrusted().sync_id, 100u);
+  EXPECT_EQ(back->untrusted().gctr, 17u);
+  ASSERT_EQ(back->untrusted().journal.size(), 2u);
+  EXPECT_EQ(back->untrusted().journal[0], report.journal[0]);
+  EXPECT_EQ(back->untrusted().journal[1], report.journal[1]);
 }
 
 TEST(WireTest, EpochStatesReplyRoundTrip) {
@@ -143,11 +143,11 @@ TEST(WireTest, EpochStatesReplyRoundTrip) {
   }
   auto back = EpochStatesReply::Deserialize(reply.Serialize());
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back->epoch, 4u);
-  ASSERT_EQ(back->states.size(), 3u);
-  ASSERT_EQ(back->prev_states.size(), 3u);
-  EXPECT_EQ(back->states[1], reply.states[1]);
-  EXPECT_EQ(back->prev_states[2], reply.prev_states[2]);
+  EXPECT_EQ(back->untrusted().epoch, 4u);
+  ASSERT_EQ(back->untrusted().states.size(), 3u);
+  ASSERT_EQ(back->untrusted().prev_states.size(), 3u);
+  EXPECT_EQ(back->untrusted().states[1], reply.states[1]);
+  EXPECT_EQ(back->untrusted().prev_states[2], reply.prev_states[2]);
 }
 
 TEST(WireTest, EpochBlobPreimageBindsEveryField) {
@@ -179,27 +179,27 @@ TEST(WireTest, AggMessagesRoundTrip) {
   AggReport agg{7, 3, Bytes(32, 0x33), 99};
   auto agg_back = AggReport::Deserialize(agg.Serialize());
   ASSERT_TRUE(agg_back.ok());
-  EXPECT_EQ(agg_back->sync_id, 7u);
-  EXPECT_EQ(agg_back->lctr_sum, 99u);
+  EXPECT_EQ(agg_back->untrusted().sync_id, 7u);
+  EXPECT_EQ(agg_back->untrusted().lctr_sum, 99u);
 
   AggTotal total{7, Bytes(32, 0x44), 123};
   auto total_back = AggTotal::Deserialize(total.Serialize());
   ASSERT_TRUE(total_back.ok());
-  EXPECT_EQ(total_back->lctr_total, 123u);
+  EXPECT_EQ(total_back->untrusted().lctr_total, 123u);
 
   AggSuccess success{7, 2};
   auto success_back = AggSuccess::Deserialize(success.Serialize());
   ASSERT_TRUE(success_back.ok());
-  EXPECT_EQ(success_back->user, 2u);
+  EXPECT_EQ(success_back->untrusted().user, 2u);
 }
 
 TEST(WireTest, RootSigUploadRoundTrip) {
   RootSigUpload up{4, 500, util::ToBytes("signature-bytes")};
   auto back = RootSigUpload::Deserialize(up.Serialize());
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back->user, 4u);
-  EXPECT_EQ(back->ctr_after, 500u);
-  EXPECT_EQ(back->sig, up.sig);
+  EXPECT_EQ(back->untrusted().user, 4u);
+  EXPECT_EQ(back->untrusted().ctr_after, 500u);
+  EXPECT_EQ(back->untrusted().sig, up.sig);
 }
 
 }  // namespace

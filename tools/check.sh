@@ -28,7 +28,18 @@
 #   8. lint       tools/lint.py repo-invariant lint (raw-mutex ban,
 #                 naked-new ban, fault-point registry, header hygiene,
 #                 metric naming, RPC-method metric coverage, typed audit
-#                 events, campaign-fixture hygiene)
+#                 events, campaign-fixture hygiene, trust-boundary
+#                 quarantine coverage, taint-escape ban)
+#   9. taint      tools/taint_check.py trust-boundary taint analysis:
+#                 --self-test (the seeded-bad fixtures in
+#                 tests/taint_fixtures/ must ALL be flagged, the real tree
+#                 must be clean), then the full-tree scan. The libclang AST
+#                 engine SKIPs itself on gcc-only containers; the
+#                 pure-python flow engine always runs and is authoritative.
+#                 With clang++ installed, also builds the TCVS_FUZZ
+#                 libFuzzer targets and runs each for a bounded smoke over
+#                 its seed corpus [fuzz smoke SKIPPED without clang++ —
+#                 fuzz_corpus_test replays the corpora in stage 1 instead]
 #
 # Exit code: 0 iff every non-skipped stage passed. Suitable for CI as-is:
 #   ./tools/check.sh            # everything
@@ -109,6 +120,34 @@ stage_tidy() {
 
 stage_lint() {
   run_stage lint python3 tools/lint.py
+}
+
+# Bounded libFuzzer smoke over the committed seed corpora (clang only; the
+# build dir is separate so the gcc build/ stays untouched).
+fuzz_smoke() {
+  local bdir=build-fuzz t
+  cmake -B "$bdir" -S . -DTCVS_FUZZ=ON \
+        -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ || return 1
+  cmake --build "$bdir" -j "$JOBS" --target \
+        rpc_request_fuzz rpc_response_fuzz point_vo_fuzz range_vo_fuzz \
+        query_response_fuzz || return 1
+  for t in rpc_request rpc_response point_vo range_vo query_response; do
+    "$bdir/tests/${t}_fuzz" -runs=2000 -max_total_time=20 \
+        "tests/fuzz_corpora/$t" || return 1
+  done
+}
+
+stage_taint() {
+  run_stage taint python3 tools/taint_check.py --self-test
+  [ "${RESULT[taint]}" = FAIL ] && return
+  run_stage taint python3 tools/taint_check.py
+  [ "${RESULT[taint]}" = FAIL ] && return
+  if command -v clang++ >/dev/null 2>&1; then
+    run_stage taint fuzz_smoke
+  else
+    note "stage taint: clang++ not installed — fuzz smoke SKIPPED (fuzz_corpus_test replays the corpora in stage default)"
+    RESULT[taint]="${RESULT[taint]:-PASS} (fuzz smoke SKIP: no clang++)"
+  fi
 }
 
 # Bench-output smoke: run the fast table benches with TCVS_BENCH_JSON_DIR
@@ -296,7 +335,7 @@ stage_stats() {
 }
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats bench soak lint)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats bench soak lint taint)
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     default) stage_default ;;
@@ -307,7 +346,8 @@ for stage in "${STAGES[@]}"; do
     bench)   stage_bench ;;
     soak)    stage_soak ;;
     lint)    stage_lint ;;
-    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats bench soak lint)" >&2
+    taint)   stage_taint ;;
+    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats bench soak lint taint)" >&2
        exit 2 ;;
   esac
 done

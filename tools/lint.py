@@ -57,13 +57,35 @@ Rules (each violation prints `file:line: [rule] message`; exit 1 if any):
                  even-length hex `schedule` — a malformed fixture makes
                  campaign_test fail far from the file that caused it.
 
+  taint-boundary every `Deserialize` declared in a src/ header must either
+                 return Result<util::Tainted<T>> (server-originated bytes
+                 enter quarantine, util/untrusted.h) or carry a
+                 `// taint-exempt: <reason>` comment justifying why the
+                 input never crosses the server trust boundary. In the
+                 trust-boundary headers themselves (rpc/protocol.h,
+                 core/wire.h, mtree/vo.h) exemptions are banned outright:
+                 everything they parse came off the wire.
+
+  taint-escape   `.raw()` — Tainted<T>'s unchecked escape hatch — and
+                 reinterpret_casts involving Tainted are banned outside
+                 src/util/untrusted.h. The only sanctioned way out of
+                 quarantine is TCVS_ENDORSE with a registered verifier.
+                 (tools/taint_check.py enforces the same rule plus flow
+                 tracking; it shares tools/taint_registry.py with this
+                 lint.)
+
 Run from anywhere: paths are resolved relative to the repo root (the parent
 of this script's directory). `tools/check.sh` runs this as its last stage.
+tests/taint_fixtures/ is excluded from every rule: those files are seeded-bad
+snippets for `taint_check.py --self-test`.
 """
 
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import taint_registry  # noqa: E402  (shared verifier/source/sink inventory)
 
 REPO = Path(__file__).resolve().parent.parent
 SOURCE_DIRS = ["src", "tools", "tests", "bench", "examples"]
@@ -121,6 +143,22 @@ METRIC_DYNAMIC_ALLOWED = {
 }
 
 
+# Seeded-bad snippets for `taint_check.py --self-test`; never compiled and
+# exempt from every lint rule.
+TAINT_FIXTURE_DIR = Path("tests/taint_fixtures")
+
+# The trust-boundary headers: everything they deserialize arrived off the
+# wire, so quarantine is mandatory and taint-exempt markers are banned.
+TAINT_STRICT_HEADERS = {
+    Path("src/rpc/protocol.h"),
+    Path("src/core/wire.h"),
+    Path("src/mtree/vo.h"),
+}
+TAINT_EXEMPT_RE = re.compile(r"//\s*taint-exempt:\s*\S")
+RAW_ESCAPE_ALLOWED = {Path("src/util/untrusted.h")}
+RAW_ESCAPE_RE = re.compile(r"\.\s*raw\s*\(")
+
+
 def source_files(dirs, suffixes):
     for d in dirs:
         root = REPO / d
@@ -128,6 +166,9 @@ def source_files(dirs, suffixes):
             continue
         for path in sorted(root.rglob("*")):
             if path.suffix in suffixes and path.is_file():
+                rel = path.relative_to(REPO)
+                if TAINT_FIXTURE_DIR in rel.parents:
+                    continue
                 yield path
 
 
@@ -202,6 +243,19 @@ def main():
                        "raw std:: synchronization primitive; use util::Mutex/"
                        "MutexLock/CondVar from util/mutex.h so the "
                        "thread-safety analysis can see the lock")
+
+            if (RAW_ESCAPE_RE.search(code_no_str)
+                    and rel not in RAW_ESCAPE_ALLOWED):
+                report(path, lineno, "taint-escape",
+                       "Tainted<T>::raw() outside util/untrusted.h strips "
+                       "quarantine without verification; use TCVS_ENDORSE "
+                       "with a registered verifier")
+            if ("reinterpret_cast" in code_no_str
+                    and "Tainted" in code_no_str
+                    and rel not in RAW_ESCAPE_ALLOWED):
+                report(path, lineno, "taint-escape",
+                       "reinterpret_cast involving Tainted<T> bypasses the "
+                       "quarantine type layer; use TCVS_ENDORSE")
 
             if (NAKED_NEW_RE.search(code_no_str)
                     and "lint:allow-new" not in raw
@@ -355,6 +409,48 @@ def main():
                     or not re.fullmatch(r"[0-9a-f]+", hexstr)):
                 report(path, lineno, "campaign-fixture",
                        "schedule must be non-empty even-length lowercase hex")
+
+    # Pass 7: trust-boundary quarantine coverage. The untrusted-source names
+    # come from the shared taint registry (functions marked
+    # TCVS_UNTRUSTED_SOURCE), so this rule follows the annotations without
+    # hard-coding "Deserialize".
+    taint_inv = taint_registry.scan()
+    source_names = taint_inv["sources"] or {"Deserialize"}
+    source_decl_re = re.compile(
+        r"\bstatic\b[^;{=]*?\b(%s)\s*\(" %
+        "|".join(re.escape(s) for s in sorted(source_names)))
+    for path in source_files(["src"], {".h"}):
+        rel = path.relative_to(REPO)
+        raw_lines = path.read_text().splitlines()
+        code_lines = dict(strip_comments(raw_lines))
+        joined = "\n".join(code_lines.get(n, "")
+                           for n in range(1, len(raw_lines) + 1))
+        for m in source_decl_re.finditer(joined):
+            lineno = joined.count("\n", 0, m.start()) + 1
+            decl = joined[m.start():m.end()]
+            if "Tainted<" in decl:
+                continue  # Quarantined — always fine.
+            exempt = any(
+                TAINT_EXEMPT_RE.search(raw_lines[n])
+                for n in range(max(0, lineno - 4), lineno))
+            if rel in TAINT_STRICT_HEADERS:
+                report(path, lineno, "taint-boundary",
+                       f"{m.group(1)} in a trust-boundary header must return "
+                       "Result<util::Tainted<T>>; exemptions are not allowed "
+                       "here — everything this header parses came off the "
+                       "wire")
+            elif not exempt:
+                report(path, lineno, "taint-boundary",
+                       f"{m.group(1)} must return Result<util::Tainted<T>> "
+                       "or carry `// taint-exempt: <reason>` explaining why "
+                       "its input never crosses the server trust boundary")
+        if rel in TAINT_STRICT_HEADERS:
+            for lineno, raw in enumerate(raw_lines, start=1):
+                if TAINT_EXEMPT_RE.search(raw):
+                    report(path, lineno, "taint-boundary",
+                           "taint-exempt marker in a trust-boundary header; "
+                           "these messages are server-originated by "
+                           "definition and must stay quarantined")
 
     for v in violations:
         print(v)

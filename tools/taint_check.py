@@ -1,0 +1,419 @@
+#!/usr/bin/env python3
+"""Trust-boundary taint checker for trusted-cvs.
+
+Enforces the verify-before-use discipline of src/util/untrusted.h over the
+whole tree: server-originated bytes enter quarantine (`Tainted<T>`), only a
+registered verifier token can endorse them out, and trusted sinks (register
+folds, verified-cache writes, WAL apply) must never consume quarantined data.
+
+Two engines, both reporting `file:line: [rule] message`:
+
+  pure-python (always runs; authoritative for CI)
+    R1 unregistered-verifier  TCVS_ENDORSE whose verifier argument is not a
+                              struct registered with TCVS_TAINT_VERIFIER —
+                              a counterfeit token that would not compile
+                              today but signals someone fighting the type
+                              layer (and catches not-yet-compiled code).
+    R2 unendorsed-sink-flow   a value borrowed from quarantine via
+                              `.untrusted()` (or a copy of one — laundering)
+                              reaching a TCVS_TRUSTED_SINK function before
+                              any TCVS_ENDORSE re-binding.
+    R3 raw-escape             `.raw(` outside src/util/untrusted.h: the
+                              wrapper's own escape hatch used to sidestep
+                              endorsement.
+
+  libclang AST (best effort; SKIPs with a notice when python libclang
+  bindings or build/compile_commands.json are unavailable — gcc-only
+  containers still get the pure-python engine)
+    walks every TU in the compilation database, resolves the
+    [[clang::annotate("tcvs::...")]] attributes, and flags calls to
+    `tcvs::trusted_sink` functions whose arguments reference locals
+    initialized from `tcvs::untrusted_source` calls or `.untrusted()`
+    borrows with no interposed `tcvs::endorser` call.
+
+Modes:
+  python3 tools/taint_check.py              # scan src/ and tools/
+  python3 tools/taint_check.py --self-test  # fixtures must ALL be flagged,
+                                            # the real tree must be CLEAN
+The registry of verifiers/sources/endorsers/sinks comes from
+tools/taint_registry.py (greps the annotations out of src/), so this file
+hard-codes no names.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import taint_registry  # noqa: E402
+
+REPO = taint_registry.REPO
+SCAN_DIRS = ["src", "tools"]
+FIXTURE_DIR = REPO / "tests" / "taint_fixtures"
+RAW_ALLOWED = Path("src/util/untrusted.h")
+
+ENDORSE_CALL_RE = re.compile(r"\bTCVS_ENDORSE\s*\(")
+UNTRUSTED_BORROW_RE = re.compile(
+    r"[&\s]?(?:const\s+)?[\w:<>,\s&*]*?[&\s](\w+)\s*=\s*[^;=]*?\.\s*untrusted\s*\(\)"
+)
+RAW_ESCAPE_RE = re.compile(r"\.\s*raw\s*\(")
+
+
+def strip_comments(text):
+    """Blanks // and /* */ comments, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:end]))
+            i = end
+        elif text[i] == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append(text[i : j + 1])
+            i = j + 1
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def balanced_args(text, open_paren):
+    """Argument text of the call whose '(' is at `open_paren` (or None)."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] in "([{":
+            depth += 1
+        elif text[i] in ")]}":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : i]
+    return None
+
+
+def split_top_level(args):
+    """Splits an argument string on top-level commas."""
+    parts, depth, start = [], 0, 0
+    for i, c in enumerate(args):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            parts.append(args[start:i])
+            start = i + 1
+    parts.append(args[start:])
+    return parts
+
+
+def lineno_at(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+# ---------------------------------------------------------------------------
+# Pure-python engine
+# ---------------------------------------------------------------------------
+
+def check_file_python(path, rel, text, registry, findings):
+    code = strip_comments(text)
+
+    # R1: every TCVS_ENDORSE names a registered verifier token.
+    for m in ENDORSE_CALL_RE.finditer(code):
+        line_start = code.rfind("\n", 0, m.start()) + 1
+        if code[line_start:m.start()].lstrip().startswith("#"):
+            continue  # The macro's own #define in untrusted.h.
+        args = balanced_args(code, m.end() - 1)
+        if args is None:
+            continue
+        parts = split_top_level(args)
+        if len(parts) < 2:
+            findings.append((rel, lineno_at(code, m.start()),
+                             "unregistered-verifier",
+                             "TCVS_ENDORSE needs (value, verifier)"))
+            continue
+        ids = re.findall(r"[A-Za-z_]\w*", parts[1].split("(")[0].split("{")[0])
+        verifier = ids[-1] if ids else "<none>"
+        if verifier not in registry["verifiers"]:
+            findings.append(
+                (rel, lineno_at(code, m.start()), "unregistered-verifier",
+                 f'endorse with "{verifier}", which carries no '
+                 "TCVS_TAINT_VERIFIER registration — only verification "
+                 "tokens may unlock quarantine"))
+
+    # R3: the .raw() escape hatch never appears outside the wrapper itself.
+    if rel != RAW_ALLOWED:
+        for m in RAW_ESCAPE_RE.finditer(code):
+            findings.append(
+                (rel, lineno_at(code, m.start()), "raw-escape",
+                 "Tainted<T>::raw() outside util/untrusted.h bypasses "
+                 "endorsement; verify and TCVS_ENDORSE instead"))
+
+    # R2: quarantine borrows (and their copies) must not reach trusted
+    # sinks. Function-scoped: the tainted set resets when the brace depth
+    # returns to file level, so borrows cannot leak across functions.
+    sink_names = registry["sinks"]
+    if not sink_names:
+        return
+    sink_call_re = re.compile(
+        r"(?:\b[\w>]+(?:\.|->)|\b(?:\w+::)*)(%s)\s*\(" %
+        "|".join(re.escape(s) for s in sink_names))
+    tainted = set()
+    depth = 0
+    offset = 0
+    for line in code.split("\n"):
+        lineno = lineno_at(code, offset)
+
+        # A column-0 identifier opens a new top-level declaration (functions
+        # are never nested in this codebase, and namespace bodies are not
+        # indented), so borrows from the previous function are out of scope.
+        is_decl_line = bool(re.match(r"[A-Za-z_~]", line))
+        if is_decl_line:
+            tainted.clear()
+
+        # Borrows taint; TCVS_ENDORSE re-binding cleans the assigned name.
+        em = re.search(r"\b(\w+)\s*=\s*TCVS_ENDORSE\b", line)
+        if em:
+            tainted.discard(em.group(1))
+        else:
+            bm = UNTRUSTED_BORROW_RE.search(" " + line)
+            if bm:
+                tainted.add(bm.group(1))
+            else:
+                # One-level copy propagation: laundering a borrow through a
+                # fresh variable keeps the taint. Member-access LHS
+                # (`event.ctr = reply.ctr`) does not taint the member name.
+                cm = re.search(r"(?<![.\w>])(\w+)\s*(?:=|\()\s*(\w+)\s*[;,)\.]",
+                               line)
+                if cm and cm.group(2) in tainted:
+                    tainted.add(cm.group(1))
+
+        for sm in sink_call_re.finditer(line):
+            if is_decl_line:
+                continue  # The sink's own definition, not a call.
+            args = balanced_args(code, offset + sm.end() - 1)
+            if args is None:
+                args = line[sm.end():]
+            # Only base identifiers count: `verified.ctr` references the
+            # endorsed `verified`, not some variable named `ctr`.
+            base = re.sub(r"(?:\.|->)\s*[A-Za-z_]\w*", "", args)
+            arg_ids = set(re.findall(r"[A-Za-z_]\w*", base))
+            bad = sorted(arg_ids & tainted)
+            if bad or ".untrusted(" in args.replace(" ", ""):
+                via = (f"quarantine-borrowed value(s) {', '.join(bad)}"
+                       if bad else "a direct .untrusted() borrow")
+                findings.append(
+                    (rel, lineno, "unendorsed-sink-flow",
+                     f"trusted sink {sm.group(1)}() consumes {via}; endorse "
+                     "with TCVS_ENDORSE after verification first"))
+
+        depth += line.count("{") - line.count("}")
+        if depth <= 0:
+            depth = 0
+            tainted.clear()
+        offset += len(line) + 1
+
+
+def run_python_engine(paths, registry):
+    findings = []
+    for path in paths:
+        rel = path.relative_to(REPO)
+        check_file_python(path, rel, path.read_text(), registry, findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# libclang AST engine (best effort — SKIPs when unavailable)
+# ---------------------------------------------------------------------------
+
+ANNOTATION_ROLES = {
+    "tcvs::untrusted_source": "source",
+    "tcvs::endorser": "endorser",
+    "tcvs::trusted_sink": "sink",
+}
+
+
+def _decl_role(cursor, ci):
+    for child in cursor.get_children():
+        if child.kind == ci.CursorKind.ANNOTATE_ATTR:
+            role = ANNOTATION_ROLES.get(child.spelling)
+            if role:
+                return role
+    return None
+
+
+def _check_function_ast(fn, ci, rel, findings):
+    """Intra-procedural: locals fed by sources/borrows must pass through an
+    endorser before any sink call argument references them."""
+    tainted = set()
+    for cursor in fn.walk_preorder():
+        if cursor.kind == ci.CursorKind.VAR_DECL:
+            init_text = " ".join(t.spelling for t in cursor.get_tokens())
+            if ".untrusted (" in init_text or ". untrusted (" in init_text \
+                    or "untrusted ( )" in init_text:
+                tainted.add(cursor.spelling)
+            if "TCVS_ENDORSE" in init_text:
+                tainted.discard(cursor.spelling)
+        elif cursor.kind == ci.CursorKind.CALL_EXPR:
+            ref = cursor.referenced
+            if ref is None:
+                continue
+            role = _decl_role(ref, ci)
+            if role != "sink":
+                continue
+            arg_ids = set()
+            for arg in cursor.get_arguments():
+                for tok in arg.get_tokens():
+                    arg_ids.add(tok.spelling)
+            bad = sorted(arg_ids & tainted)
+            if bad:
+                loc = cursor.location
+                findings.append(
+                    (rel, loc.line, "unendorsed-sink-flow",
+                     f"[ast] trusted sink {ref.spelling}() consumes "
+                     f"quarantine-borrowed {', '.join(bad)}"))
+
+
+def run_clang_engine(registry):
+    """Returns (findings, note). findings is None when the engine SKIPs."""
+    try:
+        import clang.cindex as ci
+    except ImportError:
+        return None, "libclang python bindings not importable"
+    ccdb_path = REPO / "build" / "compile_commands.json"
+    if not ccdb_path.exists():
+        return None, "build/compile_commands.json not found (configure with " \
+                     "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+    try:
+        index = ci.Index.create()
+    except Exception as e:  # Bindings present but libclang.so missing.
+        return None, f"libclang unavailable: {e}"
+
+    findings = []
+    entries = json.loads(ccdb_path.read_text())
+    for entry in entries:
+        src = Path(entry["file"])
+        try:
+            rel = src.resolve().relative_to(REPO)
+        except ValueError:
+            continue
+        if rel.parts[0] not in SCAN_DIRS:
+            continue
+        args = [a for a in entry.get("command", "").split()[1:]
+                if a != str(src) and not a.startswith("-o")]
+        try:
+            tu = index.parse(str(src), args=args)
+        except ci.TranslationUnitLoadError:
+            continue
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind in (ci.CursorKind.FUNCTION_DECL,
+                               ci.CursorKind.CXX_METHOD) \
+                    and cursor.is_definition() \
+                    and cursor.location.file \
+                    and Path(str(cursor.location.file)).resolve() == src.resolve():
+                _check_function_ast(cursor, ci, rel, findings)
+    return findings, f"{len(entries)} TU(s) walked"
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+def tree_files():
+    for d in SCAN_DIRS:
+        root = REPO / d
+        for path in sorted(root.rglob("*")):
+            if path.suffix in (".h", ".cc") and path.is_file():
+                yield path
+
+
+def print_findings(findings):
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+
+
+def self_test(registry):
+    """Every fixture expectation must be flagged; the tree must be clean."""
+    failures = []
+    fixtures = sorted(FIXTURE_DIR.glob("*.cc"))
+    if not fixtures:
+        print(f"taint_check.py: no fixtures under {FIXTURE_DIR}",
+              file=sys.stderr)
+        return 1
+    for path in fixtures:
+        rel = path.relative_to(REPO)
+        text = path.read_text()
+        expected = re.findall(r"//\s*taint-expect:\s*([\w-]+)", text)
+        if not expected:
+            failures.append(f"{rel}: fixture declares no taint-expect marker")
+            continue
+        findings = []
+        check_file_python(path, rel, text, registry, findings)
+        got_rules = [f[2] for f in findings]
+        for rule in expected:
+            if rule in got_rules:
+                got_rules.remove(rule)  # Each marker needs its own finding.
+            else:
+                failures.append(
+                    f"{rel}: expected a [{rule}] finding, engine reported "
+                    f"{sorted(set(f[2] for f in findings)) or 'nothing'}")
+    tree_findings = run_python_engine(list(tree_files()), registry)
+    if tree_findings:
+        failures.append(f"real tree not clean ({len(tree_findings)} finding(s)):")
+        print_findings(tree_findings)
+    for f in failures:
+        print(f"taint_check.py: self-test: {f}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"taint_check.py: self-test OK — {len(fixtures)} fixture(s) all "
+          f"flagged, tree clean ({len(registry['verifiers'])} verifiers, "
+          f"{len(registry['sinks'])} sinks)")
+    return 0
+
+
+def main(argv):
+    registry = taint_registry.scan()
+    if not registry["verifiers"] or not registry["sinks"]:
+        print("taint_check.py: empty taint registry — annotations moved?",
+              file=sys.stderr)
+        return 1
+
+    if "--self-test" in argv:
+        return self_test(registry)
+
+    paths = [Path(a).resolve() for a in argv if not a.startswith("-")]
+    files = list(tree_files()) if not paths else [
+        p for arg in paths
+        for p in ([arg] if arg.is_file() else sorted(arg.rglob("*.cc")) +
+                  sorted(arg.rglob("*.h")))
+    ]
+    findings = run_python_engine(files, registry)
+    print_findings(findings)
+
+    ast_findings, note = run_clang_engine(registry)
+    if ast_findings is None:
+        print(f"taint_check.py: libclang AST engine SKIPPED ({note}); "
+              "pure-python engine is authoritative")
+    else:
+        print(f"taint_check.py: libclang AST engine ran ({note})")
+        print_findings(ast_findings)
+        findings += ast_findings
+
+    if findings:
+        print(f"taint_check.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"taint_check.py: OK — {len(files)} file(s) clean "
+          f"({len(registry['verifiers'])} verifiers, "
+          f"{len(registry['endorsers'])} endorsers, "
+          f"{len(registry['sinks'])} sinks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

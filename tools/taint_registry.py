@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Shared trust-boundary registry for taint_check.py and lint.py.
+
+The single source of truth for the taint vocabulary is the C++ tree itself:
+
+  * verifier tokens   — structs carrying `TCVS_TAINT_VERIFIER(Name);`
+                        (src/util/untrusted.h): the only types Endorse()
+                        accepts, so the only ways out of quarantine;
+  * untrusted sources — declarations marked TCVS_UNTRUSTED_SOURCE
+                        (src/util/taint_annotations.h): parsers of
+                        server-originated bytes, returning Tainted<T>;
+  * endorsers         — declarations marked TCVS_ENDORSER: verification
+                        functions whose success justifies unwrapping;
+  * trusted sinks     — declarations marked TCVS_TRUSTED_SINK: mutations of
+                        trusted state that must only see endorsed values.
+
+This module greps those registrations out of src/ so both checkers agree on
+the inventory without either one hard-coding names. Importable (`import
+taint_registry`) and runnable (`python3 tools/taint_registry.py` prints the
+inventory — handy when writing a new wire message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+VERIFIER_RE = re.compile(r"\bTCVS_TAINT_VERIFIER\(\s*(\w+)\s*\)")
+# A marker macro followed (possibly across lines) by a declaration whose
+# name is the last identifier before the parameter list's open paren.
+_MARKERS = ("TCVS_UNTRUSTED_SOURCE", "TCVS_ENDORSER", "TCVS_TRUSTED_SINK")
+_DECL_NAME_RE = re.compile(r"(\w+)\s*\(")
+
+
+def _strip_comments(text):
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+
+def _marked_decl_names(text, marker):
+    """Names of functions declared immediately after `marker`."""
+    names = set()
+    for m in re.finditer(r"\b%s\b" % marker, text):
+        # The declaration runs from the marker to the first `(`; its name is
+        # the identifier right before that paren. Bounded window: a marker is
+        # always adjacent to its declaration.
+        window = text[m.end():m.end() + 400]
+        paren = window.find("(")
+        if paren < 0:
+            continue
+        ids = re.findall(r"[A-Za-z_]\w*", window[:paren])
+        if ids:
+            names.add(ids[-1])
+    return names
+
+
+def scan(repo=REPO):
+    """Returns {"verifiers", "sources", "endorsers", "sinks"} name sets."""
+    verifiers, sources, endorsers, sinks = set(), set(), set(), set()
+    for path in sorted((repo / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc") or not path.is_file():
+            continue
+        if path.name == "taint_annotations.h":
+            continue  # The macro definitions, not registrations.
+        text = _strip_comments(path.read_text())
+        for name in VERIFIER_RE.findall(text):
+            verifiers.add(name)
+        sources |= _marked_decl_names(text, "TCVS_UNTRUSTED_SOURCE")
+        endorsers |= _marked_decl_names(text, "TCVS_ENDORSER")
+        sinks |= _marked_decl_names(text, "TCVS_TRUSTED_SINK")
+    # The macro definition sites themselves are not registrations.
+    verifiers.discard("Name")
+    return {
+        "verifiers": verifiers,
+        "sources": sources,
+        "endorsers": endorsers,
+        "sinks": sinks,
+    }
+
+
+def main():
+    inv = scan()
+    for kind in ("verifiers", "sources", "endorsers", "sinks"):
+        print(f"{kind} ({len(inv[kind])}):")
+        for name in sorted(inv[kind]):
+            print(f"  {name}")
+    if not inv["verifiers"] or not inv["sinks"]:
+        print("taint_registry.py: empty registry — did the annotations move?",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
