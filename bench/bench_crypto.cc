@@ -13,6 +13,7 @@
 #include "crypto/lamport.h"
 #include "crypto/merkle_sig.h"
 #include "crypto/sha256.h"
+#include "crypto/signature.h"
 #include "crypto/winternitz.h"
 #include "util/random.h"
 
@@ -30,6 +31,59 @@ void BM_Sha256(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Sha256)->Arg(32)->Arg(256)->Arg(4096)->Arg(65536);
+
+// Runtime-dispatch ablation: the same single-shot hash forced onto each
+// available engine (scalar portable vs SHA-NI). The gap is the fast path's
+// whole value; on hosts without SHA-NI the forced row self-skips.
+void BM_Sha256Engine(benchmark::State& state) {
+  Sha256Engine engine = static_cast<Sha256Engine>(state.range(0));
+  if (!Sha256EngineSupported(engine)) {
+    state.SkipWithError("engine not supported on this host");
+    return;
+  }
+  ForceSha256Engine(engine);
+  util::Rng rng(1);
+  Bytes data = rng.RandomBytes(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  ResetSha256Engine();
+  state.SetBytesProcessed(state.iterations() * state.range(1));
+  state.SetLabel(Sha256EngineName(engine));
+}
+BENCHMARK(BM_Sha256Engine)
+    ->Args({0, 32})
+    ->Args({1, 32})
+    ->Args({0, 4096})
+    ->Args({1, 4096});
+
+// Multi-buffer hashing: the WOTS chain-walk substrate. One call hashes N
+// independent 32-byte messages; compare against N single-shot calls.
+void BM_Sha256HashMany(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const bool batched = state.range(1) == 1;
+  util::Rng rng(8);
+  std::vector<Bytes> messages;
+  messages.reserve(n);
+  for (size_t i = 0; i < n; ++i) messages.push_back(rng.RandomBytes(32));
+  for (auto _ : state) {
+    if (batched) {
+      benchmark::DoNotOptimize(HashMany(messages));
+    } else {
+      std::vector<Digest> digests;
+      digests.reserve(n);
+      for (const auto& m : messages) digests.push_back(Sha256::Hash(m));
+      benchmark::DoNotOptimize(digests);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(batched ? "HashMany" : "serial");
+}
+BENCHMARK(BM_Sha256HashMany)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({128, 0})
+    ->Args({128, 1});
 
 void BM_HmacSha256(benchmark::State& state) {
   util::Rng rng(2);
@@ -146,6 +200,47 @@ void BM_MssVerify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MssVerify);
+
+// Protocol I's hot path: N independent MSS signatures verified in one
+// VerifyBatch call (chain walks pooled through the multi-buffer engine)
+// vs N sequential Verify calls. Same results, same audit choke point.
+void BM_VerifyBatch(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const bool batched = state.range(1) == 1;
+  MerkleSigner signer(util::ToBytes("batch-bench"), /*height=*/8);
+  const Bytes pk = signer.public_key();
+  std::vector<Bytes> msgs, sigs;
+  msgs.reserve(n);
+  sigs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    msgs.push_back(util::ToBytes("h(M(D) || " + std::to_string(i) + ")"));
+    sigs.push_back(*signer.Sign(msgs.back()));
+  }
+  std::vector<VerifyRequest> requests;
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    requests.push_back({SchemeId::kMerkleSig, &pk, &msgs[i], &sigs[i]});
+  }
+  for (auto _ : state) {
+    if (batched) {
+      std::vector<Status> results = VerifyBatch(requests);
+      benchmark::DoNotOptimize(results);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        Status s = Verify(SchemeId::kMerkleSig, pk, msgs[i], sigs[i]);
+        benchmark::DoNotOptimize(s);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(batched ? "VerifyBatch" : "serial");
+}
+BENCHMARK(BM_VerifyBatch)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

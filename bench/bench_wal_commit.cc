@@ -1,0 +1,169 @@
+// Experiment E11 (hot-path throughput): WAL group commit.
+//
+// End-to-end verified commits against a DurableServer with fsync ON, swept
+// over client threads × group-commit window. With window 0 every commit
+// pays its own fdatasync (the pre-group-commit behaviour); with a window,
+// the flush leader covers whole batches and throughput scales with the
+// batch factor. All commits still verify (full Protocol II chain walk) and
+// the counters prove how many device syncs the batch actually cost.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/json_out.h"
+#include "bench/table.h"
+#include "cvs/trusted.h"
+#include "storage/durable.h"
+#include "util/metrics.h"
+
+using namespace tcvs;
+using tcvs::bench::Num;
+using tcvs::bench::Table;
+
+namespace {
+
+uint64_t CounterValue(const std::string& name) {
+  auto snap = util::MetricsRegistry::Instance().Snapshot();
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+struct Row {
+  int threads;
+  uint32_t window_us;
+  uint64_t commits;
+  double wall_ms;
+  double ops_per_sec;
+  uint64_t fsyncs;
+  uint64_t appends;
+  double batch_factor;
+};
+
+Row RunOne(const std::filesystem::path& root, int threads, uint32_t window_us,
+           int commits_each, uint32_t sync_delay_us) {
+  std::filesystem::path dir =
+      root / ("t" + std::to_string(threads) + "w" + std::to_string(window_us) +
+              "d" + std::to_string(sync_delay_us));
+  std::filesystem::create_directories(dir);
+
+  storage::DurableOptions options;
+  options.fsync = true;
+  options.group_commit_window_us = window_us;
+  options.emulated_sync_delay_us = sync_delay_us;
+  auto server = storage::DurableServer::Open(dir.string(), mtree::TreeParams{},
+                                             options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "bench_wal_commit: open failed: %s\n",
+                 server.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  const uint64_t fsyncs_before = CounterValue("storage.wal.fsyncs_total");
+  const uint64_t appends_before = CounterValue("storage.wal.appends_total");
+
+  std::atomic<int> failures{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      cvs::VerifyingClient client(static_cast<uint32_t>(t + 1),
+                                  server->get());
+      const std::string path = "bench/f" + std::to_string(t);
+      for (int i = 0; i < commits_each; ++i) {
+        auto rev = client.Commit(path, "payload " + std::to_string(i),
+                                 static_cast<uint64_t>(i));
+        if (!rev.ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto end = std::chrono::steady_clock::now();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "bench_wal_commit: %d commit failures\n",
+                 failures.load());
+    std::exit(1);
+  }
+
+  const uint64_t commits = uint64_t(threads) * commits_each;
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  const uint64_t fsyncs = CounterValue("storage.wal.fsyncs_total") -
+                          fsyncs_before;
+  const uint64_t appends = CounterValue("storage.wal.appends_total") -
+                           appends_before;
+  return Row{threads,
+             window_us,
+             commits,
+             wall_ms,
+             commits / (wall_ms / 1000.0),
+             fsyncs,
+             appends,
+             fsyncs == 0 ? 0.0 : double(appends) / fsyncs};
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonOut json("bench_wal_commit");
+  std::error_code ec;
+  std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "tcvs_bench_wal_commit";
+  std::filesystem::remove_all(root, ec);
+  std::filesystem::create_directories(root);
+
+  const int kCommitsEach = 24;
+  std::printf("E11: WAL group-commit throughput (fsync on, verified "
+              "Protocol II commits)\n\n");
+  std::printf("-- real device (this host's fdatasync) --\n");
+  Table table({"threads", "window_us", "commits", "wall_ms", "ops/sec",
+               "fsyncs", "appends", "batch_factor"});
+  for (int threads : {1, 2, 4, 8}) {
+    for (uint32_t window_us : {0u, 2000u}) {
+      Row r = RunOne(root, threads, window_us, kCommitsEach, 0);
+      table.AddRow({Num(uint64_t(r.threads)), Num(uint64_t(r.window_us)),
+                    Num(r.commits), Num(r.wall_ms), Num(r.ops_per_sec),
+                    Num(r.fsyncs), Num(r.appends), Num(r.batch_factor)});
+    }
+  }
+  table.Print();
+  // Console only, NOT in the JSON: this host's real fdatasync latency is
+  // whatever the hypervisor write cache feels like (observed varying 10x
+  // run to run), so it would make the baseline comparison pure noise. The
+  // emulated table below is sleep-dominated and reproducible — that is the
+  // regression gate.
+
+  // Hypervisor write caches often ack fdatasync in ~100µs, hiding the very
+  // cost the batching amortizes; this table restores a SATA-class 2ms sync.
+  std::printf("\n-- emulated 2ms device sync --\n");
+  Table slow({"threads", "window_us", "commits", "wall_ms", "ops/sec",
+              "fsyncs", "appends", "batch_factor"});
+  for (int threads : {1, 4, 8}) {
+    for (uint32_t window_us : {0u, 2000u}) {
+      Row r = RunOne(root, threads, window_us, kCommitsEach, 2000);
+      slow.AddRow({Num(uint64_t(r.threads)), Num(uint64_t(r.window_us)),
+                   Num(r.commits), Num(r.wall_ms), Num(r.ops_per_sec),
+                   Num(r.fsyncs), Num(r.appends), Num(r.batch_factor)});
+    }
+  }
+  slow.Print();
+  json.Add("wal group commit throughput (emulated 2ms sync)", slow);
+  std::filesystem::remove_all(root, ec);
+
+  std::printf(
+      "\nExpected shape: window 0 = one fdatasync per commit (the pre-group-\n"
+      "commit cost). With the window enabled and concurrent clients, one\n"
+      "leader fsync covers the whole batch: fsyncs << appends and ops/sec\n"
+      "scales with the batch factor. Single-threaded rows pay no window\n"
+      "(the leader skips it with nothing in flight). The amortization is\n"
+      "most visible on the emulated slow device, where the sync dominates.\n");
+  return 0;
+}

@@ -76,36 +76,44 @@ Result<Bytes> MerkleSigner::Sign(const Bytes& message) {
   return w.Take();
 }
 
-Status MerkleSigner::VerifySignature(const Bytes& public_key,
-                                     const Bytes& message, const Bytes& signature) {
-  if (public_key.size() != kDigestSize) {
-    return Status::InvalidArgument("MSS public key must be 32 bytes");
-  }
+Result<MerkleSigner::PreparedSignature> MerkleSigner::Prepare(
+    const Bytes& signature) {
   util::Reader r(signature);
   TCVS_ASSIGN_OR_RETURN(uint8_t wparam, r.GetU8());
   if (wparam != 1 && wparam != 2 && wparam != 4 && wparam != 8) {
     return Status::InvalidArgument("unsupported Winternitz parameter in signature");
   }
-  WotsParams params{.w = wparam};
-  TCVS_ASSIGN_OR_RETURN(uint64_t leaf, r.GetU64());
-  TCVS_ASSIGN_OR_RETURN(Bytes wots_sig, r.GetBytes());
+  PreparedSignature prepared;
+  prepared.params = WotsParams{.w = wparam};
+  TCVS_ASSIGN_OR_RETURN(prepared.leaf, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(prepared.wots_sig, r.GetBytes());
   // Remaining bytes are the auth path; length tells us the tree height.
   if (r.remaining() % kDigestSize != 0) {
     return Status::InvalidArgument("malformed MSS authentication path");
   }
-  size_t height = r.remaining() / kDigestSize;
-  if (height > 63) return Status::InvalidArgument("MSS tree height too large");
-  if (leaf >= (1ULL << height)) {
+  prepared.height = r.remaining() / kDigestSize;
+  if (prepared.height > 63) {
+    return Status::InvalidArgument("MSS tree height too large");
+  }
+  if (prepared.leaf >= (1ULL << prepared.height)) {
     return Status::InvalidArgument("MSS leaf index out of range for tree height");
   }
+  TCVS_ASSIGN_OR_RETURN(prepared.auth_path,
+                        r.GetRaw(prepared.height * kDigestSize));
+  return prepared;
+}
 
-  TCVS_ASSIGN_OR_RETURN(
-      Bytes wots_pk,
-      WinternitzSigner::PublicKeyFromSignature(message, wots_sig, params));
+Status MerkleSigner::FinishVerify(const Bytes& public_key,
+                                  const PreparedSignature& prepared,
+                                  const Bytes& wots_pk) {
+  if (public_key.size() != kDigestSize) {
+    return Status::InvalidArgument("MSS public key must be 32 bytes");
+  }
   Digest node = LeafFromWotsPk(wots_pk);
-  uint64_t idx = leaf;
-  for (size_t lvl = 0; lvl < height; ++lvl) {
-    TCVS_ASSIGN_OR_RETURN(Bytes sibling, r.GetRaw(kDigestSize));
+  uint64_t idx = prepared.leaf;
+  for (size_t lvl = 0; lvl < prepared.height; ++lvl) {
+    Digest sibling(prepared.auth_path.begin() + lvl * kDigestSize,
+                   prepared.auth_path.begin() + (lvl + 1) * kDigestSize);
     node = (idx & 1) ? InternalNode(sibling, node) : InternalNode(node, sibling);
     idx >>= 1;
   }
@@ -113,6 +121,15 @@ Status MerkleSigner::VerifySignature(const Bytes& public_key,
     return Status::VerificationFailure("MSS root mismatch");
   }
   return Status::OK();
+}
+
+Status MerkleSigner::VerifySignature(const Bytes& public_key,
+                                     const Bytes& message, const Bytes& signature) {
+  TCVS_ASSIGN_OR_RETURN(PreparedSignature prepared, Prepare(signature));
+  TCVS_ASSIGN_OR_RETURN(Bytes wots_pk,
+                        WinternitzSigner::PublicKeyFromSignature(
+                            message, prepared.wots_sig, prepared.params));
+  return FinishVerify(public_key, prepared, wots_pk);
 }
 
 }  // namespace crypto

@@ -1,8 +1,18 @@
 #include "crypto/sha256.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "util/metrics.h"
+
+// The SHA-NI engine is compiled whenever the toolchain can target it (GCC /
+// clang on x86-64); whether it RUNS is a CPUID decision at startup. On other
+// architectures only the scalar engine exists.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define TCVS_SHA256_SHANI_BUILD 1
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
 
 namespace tcvs {
 namespace crypto {
@@ -38,7 +48,287 @@ inline uint32_t BigSigma1(uint32_t x) { return Rotr(x, 6) ^ Rotr(x, 11) ^ Rotr(x
 inline uint32_t SmallSigma0(uint32_t x) { return Rotr(x, 7) ^ Rotr(x, 18) ^ (x >> 3); }
 inline uint32_t SmallSigma1(uint32_t x) { return Rotr(x, 17) ^ Rotr(x, 19) ^ (x >> 10); }
 
+// ---------------------------------------------------------------------------
+// Scalar engine (portable FIPS 180-4).
+
+void ScalarCompress(uint32_t state[8], const uint8_t* blocks, size_t nblocks) {
+  for (; nblocks > 0; --nblocks, blocks += 64) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (uint32_t(blocks[4 * i]) << 24) |
+             (uint32_t(blocks[4 * i + 1]) << 16) |
+             (uint32_t(blocks[4 * i + 2]) << 8) | uint32_t(blocks[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      w[i] = SmallSigma1(w[i - 2]) + w[i - 7] + SmallSigma0(w[i - 15]) +
+             w[i - 16];
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      uint32_t t1 = h + BigSigma1(e) + Ch(e, f, g) + kRound[i] + w[i];
+      uint32_t t2 = BigSigma0(a) + Maj(a, b, c);
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+void ScalarCompressPair(uint32_t* const states[2],
+                        const uint8_t* const blocks[2]) {
+  ScalarCompress(states[0], blocks[0], 1);
+  ScalarCompress(states[1], blocks[1], 1);
+}
+
+// ---------------------------------------------------------------------------
+// SHA-NI engine. One generic lane-parallel transform: n = 1 is the
+// sequential fast path, n = 2 interleaves two independent single-block
+// streams so the sha256rnds2 dependency chains of one stream execute in the
+// latency shadows of the other (multi-buffer hashing).
+
+#ifdef TCVS_SHA256_SHANI_BUILD
+
+// Round constants for rounds 4g..4g+3, one per 32-bit lane. kRound is laid
+// out in natural order, which is exactly the lane order _mm_loadu wants.
+#define TCVS_SHA256_K4(g) \
+  _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kRound[4 * (g)]))
+
+__attribute__((target("sha,sse4.1"), always_inline)) inline void ShaNiLanes(
+    uint32_t* const* states, const uint8_t* const* blocks, int n) {
+  // Byte shuffle turning each big-endian 32-bit message word little-endian.
+  const __m128i mask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+  __m128i st0[2], st1[2], save0[2], save1[2], m[4][2], msg[2], tmp[2];
+
+  for (int l = 0; l < n; ++l) {
+    // Load a..h and permute into the ABEF / CDGH register layout the
+    // sha256rnds2 instruction expects.
+    __m128i t =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&states[l][0]));
+    __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&states[l][4]));
+    t = _mm_shuffle_epi32(t, 0xB1);
+    s = _mm_shuffle_epi32(s, 0x1B);
+    st0[l] = _mm_alignr_epi8(t, s, 8);
+    st1[l] = _mm_blend_epi16(s, t, 0xF0);
+    save0[l] = st0[l];
+    save1[l] = st1[l];
+  }
+
+  // 16 groups of 4 rounds. Group g consumes message vector m[g mod 4]; the
+  // message schedule (sha256msg1/msg2 + the alignr carry) runs in the exact
+  // canonical positions: msg2 scheduling in groups 3..14, msg1 priming in
+  // groups 1..12, loads in groups 0..3.
+  for (int g = 0; g < 16; ++g) {
+    for (int l = 0; l < n; ++l) {
+      if (g < 4) {
+        m[g][l] = _mm_shuffle_epi8(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(blocks[l] + 16 * g)),
+            mask);
+      }
+      msg[l] = _mm_add_epi32(m[g & 3][l], TCVS_SHA256_K4(g));
+      st1[l] = _mm_sha256rnds2_epu32(st1[l], st0[l], msg[l]);
+    }
+    for (int l = 0; l < n; ++l) {
+      if (g >= 3 && g <= 14) {
+        tmp[l] = _mm_alignr_epi8(m[g & 3][l], m[(g + 3) & 3][l], 4);
+        m[(g + 1) & 3][l] = _mm_add_epi32(m[(g + 1) & 3][l], tmp[l]);
+        m[(g + 1) & 3][l] =
+            _mm_sha256msg2_epu32(m[(g + 1) & 3][l], m[g & 3][l]);
+      }
+      msg[l] = _mm_shuffle_epi32(msg[l], 0x0E);
+      st0[l] = _mm_sha256rnds2_epu32(st0[l], st1[l], msg[l]);
+      if (g >= 1 && g <= 12) {
+        m[(g + 3) & 3][l] =
+            _mm_sha256msg1_epu32(m[(g + 3) & 3][l], m[g & 3][l]);
+      }
+    }
+  }
+
+  for (int l = 0; l < n; ++l) {
+    st0[l] = _mm_add_epi32(st0[l], save0[l]);
+    st1[l] = _mm_add_epi32(st1[l], save1[l]);
+    __m128i t = _mm_shuffle_epi32(st0[l], 0x1B);
+    __m128i s = _mm_shuffle_epi32(st1[l], 0xB1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&states[l][0]),
+                     _mm_blend_epi16(t, s, 0xF0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&states[l][4]),
+                     _mm_alignr_epi8(s, t, 8));
+  }
+}
+
+#undef TCVS_SHA256_K4
+
+__attribute__((target("sha,sse4.1"))) void ShaNiCompress(uint32_t state[8],
+                                                         const uint8_t* blocks,
+                                                         size_t nblocks) {
+  uint32_t* st[1] = {state};
+  for (; nblocks > 0; --nblocks, blocks += 64) {
+    const uint8_t* b[1] = {blocks};
+    ShaNiLanes(st, b, 1);
+  }
+}
+
+__attribute__((target("sha,sse4.1"))) void ShaNiCompressPair(
+    uint32_t* const states[2], const uint8_t* const blocks[2]) {
+  ShaNiLanes(states, blocks, 2);
+}
+
+bool CpuHasShaNi() {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (!__get_cpuid_count(7, 0, &a, &b, &c, &d)) return false;
+  if ((b & (1u << 29)) == 0) return false;  // EBX bit 29: SHA extensions.
+  if (!__get_cpuid(1, &a, &b, &c, &d)) return false;
+  return (c & (1u << 19)) != 0;  // ECX bit 19: SSE4.1.
+}
+
+#else  // !TCVS_SHA256_SHANI_BUILD
+
+bool CpuHasShaNi() { return false; }
+
+#endif
+
+// ---------------------------------------------------------------------------
+// Dispatch. Selected once from CPUID; ForceSha256Engine overrides for tests.
+
+struct EngineOps {
+  Sha256Engine id;
+  void (*compress)(uint32_t state[8], const uint8_t* blocks, size_t nblocks);
+  void (*compress_pair)(uint32_t* const states[2],
+                        const uint8_t* const blocks[2]);
+};
+
+constexpr EngineOps kScalarOps = {Sha256Engine::kScalar, ScalarCompress,
+                                  ScalarCompressPair};
+#ifdef TCVS_SHA256_SHANI_BUILD
+constexpr EngineOps kShaNiOps = {Sha256Engine::kShaNi, ShaNiCompress,
+                                 ShaNiCompressPair};
+#endif
+
+const EngineOps* OpsFor(Sha256Engine engine) {
+#ifdef TCVS_SHA256_SHANI_BUILD
+  if (engine == Sha256Engine::kShaNi) return &kShaNiOps;
+#else
+  (void)engine;
+#endif
+  return &kScalarOps;
+}
+
+const EngineOps* DetectedOps() {
+  static const EngineOps* const ops =
+      CpuHasShaNi() ? OpsFor(Sha256Engine::kShaNi)
+                    : OpsFor(Sha256Engine::kScalar);
+  return ops;
+}
+
+std::atomic<const EngineOps*> g_forced_ops{nullptr};
+
+inline const EngineOps* ActiveOps() {
+  const EngineOps* forced = g_forced_ops.load(std::memory_order_acquire);
+  return forced != nullptr ? forced : DetectedOps();
+}
+
+// The two engine-level metrics live on the compress path, not in Finish():
+// `bytes_hashed` counts bytes pushed through the compression function
+// (message + padding, multi-buffer included), which is the quantity the
+// engine's bytes/sec is measured in; the gauge pins which engine is hot.
+inline void AccountCompress(const EngineOps* ops, size_t blocks) {
+  static util::Counter* const bytes_hashed =
+      util::MetricsRegistry::Instance().GetCounter(
+          "crypto.sha256.bytes_hashed");
+  static util::Gauge* const engine =
+      util::MetricsRegistry::Instance().GetGauge("crypto.sha256.engine");
+  bytes_hashed->Increment(64 * blocks);
+  engine->Set(static_cast<int64_t>(ops->id));
+}
+
+inline void CompressBlocks(uint32_t state[8], const uint8_t* blocks,
+                           size_t nblocks) {
+  const EngineOps* ops = ActiveOps();
+  AccountCompress(ops, nblocks);
+  ops->compress(state, blocks, nblocks);
+}
+
+inline void CompressPair(uint32_t* const states[2],
+                         const uint8_t* const blocks[2]) {
+  const EngineOps* ops = ActiveOps();
+  AccountCompress(ops, 2);
+  ops->compress_pair(states, blocks);
+}
+
+// Pads a ≤ 55-byte message into the single 64-byte block it occupies.
+void PadSingleBlock(const Bytes& message, uint8_t block[64]) {
+  std::memset(block, 0, 64);
+  if (!message.empty()) std::memcpy(block, message.data(), message.size());
+  block[message.size()] = 0x80;
+  const uint64_t bits = uint64_t(message.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[56 + i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+  }
+}
+
+void StateToDigest(const uint32_t state[8], Digest* out) {
+  out->resize(kDigestSize);
+  for (int i = 0; i < 8; ++i) {
+    (*out)[4 * i] = static_cast<uint8_t>(state[i] >> 24);
+    (*out)[4 * i + 1] = static_cast<uint8_t>(state[i] >> 16);
+    (*out)[4 * i + 2] = static_cast<uint8_t>(state[i] >> 8);
+    (*out)[4 * i + 3] = static_cast<uint8_t>(state[i]);
+  }
+}
+
 }  // namespace
+
+Sha256Engine ActiveSha256Engine() { return ActiveOps()->id; }
+
+const char* Sha256EngineName(Sha256Engine engine) {
+  switch (engine) {
+    case Sha256Engine::kScalar:
+      return "scalar";
+    case Sha256Engine::kShaNi:
+      return "sha_ni";
+  }
+  return "unknown";
+}
+
+bool Sha256EngineSupported(Sha256Engine engine) {
+  if (engine == Sha256Engine::kScalar) return true;
+  return CpuHasShaNi();
+}
+
+bool ForceSha256Engine(Sha256Engine engine) {
+  if (!Sha256EngineSupported(engine)) return false;
+  g_forced_ops.store(OpsFor(engine), std::memory_order_release);
+  util::MetricsRegistry::Instance()
+      .GetGauge("crypto.sha256.engine")
+      ->Set(static_cast<int64_t>(engine));
+  return true;
+}
+
+void ResetSha256Engine() {
+  g_forced_ops.store(nullptr, std::memory_order_release);
+  util::MetricsRegistry::Instance()
+      .GetGauge("crypto.sha256.engine")
+      ->Set(static_cast<int64_t>(DetectedOps()->id));
+}
 
 void Sha256::Reset() {
   std::memcpy(state_, kInit, sizeof(state_));
@@ -47,48 +337,18 @@ void Sha256::Reset() {
 }
 
 void Sha256::ProcessBlock(const uint8_t block[64]) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (uint32_t(block[4 * i]) << 24) | (uint32_t(block[4 * i + 1]) << 16) |
-           (uint32_t(block[4 * i + 2]) << 8) | uint32_t(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    w[i] = SmallSigma1(w[i - 2]) + w[i - 7] + SmallSigma0(w[i - 15]) + w[i - 16];
-  }
-
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    uint32_t t1 = h + BigSigma1(e) + Ch(e, f, g) + kRound[i] + w[i];
-    uint32_t t2 = BigSigma0(a) + Maj(a, b, c);
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  CompressBlocks(state_, block, 1);
 }
 
 void Sha256::Update(const uint8_t* data, size_t len) {
   bit_count_ += uint64_t(len) * 8;
   while (len > 0) {
     if (buffer_len_ == 0 && len >= 64) {
-      ProcessBlock(data);
-      data += 64;
-      len -= 64;
+      // Whole-block run: one dispatch for every full block in the input.
+      const size_t nblocks = len / 64;
+      CompressBlocks(state_, data, nblocks);
+      data += nblocks * 64;
+      len -= nblocks * 64;
       continue;
     }
     size_t take = std::min(len, 64 - buffer_len_);
@@ -127,13 +387,8 @@ Digest Sha256::Finish() {
   ProcessBlock(buffer_);
   buffer_len_ = 0;
 
-  Digest out(kDigestSize);
-  for (int i = 0; i < 8; ++i) {
-    out[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
-    out[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
-    out[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 8);
-    out[4 * i + 3] = static_cast<uint8_t>(state_[i]);
-  }
+  Digest out;
+  StateToDigest(state_, &out);
   return out;
 }
 
@@ -147,6 +402,64 @@ Digest Sha256::Hash(std::string_view data) {
   Sha256 h;
   h.Update(data);
   return h.Finish();
+}
+
+void HashManyInto(const Bytes* const* messages, size_t n, Digest* digests) {
+  static util::Counter* const hashes =
+      util::MetricsRegistry::Instance().GetCounter(
+          "crypto.sha256.hashes_total");
+  static util::Counter* const hashed_bytes =
+      util::MetricsRegistry::Instance().GetCounter(
+          "crypto.sha256.bytes_total");
+
+  // Pair up the single-block messages (≤ 55 bytes payload fits message,
+  // 0x80, and the length field in one block); everything longer takes the
+  // incremental path. Padding happens into local blocks BEFORE the digest
+  // is written, so digests[i] may alias messages[i].
+  size_t pending[2];
+  int npending = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (messages[i]->size() <= 55) {
+      hashes->Increment();
+      hashed_bytes->Increment(messages[i]->size());
+      pending[npending++] = i;
+      if (npending == 2) {
+        uint8_t blocks[2][64];
+        uint32_t states[2][8];
+        for (int l = 0; l < 2; ++l) {
+          PadSingleBlock(*messages[pending[l]], blocks[l]);
+          std::memcpy(states[l], kInit, sizeof(kInit));
+        }
+        uint32_t* state_ptrs[2] = {states[0], states[1]};
+        const uint8_t* block_ptrs[2] = {blocks[0], blocks[1]};
+        CompressPair(state_ptrs, block_ptrs);
+        for (int l = 0; l < 2; ++l) {
+          StateToDigest(states[l], &digests[pending[l]]);
+        }
+        npending = 0;
+      }
+    } else {
+      // Sha256::Finish does its own metric accounting.
+      digests[i] = Sha256::Hash(*messages[i]);
+    }
+  }
+  if (npending == 1) {
+    uint8_t block[64];
+    uint32_t state[8];
+    PadSingleBlock(*messages[pending[0]], block);
+    std::memcpy(state, kInit, sizeof(kInit));
+    CompressBlocks(state, block, 1);
+    StateToDigest(state, &digests[pending[0]]);
+  }
+}
+
+std::vector<Digest> HashMany(const std::vector<Bytes>& messages) {
+  std::vector<const Bytes*> ptrs;
+  ptrs.reserve(messages.size());
+  for (const auto& m : messages) ptrs.push_back(&m);
+  std::vector<Digest> out(messages.size());
+  HashManyInto(ptrs.data(), ptrs.size(), out.data());
+  return out;
 }
 
 Digest HashConcat(const Bytes& a, const Bytes& b) {

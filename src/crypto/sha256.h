@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "util/bytes.h"
 
@@ -13,6 +14,38 @@ inline constexpr size_t kDigestSize = 32;
 
 /// Digests are plain byte strings of kDigestSize bytes.
 using Digest = Bytes;
+
+/// \brief Compression-function engines behind the one public Sha256 API.
+///
+/// Selected once per process (CPUID probe for the SHA extensions) the first
+/// time a block is compressed; every engine computes the identical FIPS
+/// 180-4 function, so the choice is invisible except in throughput and in
+/// the `crypto.sha256.engine` gauge.
+enum class Sha256Engine : int {
+  /// Portable from-scratch implementation — always available.
+  kScalar = 0,
+  /// x86 SHA-NI (`sha256rnds2` et al.), ~one order of magnitude faster per
+  /// block. Used only when CPUID reports the SHA extensions.
+  kShaNi = 1,
+};
+
+/// The engine the process is currently dispatching to.
+Sha256Engine ActiveSha256Engine();
+
+/// Human-readable engine name ("scalar", "sha_ni") for logs and stats.
+const char* Sha256EngineName(Sha256Engine engine);
+
+/// True when `engine` can run on this CPU.
+bool Sha256EngineSupported(Sha256Engine engine);
+
+/// \brief Test hook: pin dispatch to `engine` (pass the CPU-detected default
+/// by calling ResetSha256Engine). Returns false (and changes nothing) when
+/// the CPU cannot run it. Intended for single-threaded test setup; the
+/// FIPS-vector suite uses it to drive every engine through one vector set.
+bool ForceSha256Engine(Sha256Engine engine);
+
+/// Undoes ForceSha256Engine: dispatch returns to the CPUID-detected engine.
+void ResetSha256Engine();
 
 /// \brief Incremental SHA-256 (FIPS 180-4), implemented from scratch.
 ///
@@ -53,6 +86,18 @@ class Sha256 {
   uint8_t buffer_[64];
   size_t buffer_len_;
 };
+
+/// \brief Multi-buffer hashing: digests of `n` independent messages in one
+/// call. Short messages (≤ 55 bytes, a single padded block — the WOTS
+/// chain-step and Merkle node-combine shapes) are compressed two streams at
+/// a time, so independent sha256rnds2 chains overlap and hide each other's
+/// latency; longer messages fall back to the sequential engine. Exactly
+/// equivalent to calling Sha256::Hash per message.
+///
+/// `HashManyInto` writes digests[i] for messages[i] (digests must have n
+/// entries); the vector overload allocates the output.
+void HashManyInto(const Bytes* const* messages, size_t n, Digest* digests);
+std::vector<Digest> HashMany(const std::vector<Bytes>& messages);
 
 /// \brief h(a ‖ b): digest of the concatenation of two byte strings.
 ///

@@ -7,12 +7,6 @@ namespace crypto {
 
 namespace {
 
-// Applies the hash chain `steps` times: c^steps(x).
-Digest Chain(Digest x, uint32_t steps) {
-  for (uint32_t s = 0; s < steps; ++s) x = Sha256::Hash(x);
-  return x;
-}
-
 // Domain-separation tag for WOTS chain starts ("w0ts" in ASCII).
 constexpr uint64_t kWotsDomain = 0x77307473ULL;
 
@@ -21,6 +15,31 @@ Digest ChainStart(const Bytes& seed, size_t chain_index) {
 }
 
 }  // namespace
+
+void AdvanceChains(std::vector<Digest>* chains, std::vector<uint32_t> steps) {
+  std::vector<const Bytes*> active;
+  std::vector<size_t> index;
+  std::vector<Digest> out;
+  active.reserve(chains->size());
+  index.reserve(chains->size());
+  for (;;) {
+    active.clear();
+    index.clear();
+    for (size_t i = 0; i < chains->size(); ++i) {
+      if (steps[i] > 0) {
+        active.push_back(&(*chains)[i]);
+        index.push_back(i);
+      }
+    }
+    if (active.empty()) return;
+    out.resize(active.size());
+    HashManyInto(active.data(), active.size(), out.data());
+    for (size_t k = 0; k < active.size(); ++k) {
+      (*chains)[index[k]] = std::move(out[k]);
+      --steps[index[k]];
+    }
+  }
+}
 
 size_t WotsParams::checksum_chains() const {
   // Max checksum value: message_chains() * chain_len().
@@ -67,12 +86,14 @@ std::vector<uint32_t> WinternitzSigner::Chunks(const Digest& md,
 
 WinternitzSigner::WinternitzSigner(const Bytes& seed, WotsParams params)
     : params_(params), seed_(seed) {
-  Sha256 h;
+  std::vector<Digest> chains;
+  chains.reserve(params_.total_chains());
   for (size_t i = 0; i < params_.total_chains(); ++i) {
-    Digest end = Chain(ChainStart(seed_, i), params_.chain_len());
-    h.Update(end);
+    chains.push_back(ChainStart(seed_, i));
   }
-  public_key_ = h.Finish();
+  AdvanceChains(&chains, std::vector<uint32_t>(params_.total_chains(),
+                                              params_.chain_len()));
+  public_key_ = FoldPublicKey(chains.data(), chains.size());
 }
 
 Result<Bytes> WinternitzSigner::Sign(const Bytes& message) {
@@ -82,29 +103,50 @@ Result<Bytes> WinternitzSigner::Sign(const Bytes& message) {
   used_ = true;
   Digest md = Sha256::Hash(message);
   std::vector<uint32_t> chunks = Chunks(md, params_);
-  Bytes sig;
-  sig.reserve(chunks.size() * kDigestSize);
+  std::vector<Digest> chains;
+  chains.reserve(chunks.size());
   for (size_t i = 0; i < chunks.size(); ++i) {
-    util::Append(&sig, Chain(ChainStart(seed_, i), chunks[i]));
+    chains.push_back(ChainStart(seed_, i));
   }
+  AdvanceChains(&chains, chunks);
+  Bytes sig;
+  sig.reserve(chains.size() * kDigestSize);
+  for (const auto& chain : chains) util::Append(&sig, chain);
   return sig;
 }
 
-Result<Bytes> WinternitzSigner::PublicKeyFromSignature(const Bytes& message,
-                                                       const Bytes& signature,
-                                                       WotsParams params) {
+Result<WotsChainWalk> WinternitzSigner::WalkFromSignature(const Bytes& message,
+                                                          const Bytes& signature,
+                                                          WotsParams params) {
   Digest md = Sha256::Hash(message);
   std::vector<uint32_t> chunks = Chunks(md, params);
   if (signature.size() != chunks.size() * kDigestSize) {
     return Status::InvalidArgument("Winternitz signature has wrong size");
   }
-  Sha256 h;
+  WotsChainWalk walk;
+  walk.chains.reserve(chunks.size());
+  walk.steps.reserve(chunks.size());
   for (size_t i = 0; i < chunks.size(); ++i) {
-    Digest part(signature.begin() + i * kDigestSize,
-                signature.begin() + (i + 1) * kDigestSize);
-    h.Update(Chain(std::move(part), params.chain_len() - chunks[i]));
+    walk.chains.emplace_back(signature.begin() + i * kDigestSize,
+                             signature.begin() + (i + 1) * kDigestSize);
+    walk.steps.push_back(params.chain_len() - chunks[i]);
   }
+  return walk;
+}
+
+Bytes WinternitzSigner::FoldPublicKey(const Digest* ends, size_t n) {
+  Sha256 h;
+  for (size_t i = 0; i < n; ++i) h.Update(ends[i]);
   return h.Finish();
+}
+
+Result<Bytes> WinternitzSigner::PublicKeyFromSignature(const Bytes& message,
+                                                       const Bytes& signature,
+                                                       WotsParams params) {
+  TCVS_ASSIGN_OR_RETURN(WotsChainWalk walk,
+                        WalkFromSignature(message, signature, params));
+  AdvanceChains(&walk.chains, std::move(walk.steps));
+  return FoldPublicKey(walk.chains.data(), walk.chains.size());
 }
 
 Status WinternitzSigner::VerifySignature(const Bytes& public_key,

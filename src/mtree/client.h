@@ -27,27 +27,35 @@ class TreeClient {
   const Digest& root() const { return root_; }
   const TreeParams& params() const { return params_; }
 
+  /// Attaches (or detaches, with nullptr) a VO subtree cache: subsequent
+  /// verifications shortcut subtrees whose exact bytes verified before. The
+  /// cache is borrowed, not owned, and must outlive the client or be
+  /// detached first. All verification guarantees are unchanged — see
+  /// VoCache for the soundness argument.
+  void AttachVoCache(VoCache* cache) { cache_ = cache; }
+  VoCache* vo_cache() const { return cache_; }
+
   /// Verifies an authenticated point read. Does not change M.
   /// \return the value, or nullopt for authenticated non-membership.
   Result<std::optional<Bytes>> Read(const Bytes& key, const PointVO& vo) const {
-    return VerifyPointRead(root_, params_, key, vo);
+    return VerifyPointRead(root_, params_, key, vo, cache_);
   }
   /// Same, straight from a quarantined wire VO — the verify call endorses.
   TCVS_ENDORSER Result<std::optional<Bytes>> Read(
       const Bytes& key, const util::Tainted<PointVO>& vo) const {
-    return VerifyPointRead(root_, params_, key, vo);
+    return VerifyPointRead(root_, params_, key, vo, cache_);
   }
 
   /// Verifies an authenticated range read. Does not change M.
   Result<std::vector<std::pair<Bytes, Bytes>>> ReadRange(const Bytes& lo,
                                                          const Bytes& hi,
                                                          const RangeVO& vo) const {
-    return VerifyRangeRead(root_, params_, lo, hi, vo);
+    return VerifyRangeRead(root_, params_, lo, hi, vo, cache_);
   }
   TCVS_ENDORSER Result<std::vector<std::pair<Bytes, Bytes>>> ReadRange(
       const Bytes& lo, const Bytes& hi,
       const util::Tainted<RangeVO>& vo) const {
-    return VerifyRangeRead(root_, params_, lo, hi, vo);
+    return VerifyRangeRead(root_, params_, lo, hi, vo, cache_);
   }
 
   /// Verifies the pre-state VO of an upsert, replays it, and advances M.
@@ -55,14 +63,14 @@ class TreeClient {
   Result<Digest> ApplyUpsert(const Bytes& key, const Bytes& value,
                              const PointVO& vo) {
     TCVS_ASSIGN_OR_RETURN(Digest next, VerifyAndApplyUpsert(root_, params_, key,
-                                                            value, vo));
+                                                            value, vo, cache_));
     root_ = next;
     return root_;
   }
   TCVS_ENDORSER Result<Digest> ApplyUpsert(const Bytes& key, const Bytes& value,
                                            const util::Tainted<PointVO>& vo) {
     TCVS_ASSIGN_OR_RETURN(Digest next, VerifyAndApplyUpsert(root_, params_, key,
-                                                            value, vo));
+                                                            value, vo, cache_));
     root_ = next;
     return root_;
   }
@@ -71,14 +79,15 @@ class TreeClient {
   /// \return the new root digest; NotFound (M unchanged) when the VO proves
   /// the key absent.
   Result<Digest> ApplyDelete(const Bytes& key, const PointVO& vo) {
-    TCVS_ASSIGN_OR_RETURN(Digest next, VerifyAndApplyDelete(root_, params_, key, vo));
+    TCVS_ASSIGN_OR_RETURN(Digest next,
+                          VerifyAndApplyDelete(root_, params_, key, vo, cache_));
     root_ = next;
     return root_;
   }
   TCVS_ENDORSER Result<Digest> ApplyDelete(const Bytes& key,
                                            const util::Tainted<PointVO>& vo) {
     TCVS_ASSIGN_OR_RETURN(Digest next,
-                          VerifyAndApplyDelete(root_, params_, key, vo));
+                          VerifyAndApplyDelete(root_, params_, key, vo, cache_));
     root_ = next;
     return root_;
   }
@@ -90,6 +99,7 @@ class TreeClient {
  private:
   Digest root_;
   TreeParams params_;
+  VoCache* cache_ = nullptr;  // Borrowed; nullptr = no caching.
 };
 
 }  // namespace mtree

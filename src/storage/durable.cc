@@ -131,30 +131,140 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
 
   TCVS_ASSIGN_OR_RETURN(WalWriter wal,
                         WalWriter::Open(WalPath(dir), options.fsync));
+  wal.set_emulated_sync_delay_us(options.emulated_sync_delay_us);
   return std::unique_ptr<DurableServer>(
       new DurableServer(dir, options, std::move(server), std::move(wal),
                         records.size()));
 }
 
+Result<uint64_t> DurableServer::StageRecord(const Bytes& record) {
+  util::MutexLock lock(&mu_);
+  TCVS_RETURN_NOT_OK(wal_.AppendNoFlush(record));
+  ++wal_records_;
+  const uint64_t seq = appended_seq_.load(std::memory_order_relaxed) + 1;
+  appended_seq_.store(seq, std::memory_order_release);
+  return seq;
+}
+
+Status DurableServer::WaitDurable(uint64_t seq) {
+  static util::Counter* const flushes =
+      util::MetricsRegistry::Instance().GetCounter(
+          "storage.wal.group_commit.flushes");
+  static util::LatencyHistogram* const batch_size =
+      util::MetricsRegistry::Instance().GetLatency(
+          "storage.wal.group_commit.batch_size");
+
+  gc_mu_.Lock();
+  for (;;) {
+    if (gc_durable_seq_ >= seq) {
+      // Resolved. Failed seqs carry their covering flush's error; each
+      // entry is consumed exactly once, by the waiter that owns the seq.
+      Status st = Status::OK();
+      auto it = gc_failed_.find(seq);
+      if (it != gc_failed_.end()) {
+        st = it->second;
+        gc_failed_.erase(it);
+      }
+      gc_mu_.Unlock();
+      return st;
+    }
+    if (!gc_leader_active_) {
+      // Become the flush leader. With other transactions in flight, hold
+      // the batching window open so their records join this flush; alone,
+      // flush immediately — a sequential workload never pays the window.
+      gc_leader_active_ = true;
+      // The window only pays off when a flush costs a device sync: with
+      // fsync off a flush is a page-cache fflush, so waiting would add
+      // latency with nothing to amortize — ignore the window there.
+      if (options_.fsync && options_.group_commit_window_us > 0 &&
+          inflight_.load(std::memory_order_relaxed) > 1) {
+        gc_cv_.WaitForUs(&gc_mu_, options_.group_commit_window_us);
+      }
+      gc_mu_.Unlock();
+
+      uint64_t flush_to = 0;
+      Status st;
+      {
+        // One Flush covers every record staged so far: fflush pushes the
+        // whole stdio buffer, and (in sync mode) one fdatasync makes the
+        // batch durable.
+        util::MutexLock wal_lock(&mu_);
+        flush_to = appended_seq_.load(std::memory_order_relaxed);
+        st = wal_.Flush();
+      }
+
+      gc_mu_.Lock();
+      gc_leader_active_ = false;
+      if (flush_to > gc_durable_seq_) {
+        flushes->Increment();
+        batch_size->Record(flush_to - gc_durable_seq_);
+        if (!st.ok()) {
+          for (uint64_t s = gc_durable_seq_ + 1; s <= flush_to; ++s) {
+            gc_failed_[s] = st;
+          }
+        }
+        gc_durable_seq_ = flush_to;
+      }
+      gc_cv_.SignalAll();
+      continue;  // Loop around to resolve our own seq.
+    }
+    gc_cv_.Wait(&gc_mu_);
+  }
+}
+
+void DurableServer::SkipApplyTurn(uint64_t seq) {
+  util::MutexLock lock(&mu_);
+  while (apply_next_seq_ != seq) apply_cv_.Wait(&mu_);
+  ++apply_next_seq_;
+  apply_cv_.SignalAll();
+}
+
 Result<util::Tainted<cvs::ServerReply>> DurableServer::Transact(
     uint32_t user, const std::vector<cvs::FileOp>& ops) {
-  // Log first, then apply: a reply only exists once its transaction is
-  // durable, so recovery can never lose an acknowledged state transition.
-  // One lock over both, so concurrent callers cannot interleave a WAL
-  // record with another caller's apply — the log order IS the apply order,
-  // which recovery replay depends on.
-  util::MutexLock lock(&mu_);
-  TCVS_RETURN_NOT_OK(wal_.Append(EncodeTransaction(user, ops)));
-  ++wal_records_;
-  return server_->Transact(user, ops);
+  // Log, make durable, then apply: a reply only exists once its
+  // transaction is durable, so recovery can never lose an acknowledged
+  // state transition. Staging is serialized under mu_ and the apply runs
+  // strictly in staging order, so the log order IS the apply order, which
+  // recovery replay depends on; between the two, the group-commit
+  // coordinator amortizes one flush over every concurrently staged record.
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  auto done = [this] { inflight_.fetch_sub(1, std::memory_order_relaxed); };
+  auto seq = StageRecord(EncodeTransaction(user, ops));
+  if (!seq.ok()) {
+    done();
+    return seq.status();
+  }
+  Status durable = WaitDurable(*seq);
+  if (!durable.ok()) {
+    // The record never became durable: fail WITHOUT applying (the reply
+    // must not exist), but still pass the apply turn on.
+    SkipApplyTurn(*seq);
+    done();
+    return durable;
+  }
+  auto reply = ApplyInOrder(*seq, [&] { return server_->Transact(user, ops); });
+  done();
+  return reply;
 }
 
 Result<util::Tainted<cvs::ListReply>> DurableServer::List(
     uint32_t user, const std::string& prefix) {
-  util::MutexLock lock(&mu_);
-  TCVS_RETURN_NOT_OK(wal_.Append(EncodeList(user, prefix)));
-  ++wal_records_;
-  return server_->List(user, prefix);
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  auto done = [this] { inflight_.fetch_sub(1, std::memory_order_relaxed); };
+  auto seq = StageRecord(EncodeList(user, prefix));
+  if (!seq.ok()) {
+    done();
+    return seq.status();
+  }
+  Status durable = WaitDurable(*seq);
+  if (!durable.ok()) {
+    SkipApplyTurn(*seq);
+    done();
+    return durable;
+  }
+  auto reply = ApplyInOrder(*seq, [&] { return server_->List(user, prefix); });
+  done();
+  return reply;
 }
 
 Result<util::Tainted<cvs::LogCheckpointReply>> DurableServer::LogCheckpoint(
@@ -180,11 +290,20 @@ Status DurableServer::Checkpoint() {
           "storage.checkpoints_total");
   checkpoints->Increment();
   util::MutexLock lock(&mu_);
+  // Drain in-flight group commits: every staged record must have taken its
+  // apply turn (or skipped it) before the snapshot is cut and the WAL
+  // truncated, otherwise truncation could discard a record that was staged
+  // but not yet folded into the snapshot state. Applies need mu_, which
+  // Wait releases, so the drain makes progress.
+  while (apply_next_seq_ <= appended_seq_.load(std::memory_order_acquire)) {
+    apply_cv_.Wait(&mu_);
+  }
   TCVS_RETURN_NOT_OK(AtomicWriteFile(SnapshotPath(dir_),
                                      EncodeSnapshot(*server_)));
   wal_.Close();
   TCVS_RETURN_NOT_OK(TruncateFile(WalPath(dir_)));
   TCVS_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath(dir_), options_.fsync));
+  wal_.set_emulated_sync_delay_us(options_.emulated_sync_delay_us);
   wal_records_ = 0;
   return Status::OK();
 }

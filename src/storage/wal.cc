@@ -3,7 +3,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "util/fault.h"
 #include "util/metrics.h"
@@ -49,7 +51,9 @@ uint32_t Crc32(const Bytes& data) { return Crc32(data.data(), data.size()); }
 WalWriter::~WalWriter() { Close(); }
 
 WalWriter::WalWriter(WalWriter&& other) noexcept
-    : file_(other.file_), sync_(other.sync_) {
+    : file_(other.file_),
+      sync_(other.sync_),
+      sync_delay_us_(other.sync_delay_us_) {
   other.file_ = nullptr;
 }
 
@@ -58,6 +62,7 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     Close();
     file_ = other.file_;
     sync_ = other.sync_;
+    sync_delay_us_ = other.sync_delay_us_;
     other.file_ = nullptr;
   }
   return *this;
@@ -80,6 +85,11 @@ Result<WalWriter> WalWriter::Open(const std::string& path, bool sync) {
 }
 
 Status WalWriter::Append(const Bytes& record) {
+  TCVS_RETURN_NOT_OK(AppendNoFlush(record));
+  return Flush();
+}
+
+Status WalWriter::AppendNoFlush(const Bytes& record) {
   if (file_ == nullptr) return Status::FailedPrecondition("wal closed");
   TCVS_SPAN("storage.wal.append");
   static util::Counter* const appends =
@@ -114,7 +124,7 @@ Status WalWriter::Append(const Bytes& record) {
       std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Errno("wal write payload");
   }
-  return Flush();
+  return Status::OK();
 }
 
 Status WalWriter::Flush() {
@@ -131,6 +141,11 @@ Status WalWriter::Flush() {
             "storage.wal.fsyncs_total");
     fsyncs->Increment();
     if (::fdatasync(::fileno(file_)) != 0) return Errno("wal fdatasync");
+    if (sync_delay_us_ > 0) {
+      // Emulated device round trip (bench knob; see header). Sleeps — like
+      // real I/O, the wait yields the CPU to concurrently staging threads.
+      std::this_thread::sleep_for(std::chrono::microseconds(sync_delay_us_));
+    }
   }
   return Status::OK();
 }

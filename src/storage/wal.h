@@ -54,6 +54,13 @@ class WalWriter {
   /// the device).
   Status Append(const Bytes& record);
 
+  /// Appends one framed record into the stdio buffer WITHOUT flushing: the
+  /// group-commit path stages several records, then amortizes ONE Flush
+  /// (one fdatasync in sync mode) over the whole batch. A record appended
+  /// this way is not durable — not even process-crash-safe — until a
+  /// subsequent Flush returns OK.
+  Status AppendNoFlush(const Bytes& record);
+
   /// Flushes buffered data down to the file descriptor (and the device in
   /// sync mode).
   Status Flush();
@@ -62,9 +69,18 @@ class WalWriter {
 
   bool sync() const { return sync_; }
 
+  /// Emulated device-sync latency: every fdatasync additionally busy-waits
+  /// this long. Benchmarking knob ONLY — virtualized hosts often absorb
+  /// flushes in a write cache in ~100µs, which hides exactly the cost that
+  /// group commit amortizes; this restores a realistic (e.g. SATA-class,
+  /// 1-5ms) device round trip. Never set in production paths.
+  void set_emulated_sync_delay_us(uint32_t us) { sync_delay_us_ = us; }
+  uint32_t emulated_sync_delay_us() const { return sync_delay_us_; }
+
  private:
   std::FILE* file_ = nullptr;
   bool sync_ = false;
+  uint32_t sync_delay_us_ = 0;
 };
 
 /// \brief Reads every valid record from a WAL file. Returns the longest

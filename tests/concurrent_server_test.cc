@@ -28,9 +28,12 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "cvs/trusted.h"
 #include "net/socket.h"
 #include "rpc/remote.h"
+#include "storage/durable.h"
 #include "util/fault.h"
 #include "util/metrics.h"
 
@@ -522,6 +525,95 @@ TEST_F(ConcurrentServerTest, TracePropagatesFromEveryClientIntoServerSpans) {
   }
   EXPECT_EQ(ts_seen, dump->events.size());
   reg.ResetForTesting();
+}
+
+TEST(ConcurrentDurableServerTest, GroupCommitWindowOverRpcVerifiesAndRecovers) {
+  // The full deployment path under the group-commit window: 8 TCP clients
+  // hammer a fsync-on DurableServer through the serve loop's worker pool,
+  // so concurrent WaitDurable calls actually form batches. Every reply must
+  // still pass full Protocol II verification, the cross-client sync-up must
+  // see no fork, and a reopen must replay to the identical counter and root
+  // digest — group commit may reorder *when* records hit the device, never
+  // which records exist or what they apply to.
+  constexpr int kClients = 8;
+  constexpr int kIterations = 6;
+  std::error_code ec;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "tcvs_concurrent_gc_test";
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir);
+
+  storage::DurableOptions options;
+  options.fsync = true;
+  options.group_commit_window_us = 2000;
+
+  std::vector<cvs::ClientState> states(kClients);
+  crypto::Digest digest_before_close;
+  {
+    auto server = storage::DurableServer::Open(dir.string(),
+                                               mtree::TreeParams{}, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto listener = net::TcpListener::Bind(0);
+    ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+    const uint16_t port = listener->port();
+    rpc::ServeOptions serve_options;
+    serve_options.num_threads = kClients;
+    Status serve_status = Status::OK();
+    std::thread serve_thread([l = std::move(listener).ValueOrDie(),
+                              &serve_status, api = server->get(),
+                              serve_options]() mutable {
+      serve_status = rpc::Serve(&l, api, serve_options);
+    });
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        auto remote =
+            rpc::RemoteServer::Connect("127.0.0.1", port, FastRetryOptions());
+        if (!remote.ok()) {
+          ++failures;
+          return;
+        }
+        cvs::VerifyingClient client(static_cast<uint32_t>(i + 1),
+                                    remote->get());
+        const std::string path = "gc/file" + std::to_string(i);
+        for (int it = 0; it < kIterations; ++it) {
+          auto rev = client.Commit(path, "v" + std::to_string(it),
+                                   static_cast<uint64_t>(it));
+          if (!rev.ok() || *rev != static_cast<uint64_t>(it + 1)) {
+            ++failures;
+            return;
+          }
+        }
+        states[i] = client.state();
+      });
+    }
+    for (auto& t : clients) t.join();
+    ASSERT_EQ(failures.load(), 0);
+
+    auto remote = rpc::RemoteServer::Connect("127.0.0.1", port);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    ASSERT_TRUE((*remote)->Shutdown().ok());
+    serve_thread.join();
+    EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
+
+    EXPECT_EQ((*server)->server()->ctr(),
+              static_cast<uint64_t>(kClients * kIterations));
+    EXPECT_TRUE(cvs::VerifyingClient::SyncCheck(states).ok());
+    digest_before_close = (*server)->server()->tree().root_digest();
+  }
+
+  // Exactly-once replay across the window: the reopened server recovers the
+  // identical transaction count and root digest the clients verified.
+  auto reopened = storage::DurableServer::Open(dir.string(),
+                                               mtree::TreeParams{}, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->server()->ctr(),
+            static_cast<uint64_t>(kClients * kIterations));
+  EXPECT_EQ((*reopened)->server()->tree().root_digest(), digest_before_close);
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

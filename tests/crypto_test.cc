@@ -8,6 +8,7 @@
 #include "crypto/signature.h"
 #include "crypto/winternitz.h"
 #include "util/bytes.h"
+#include "util/random.h"
 
 namespace tcvs {
 namespace crypto {
@@ -77,6 +78,105 @@ TEST(Sha256Test, HashConcatIsConcatenation) {
   EXPECT_EQ(HashConcat(a, b), Sha256::Hash("foobar"));
   EXPECT_EQ(HashConcat(a, b, a), Sha256::Hash("foobarfoo"));
 }
+
+// ---------------------------------------------------------------------------
+// SHA-256 engine dispatch — the SAME FIPS 180-4 vectors pinned against every
+// engine (scalar, SHA-NI when the CPU has it) and against the multi-buffer
+// HashMany path, so a bad fast path can never pass on one engine and fail on
+// another.
+// ---------------------------------------------------------------------------
+
+class Sha256EngineTest : public ::testing::TestWithParam<Sha256Engine> {
+ protected:
+  void SetUp() override {
+    if (!Sha256EngineSupported(GetParam())) {
+      GTEST_SKIP() << "engine " << Sha256EngineName(GetParam())
+                   << " not supported on this CPU";
+    }
+    ASSERT_TRUE(ForceSha256Engine(GetParam()));
+    ASSERT_EQ(ActiveSha256Engine(), GetParam());
+  }
+  void TearDown() override { ResetSha256Engine(); }
+};
+
+TEST_P(Sha256EngineTest, Fips180v4Vectors) {
+  // NIST FIPS 180-4 / NIST CAVP vectors: the empty message, "abc", the
+  // two-block message, plus padding-boundary lengths checked against the
+  // scalar engine having produced them (pinned digests are engine-blind).
+  EXPECT_EQ(HexOf(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(HexOf(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(HexOf(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  EXPECT_EQ(HexOf(Sha256::Hash(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+                "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST_P(Sha256EngineTest, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexOf(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST_P(Sha256EngineTest, PaddingBoundariesMatchPinnedScalarDigests) {
+  // Digests computed once with the scalar reference; every engine must
+  // reproduce them bit-for-bit across the 55/56/64-byte padding boundaries.
+  const std::pair<size_t, const char*> pinned[] = {
+      {55u, "d5e285683cd4efc02d021a5c62014694958901005d6f71e89e0989fac77e4072"},
+      {56u, "04c26261370ee7541549d16dee320c723e3fd14671e66a099afe0a377c16888e"},
+      {64u, "7ce100971f64e7001e8fe5a51973ecdfe1ced42befe7ee8d5fd6219506b5393c"},
+      {65u, "9537c5fdf120482f7d58d25e9ed583f52c02b4e304ea814db1633ad565aed7e9"},
+  };
+  for (const auto& [len, hex] : pinned) {
+    EXPECT_EQ(HexOf(Sha256::Hash(std::string(len, 'x'))), hex)
+        << "len=" << len;
+  }
+}
+
+TEST_P(Sha256EngineTest, HashManyMatchesSequentialHashing) {
+  // Multi-buffer path on this engine: mixed single-block (even/odd counts,
+  // so both the pair path and the leftover-lane path run) and multi-block
+  // messages, all of which must equal per-message Sha256::Hash.
+  for (size_t n : {0u, 1u, 2u, 3u, 7u, 16u}) {
+    std::vector<Bytes> messages;
+    for (size_t i = 0; i < n; ++i) {
+      // Lengths sweep 0..55 (single block), plus >55 multi-block stragglers.
+      size_t len = (i % 4 == 3) ? 100 + i : (i * 13) % 56;
+      messages.push_back(Bytes(len, static_cast<uint8_t>('a' + i)));
+    }
+    std::vector<Digest> batched = HashMany(messages);
+    ASSERT_EQ(batched.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(batched[i], Sha256::Hash(messages[i])) << "n=" << n
+                                                       << " i=" << i;
+    }
+  }
+}
+
+TEST_P(Sha256EngineTest, HashManyDigestsMayAliasInputs) {
+  // The WOTS chain walker hashes digests in place: out[i] aliasing in[i]
+  // is part of the HashManyInto contract.
+  std::vector<Digest> chain = {Sha256::Hash("seed0"), Sha256::Hash("seed1"),
+                               Sha256::Hash("seed2")};
+  std::vector<Digest> expect = chain;
+  for (auto& d : expect) d = Sha256::Hash(d);
+  std::vector<const Bytes*> ptrs = {&chain[0], &chain[1], &chain[2]};
+  HashManyInto(ptrs.data(), ptrs.size(), chain.data());
+  EXPECT_EQ(chain, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, Sha256EngineTest,
+    ::testing::Values(Sha256Engine::kScalar, Sha256Engine::kShaNi),
+    [](const ::testing::TestParamInfo<Sha256Engine>& info) {
+      return Sha256EngineName(info.param);
+    });
 
 // ---------------------------------------------------------------------------
 // HMAC-SHA256 — RFC 4231 test vectors
@@ -323,6 +423,94 @@ TEST(MerkleSigTest, GenericVerifyDispatch) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched verification
+// ---------------------------------------------------------------------------
+
+TEST(VerifyBatchTest, AdvanceChainsMatchesSequentialWalk) {
+  util::Rng rng(7);
+  std::vector<Digest> chains;
+  std::vector<uint32_t> steps;
+  for (int i = 0; i < 23; ++i) {
+    chains.push_back(rng.RandomBytes(kDigestSize));
+    steps.push_back(static_cast<uint32_t>(rng.Uniform(18)));  // incl. 0
+  }
+  std::vector<Digest> expected = chains;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    for (uint32_t s = 0; s < steps[i]; ++s) {
+      expected[i] = Sha256::Hash(expected[i]);
+    }
+  }
+  AdvanceChains(&chains, steps);
+  EXPECT_EQ(chains, expected);
+}
+
+TEST(VerifyBatchTest, MatchesSequentialVerifyAcrossSchemes) {
+  MerkleSigner mss(util::ToBytes("batch-mss-seed"), 3);
+  WinternitzSigner wots(util::ToBytes("batch-wots-seed"));
+  LamportSigner lamport(util::ToBytes("batch-lamport-seed"));
+
+  std::vector<Bytes> messages, signatures, keys;
+  std::vector<SchemeId> schemes;
+  for (int i = 0; i < 4; ++i) {
+    messages.push_back(util::ToBytes("mss message " + std::to_string(i)));
+    signatures.push_back(*mss.Sign(messages.back()));
+    keys.push_back(mss.public_key());
+    schemes.push_back(SchemeId::kMerkleSig);
+  }
+  messages.push_back(util::ToBytes("wots message"));
+  signatures.push_back(*wots.Sign(messages.back()));
+  keys.push_back(wots.public_key());
+  schemes.push_back(SchemeId::kWinternitz);
+  messages.push_back(util::ToBytes("lamport message"));
+  signatures.push_back(*lamport.Sign(messages.back()));
+  keys.push_back(lamport.public_key());
+  schemes.push_back(SchemeId::kLamport);
+
+  std::vector<VerifyRequest> requests;
+  for (size_t i = 0; i < messages.size(); ++i) {
+    requests.push_back({schemes[i], &keys[i], &messages[i], &signatures[i]});
+  }
+  std::vector<Status> results = VerifyBatch(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok()) << i << ": " << results[i].ToString();
+    EXPECT_TRUE(Verify(schemes[i], keys[i], messages[i], signatures[i]).ok())
+        << i;
+  }
+}
+
+TEST(VerifyBatchTest, InvalidItemsFailIndividually) {
+  MerkleSigner mss(util::ToBytes("batch-bad-seed"), 3);
+  Bytes good_msg = util::ToBytes("good");
+  Bytes good_sig = *mss.Sign(good_msg);
+  Bytes wrong_msg = util::ToBytes("evil");
+  Bytes tampered_sig = *mss.Sign(good_msg);
+  tampered_sig[tampered_sig.size() - 1] ^= 0x80;
+  Bytes truncated_sig(good_sig.begin(), good_sig.begin() + 8);
+  const Bytes& pk = mss.public_key();
+
+  std::vector<VerifyRequest> requests = {
+      {SchemeId::kMerkleSig, &pk, &good_msg, &good_sig},
+      {SchemeId::kMerkleSig, &pk, &wrong_msg, &good_sig},
+      {SchemeId::kMerkleSig, &pk, &good_msg, &tampered_sig},
+      {SchemeId::kMerkleSig, &pk, &good_msg, &truncated_sig},
+  };
+  std::vector<Status> results = VerifyBatch(requests);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok()) << results[0].ToString();
+  EXPECT_TRUE(results[1].IsVerificationFailure());
+  EXPECT_TRUE(results[2].IsVerificationFailure());
+  EXPECT_FALSE(results[3].ok());
+  // A bad neighbor never contaminates a good item: re-verify the good one
+  // alone and batched, same verdict.
+  EXPECT_TRUE(Verify(SchemeId::kMerkleSig, pk, good_msg, good_sig).ok());
+}
+
+TEST(VerifyBatchTest, EmptyBatchIsFine) {
+  EXPECT_TRUE(VerifyBatch({}).empty());
+}
+
+// ---------------------------------------------------------------------------
 // KeyStore / CA
 // ---------------------------------------------------------------------------
 
@@ -341,6 +529,39 @@ TEST(KeyStoreTest, IssueAddVerify) {
   EXPECT_TRUE(store.VerifyFrom(1, msg, sig).ok());
   EXPECT_TRUE(store.VerifyFrom(1, util::ToBytes("other"), sig)
                   .IsVerificationFailure());
+}
+
+TEST(KeyStoreTest, VerifyFromBatchMatchesVerifyFrom) {
+  CertificateAuthority ca(util::ToBytes("ca-batch-seed"), /*height=*/4);
+  KeyStore store(ca.public_key());
+  std::vector<std::unique_ptr<MerkleSigner>> signers;
+  for (uint32_t u = 1; u <= 3; ++u) {
+    signers.push_back(std::make_unique<MerkleSigner>(
+        util::ToBytes("user-" + std::to_string(u)), 2));
+    ASSERT_TRUE(
+        store.Add(*ca.Issue(u, SchemeId::kMerkleSig, signers.back()->public_key()))
+            .ok());
+  }
+  std::vector<Bytes> messages, signatures;
+  for (uint32_t u = 1; u <= 3; ++u) {
+    messages.push_back(util::ToBytes("blob from " + std::to_string(u)));
+    signatures.push_back(*signers[u - 1]->Sign(messages.back()));
+  }
+  Bytes unknown_msg = util::ToBytes("who");
+  std::vector<KeyStore::SignatureClaim> claims = {
+      {1, &messages[0], &signatures[0]},
+      {2, &messages[1], &signatures[1]},
+      {99, &unknown_msg, &signatures[0]},  // No certificate.
+      {3, &messages[2], &signatures[2]},
+      {3, &messages[1], &signatures[2]},  // Wrong message for this signature.
+  };
+  std::vector<Status> verdicts = store.VerifyFromBatch(claims);
+  ASSERT_EQ(verdicts.size(), 5u);
+  EXPECT_TRUE(verdicts[0].ok()) << verdicts[0].ToString();
+  EXPECT_TRUE(verdicts[1].ok()) << verdicts[1].ToString();
+  EXPECT_TRUE(verdicts[2].IsNotFound());
+  EXPECT_TRUE(verdicts[3].ok()) << verdicts[3].ToString();
+  EXPECT_TRUE(verdicts[4].IsVerificationFailure());
 }
 
 TEST(KeyStoreTest, ForgedCertificateRejected) {

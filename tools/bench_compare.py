@@ -43,8 +43,14 @@ LOWER_BETTER_RE = re.compile(
     r"overhead|round|cycles|allocs|delay|escape|violation",
     re.IGNORECASE,
 )
+# "/sec" must be spelled out: "/s\b" alone does not match "bytes/sec" or
+# "ops/sec" (the \b lands inside "sec"), and since LOWER_BETTER_RE matches
+# the "bytes" in "bytes/sec", a throughput column would otherwise be
+# classified lower-is-better and a real regression would read as an
+# improvement. HIGHER is checked first, so "/sec" wins over "bytes".
 HIGHER_BETTER_RE = re.compile(
-    r"throughput|rate|ops|per_sec|per sec|/s\b|qps|detections|\bdetected\b",
+    r"throughput|rate|ops|per_sec|per sec|/sec\b|/s\b|qps|detections|"
+    r"\bdetected\b",
     re.IGNORECASE,
 )
 NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?([eE][+-]?\d+)?$")
@@ -110,12 +116,67 @@ def load_metrics(path):
     return metrics
 
 
+def self_test():
+    """Direction/parsing invariants, run by check.sh's bench stage. Returns
+    the number of failures (0 = pass)."""
+    failures = 0
+
+    def expect(cond, what):
+        nonlocal failures
+        if not cond:
+            failures += 1
+            print(f"bench_compare self-test FAIL: {what}", file=sys.stderr)
+
+    higher = ["ops/sec", "bytes/sec", "ops_per_sec", "throughput",
+              "rate (qps)", "items_per_second", "detections", "detected"]
+    lower = ["latency_us", "wall_ms", "avg latency", "total bytes",
+             "bytes/op", "vo_bytes", "cost", "rounds", "cpu_time",
+             "detection delay", "escapes", "violations"]
+    neutral = ["threads", "protocol", "commits", "fsyncs", "batch_factor"]
+    for h in higher:
+        expect(direction(h) == 1, f"'{h}' should be higher-is-better")
+    for h in lower:
+        expect(direction(h) == -1, f"'{h}' should be lower-is-better")
+    for h in neutral:
+        expect(direction(h) == 0, f"'{h}' should be informational")
+
+    expect(parse_number("691.33") == 691.33, "plain float parses")
+    expect(parse_number("12.3us") == 12.3, "glued unit parses")
+    expect(parse_number("serial fsync") is None, "labels are not numbers")
+
+    doc = {
+        "bench": "self_test",
+        "schema_version": 1,
+        "tables": [{
+            "title": "t",
+            "headers": ["mode", "ops/sec", "bytes/sec", "wall_ms"],
+            "rows": [["grouped", "100", "6400", "10"]],
+        }],
+    }
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as d:
+        p = Path(d) / "BENCH_self_test.json"
+        p.write_text(json.dumps(doc))
+        metrics = load_metrics(p)
+        expect(metrics["t/grouped/ops/sec"] == (100.0, 1),
+               "ops/sec loads higher-is-better")
+        expect(metrics["t/grouped/bytes/sec"] == (6400.0, 1),
+               "bytes/sec loads higher-is-better")
+        expect(metrics["t/grouped/wall_ms"] == (10.0, -1),
+               "wall_ms loads lower-is-better")
+
+    if failures == 0:
+        print("bench_compare: self-test passed")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="diff two BENCH_*.json directories for perf regressions"
     )
-    ap.add_argument("base", type=Path, help="baseline results directory")
-    ap.add_argument("new", type=Path, help="candidate results directory")
+    ap.add_argument("base", type=Path, nargs="?", help="baseline results directory")
+    ap.add_argument("new", type=Path, nargs="?", help="candidate results directory")
     ap.add_argument(
         "--threshold",
         type=float,
@@ -125,8 +186,19 @@ def main():
     ap.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON lines"
     )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run direction/parsing invariants and exit (no directories needed)",
+    )
     args = ap.parse_args()
 
+    if args.self_test:
+        return 1 if self_test() else 0
+
+    if args.base is None or args.new is None:
+        ap.print_usage(sys.stderr)
+        return 2
     if not args.base.is_dir() or not args.new.is_dir():
         print(
             f"bench_compare: {args.base} and {args.new} must be directories",

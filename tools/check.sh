@@ -19,6 +19,14 @@
 #                 schema_version-1 JSON into $TCVS_BENCH_JSON_DIR, a
 #                 self-comparison with tools/bench_compare.py must pass, and
 #                 an inflated copy must trip the regression detector
+#   6b. perf      hot-path throughput smoke: short iterations of
+#                 bench_crypto / bench_merkle_tree / bench_wal_commit /
+#                 bench_protocol_overhead must emit valid JSON (both the
+#                 schema_version-1 tables and google-benchmark's native
+#                 schema), and tools/bench_compare.py must pass against the
+#                 committed baselines in bench/baselines/ (threshold 75% —
+#                 the gate catches order-of-magnitude throughput losses,
+#                 not shared-runner jitter)
 #   7. soak       seeded Byzantine campaign smoke: a short randomized
 #                 campaign (TCVS_SOAK_ROUNDS scenarios, default 40 — crank
 #                 it up for nightly runs) must hold every harness invariant
@@ -174,6 +182,7 @@ for f in files:
     assert doc["tables"] and all(t["headers"] and t["rows"] for t in doc["tables"]), f
 print(f"bench: {len(files)} schema_version-1 JSON files OK")
 PYEOF
+    python3 tools/bench_compare.py --self-test || break
     python3 tools/bench_compare.py "$tmp/base" "$tmp/base" \
         --threshold 5 || break
     # Inflate every numeric cell 10x in a copy: the compare must now fail.
@@ -207,6 +216,59 @@ stage_bench() {
       --target bench_replay_attack bench_sync_cost
   [ "${RESULT[bench]}" = FAIL ] && return
   run_stage bench bench_smoke
+}
+
+# Hot-path perf smoke: short iterations of the throughput benches, schema
+# validation of the JSON they emit, then bench_compare.py against the
+# committed baselines. Threshold 75%: short runs on shared runners are
+# noisy; the gate exists to catch a hot path falling off a cliff (a lost
+# SIMD dispatch, a serialized group commit), not scheduler jitter.
+perf_smoke() {
+  local tmp rc=1
+  tmp=$(mktemp -d) || return 1
+  mkdir -p "$tmp/new"
+  while :; do  # Single-pass; break is the error exit.
+    TCVS_BENCH_JSON_DIR="$tmp/new" ./build/bench/bench_crypto \
+        --benchmark_min_time=0.05 > /dev/null || break
+    TCVS_BENCH_JSON_DIR="$tmp/new" ./build/bench/bench_merkle_tree \
+        --benchmark_min_time=0.05 > /dev/null || break
+    TCVS_BENCH_JSON_DIR="$tmp/new" ./build/bench/bench_wal_commit \
+        > /dev/null || break
+    TCVS_BENCH_JSON_DIR="$tmp/new" ./build/bench/bench_protocol_overhead \
+        > /dev/null || break
+    python3 - "$tmp/new" <<'PYEOF' || break
+import json, pathlib, sys
+files = sorted(pathlib.Path(sys.argv[1]).glob("BENCH_*.json"))
+assert len(files) == 4, [f.name for f in files]
+tables = 0
+for f in files:
+    doc = json.loads(f.read_text())
+    if doc.get("schema_version") == 1:
+        assert doc["tables"] and all(t["headers"] and t["rows"] for t in doc["tables"]), f
+        assert any("ops/sec" in t["headers"] for t in doc["tables"]), f
+        tables += 1
+    else:
+        assert doc.get("benchmarks"), f
+assert tables >= 2, "expected ops/sec tables from wal_commit + protocol_overhead"
+print(f"perf: {len(files)} bench JSON files OK")
+PYEOF
+    python3 tools/bench_compare.py bench/baselines "$tmp/new" \
+        --threshold 75 || break
+    rc=0
+    break
+  done
+  rm -rf "$tmp"
+  return $rc
+}
+
+stage_perf() {
+  run_stage perf cmake --preset default
+  [ "${RESULT[perf]}" = FAIL ] && return
+  run_stage perf cmake --build --preset default -j "$JOBS" \
+      --target bench_crypto bench_merkle_tree bench_wal_commit \
+               bench_protocol_overhead
+  [ "${RESULT[perf]}" = FAIL ] && return
+  run_stage perf perf_smoke
 }
 
 # Live observability smoke: start tcvsd, drive real commits/reads through
@@ -335,7 +397,7 @@ stage_stats() {
 }
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats bench soak lint taint)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats bench perf soak lint taint)
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     default) stage_default ;;
@@ -344,10 +406,11 @@ for stage in "${STAGES[@]}"; do
     tidy)    stage_tidy ;;
     stats)   stage_stats ;;
     bench)   stage_bench ;;
+    perf)    stage_perf ;;
     soak)    stage_soak ;;
     lint)    stage_lint ;;
     taint)   stage_taint ;;
-    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats bench soak lint taint)" >&2
+    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats bench perf soak lint taint)" >&2
        exit 2 ;;
   esac
 done

@@ -274,6 +274,9 @@ int main(int argc, char** argv) {
   }
   cvs::VerifyingClient client(state, remote->get());
   cvs::LocalCache cache = LoadCache(state_file);
+  // Warm the VO subtree cache from the sidecar: repeat proofs across CLI
+  // invocations then verify at one hash per unchanged subtree.
+  cache.LoadVoEntriesInto(client.vo_cache());
   bool cache_dirty = false;
 
   int rc = 0;
@@ -346,8 +349,10 @@ int main(int argc, char** argv) {
     Status st = WriteFile(state_file, client.state().Serialize());
     if (!st.ok()) return Fail(st);
     if (cache_dirty) {
-      // Best-effort: the cache only feeds degraded mode; losing it costs
-      // availability during an outage, never correctness.
+      // Best-effort: the cache only feeds degraded mode and proof warm-up;
+      // losing it costs availability/speed during an outage, never
+      // correctness.
+      cache.StoreVoEntries(*client.vo_cache());
       (void)WriteFile(CachePath(state_file), cache.Serialize());
     }
   }

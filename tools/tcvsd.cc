@@ -6,13 +6,16 @@
 // periodic sync-ups catch forks/replays this process could mount.
 //
 // Usage:
-//   tcvsd [--port N] [--fanout F] [--data-dir DIR] [--no-fsync] [--threads N]
+//   tcvsd [--port N] [--fanout F] [--data-dir DIR] [--no-fsync]
+//         [--group-commit-window-us US] [--threads N]
 //         [--log-json] [--log-json-interval-ms MS]
 //         [--trace] [--trace-capacity N]
 //
 // --threads sizes the serve loop's worker pool: N connections are answered
 // concurrently (I/O in parallel, transaction execution serialized under the
-// serve lock — see ARCHITECTURE.md "Concurrency model").
+// serve lock — see ARCHITECTURE.md "Concurrency model"). Defaults to the
+// hardware concurrency, but never below 2 — group commit needs at least
+// two in-flight commits before a single fsync can cover a batch.
 //
 // With --data-dir, the repository is durable: a write-ahead log captures
 // every transaction before it executes and a snapshot is folded on clean
@@ -20,6 +23,15 @@
 // clients verifying against their registers never notice. WAL appends
 // fdatasync by default so acknowledged transactions survive power loss;
 // --no-fsync trades that for page-cache-speed appends.
+//
+// --group-commit-window-us arms WAL group commit: the flush leader waits up
+// to US microseconds for concurrent commits to stage before issuing one
+// write+fsync covering the whole batch (see ARCHITECTURE.md "Hot paths &
+// batching"). Durability is unchanged — every acknowledged commit was
+// fsynced; the window only trades a bounded latency bump for fewer device
+// syncs. Meaningless without --data-dir, and pointless with --no-fsync:
+// when nothing syncs there is nothing to amortize (the window is ignored
+// on the no-fsync path rather than adding latency for nothing).
 //
 // The TCVS_FAULTS environment variable arms fault-injection points in the
 // daemon (see util/fault.h), e.g. TCVS_FAULTS="rpc.serve.crash=nth:3" —
@@ -135,11 +147,17 @@ int main(int argc, char** argv) {
   size_t fanout = 8;
   std::string data_dir;
   bool fsync = true;
+  uint32_t group_commit_window_us = 0;
   bool log_json = false;
   int log_json_interval_ms = 1000;
   bool trace = false;
   uint64_t trace_capacity = 0;
   rpc::ServeOptions serve_options;
+  // Size the worker pool to the machine, but never below 2: with a single
+  // worker there is never a second in-flight commit for group commit to
+  // batch with (hardware_concurrency() can also legally return 0).
+  const unsigned hw = std::thread::hardware_concurrency();
+  serve_options.num_threads = static_cast<int>(hw > 2 ? hw : 2);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
@@ -153,6 +171,9 @@ int main(int argc, char** argv) {
       fsync = false;
     } else if (std::strcmp(argv[i], "--fsync") == 0) {
       fsync = true;
+    } else if (std::strcmp(argv[i], "--group-commit-window-us") == 0 &&
+               i + 1 < argc) {
+      group_commit_window_us = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--log-json") == 0) {
       log_json = true;
     } else if (std::strcmp(argv[i], "--log-json-interval-ms") == 0 &&
@@ -167,8 +188,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: tcvsd [--port N] [--fanout F] [--data-dir DIR] "
-                   "[--no-fsync] [--threads N] [--log-json] "
-                   "[--log-json-interval-ms MS] [--trace] "
+                   "[--no-fsync] [--group-commit-window-us US] [--threads N] "
+                   "[--log-json] [--log-json-interval-ms MS] [--trace] "
                    "[--trace-capacity N]\n");
       return 2;
     }
@@ -202,8 +223,11 @@ int main(int argc, char** argv) {
     memory_server = std::make_unique<cvs::UntrustedServer>(params);
     api = memory_server.get();
   } else {
-    auto opened = storage::DurableServer::Open(data_dir, params,
-                                               storage::DurableOptions{fsync});
+    storage::DurableOptions durable_options;
+    durable_options.fsync = fsync;
+    durable_options.group_commit_window_us = group_commit_window_us;
+    auto opened =
+        storage::DurableServer::Open(data_dir, params, durable_options);
     if (!opened.ok()) {
       std::fprintf(stderr, "tcvsd: %s\n", opened.status().ToString().c_str());
       return 1;
