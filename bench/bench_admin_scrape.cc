@@ -1,0 +1,168 @@
+// Admin-plane scrape overhead: verified commit throughput with and without
+// a 10 Hz /metrics scraper attached.
+//
+// The observability plane's whole budget is "free when you don't look,
+// nearly free when you do": the admin server runs its own listener thread
+// and answers scrapes from a registry snapshot, so a Prometheus-style
+// scraper must not perturb the serving hot path. This bench drives the
+// same verified-commit load twice — bare, then with a scraper GETting
+// /metrics every 100 ms — and reports the throughput delta. The committed
+// baseline documents the ≤5% acceptance budget; bench_compare.py gates the
+// ops/sec columns against it.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/json_out.h"
+#include "bench/table.h"
+#include "cvs/trusted.h"
+#include "net/http_admin.h"
+#include "net/socket.h"
+#include "rpc/remote.h"
+
+using namespace tcvs;
+using tcvs::bench::Num;
+using tcvs::bench::Table;
+
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kWarmupEach = 50;
+constexpr int kCommitsEach = 250;
+constexpr int kScrapeIntervalMs = 100;  // 10 Hz.
+
+struct Phase {
+  double wall_ms = 0;
+  uint64_t commits = 0;
+  uint64_t scrapes = 0;
+  double ops_per_sec() const { return commits / (wall_ms / 1000.0); }
+};
+
+/// Runs `commits_each` verified commits per client against the served
+/// repository; revisions continue from `base_rev` so the tree size stays
+/// constant across phases (same paths, bumped revisions).
+Phase RunPhase(uint16_t rpc_port, int commits_each, uint64_t base_rev,
+               uint16_t admin_port /* 0 = no scraper */) {
+  std::atomic<int> failures{0};
+  std::atomic<bool> scraping{admin_port != 0};
+  std::atomic<uint64_t> scrapes{0};
+  std::thread scraper;
+  if (admin_port != 0) {
+    scraper = std::thread([&, admin_port] {
+      while (scraping.load()) {
+        auto resp = net::HttpGet("127.0.0.1", admin_port, "/metrics");
+        if (!resp.ok() || resp->status != 200) {
+          ++failures;
+          return;
+        }
+        ++scrapes;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kScrapeIntervalMs));
+      }
+    });
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    workers.emplace_back([&, t] {
+      auto remote = rpc::RemoteServer::Connect("127.0.0.1", rpc_port);
+      if (!remote.ok()) {
+        ++failures;
+        return;
+      }
+      cvs::VerifyingClient client(static_cast<uint32_t>(t + 1),
+                                  remote->get());
+      const std::string path = "bench/f" + std::to_string(t);
+      for (int i = 0; i < commits_each; ++i) {
+        auto rev = client.Commit(path, "payload " + std::to_string(i),
+                                 base_rev + static_cast<uint64_t>(i));
+        if (!rev.ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto end = std::chrono::steady_clock::now();
+  scraping.store(false);
+  if (scraper.joinable()) scraper.join();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "bench_admin_scrape: %d failures\n",
+                 failures.load());
+    std::exit(1);
+  }
+
+  Phase p;
+  p.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  p.commits = uint64_t(kClients) * commits_each;
+  p.scrapes = scrapes.load();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonOut json("bench_admin_scrape");
+
+  cvs::UntrustedServer repo;
+  auto listener = net::TcpListener::Bind(0);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "bench_admin_scrape: bind: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  const uint16_t rpc_port = listener->port();
+  Status serve_status = Status::OK();
+  std::thread serve_thread(
+      [l = std::move(listener).ValueOrDie(), &repo, &serve_status]() mutable {
+        rpc::ServeOptions options;
+        options.num_threads = kClients;
+        serve_status = rpc::Serve(&l, &repo, options);
+      });
+
+  auto admin = net::HttpAdminServer::Start({});
+  if (!admin.ok()) {
+    std::fprintf(stderr, "bench_admin_scrape: admin start: %s\n",
+                 admin.status().ToString().c_str());
+    return 1;
+  }
+  net::RegisterStandardEndpoints(admin->get(), {});
+
+  std::printf("admin-plane scrape overhead (verified commits, %d clients, "
+              "10 Hz /metrics)\n\n", kClients);
+  RunPhase(rpc_port, kWarmupEach, 0, 0);  // Warmup: build the tree, warm caches.
+  Phase bare = RunPhase(rpc_port, kCommitsEach, kWarmupEach, 0);
+  Phase scraped = RunPhase(rpc_port, kCommitsEach, kWarmupEach + kCommitsEach,
+                           (*admin)->port());
+  const double delta_pct =
+      100.0 * (bare.ops_per_sec() - scraped.ops_per_sec()) /
+      bare.ops_per_sec();
+
+  Table table({"phase", "commits", "wall_ms", "ops/sec", "scrapes",
+               "delta_pct"});
+  table.AddRow({"unscraped", Num(bare.commits), Num(bare.wall_ms),
+                Num(bare.ops_per_sec()), Num(uint64_t(0)), Num(0.0)});
+  table.AddRow({"scraped_10hz", Num(scraped.commits), Num(scraped.wall_ms),
+                Num(scraped.ops_per_sec()), Num(scraped.scrapes),
+                Num(delta_pct)});
+  table.Print();
+  json.Add("admin scrape overhead", table);
+
+  (*admin)->Stop();
+  auto remote = rpc::RemoteServer::Connect("127.0.0.1", rpc_port);
+  if (remote.ok()) (void)(*remote)->Shutdown();
+  serve_thread.join();
+  if (!serve_status.ok()) {
+    std::fprintf(stderr, "bench_admin_scrape: serve: %s\n",
+                 serve_status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "util/cost.h"
 #include "util/metrics.h"
 
 // The SHA-NI engine is compiled whenever the toolchain can target it (GCC /
@@ -247,17 +248,21 @@ inline const EngineOps* ActiveOps() {
 }
 
 // The two engine-level metrics live on the compress path, not in Finish():
-// `bytes_hashed` counts bytes pushed through the compression function
-// (message + padding, multi-buffer included), which is the quantity the
-// engine's bytes/sec is measured in; the gauge pins which engine is hot.
+// `compress_bytes_total` counts bytes pushed through the compression
+// function (message + padding, multi-buffer included), which is the quantity
+// the engine's bytes/sec is measured in; the gauge pins which engine is hot.
+// The same quantity feeds the ambient per-request cost accumulator.
 inline void AccountCompress(const EngineOps* ops, size_t blocks) {
   static util::Counter* const bytes_hashed =
       util::MetricsRegistry::Instance().GetCounter(
-          "crypto.sha256.bytes_hashed");
+          "crypto.sha256.compress_bytes_total");
   static util::Gauge* const engine =
       util::MetricsRegistry::Instance().GetGauge("crypto.sha256.engine");
   bytes_hashed->Increment(64 * blocks);
   engine->Set(static_cast<int64_t>(ops->id));
+  if (util::CostCounters* cost = util::CurrentCostCounters()) {
+    cost->bytes_hashed += 64 * blocks;
+  }
 }
 
 inline void CompressBlocks(uint32_t state[8], const uint8_t* blocks,
@@ -374,6 +379,7 @@ Digest Sha256::Finish() {
           "crypto.sha256.bytes_total");
   hashes->Increment();
   hashed_bytes->Increment(bit_count_ / 8);
+  if (util::CostCounters* cost = util::CurrentCostCounters()) cost->hashes++;
   uint64_t bits = bit_count_;
   // Append 0x80 then zero-pad to 56 mod 64, then the 64-bit big-endian length.
   uint8_t pad = 0x80;
@@ -422,6 +428,9 @@ void HashManyInto(const Bytes* const* messages, size_t n, Digest* digests) {
     if (messages[i]->size() <= 55) {
       hashes->Increment();
       hashed_bytes->Increment(messages[i]->size());
+      if (util::CostCounters* cost = util::CurrentCostCounters()) {
+        cost->hashes++;  // Long messages count in Sha256::Finish.
+      }
       pending[npending++] = i;
       if (npending == 2) {
         uint8_t blocks[2][64];

@@ -8,6 +8,7 @@
 #include "crypto/merkle_sig.h"
 #include "crypto/winternitz.h"
 #include "util/audit.h"
+#include "util/cost.h"
 
 namespace tcvs {
 namespace crypto {
@@ -42,6 +43,9 @@ Status Audited(SchemeId scheme, Status st) {
 
 Status Verify(SchemeId scheme, const Bytes& public_key, const Bytes& message,
               const Bytes& signature) {
+  if (util::CostCounters* cost = util::CurrentCostCounters()) {
+    cost->sig_verifies++;
+  }
   switch (scheme) {
     case SchemeId::kLamport:
       return Audited(scheme, LamportSigner::VerifySignature(public_key, message,
@@ -58,6 +62,13 @@ Status Verify(SchemeId scheme, const Bytes& public_key, const Bytes& message,
 
 std::vector<Status> VerifyBatch(const std::vector<VerifyRequest>& requests) {
   std::vector<Status> results(requests.size(), Status::OK());
+
+  if (util::CostCounters* cost = util::CurrentCostCounters()) {
+    // Lamport items route through Verify(), which counts them itself.
+    for (const VerifyRequest& req : requests) {
+      if (req.scheme != SchemeId::kLamport) cost->sig_verifies++;
+    }
+  }
 
   // Hash-based signatures contribute their chains to one shared pool; a
   // pending item remembers its slice of the pool and (for MSS) the parsed

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/audit.h"
+#include "util/cost.h"
 #include "util/metrics.h"
 #include "util/serde.h"
 
@@ -74,9 +75,9 @@ Digest VoCache::SubtreeKey(const NodeView& view) {
 
 const Digest* VoCache::Lookup(const Digest& key) {
   static util::Counter* const hits =
-      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.hits");
+      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.hits_total");
   static util::Counter* const misses =
-      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.misses");
+      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.misses_total");
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     misses->Increment();
@@ -88,7 +89,7 @@ const Digest* VoCache::Lookup(const Digest& key) {
 
 void VoCache::Insert(const Digest& key, const Digest& digest) {
   static util::Counter* const insertions =
-      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.insertions");
+      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.insertions_total");
   if (max_entries_ == 0) return;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -115,7 +116,7 @@ void VoCache::Insert(const Digest& key, const Digest& digest) {
 
 void VoCache::EvictIfFull() {
   static util::Counter* const evictions =
-      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.evictions");
+      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.evictions_total");
   while (entries_.size() >= max_entries_ && fifo_head_ < fifo_.size()) {
     if (entries_.erase(fifo_[fifo_head_]) > 0) evictions->Increment();
     ++fifo_head_;
@@ -130,7 +131,7 @@ void VoCache::EvictIfFull() {
 void VoCache::ErasePath(const NodeView& view) {
   static util::Counter* const invalidations =
       util::MetricsRegistry::Instance().GetCounter(
-          "mtree.vo.cache.invalidations");
+          "mtree.vo.cache.invalidations_total");
   if (entries_.erase(SubtreeKey(view)) > 0) invalidations->Increment();
   for (const auto& [idx, child] : view.expanded) ErasePath(child);
 }
@@ -139,13 +140,13 @@ const VoCache::CachedPointRead* VoCache::AcceptPointRead(
     const Digest& trusted_root, const Bytes& key,
     const std::vector<EntryView>& leaf_entries) {
   static util::Counter* const hits =
-      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.hits");
+      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.hits_total");
   static util::Counter* const memo_hits =
       util::MetricsRegistry::Instance().GetCounter(
-          "mtree.vo.cache.read_memo_hits");
+          "mtree.vo.cache.read_memo_hits_total");
   static util::Counter* const memo_misses =
       util::MetricsRegistry::Instance().GetCounter(
-          "mtree.vo.cache.read_memo_misses");
+          "mtree.vo.cache.read_memo_misses_total");
   auto it = reads_.find(ReadKey(trusted_root, key));
   if (it == reads_.end() || it->second.leaf_entries != leaf_entries) {
     memo_misses->Increment();
@@ -160,7 +161,7 @@ void VoCache::InsertPointRead(const Digest& trusted_root, const Bytes& key,
                               std::vector<EntryView> leaf_entries,
                               std::optional<Bytes> value) {
   static util::Counter* const insertions =
-      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.insertions");
+      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.insertions_total");
   if (max_entries_ == 0) return;
   ReadKey rk(trusted_root, key);
   auto it = reads_.find(rk);
@@ -187,7 +188,7 @@ void VoCache::InsertPointRead(const Digest& trusted_root, const Bytes& key,
 
 void VoCache::EvictReadsIfFull() {
   static util::Counter* const evictions =
-      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.evictions");
+      util::MetricsRegistry::Instance().GetCounter("mtree.vo.cache.evictions_total");
   while (reads_.size() >= max_entries_ && reads_fifo_head_ < reads_fifo_.size()) {
     if (reads_.erase(reads_fifo_[reads_fifo_head_]) > 0) evictions->Increment();
     ++reads_fifo_head_;
@@ -202,7 +203,7 @@ void VoCache::EvictReadsIfFull() {
 void VoCache::InvalidateEpoch(const Digest& root) {
   static util::Counter* const invalidations =
       util::MetricsRegistry::Instance().GetCounter(
-          "mtree.vo.cache.invalidations");
+          "mtree.vo.cache.invalidations_total");
   auto it = reads_.lower_bound(ReadKey(root, Bytes{}));
   while (it != reads_.end() && it->first.first == root) {
     it = reads_.erase(it);
@@ -402,7 +403,11 @@ Result<NodeView> DeserializeView(util::Reader* r, int depth) {
 Bytes PointVO::Serialize() const {
   util::Writer w;
   SerializeView(root, &w);
-  return w.Take();
+  Bytes out = w.Take();
+  if (util::CostCounters* cost = util::CurrentCostCounters()) {
+    cost->vo_bytes_built += out.size();
+  }
+  return out;
 }
 
 Result<util::Tainted<PointVO>> PointVO::Deserialize(const Bytes& data) {
@@ -415,7 +420,11 @@ Result<util::Tainted<PointVO>> PointVO::Deserialize(const Bytes& data) {
 Bytes RangeVO::Serialize() const {
   util::Writer w;
   SerializeView(root, &w);
-  return w.Take();
+  Bytes out = w.Take();
+  if (util::CostCounters* cost = util::CurrentCostCounters()) {
+    cost->vo_bytes_built += out.size();
+  }
+  return out;
 }
 
 Result<util::Tainted<RangeVO>> RangeVO::Deserialize(const Bytes& data) {

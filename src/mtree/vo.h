@@ -72,7 +72,7 @@ class VoCache {
   static Digest SubtreeKey(const NodeView& view);
 
   /// The verified digest for `key`, or nullptr on a miss. Counts
-  /// mtree.vo.cache.{hits,misses}.
+  /// mtree.vo.cache.{hits,misses}_total.
   const Digest* Lookup(const Digest& key);
 
   /// Records that the subtree behind `key` fully verified to `digest`.
@@ -84,7 +84,7 @@ class VoCache {
 
   /// Invalidation after a verified mutation: erases the cached entry of
   /// `view` and of every expanded descendant (the pre-state path a replayed
-  /// upsert/delete just made stale). Counts mtree.vo.cache.invalidations.
+  /// upsert/delete just made stale). Counts mtree.vo.cache.invalidations_total.
   void ErasePath(const NodeView& view);
 
   /// \name Verified point-read memos — the (epoch, path) layer.
@@ -109,7 +109,7 @@ class VoCache {
     std::optional<Bytes> value;  ///< nullopt = authenticated non-membership.
   };
   /// Returns the memoized answer for (root, key) iff `leaf_entries` is
-  /// bit-identical to the memoized leaf (counting mtree.vo.cache.hits +
+  /// bit-identical to the memoized leaf (counting mtree.vo.cache.hits_total +
   /// .read_memo_hits); nullptr — and .read_memo_misses — otherwise.
   const CachedPointRead* AcceptPointRead(
       const Digest& trusted_root, const Bytes& key,
@@ -123,7 +123,7 @@ class VoCache {
                        std::optional<Bytes> value);
   /// Drops every memo of epoch `root` — called after a verified mutation
   /// replay advances the trusted root past it. Counts
-  /// mtree.vo.cache.invalidations.
+  /// mtree.vo.cache.invalidations_total.
   void InvalidateEpoch(const Digest& root);
   size_t read_memo_count() const { return reads_.size(); }
   /// @}

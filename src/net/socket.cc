@@ -301,6 +301,35 @@ Result<Bytes> TcpConnection::ReceiveFrame() {
   return payload;
 }
 
+Result<size_t> TcpConnection::ReadSome(uint8_t* buf, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  if (len == 0) return static_cast<size_t>(0);
+  bool has_deadline = io_timeout_ms_ > 0;
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(io_timeout_ms_);
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n >= 0) return static_cast<size_t>(n);  // 0 = orderly EOF.
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      TCVS_RETURN_NOT_OK(PollFd(fd_, POLLIN, has_deadline, deadline));
+      continue;
+    }
+    if (errno == ECONNRESET) {
+      return Status::IOError("read: connection reset by peer");
+    }
+    return Errno("read");
+  }
+}
+
+Status TcpConnection::WriteRaw(const uint8_t* data, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  bool has_deadline = io_timeout_ms_ > 0;
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(io_timeout_ms_);
+  return WriteAll(fd_, data, len, has_deadline, deadline);
+}
+
 TcpListener::~TcpListener() { Close(); }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept

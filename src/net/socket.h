@@ -75,6 +75,17 @@ class TcpConnection {
   /// \return IOError on EOF or malformed length.
   Result<Bytes> ReceiveFrame();
 
+  /// \name Raw (unframed) byte I/O, for protocols that frame themselves —
+  /// the HTTP admin plane. Both honor set_io_timeout_ms as a whole-call
+  /// deadline, like the frame operations.
+  /// @{
+  /// Reads at most `len` bytes into `buf`, blocking until at least one byte
+  /// arrives. Returns the count read, or 0 on orderly EOF.
+  Result<size_t> ReadSome(uint8_t* buf, size_t len);
+  /// Writes exactly `len` bytes, retrying short writes and EINTR.
+  Status WriteRaw(const uint8_t* data, size_t len);
+  /// @}
+
   bool valid() const { return fd_ >= 0; }
   void Close();
 

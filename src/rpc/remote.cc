@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <deque>
+#include <optional>
 #include <random>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "util/audit.h"
+#include "util/cost.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -84,6 +87,99 @@ util::LatencyHistogram* ClientMethodLatency(RpcType type) {
           "rpc.client.events.latency_us"),
   };
   return kLatency[static_cast<size_t>(type) - 1];
+}
+
+/// Stable lowercase method name, same indexing (slow-op records, tooling).
+const char* RpcMethodName(RpcType type) {
+  static const char* const kNames[] = {
+      "transact",  "get_params", "shutdown",   "list",
+      "log_checkpoint", "stats", "trace_dump", "events",
+  };
+  return kNames[static_cast<size_t>(type) - 1];
+}
+
+/// Per-method serve-side latency (whole frame: parse, execute, serialize),
+/// same indexing. Recorded with the request's trace id as an exemplar, so a
+/// p99 spike on /metrics links to a joinable trace.
+util::LatencyHistogram* ServeMethodLatency(RpcType type) {
+  static util::LatencyHistogram* const kLatency[] = {
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.serve.transact.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.serve.get_params.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.serve.shutdown.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.serve.list.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.serve.log_checkpoint.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.serve.stats.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.serve.trace_dump.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.serve.events.latency_us"),
+  };
+  return kLatency[static_cast<size_t>(type) - 1];
+}
+
+/// Per-method aggregated request cost, for the methods that do real
+/// protocol work (the observability methods cost nothing interesting).
+/// Each field mirrors one util::CostCounters field; /varz divides by the
+/// method's requests_total to report cost per operation.
+struct MethodCostCounters {
+  util::Counter* hashes;
+  util::Counter* bytes_hashed;
+  util::Counter* sig_verifies;
+  util::Counter* vo_bytes;
+  util::Counter* wal_appends;
+  util::Counter* wal_fsync_wait_us;
+
+  void Add(const util::CostCounters& cost) const {
+    if (cost.hashes != 0) hashes->Increment(cost.hashes);
+    if (cost.bytes_hashed != 0) bytes_hashed->Increment(cost.bytes_hashed);
+    if (cost.sig_verifies != 0) sig_verifies->Increment(cost.sig_verifies);
+    if (cost.vo_bytes_built != 0) vo_bytes->Increment(cost.vo_bytes_built);
+    if (cost.wal_appends != 0) wal_appends->Increment(cost.wal_appends);
+    if (cost.wal_fsync_wait_us != 0) {
+      wal_fsync_wait_us->Increment(cost.wal_fsync_wait_us);
+    }
+  }
+};
+
+const MethodCostCounters* ServeMethodCost(RpcType type) {
+  auto& registry = util::MetricsRegistry::Instance();
+  static const MethodCostCounters kTransact = {
+      registry.GetCounter("rpc.serve.transact.cost.hashes_total"),
+      registry.GetCounter("rpc.serve.transact.cost.bytes_hashed_total"),
+      registry.GetCounter("rpc.serve.transact.cost.sig_verifies_total"),
+      registry.GetCounter("rpc.serve.transact.cost.vo_bytes_total"),
+      registry.GetCounter("rpc.serve.transact.cost.wal_appends_total"),
+      registry.GetCounter("rpc.serve.transact.cost.wal_fsync_wait_us_total"),
+  };
+  static const MethodCostCounters kList = {
+      registry.GetCounter("rpc.serve.list.cost.hashes_total"),
+      registry.GetCounter("rpc.serve.list.cost.bytes_hashed_total"),
+      registry.GetCounter("rpc.serve.list.cost.sig_verifies_total"),
+      registry.GetCounter("rpc.serve.list.cost.vo_bytes_total"),
+      registry.GetCounter("rpc.serve.list.cost.wal_appends_total"),
+      registry.GetCounter("rpc.serve.list.cost.wal_fsync_wait_us_total"),
+  };
+  static const MethodCostCounters kLogCheckpoint = {
+      registry.GetCounter("rpc.serve.log_checkpoint.cost.hashes_total"),
+      registry.GetCounter("rpc.serve.log_checkpoint.cost.bytes_hashed_total"),
+      registry.GetCounter("rpc.serve.log_checkpoint.cost.sig_verifies_total"),
+      registry.GetCounter("rpc.serve.log_checkpoint.cost.vo_bytes_total"),
+      registry.GetCounter("rpc.serve.log_checkpoint.cost.wal_appends_total"),
+      registry.GetCounter(
+          "rpc.serve.log_checkpoint.cost.wal_fsync_wait_us_total"),
+  };
+  switch (type) {
+    case RpcType::kTransact: return &kTransact;
+    case RpcType::kList: return &kList;
+    case RpcType::kLogCheckpoint: return &kLogCheckpoint;
+    default: return nullptr;
+  }
 }
 
 /// Per-method serve-side request counts, same indexing.
@@ -394,8 +490,13 @@ class ServeState {
       : api_(api), options_(options) {}
 
   /// Handles one request frame end to end; returns the wire reply.
-  /// Sets *shutdown when the frame was a kShutdown request.
-  Bytes HandleFrame(const Bytes& frame, bool* shutdown) {
+  /// Sets *shutdown when the frame was a kShutdown request. On a
+  /// well-formed request, *type_out is the parsed method (left untouched
+  /// for malformed frames) and *trace_id_out the trace the handler ran
+  /// under — the caller feeds both into latency exemplars and slow-op
+  /// records.
+  Bytes HandleFrame(const Bytes& frame, bool* shutdown, RpcType* type_out,
+                    uint64_t* trace_id_out) {
     // `requests` increments strictly before `replies` on every path, so any
     // concurrent Stats snapshot observes replies_total ≤ requests_total.
     static util::Counter* const requests =
@@ -430,6 +531,8 @@ class ServeState {
     // trace, with the client's call span as parent.
     util::ScopedTraceContext trace_ctx(req.trace_id, req.span_id);
     TCVS_SPAN("rpc.serve.handle_frame");
+    *type_out = req.type;
+    *trace_id_out = util::CurrentSpanContext().trace_id;
     requests->Increment();
     ServeMethodRequests(req.type)->Increment();
     // Counter-bearing transactions replay idempotently via the cache;
@@ -611,7 +714,43 @@ void ServeConnection(ServeState* state, net::TcpConnection* conn,
     if (faults.ShouldFail(kFaultServeDropBefore)) return;
 
     bool shutdown = false;
-    Bytes wire = state->HandleFrame(*frame_or, &shutdown);
+    RpcType type = static_cast<RpcType>(0);  // Stays 0 on a malformed frame.
+    uint64_t trace_id = 0;
+    // Per-request accounting: the cost scope captures every hash, signature
+    // verify, VO byte, and WAL wait the handler performs on this thread;
+    // the span collector (armed only when slow-op capture is on) keeps the
+    // request's own span subtree for the slow-op record.
+    util::CostScope cost_scope;
+    std::optional<util::ScopedSpanCollector> collector;
+    if (options.slow_op_us > 0) collector.emplace();
+    const uint64_t start_us = util::MonotonicMicros();
+    Bytes wire = state->HandleFrame(*frame_or, &shutdown, &type, &trace_id);
+    const uint64_t elapsed_us = util::MonotonicMicros() - start_us;
+    if (type != static_cast<RpcType>(0)) {
+      ServeMethodLatency(type)->RecordWithExemplar(elapsed_us, trace_id,
+                                                   start_us);
+      if (const MethodCostCounters* method_cost = ServeMethodCost(type)) {
+        method_cost->Add(cost_scope.counters());
+      }
+      if (options.slow_op_us > 0 && elapsed_us >= options.slow_op_us) {
+        static util::Counter* const slow_ops =
+            util::MetricsRegistry::Instance().GetCounter(
+                "rpc.serve.slow_ops_total");
+        slow_ops->Increment();
+        util::SlowOpRecord record;
+        record.method = RpcMethodName(type);
+        record.latency_us = elapsed_us;
+        record.trace_id = trace_id;
+        record.ts_us = start_us;
+        record.cost = cost_scope.counters();
+        record.spans =
+            util::TraceDump::FromEvents(collector->Take()).events;
+        // JSON-lines on stderr: greppable next to tcvsd's structured log
+        // without entangling the RPC layer with the logger.
+        const std::string line = record.JsonFormat();
+        std::fprintf(stderr, "%s\n", line.c_str());
+      }
+    }
     if (faults.ShouldFail(kFaultServeDropAfter)) return;
     Status send = conn->SendFrame(wire);
     if (shutdown) {
@@ -644,6 +783,11 @@ Status Serve(net::TcpListener* listener, cvs::ServerApi* server,
   if (options.queue_capacity < 1) options.queue_capacity = 1;
   if (options.poll_interval_ms < 1) options.poll_interval_ms = 1;
 
+  // Readiness signal for the admin plane: nonzero while the pool serves.
+  static util::Gauge* const workers_gauge =
+      util::MetricsRegistry::Instance().GetGauge("rpc.serve.workers");
+  workers_gauge->Set(options.num_threads);
+
   ServeState state(server, options);
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(options.num_threads));
@@ -664,6 +808,7 @@ Status Serve(net::TcpListener* listener, cvs::ServerApi* server,
   // Stopping (whatever initiated it): workers drain within one poll
   // interval; join them all before returning so no thread outlives Serve.
   for (auto& worker : workers) worker.join();
+  workers_gauge->Set(0);
   return state.TakeExitStatus();
 }
 

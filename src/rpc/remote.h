@@ -124,6 +124,12 @@ struct ServeOptions {
   /// noticing shutdown, NOT a client-visible deadline (idle connections
   /// live forever).
   int poll_interval_ms = 50;
+  /// Slow-op capture threshold: a served request whose whole-frame handling
+  /// exceeds this emits a JSON-lines slow-op record (method, latency, trace
+  /// id, span subtree, per-request cost) on stderr and bumps
+  /// `rpc.serve.slow_ops_total`. 0 (default) disables capture and its
+  /// per-request span collection overhead.
+  uint64_t slow_op_us = 0;
 };
 
 /// \brief Serves any ServerApi on `listener` with a multi-threaded accept

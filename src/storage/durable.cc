@@ -1,6 +1,7 @@
 #include "storage/durable.h"
 
 #include "rpc/protocol.h"
+#include "util/cost.h"
 #include "util/metrics.h"
 #include "util/serde.h"
 
@@ -139,7 +140,12 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
 
 Result<uint64_t> DurableServer::StageRecord(const Bytes& record) {
   util::MutexLock lock(&mu_);
-  TCVS_RETURN_NOT_OK(wal_.AppendNoFlush(record));
+  Status st = wal_.AppendNoFlush(record);
+  wal_ok_.store(st.ok(), std::memory_order_relaxed);
+  TCVS_RETURN_NOT_OK(st);
+  if (util::CostCounters* cost = util::CurrentCostCounters()) {
+    cost->wal_appends++;
+  }
   ++wal_records_;
   const uint64_t seq = appended_seq_.load(std::memory_order_relaxed) + 1;
   appended_seq_.store(seq, std::memory_order_release);
@@ -147,9 +153,18 @@ Result<uint64_t> DurableServer::StageRecord(const Bytes& record) {
 }
 
 Status DurableServer::WaitDurable(uint64_t seq) {
+  util::CostCounters* cost = util::CurrentCostCounters();
+  if (cost == nullptr) return WaitDurableImpl(seq);
+  const uint64_t start_us = util::MonotonicMicros();
+  Status st = WaitDurableImpl(seq);
+  cost->wal_fsync_wait_us += util::MonotonicMicros() - start_us;
+  return st;
+}
+
+Status DurableServer::WaitDurableImpl(uint64_t seq) {
   static util::Counter* const flushes =
       util::MetricsRegistry::Instance().GetCounter(
-          "storage.wal.group_commit.flushes");
+          "storage.wal.group_commit.flushes_total");
   static util::LatencyHistogram* const batch_size =
       util::MetricsRegistry::Instance().GetLatency(
           "storage.wal.group_commit.batch_size");
@@ -192,6 +207,8 @@ Status DurableServer::WaitDurable(uint64_t seq) {
         flush_to = appended_seq_.load(std::memory_order_relaxed);
         st = wal_.Flush();
       }
+
+      wal_ok_.store(st.ok(), std::memory_order_relaxed);
 
       gc_mu_.Lock();
       gc_leader_active_ = false;

@@ -88,6 +88,12 @@ class DurableServer : public cvs::ServerApi {
   /// Number of WAL records accumulated since the last checkpoint.
   uint64_t wal_records() const;
 
+  /// True while the most recent WAL append and flush both succeeded — the
+  /// admin plane's /readyz probe. Flips false when the log stops taking
+  /// writes (disk fault, injected WAL fault) and recovers with the next
+  /// successful append/flush.
+  bool wal_ok() const { return wal_ok_.load(std::memory_order_relaxed); }
+
   /// The wrapped in-memory server. The POINTER is safe to read anytime;
   /// DEREFERENCING it bypasses this class's lock, so callers must be in a
   /// single-threaded phase (startup, post-Serve shutdown, tests).
@@ -111,7 +117,10 @@ class DurableServer : public cvs::ServerApi {
   /// Blocks until the record with sequence number `seq` is durable (its
   /// covering Flush returned OK), electing this thread flush leader when
   /// none is active. Returns the covering flush's error otherwise.
+  /// WaitDurable is a thin wrapper charging the blocked time to the ambient
+  /// per-request cost accumulator (`wal_fsync_wait_us`).
   Status WaitDurable(uint64_t seq);
+  Status WaitDurableImpl(uint64_t seq);
 
   /// Runs `apply` (which must touch server_ only) when `seq`'s turn in the
   /// apply order comes up, then passes the turn on. Called for FAILED
@@ -150,6 +159,9 @@ class DurableServer : public cvs::ServerApi {
   /// Transactions currently inside Transact/List — the leader skips the
   /// batching window when it is alone (nothing to wait for).
   std::atomic<uint64_t> inflight_{0};
+
+  /// Health flag for wal_ok(); written by StageRecord and the flush leader.
+  std::atomic<bool> wal_ok_{true};
 
   /// \name Group-commit coordinator state, guarded by gc_mu_.
   /// @{

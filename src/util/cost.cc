@@ -1,0 +1,167 @@
+#include "util/cost.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/serde.h"
+
+namespace tcvs {
+namespace util {
+
+namespace {
+
+thread_local CostCounters* tls_cost_counters = nullptr;
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendHexId(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"%016" PRIx64 "\"", v);
+  *out += buf;
+}
+
+}  // namespace
+
+CostScope::CostScope() : prev_(tls_cost_counters) {
+  tls_cost_counters = &counters_;
+}
+
+CostScope::~CostScope() { tls_cost_counters = prev_; }
+
+CostCounters* CurrentCostCounters() { return tls_cost_counters; }
+
+std::string SlowOpRecord::JsonFormat() const {
+  std::string out = "{\"method\":";
+  AppendJsonEscaped(&out, method);
+  out += ",\"latency_us\":";
+  AppendU64(&out, latency_us);
+  out += ",\"trace_id\":";
+  AppendHexId(&out, trace_id);
+  out += ",\"ts_us\":";
+  AppendU64(&out, ts_us);
+  out += ",\"cost\":{\"hashes\":";
+  AppendU64(&out, cost.hashes);
+  out += ",\"bytes_hashed\":";
+  AppendU64(&out, cost.bytes_hashed);
+  out += ",\"sig_verifies\":";
+  AppendU64(&out, cost.sig_verifies);
+  out += ",\"vo_bytes_built\":";
+  AppendU64(&out, cost.vo_bytes_built);
+  out += ",\"wal_appends\":";
+  AppendU64(&out, cost.wal_appends);
+  out += ",\"wal_fsync_wait_us\":";
+  AppendU64(&out, cost.wal_fsync_wait_us);
+  out += "},\"spans\":[";
+  bool first = true;
+  for (const TraceDump::Event& e : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    AppendJsonEscaped(&out, e.name);
+    out += ",\"start_us\":";
+    AppendU64(&out, e.start_us);
+    out += ",\"duration_us\":";
+    AppendU64(&out, e.duration_us);
+    out += ",\"trace_id\":";
+    AppendHexId(&out, e.trace_id);
+    out += ",\"span_id\":";
+    AppendHexId(&out, e.span_id);
+    out += ",\"parent_span_id\":";
+    AppendHexId(&out, e.parent_span_id);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Bytes SlowOpRecord::Serialize() const {
+  Writer w;
+  w.PutU8(1);  // SlowOpRecord wire version.
+  w.PutString(method);
+  w.PutU64(latency_us);
+  w.PutU64(trace_id);
+  w.PutU64(ts_us);
+  w.PutU64(cost.hashes);
+  w.PutU64(cost.bytes_hashed);
+  w.PutU64(cost.sig_verifies);
+  w.PutU64(cost.vo_bytes_built);
+  w.PutU64(cost.wal_appends);
+  w.PutU64(cost.wal_fsync_wait_us);
+  w.PutU32(static_cast<uint32_t>(spans.size()));
+  for (const TraceDump::Event& e : spans) {
+    w.PutString(e.name);
+    w.PutU64(e.start_us);
+    w.PutU64(e.duration_us);
+    w.PutU32(e.thread);
+    w.PutU64(e.trace_id);
+    w.PutU64(e.span_id);
+    w.PutU64(e.parent_span_id);
+  }
+  return w.Take();
+}
+
+Result<SlowOpRecord> SlowOpRecord::Deserialize(const Bytes& data) {
+  Reader r(data);
+  TCVS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != 1) {
+    return Status::InvalidArgument("unsupported slow-op record version");
+  }
+  SlowOpRecord rec;
+  TCVS_ASSIGN_OR_RETURN(rec.method, r.GetString());
+  TCVS_ASSIGN_OR_RETURN(rec.latency_us, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(rec.trace_id, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(rec.ts_us, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(rec.cost.hashes, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(rec.cost.bytes_hashed, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(rec.cost.sig_verifies, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(rec.cost.vo_bytes_built, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(rec.cost.wal_appends, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(rec.cost.wal_fsync_wait_us, r.GetU64());
+  TCVS_ASSIGN_OR_RETURN(uint32_t n_spans, r.GetU32());
+  if (n_spans > ScopedSpanCollector::kMaxSpans) {
+    return Status::InvalidArgument("slow-op record with too many spans");
+  }
+  rec.spans.reserve(n_spans);
+  for (uint32_t i = 0; i < n_spans; ++i) {
+    TraceDump::Event e;
+    TCVS_ASSIGN_OR_RETURN(e.name, r.GetString());
+    TCVS_ASSIGN_OR_RETURN(e.start_us, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(e.duration_us, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(e.thread, r.GetU32());
+    TCVS_ASSIGN_OR_RETURN(e.trace_id, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(e.span_id, r.GetU64());
+    TCVS_ASSIGN_OR_RETURN(e.parent_span_id, r.GetU64());
+    rec.spans.push_back(std::move(e));
+  }
+  return rec;
+}
+
+}  // namespace util
+}  // namespace tcvs

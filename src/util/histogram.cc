@@ -48,6 +48,30 @@ void Histogram::Merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+Histogram Histogram::DeltaSince(const Histogram& earlier) const {
+  Histogram delta;
+  size_t lowest = kBuckets;
+  size_t highest = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    const uint64_t d =
+        buckets_[i] > earlier.buckets_[i] ? buckets_[i] - earlier.buckets_[i]
+                                          : 0;
+    if (d == 0) continue;
+    delta.buckets_[i] = d;
+    delta.count_ += d;
+    lowest = std::min(lowest, i);
+    highest = std::max(highest, i);
+  }
+  delta.sum_ = sum_ > earlier.sum_ ? sum_ - earlier.sum_ : 0;
+  if (delta.count_ > 0) {
+    // The true interval extremes are unrecoverable; use the differenced
+    // buckets' bounds so Quantile's clamp stays consistent with the mass.
+    delta.min_ = lowest == 0 ? 0 : BucketUpperBound(lowest - 1) + 1;
+    delta.max_ = BucketUpperBound(highest);
+  }
+  return delta;
+}
+
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;

@@ -26,6 +26,13 @@ class Histogram {
   void Merge(const Histogram& other);
   void Reset();
 
+  /// Per-bucket difference `this − earlier` (clamped at zero), for interval
+  /// quantiles between two cumulative snapshots of the same metric (powers
+  /// `tcvs top`). min()/max() of the result are the bucket bounds of the
+  /// differenced mass — the exact extremes of the interval are not
+  /// recoverable from two cumulative snapshots.
+  Histogram DeltaSince(const Histogram& earlier) const;
+
   uint64_t count() const { return count_; }
   uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
@@ -50,8 +57,11 @@ class Histogram {
   static Result<Histogram> DeserializeFrom(Reader* r);
   /// @}
 
- private:
+  /// Bucket index a value lands in (exposed for exemplar slotting — the
+  /// metrics layer keys latency exemplars by the bucket of their sample).
   static size_t BucketFor(uint64_t value);
+
+ private:
   static uint64_t BucketUpperBound(size_t bucket);
 
   static constexpr size_t kBuckets = 4 * 64 + 1;

@@ -1,0 +1,221 @@
+#include "util/jsonish.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tcvs {
+namespace util {
+
+namespace {
+
+constexpr size_t kMaxDepth = 64;  // Bounds recursion on hostile input.
+
+}  // namespace
+
+/// Recursive-descent cursor over the document. One instance per parse.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    TCVS_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing garbage");
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(size_t depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Error("unexpected character");
+  }
+
+  Result<JsonValue> ParseObject(size_t depth) {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return v;
+    for (;;) {
+      SkipWhitespace();
+      TCVS_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      TCVS_ASSIGN_OR_RETURN(JsonValue member, ParseValue(depth + 1));
+      v.object_.emplace(std::move(key.string_), std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray(size_t depth) {
+    ++pos_;  // '['
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return v;
+    for (;;) {
+      TCVS_ASSIGN_OR_RETURN(JsonValue element, ParseValue(depth + 1));
+      v.array_.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        v.string_.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.string_.push_back('"'); break;
+        case '\\': v.string_.push_back('\\'); break;
+        case '/': v.string_.push_back('/'); break;
+        case 'b': v.string_.push_back('\b'); break;
+        case 'f': v.string_.push_back('\f'); break;
+        case 'n': v.string_.push_back('\n'); break;
+        case 'r': v.string_.push_back('\r'); break;
+        case 't': v.string_.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // stitched — our emitters only \u-escape control characters).
+          if (code < 0x80) {
+            v.string_.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            v.string_.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            v.string_.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            v.string_.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            v.string_.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            v.string_.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.bool_ = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      v.bool_ = false;
+      pos_ += 5;
+      return v;
+    }
+    return Error("bad literal");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") != 0) return Error("bad literal");
+    pos_ += 4;
+    return JsonValue();
+  }
+
+  bool AtDigit() const {
+    return pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]));
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    (void)Consume('-');
+    while (AtDigit()) ++pos_;
+    if (Consume('.')) {
+      while (AtDigit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (AtDigit()) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return Error("bad number");
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.number_ = parsed;
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace util
+}  // namespace tcvs

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tcvs {
+namespace util {
+
+/// \brief A parsed JSON value: the minimal recursive variant `tcvs top` and
+/// the admin-plane tests need to read `/varz` snapshots and slow-op lines.
+/// Strict enough for machine-emitted JSON (no comments, no trailing commas);
+/// numbers are held as doubles (exact for counters below 2^53, which a
+/// process emitting them would take centuries to exceed). Parsing is for
+/// OBSERVABILITY payloads only — nothing parsed here may flow into a
+/// protocol register or trusted sink, which is why this lives beside the
+/// other human-facing renderers and not behind the taint boundary.
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  double number() const { return number_; }
+  uint64_t AsU64() const {
+    return number_ <= 0 ? 0 : static_cast<uint64_t>(number_ + 0.5);
+  }
+  bool boolean() const { return bool_; }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+  }
+
+  /// `Get(key)` as a u64 number, or `fallback` when absent / not a number.
+  uint64_t GetU64(const std::string& key, uint64_t fallback = 0) const {
+    const JsonValue* v = Get(key);
+    return v != nullptr && v->is_number() ? v->AsU64() : fallback;
+  }
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). InvalidArgument on malformed input, with a byte
+/// offset in the message.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace util
+}  // namespace tcvs

@@ -21,6 +21,11 @@ namespace {
 /// trace_id == 0 and allocates a fresh trace when it opens one.
 thread_local SpanContext tls_span_context;
 
+/// The innermost ScopedSpanCollector on this thread (nullptr = none). A
+/// single relaxed-cost tls load on the span-destruction path when no
+/// collector is installed.
+thread_local ScopedSpanCollector* tls_span_collector = nullptr;
+
 uint64_t SplitMix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -109,6 +114,12 @@ ScopedTraceContext::ScopedTraceContext(uint64_t trace_id, uint64_t span_id)
 
 ScopedTraceContext::~ScopedTraceContext() { tls_span_context = saved_; }
 
+ScopedSpanCollector::ScopedSpanCollector() : prev_(tls_span_collector) {
+  tls_span_collector = this;
+}
+
+ScopedSpanCollector::~ScopedSpanCollector() { tls_span_collector = prev_; }
+
 TraceSpan::TraceSpan(const char* name, LatencyHistogram* latency)
     : name_(name),
       latency_(latency),
@@ -123,9 +134,13 @@ TraceSpan::TraceSpan(const char* name, LatencyHistogram* latency)
 TraceSpan::~TraceSpan() {
   tls_span_context = saved_;
   const uint64_t duration = MonotonicMicros() - start_us_;
-  latency_->Record(duration);
+  // The span's own trace id keys the exemplar: the id a /metrics scrape can
+  // join against /tracez (ctx_ is already popped, so CurrentSpanContext()
+  // would name the parent here).
+  latency_->RecordWithExemplar(duration, ctx_.trace_id, start_us_);
   MetricsRegistry& registry = MetricsRegistry::Instance();
-  if (registry.trace_enabled()) {
+  ScopedSpanCollector* collector = tls_span_collector;
+  if (registry.trace_enabled() || collector != nullptr) {
     TraceEvent event;
     event.name = name_;
     event.start_us = start_us_;
@@ -134,7 +149,8 @@ TraceSpan::~TraceSpan() {
     event.trace_id = ctx_.trace_id;
     event.span_id = ctx_.span_id;
     event.parent_span_id = ctx_.parent_span_id;
-    registry.RecordTraceEvent(event);
+    if (collector != nullptr) collector->Add(event);
+    if (registry.trace_enabled()) registry.RecordTraceEvent(event);
   }
 }
 
@@ -199,6 +215,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   }
   for (const auto& [name, latency] : latencies_) {
     snap.histograms.emplace(name, latency->Snapshot());
+    std::vector<Exemplar> exemplars = latency->Exemplars();
+    if (!exemplars.empty()) snap.exemplars.emplace(name, std::move(exemplars));
   }
   return snap;
 }
@@ -261,6 +279,7 @@ void MetricsRegistry::ResetForTesting() {
     for (auto& [name, latency] : latencies_) {
       MutexLock hist_lock(&latency->mu_);
       latency->hist_.Reset();
+      for (Exemplar& slot : latency->exemplars_) slot = Exemplar{};
     }
   }
   MutexLock lock(&trace_mu_);
@@ -270,7 +289,36 @@ void MetricsRegistry::ResetForTesting() {
   trace_capacity_ = kTraceCapacity;
 }
 
+namespace {
+
+/// OpenMetrics exemplar suffix for one sample line: the reservoir entry
+/// whose value sits closest to the reported quantile, rendered as
+/// ` # {trace_id="<16 hex>"} <value> <ts-seconds>` (ts on the process
+/// steady clock — exemplars from one scrape are mutually comparable).
+void AppendExemplarSuffix(std::string* out, const std::vector<Exemplar>& pool,
+                          uint64_t quantile_value) {
+  if (pool.empty()) return;
+  const Exemplar* best = &pool[0];
+  for (const Exemplar& e : pool) {
+    const uint64_t best_gap = best->value > quantile_value
+                                  ? best->value - quantile_value
+                                  : quantile_value - best->value;
+    const uint64_t gap = e.value > quantile_value ? e.value - quantile_value
+                                                  : quantile_value - e.value;
+    if (gap < best_gap) best = &e;
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                " # {trace_id=\"%016" PRIx64 "\"} %" PRIu64 " %.6f",
+                best->trace_id, best->value,
+                static_cast<double>(best->ts_us) / 1e6);
+  *out += buf;
+}
+
+}  // namespace
+
 std::string MetricsSnapshot::TextFormat() const {
+  static const std::vector<Exemplar> kNoExemplars;
   std::string out;
   for (const auto& [name, value] : counters) {
     std::string n = ExpositionName(name);
@@ -288,12 +336,20 @@ std::string MetricsSnapshot::TextFormat() const {
   }
   for (const auto& [name, hist] : histograms) {
     std::string n = ExpositionName(name);
+    auto ex_it = exemplars.find(name);
+    const std::vector<Exemplar>& pool =
+        ex_it == exemplars.end() ? kNoExemplars : ex_it->second;
     out += "# TYPE " + n + " summary\n";
     for (double q : {0.5, 0.9, 0.99}) {
+      // %g, not a fixed precision: a future 0.999 must render distinctly
+      // ("0.999", never rounded into a duplicate "1" label — promcheck
+      // rejects duplicate quantile labels within a family).
       char label[32];
-      std::snprintf(label, sizeof(label), "{quantile=\"%.2g\"} ", q);
+      std::snprintf(label, sizeof(label), "{quantile=\"%g\"} ", q);
+      const uint64_t value = hist.Quantile(q);
       out += n + label;
-      AppendU64(&out, hist.Quantile(q));
+      AppendU64(&out, value);
+      AppendExemplarSuffix(&out, pool, value);
       out.push_back('\n');
     }
     out += n + "_sum ";
@@ -350,6 +406,32 @@ std::string MetricsSnapshot::JsonFormat() const {
     AppendU64(&out, hist.p99());
     out.push_back('}');
   }
+  out += "},\"exemplars\":{";
+  first = true;
+  for (const auto& [name, pool] : exemplars) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":[";
+    bool first_ex = true;
+    for (const Exemplar& e : pool) {
+      if (!first_ex) out.push_back(',');
+      first_ex = false;
+      out += "{\"value\":";
+      AppendU64(&out, e.value);
+      // 64-bit ids as 16-hex-digit strings, same as the trace dump.
+      char id[32];
+      std::snprintf(id, sizeof(id), ",\"trace_id\":\"%016" PRIx64 "\"",
+                    e.trace_id);
+      out += id;
+      out += ",\"ts_us\":";
+      AppendU64(&out, e.ts_us);
+      out += ",\"bucket\":";
+      AppendU64(&out, e.bucket);
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
   out += "}}";
   return out;
 }
@@ -370,6 +452,20 @@ Bytes MetricsSnapshot::Serialize() const {
   for (const auto& [name, hist] : histograms) {
     w.PutString(name);
     hist.SerializeTo(&w);
+  }
+  // Exemplar section, appended last: pre-exemplar readers stop after the
+  // histograms and tolerate these trailing bytes, so the wire stays
+  // compatible in both directions (see Deserialize).
+  w.PutU32(static_cast<uint32_t>(exemplars.size()));
+  for (const auto& [name, pool] : exemplars) {
+    w.PutString(name);
+    w.PutU32(static_cast<uint32_t>(pool.size()));
+    for (const Exemplar& e : pool) {
+      w.PutU64(e.value);
+      w.PutU64(e.trace_id);
+      w.PutU64(e.ts_us);
+      w.PutU32(e.bucket);
+    }
   }
   return w.Take();
 }
@@ -398,6 +494,30 @@ Result<MetricsSnapshot> MetricsSnapshot::Deserialize(const Bytes& data) {
     TCVS_ASSIGN_OR_RETURN(std::string name, r.GetString());
     TCVS_ASSIGN_OR_RETURN(Histogram hist, Histogram::DeserializeFrom(&r));
     snap.histograms.emplace(std::move(name), std::move(hist));
+  }
+  // Pre-exemplar senders end here; treat a missing section as empty.
+  if (r.AtEnd()) return snap;
+  TCVS_ASSIGN_OR_RETURN(uint32_t n_exemplars, r.GetU32());
+  if (n_exemplars > kMaxMetrics) {
+    return Status::InvalidArgument("too many exemplar sets");
+  }
+  for (uint32_t i = 0; i < n_exemplars; ++i) {
+    TCVS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    TCVS_ASSIGN_OR_RETURN(uint32_t n_pool, r.GetU32());
+    if (n_pool > LatencyHistogram::kExemplarSlots) {
+      return Status::InvalidArgument("oversized exemplar reservoir");
+    }
+    std::vector<Exemplar> pool;
+    pool.reserve(n_pool);
+    for (uint32_t j = 0; j < n_pool; ++j) {
+      Exemplar e;
+      TCVS_ASSIGN_OR_RETURN(e.value, r.GetU64());
+      TCVS_ASSIGN_OR_RETURN(e.trace_id, r.GetU64());
+      TCVS_ASSIGN_OR_RETURN(e.ts_us, r.GetU64());
+      TCVS_ASSIGN_OR_RETURN(e.bucket, r.GetU32());
+      pool.push_back(e);
+    }
+    snap.exemplars.emplace(std::move(name), std::move(pool));
   }
   return snap;
 }

@@ -77,19 +77,64 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// \brief One latency sample kept alongside a histogram so a tail spike on
+/// `/metrics` links to a joinable trace id (OpenMetrics exemplar semantics).
+/// `ts_us` is the recording span's start on the process steady clock.
+struct Exemplar {
+  uint64_t value = 0;
+  uint64_t trace_id = 0;
+  uint64_t ts_us = 0;
+  /// Histogram bucket `value` landed in (the reservoir's slot key).
+  uint32_t bucket = 0;
+};
+
 /// \brief A util::Histogram behind its own mutex: recording contends only
 /// with other recorders of the SAME metric and with snapshots, never with
 /// the registry or other metrics.
+///
+/// Alongside the buckets it keeps a tiny bounded exemplar reservoir:
+/// RecordWithExemplar stores its (value, trace_id, ts) sample in slot
+/// `bucket % kExemplarSlots`, overwriting that slot's previous occupant.
+/// The policy is deterministic — the reservoir after a sequence of records
+/// is a pure function of the sequence — and keyed by bucket, so slow
+/// outliers land in different slots than the fast common case instead of
+/// being churned out by it.
 class LatencyHistogram {
  public:
+  static constexpr size_t kExemplarSlots = 4;
+
   void Record(uint64_t value) {
     MutexLock lock(&mu_);
     hist_.Record(value);
   }
 
+  /// Record() plus exemplar capture. A zero `trace_id` (no ambient span)
+  /// records the value only — an exemplar nobody can join is noise.
+  void RecordWithExemplar(uint64_t value, uint64_t trace_id, uint64_t ts_us) {
+    MutexLock lock(&mu_);
+    hist_.Record(value);
+    if (trace_id == 0) return;
+    const uint32_t bucket = static_cast<uint32_t>(Histogram::BucketFor(value));
+    Exemplar& slot = exemplars_[bucket % kExemplarSlots];
+    slot.value = value;
+    slot.trace_id = trace_id;
+    slot.ts_us = ts_us;
+    slot.bucket = bucket;
+  }
+
   Histogram Snapshot() const {
     MutexLock lock(&mu_);
     return hist_;
+  }
+
+  /// The occupied reservoir slots, in slot order (empty slots elided).
+  std::vector<Exemplar> Exemplars() const {
+    MutexLock lock(&mu_);
+    std::vector<Exemplar> out;
+    for (const Exemplar& e : exemplars_) {
+      if (e.trace_id != 0) out.push_back(e);
+    }
+    return out;
   }
 
  private:
@@ -98,6 +143,7 @@ class LatencyHistogram {
 
   mutable Mutex mu_;
   Histogram hist_ TCVS_GUARDED_BY(mu_);
+  Exemplar exemplars_[kExemplarSlots] TCVS_GUARDED_BY(mu_);
 };
 
 /// \brief One completed trace span in the ring-buffer event trace.
@@ -152,6 +198,35 @@ class ScopedTraceContext {
   SpanContext saved_;
 };
 
+/// \brief Collects every span that FINISHES on this thread while the
+/// collector is installed (bounded at kMaxSpans, oldest kept), regardless
+/// of whether ring tracing is enabled. The serve loop installs one per
+/// request when slow-op capture is armed, so a request that blows past
+/// `--slow-op-us` can attach its own span subtree to the slow-op record.
+/// Nests: an inner collector shadows the outer for its lifetime.
+class ScopedSpanCollector {
+ public:
+  static constexpr size_t kMaxSpans = 128;
+
+  ScopedSpanCollector();
+  ~ScopedSpanCollector();
+
+  ScopedSpanCollector(const ScopedSpanCollector&) = delete;
+  ScopedSpanCollector& operator=(const ScopedSpanCollector&) = delete;
+
+  /// The collected spans, in completion order (children before parents).
+  std::vector<TraceEvent> Take() { return std::move(events_); }
+
+ private:
+  friend class TraceSpan;
+  void Add(const TraceEvent& event) {
+    if (events_.size() < kMaxSpans) events_.push_back(event);
+  }
+
+  std::vector<TraceEvent> events_;
+  ScopedSpanCollector* prev_;
+};
+
 /// \brief A drained copy of the trace ring, detached from the registry:
 /// safe to serialize, ship over the kTraceDump RPC, and render offline as
 /// Chrome trace-event JSON (chrome://tracing, Perfetto).
@@ -188,9 +263,18 @@ struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, Histogram> histograms;
+  /// Exemplar reservoirs of histograms that have any (same keys as
+  /// `histograms`; absent key = empty reservoir). Wire-wise this section is
+  /// appended after the histograms, so pre-exemplar readers (which tolerate
+  /// trailing bytes) and writers (section absent → empty) interoperate.
+  std::map<std::string, std::vector<Exemplar>> exemplars;
 
   /// Prometheus-style text exposition (`tcvs_` prefix, dots → underscores,
-  /// histograms as summaries with quantile labels).
+  /// histograms as summaries with quantile labels). Quantile samples carry
+  /// an OpenMetrics exemplar suffix — `# {trace_id="<16 hex>"} <value>
+  /// <ts-seconds>` — picking the reservoir sample closest to the reported
+  /// quantile, so a p99 spike links to a joinable trace id. Validated by
+  /// tools/promcheck.py.
   std::string TextFormat() const;
 
   /// One JSON object (single line, no trailing newline) for JSON-lines

@@ -1,0 +1,308 @@
+// HTTP observability plane tests: the admin server's scrape endpoints under
+// concurrent load, readiness flipping with WAL health, the exemplar
+// reservoir's deterministic policy, and the slow-op record wire/JSON schema.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cvs/trusted.h"
+#include "net/http_admin.h"
+#include "net/socket.h"
+#include "rpc/remote.h"
+#include "storage/durable.h"
+#include "storage/wal.h"
+#include "util/cost.h"
+#include "util/fault.h"
+#include "util/jsonish.h"
+#include "util/metrics.h"
+
+namespace tcvs {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    static int counter = 0;
+    path_ = std::filesystem::temp_directory_path() /
+            ("tcvs_http_admin_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+net::HttpAdminServer::Options AdminOptions() {
+  net::HttpAdminServer::Options options;
+  options.port = 0;  // Ephemeral.
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent scrapes vs live serving
+// ---------------------------------------------------------------------------
+
+// Eight scrapers hammer every admin endpoint while verifying clients commit
+// through the RPC plane. Serving must stay perturbation-free: every commit
+// verifies, every scrape answers 200 with a parseable body. (The observers
+// must not become the outage.)
+TEST(HttpAdminTest, ConcurrentScrapesDoNotPerturbServing) {
+  util::FaultInjector::Instance().Reset();
+  cvs::UntrustedServer repo;
+  auto listener = net::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t rpc_port = listener->port();
+  Status serve_status = Status::OK();
+  std::thread serve_thread(
+      [l = std::move(listener).ValueOrDie(), &repo, &serve_status]() mutable {
+        rpc::ServeOptions options;
+        options.num_threads = 4;
+        serve_status = rpc::Serve(&l, &repo, options);
+      });
+
+  auto admin = net::HttpAdminServer::Start(AdminOptions());
+  ASSERT_TRUE(admin.ok()) << admin.status().ToString();
+  net::AdminEndpointOptions endpoint_options;
+  endpoint_options.build_info = "http_admin_test";
+  endpoint_options.config_summary = "\"test\":true";
+  net::RegisterStandardEndpoints(admin->get(), endpoint_options);
+  const uint16_t admin_port = (*admin)->port();
+
+  constexpr int kScrapers = 8;
+  constexpr int kScrapesEach = 12;
+  constexpr int kClients = 4;
+  constexpr int kCommitsEach = 6;
+  std::atomic<int> scrape_failures{0};
+  std::atomic<int> commit_failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kScrapers + kClients);
+  for (int s = 0; s < kScrapers; ++s) {
+    threads.emplace_back([admin_port, s, &scrape_failures] {
+      static const char* kPaths[] = {"/metrics", "/varz", "/healthz",
+                                     "/statusz"};
+      for (int i = 0; i < kScrapesEach; ++i) {
+        const char* path = kPaths[(s + i) % 4];
+        auto resp = net::HttpGet("127.0.0.1", admin_port, path);
+        if (!resp.ok() || resp->status != 200 || resp->body.empty()) {
+          ++scrape_failures;
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([rpc_port, c, &commit_failures] {
+      auto remote = rpc::RemoteServer::Connect("127.0.0.1", rpc_port);
+      if (!remote.ok()) {
+        commit_failures += kCommitsEach;
+        return;
+      }
+      const uint32_t user = static_cast<uint32_t>(c + 1);
+      cvs::VerifyingClient client(user, remote->get());
+      const std::string path = "scrape/file" + std::to_string(c);
+      for (int i = 0; i < kCommitsEach; ++i) {
+        auto rev = client.Commit(path, "v" + std::to_string(i),
+                                 static_cast<uint64_t>(i));
+        if (!rev.ok()) ++commit_failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(commit_failures.load(), 0);
+  EXPECT_EQ(scrape_failures.load(), 0);
+
+  // A post-melee /varz is well-formed JSON and saw the served traffic.
+  auto varz = net::HttpGet("127.0.0.1", admin_port, "/varz");
+  ASSERT_TRUE(varz.ok()) << varz.status().ToString();
+  auto parsed = util::ParseJson(varz->body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const util::JsonValue* counters = parsed->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->GetU64("rpc.serve.transact.requests_total"),
+            static_cast<uint64_t>(kClients * kCommitsEach));
+
+  (*admin)->Stop();
+  auto shutdown = rpc::RemoteServer::Connect("127.0.0.1", rpc_port);
+  ASSERT_TRUE(shutdown.ok());
+  ASSERT_TRUE((*shutdown)->Shutdown().ok());
+  serve_thread.join();
+  EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Health vs readiness under a WAL fault
+// ---------------------------------------------------------------------------
+
+// /healthz answers "the process is up" and must never flip; /readyz answers
+// "this replica can take writes" and must go 503 the moment the WAL stops
+// flushing — and recover when it resumes.
+TEST(HttpAdminTest, ReadyzFlipsUnderWalFaultAndRecovers) {
+  util::FaultInjector::Instance().Reset();
+  TempDir dir;
+  mtree::TreeParams params;
+  storage::DurableOptions durable_options;
+  durable_options.fsync = true;  // The sync fault fires on the fsync path.
+  auto durable = storage::DurableServer::Open(dir.str(), params,
+                                              durable_options);
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+
+  auto admin = net::HttpAdminServer::Start(AdminOptions());
+  ASSERT_TRUE(admin.ok());
+  net::AdminEndpointOptions endpoint_options;
+  endpoint_options.readiness.push_back(
+      {"wal", [server = durable->get()] {
+         return server->wal_ok()
+                    ? Status::OK()
+                    : Status::IOError("wal unappendable");
+       }});
+  net::RegisterStandardEndpoints(admin->get(), endpoint_options);
+  const uint16_t port = (*admin)->port();
+
+  cvs::VerifyingClient alice(1, durable->get());
+  ASSERT_TRUE(alice.Commit("a.c", "v1", 0).ok());
+  auto ready = net::HttpGet("127.0.0.1", port, "/readyz");
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready->status, 200);
+
+  util::FaultInjector::Instance().Arm(storage::kFaultWalSyncFail,
+                                      util::FaultSpec::Always());
+  EXPECT_FALSE(alice.Commit("a.c", "v2", 1).ok());
+  ready = net::HttpGet("127.0.0.1", port, "/readyz");
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready->status, 503);
+  EXPECT_NE(ready->body.find("wal"), std::string::npos);
+  // Liveness is unaffected: the process is up, just not writable.
+  auto health = net::HttpGet("127.0.0.1", port, "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+
+  util::FaultInjector::Instance().Disarm(storage::kFaultWalSyncFail);
+  ASSERT_TRUE(alice.Commit("a.c", "v2", 1).ok());
+  ready = net::HttpGet("127.0.0.1", port, "/readyz");
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready->status, 200);
+
+  (*admin)->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Exemplar reservoir
+// ---------------------------------------------------------------------------
+
+// The reservoir policy is a pure function of the record sequence: replaying
+// the same (value, trace_id, ts) sequence after a reset reproduces the
+// exact reservoir, and zero trace ids never occupy a slot.
+TEST(HttpAdminTest, ExemplarReservoirIsDeterministic) {
+  auto& registry = util::MetricsRegistry::Instance();
+  util::LatencyHistogram* hist =
+      registry.GetLatency("test.exemplar.latency_us");
+
+  auto replay = [hist] {
+    // Values spread across buckets so several slots occupy, with two
+    // landing in the same slot to exercise overwrite order.
+    const uint64_t values[] = {3, 90, 1500, 45000, 47000, 12};
+    for (size_t i = 0; i < 6; ++i) {
+      hist->RecordWithExemplar(values[i], /*trace_id=*/0x1000 + i,
+                               /*ts_us=*/7000 + i);
+    }
+    hist->RecordWithExemplar(999, /*trace_id=*/0, /*ts_us=*/1);  // No slot.
+  };
+
+  registry.ResetForTesting();
+  replay();
+  std::vector<util::Exemplar> first = hist->Exemplars();
+  ASSERT_FALSE(first.empty());
+  for (const util::Exemplar& e : first) {
+    EXPECT_NE(e.trace_id, 0u);
+    EXPECT_NE(e.value, 999u);  // The zero-trace-id record left no exemplar.
+  }
+
+  registry.ResetForTesting();
+  replay();
+  std::vector<util::Exemplar> second = hist->Exemplars();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].value, second[i].value);
+    EXPECT_EQ(first[i].trace_id, second[i].trace_id);
+    EXPECT_EQ(first[i].ts_us, second[i].ts_us);
+    EXPECT_EQ(first[i].bucket, second[i].bucket);
+  }
+
+  // The exposition renders a joinable exemplar suffix on a quantile line.
+  const std::string text = registry.Snapshot().TextFormat();
+  EXPECT_NE(
+      text.find("tcvs_test_exemplar_latency_us{quantile=\"0.99\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find(" # {trace_id=\""), std::string::npos);
+  registry.ResetForTesting();
+}
+
+// ---------------------------------------------------------------------------
+// Slow-op record schema
+// ---------------------------------------------------------------------------
+
+// The JSON-lines record survives a wire round trip field-for-field, and its
+// JSON form parses back with the same numbers — the contract consumers of
+// the stderr stream (and the obs smoke stage) rely on.
+TEST(HttpAdminTest, SlowOpRecordRoundTripsThroughWireAndJson) {
+  util::SlowOpRecord record;
+  record.method = "transact";
+  record.latency_us = 125000;
+  record.trace_id = 0x00f1e2d3c4b5a697ULL;
+  record.ts_us = 424242;
+  record.cost.hashes = 12;
+  record.cost.bytes_hashed = 4096;
+  record.cost.sig_verifies = 2;
+  record.cost.vo_bytes_built = 777;
+  record.cost.wal_appends = 1;
+  record.cost.wal_fsync_wait_us = 90000;
+  util::TraceDump::Event span;
+  span.name = "storage.wal.fsync";
+  span.start_us = 424300;
+  span.duration_us = 90000;
+  span.thread = 3;
+  span.trace_id = record.trace_id;
+  span.span_id = 0xabcdef0123456789ULL;
+  span.parent_span_id = 0x1111222233334444ULL;
+  record.spans.push_back(span);
+
+  auto decoded = util::SlowOpRecord::Deserialize(record.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->method, record.method);
+  EXPECT_EQ(decoded->latency_us, record.latency_us);
+  EXPECT_EQ(decoded->trace_id, record.trace_id);
+  EXPECT_EQ(decoded->ts_us, record.ts_us);
+  EXPECT_TRUE(decoded->cost == record.cost);
+  ASSERT_EQ(decoded->spans.size(), 1u);
+  EXPECT_EQ(decoded->spans[0].name, span.name);
+  EXPECT_EQ(decoded->spans[0].span_id, span.span_id);
+  EXPECT_EQ(decoded->spans[0].parent_span_id, span.parent_span_id);
+
+  auto parsed = util::ParseJson(record.JsonFormat());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Get("method")->string(), "transact");
+  EXPECT_EQ(parsed->GetU64("latency_us"), record.latency_us);
+  EXPECT_EQ(parsed->Get("trace_id")->string(), "00f1e2d3c4b5a697");
+  const util::JsonValue* cost = parsed->Get("cost");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->GetU64("hashes"), record.cost.hashes);
+  EXPECT_EQ(cost->GetU64("wal_fsync_wait_us"), record.cost.wal_fsync_wait_us);
+  const util::JsonValue* spans = parsed->Get("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  ASSERT_EQ(spans->array().size(), 1u);
+  EXPECT_EQ(spans->array()[0].Get("name")->string(), "storage.wal.fsync");
+}
+
+}  // namespace
+}  // namespace tcvs

@@ -754,12 +754,12 @@ TEST(VoCacheTest, RepeatVerifyHitsAndMatchesColdResult) {
   PointVO vo = tree.ProvePoint(NumKey(7));
 
   VoCache cache;
-  const uint64_t hits_before = CacheCounter("mtree.vo.cache.hits");
+  const uint64_t hits_before = CacheCounter("mtree.vo.cache.hits_total");
   auto cold = VerifyPointRead(tree.root_digest(), tree.params(), NumKey(7), vo,
                               &cache);
   ASSERT_TRUE(cold.ok()) << cold.status().ToString();
   EXPECT_GT(cache.size(), 0u);
-  EXPECT_EQ(CacheCounter("mtree.vo.cache.hits"), hits_before);
+  EXPECT_EQ(CacheCounter("mtree.vo.cache.hits_total"), hits_before);
 
   // Same proof again: the root subtree hits, nothing re-walks, and the
   // answer is byte-identical.
@@ -767,7 +767,7 @@ TEST(VoCacheTest, RepeatVerifyHitsAndMatchesColdResult) {
                               &cache);
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(**warm, **cold);
-  EXPECT_GT(CacheCounter("mtree.vo.cache.hits"), hits_before);
+  EXPECT_GT(CacheCounter("mtree.vo.cache.hits_total"), hits_before);
 }
 
 TEST(VoCacheTest, TamperedSubtreeWithWarmCacheFiresVoMismatchAudit) {
@@ -821,14 +821,14 @@ TEST(VoCacheTest, StaleReplayHitsCacheAndIsStillRejected) {
 
   tree.Upsert(NumKey(3), K("new-value"));  // Trusted root advances.
 
-  const uint64_t hits_before = CacheCounter("mtree.vo.cache.hits");
+  const uint64_t hits_before = CacheCounter("mtree.vo.cache.hits_total");
   const size_t events_before = util::AuditLog::Instance().Snapshot().size();
   auto res =
       VerifyPointRead(tree.root_digest(), tree.params(), NumKey(3), stale,
                       &cache);
   EXPECT_TRUE(res.status().IsVerificationFailure()) << res.status().ToString();
   // The cache WAS consulted and hit — and the replay still failed.
-  EXPECT_GT(CacheCounter("mtree.vo.cache.hits"), hits_before);
+  EXPECT_GT(CacheCounter("mtree.vo.cache.hits_total"), hits_before);
   EXPECT_GT(util::AuditLog::Instance().Snapshot().size(), events_before);
 }
 
@@ -841,7 +841,7 @@ TEST(VoCacheTest, UpsertReplayMatchesUncachedAndInvalidatesPreState) {
   TreeClient plain = TreeClient::ForEmptyDatabase(params);
 
   const uint64_t invalidations_before =
-      CacheCounter("mtree.vo.cache.invalidations");
+      CacheCounter("mtree.vo.cache.invalidations_total");
   for (int i = 0; i < 64; ++i) {
     PointVO vo = tree.Upsert(NumKey(i), NumKey(i));
     auto a = cached.ApplyUpsert(NumKey(i), NumKey(i), vo);
@@ -852,7 +852,7 @@ TEST(VoCacheTest, UpsertReplayMatchesUncachedAndInvalidatesPreState) {
     ASSERT_EQ(*a, tree.root_digest());
   }
   // Each applied upsert invalidated its (now stale) pre-state path.
-  EXPECT_GT(CacheCounter("mtree.vo.cache.invalidations"),
+  EXPECT_GT(CacheCounter("mtree.vo.cache.invalidations_total"),
             invalidations_before);
 }
 
@@ -888,7 +888,7 @@ TEST(VoCacheTest, EvictionKeepsCacheBounded) {
                     .ok());
     ASSERT_LE(cache.size(), 8u);
   }
-  EXPECT_GT(CacheCounter("mtree.vo.cache.evictions"), 0u);
+  EXPECT_GT(CacheCounter("mtree.vo.cache.evictions_total"), 0u);
 }
 
 TEST(VoCacheTest, ConsistencyViolationAuditedAndEntryDropped) {
@@ -924,11 +924,11 @@ TEST(VoCacheTest, ExportRestoreRoundTripStaysWarm) {
   for (const auto& [key, digest] : first.Export()) second.Restore(key, digest);
   EXPECT_EQ(second.size(), first.size());
 
-  const uint64_t hits_before = CacheCounter("mtree.vo.cache.hits");
+  const uint64_t hits_before = CacheCounter("mtree.vo.cache.hits_total");
   ASSERT_TRUE(VerifyPointRead(tree.root_digest(), tree.params(), NumKey(42),
                               vo, &second)
                   .ok());
-  EXPECT_GT(CacheCounter("mtree.vo.cache.hits"), hits_before);
+  EXPECT_GT(CacheCounter("mtree.vo.cache.hits_total"), hits_before);
 }
 
 TEST(VoCacheTest, RangeVerifyCachesAndRepeats) {
@@ -939,12 +939,12 @@ TEST(VoCacheTest, RangeVerifyCachesAndRepeats) {
   auto cold = VerifyRangeRead(tree.root_digest(), tree.params(), NumKey(10),
                               NumKey(30), vo, &cache);
   ASSERT_TRUE(cold.ok()) << cold.status().ToString();
-  const uint64_t hits_before = CacheCounter("mtree.vo.cache.hits");
+  const uint64_t hits_before = CacheCounter("mtree.vo.cache.hits_total");
   auto warm = VerifyRangeRead(tree.root_digest(), tree.params(), NumKey(10),
                               NumKey(30), vo, &cache);
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(*warm, *cold);
-  EXPECT_GT(CacheCounter("mtree.vo.cache.hits"), hits_before);
+  EXPECT_GT(CacheCounter("mtree.vo.cache.hits_total"), hits_before);
 }
 
 TEST(VoCacheTest, PointReadMemoHitSkipsHashingAndMatchesColdAnswer) {
@@ -959,12 +959,12 @@ TEST(VoCacheTest, PointReadMemoHitSkipsHashingAndMatchesColdAnswer) {
   EXPECT_GT(cache.read_memo_count(), 0u);
 
   const uint64_t memo_hits_before =
-      CacheCounter("mtree.vo.cache.read_memo_hits");
+      CacheCounter("mtree.vo.cache.read_memo_hits_total");
   auto warm = VerifyPointRead(tree.root_digest(), tree.params(), NumKey(42),
                               vo, &cache);
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(**warm, **cold);
-  EXPECT_GT(CacheCounter("mtree.vo.cache.read_memo_hits"), memo_hits_before);
+  EXPECT_GT(CacheCounter("mtree.vo.cache.read_memo_hits_total"), memo_hits_before);
 
   // Non-membership memoizes too: nullopt answers round-trip through the memo.
   PointVO absent_vo = tree.ProvePoint(NumKey(999999));

@@ -600,13 +600,13 @@ TEST(DurableServerTest, GroupCommitMetricsRegister) {
   DurableOptions options;
   options.fsync = true;
   const uint64_t flushes_before =
-      CounterValue("storage.wal.group_commit.flushes");
+      CounterValue("storage.wal.group_commit.flushes_total");
   auto server = DurableServer::Open(dir.str(), params, options);
   ASSERT_TRUE(server.ok());
   cvs::VerifyingClient alice(1, server->get());
   ASSERT_TRUE(alice.Commit("a.c", "v1", 0).ok());
   ASSERT_TRUE(alice.Commit("b.c", "v1", 0).ok());
-  EXPECT_GE(CounterValue("storage.wal.group_commit.flushes") - flushes_before,
+  EXPECT_GE(CounterValue("storage.wal.group_commit.flushes_total") - flushes_before,
             2u);
   auto snap = util::MetricsRegistry::Instance().Snapshot();
   auto hist = snap.histograms.find("storage.wal.group_commit.batch_size");

@@ -15,6 +15,16 @@
 #                 Stats RPC must report non-zero metrics from every
 #                 instrumented layer and --log-json must emit parseable
 #                 JSON lines
+#   5b. obs       HTTP observability-plane smoke: live tcvsd with
+#                 --admin-port + --slow-op-us armed; every admin endpoint
+#                 (/metrics /varz /healthz /readyz /statusz /tracez
+#                 /eventsz) must answer, the /metrics body must pass
+#                 tools/promcheck.py strict validation and carry at least
+#                 one exemplar whose trace id joins /tracez, a slow-op
+#                 JSON record with nonzero cost must land on stderr,
+#                 `tcvs top` must render per-method rows from /varz, and
+#                 bench_admin_scrape must hold its committed baseline
+#                 (scrape-overhead gate) via tools/bench_compare.py
 #   6. bench      bench-output smoke: the fast table benches must emit valid
 #                 schema_version-1 JSON into $TCVS_BENCH_JSON_DIR, a
 #                 self-comparison with tools/bench_compare.py must pass, and
@@ -35,7 +45,8 @@
 #                 reports, under the default, asan, AND tsan presets
 #   8. lint       tools/lint.py repo-invariant lint (raw-mutex ban,
 #                 naked-new ban, fault-point registry, header hygiene,
-#                 metric naming, RPC-method metric coverage, typed audit
+#                 metric naming, Prometheus suffix conventions, RPC-method
+#                 metric coverage, admin-endpoint coverage, typed audit
 #                 events, campaign-fixture hygiene, trust-boundary
 #                 quarantine coverage, taint-escape ban)
 #   9. taint      tools/taint_check.py trust-boundary taint analysis:
@@ -342,6 +353,134 @@ PYEOF
   return $rc
 }
 
+# HTTP observability-plane smoke: boot tcvsd with the admin plane and
+# slow-op capture armed, drive real verified traffic, then hold the whole
+# observability contract at once: every endpoint answers, /metrics passes
+# the strict validator with a joinable exemplar, a slow-op record with a
+# nonzero cost vector lands on stderr, and `tcvs top` renders per-method
+# rows from /varz.
+obs_smoke() {
+  local tmp port="" aport="" daemon rc=1
+  tmp=$(mktemp -d) || return 1
+  mkdir -p "$tmp/data"
+  ./build/tools/tcvsd --port 0 --admin-port 0 --data-dir "$tmp/data" \
+      --trace --slow-op-us 1 \
+      > "$tmp/tcvsd.out" 2> "$tmp/tcvsd.err" &
+  daemon=$!
+  while :; do  # Single-pass; break is the error exit.
+    python3 tools/promcheck.py --self-test || break
+    for _ in $(seq 1 100); do
+      port=$(sed -n 's/^tcvsd listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+             "$tmp/tcvsd.out")
+      aport=$(sed -n 's/^tcvsd admin listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+              "$tmp/tcvsd.out")
+      [ -n "$port" ] && [ -n "$aport" ] && break
+      kill -0 "$daemon" 2>/dev/null || break
+      sleep 0.2
+    done
+    if [ -z "$port" ] || [ -z "$aport" ]; then
+      echo "obs: tcvsd never reported its ports" >&2
+      cat "$tmp/tcvsd.out" "$tmp/tcvsd.err" >&2
+      break
+    fi
+    local cli="./build/tools/tcvs --server 127.0.0.1:$port"
+    $cli --user 1 --state "$tmp/state" commit a/hello 0 "hello world" || break
+    $cli --user 1 --state "$tmp/state" commit a/bye 0 "goodbye" || break
+    $cli --user 1 --state "$tmp/state" cat a/hello > /dev/null || break
+    $cli --user 1 --state "$tmp/state" ls a/ > /dev/null || break
+    # Fetch every endpoint. /metrics must precede /tracez: exemplar trace
+    # ids must join the ring, and /tracez DRAINS it.
+    python3 - "$aport" "$tmp" <<'PYEOF' || break
+import json, sys, urllib.request
+aport, tmp = sys.argv[1], sys.argv[2]
+def get(path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{aport}{path}",
+                                timeout=10) as r:
+        return r.read().decode()
+metrics = get("/metrics")
+open(f"{tmp}/metrics.txt", "w").write(metrics)
+varz = json.loads(get("/varz"))
+assert varz["counters"].get("rpc.serve.transact.requests_total", 0) >= 2, \
+    "varz counters missed the served transactions"
+assert varz["counters"].get("rpc.serve.transact.cost.hashes_total", 0) > 0, \
+    "per-method cost aggregation is zero"
+assert "ok" in get("/healthz")
+assert "ready" in get("/readyz")
+statusz = json.loads(get("/statusz"))
+assert statusz["endpoints"], "statusz lists no endpoints"
+tracez = json.loads(get("/tracez"))
+open(f"{tmp}/tracez.json", "w").write(json.dumps(tracez))
+get("/eventsz")  # Clean run: must answer, may be empty.
+assert "/metrics" in get("/"), "index page lists no endpoints"
+# The p99-to-trace pivot: an exemplar trace id must join the span ring.
+ex_ids = {m.split('"')[1] for m in
+          [l.split("# {trace_id=")[1] for l in metrics.splitlines()
+           if "# {trace_id=" in l]}
+ring_ids = {e.get("args", {}).get("trace_id") for e in
+            tracez.get("traceEvents", [])} - {None}
+assert ex_ids, "no exemplars in /metrics"
+assert ex_ids & ring_ids, f"no exemplar joins /tracez ({len(ex_ids)} ids)"
+print(f"obs: endpoints OK, {len(ex_ids)} exemplar ids, "
+      f"{len(ex_ids & ring_ids)} joinable")
+PYEOF
+    python3 tools/promcheck.py "$tmp/metrics.txt" || break
+    # Slow-op capture: --slow-op-us 1 makes every RPC slow; a transact
+    # record with a nonzero cost vector and a span subtree must be there.
+    python3 - "$tmp/tcvsd.err" <<'PYEOF' || break
+import json, sys
+records = [json.loads(l) for l in open(sys.argv[1])
+           if l.startswith('{"method"')]
+assert records, "no slow-op records on tcvsd stderr"
+tx = [r for r in records if r["method"] == "transact"]
+assert tx, "no transact slow-op record"
+r = tx[0]
+assert r["latency_us"] > 0 and len(r["trace_id"]) == 16
+assert r["cost"]["hashes"] > 0, r["cost"]
+assert r["cost"]["vo_bytes_built"] > 0, r["cost"]
+assert r["spans"], "slow-op record carries no span subtree"
+print(f"obs: {len(records)} slow-op records OK")
+PYEOF
+    # `tcvs top` against the admin plane, with live traffic in the window.
+    ( for i in 1 2 3 4 5; do
+        $cli --user 1 --state "$tmp/state" commit a/hello "$i" "rev $i" \
+            > /dev/null 2>&1
+      done ) &
+    local load=$!
+    ./build/tools/tcvs top --admin "127.0.0.1:$aport" --interval-ms 800 \
+        > "$tmp/top.txt" || { wait "$load"; break; }
+    wait "$load"
+    grep -q '^transact ' "$tmp/top.txt" || {
+      echo "obs: tcvs top shows no transact row:" >&2
+      cat "$tmp/top.txt" >&2
+      break
+    }
+    $cli shutdown > /dev/null || break
+    wait "$daemon" || break
+    daemon=""
+    # Scrape-overhead gate: the bench's ops/sec columns must hold against
+    # the committed baseline.
+    mkdir -p "$tmp/bench"
+    TCVS_BENCH_JSON_DIR="$tmp/bench" ./build/bench/bench_admin_scrape \
+        > /dev/null || break
+    python3 tools/bench_compare.py bench/baselines "$tmp/bench" \
+        --threshold 75 || break
+    rc=0
+    break
+  done
+  [ -n "${daemon:-}" ] && kill "$daemon" 2>/dev/null
+  rm -rf "$tmp"
+  return $rc
+}
+
+stage_obs() {
+  run_stage obs cmake --preset default
+  [ "${RESULT[obs]}" = FAIL ] && return
+  run_stage obs cmake --build --preset default -j "$JOBS" \
+      --target tcvs tcvsd bench_admin_scrape
+  [ "${RESULT[obs]}" = FAIL ] && return
+  run_stage obs obs_smoke
+}
+
 # Seeded Byzantine campaign smoke: a short randomized campaign must exit 0
 # (every invariant held: n·k detection bound, digest-pair fork evidence,
 # no false alarms on the honest arm) and the same seed run twice must
@@ -397,7 +536,7 @@ stage_stats() {
 }
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats bench perf soak lint taint)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats obs bench perf soak lint taint)
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     default) stage_default ;;
@@ -405,12 +544,13 @@ for stage in "${STAGES[@]}"; do
     tsan)    stage_tsan ;;
     tidy)    stage_tidy ;;
     stats)   stage_stats ;;
+    obs)     stage_obs ;;
     bench)   stage_bench ;;
     perf)    stage_perf ;;
     soak)    stage_soak ;;
     lint)    stage_lint ;;
     taint)   stage_taint ;;
-    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats bench perf soak lint taint)" >&2
+    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats obs bench perf soak lint taint)" >&2
        exit 2 ;;
   esac
 done

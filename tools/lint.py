@@ -33,6 +33,23 @@ Rules (each violation prints `file:line: [rule] message`; exit 1 if any):
                  escape the snapshot inventory the same way an unregistered
                  fault point escapes the fault registry.
 
+  promformat     Prometheus naming, enforced at the registration site:
+                 every GetCounter literal ends in `_total`, and no
+                 GetGauge/GetLatency/TCVS_SPAN literal ends in a reserved
+                 suffix (_total, _sum, _count, _bucket, _info) — the /metrics
+                 exposition derives series types from these suffixes, so a
+                 mis-suffixed name makes scrapers mistype the series.
+                 (Shares check_metric_name with tools/promcheck.py, which
+                 validates the rendered exposition end-to-end.)
+
+  admin-endpoint every path registered on the HTTP admin plane
+                 (`Handle("/name", ...)` in src/net/http_admin.cc) must bump
+                 a literal `http.admin.<name>.requests_total` counter and be
+                 documented in ARCHITECTURE.md's endpoint table (a `/name`
+                 row) — an endpoint outside the table is an API surface
+                 operators can't discover, and one without its counter is
+                 invisible in its own /metrics.
+
   rpc-method-metrics
                  every RpcType enumerator in src/rpc/protocol.h must have a
                  per-method client latency metric
@@ -86,6 +103,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 import taint_registry  # noqa: E402  (shared verifier/source/sink inventory)
+from promcheck import check_metric_name  # noqa: E402  (shared naming rule)
 
 REPO = Path(__file__).resolve().parent.parent
 SOURCE_DIRS = ["src", "tools", "tests", "bench", "examples"]
@@ -297,6 +315,12 @@ def main():
                 report(path, lineno, "metric-name",
                        f'metric name "{name}" is not lowercase dotted '
                        "component.metric_name (e.g. rpc.serve.requests_total)")
+                continue
+            kind = {"GetCounter": "counter", "GetGauge": "gauge",
+                    "GetLatency": "summary", "TCVS_SPAN": "summary"}
+            err = check_metric_name(name, kind[m.group(1)])
+            if err:
+                report(path, lineno, "promformat", err)
 
         # Fault-spec strings may sit in comments (doc examples) — check the
         # raw text, not the comment-stripped one: a typo'd example misleads
@@ -451,6 +475,29 @@ def main():
                            "taint-exempt marker in a trust-boundary header; "
                            "these messages are server-originated by "
                            "definition and must stay quarantined")
+
+    # Pass 8: admin-endpoint coverage. The Handle() registrations in the
+    # standard-endpoint installer are the source of truth; each needs its
+    # per-endpoint request counter and an ARCHITECTURE.md table row.
+    admin_cc = REPO / "src/net/http_admin.cc"
+    arch_text = (REPO / "ARCHITECTURE.md").read_text()
+    admin_text = admin_cc.read_text()
+    endpoints = re.findall(r'Handle\(\s*"/([a-z][a-z0-9_]*)"', admin_text)
+    if not endpoints:
+        print("lint.py: internal error: found no admin Handle() endpoints",
+              file=sys.stderr)
+        return 1
+    for endpoint in endpoints:
+        counter = f"http.admin.{endpoint}.requests_total"
+        if f'"{counter}"' not in admin_text:
+            report(admin_cc, 1, "admin-endpoint",
+                   f'endpoint /{endpoint} has no literal "{counter}" '
+                   "counter; every admin endpoint must count its requests")
+        if f"`/{endpoint}`" not in arch_text:
+            report(admin_cc, 1, "admin-endpoint",
+                   f"endpoint /{endpoint} is not documented in "
+                   "ARCHITECTURE.md (no `/" + endpoint + "` row in the "
+                   "observability-plane endpoint table)")
 
     for v in violations:
         print(v)

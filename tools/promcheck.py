@@ -1,0 +1,396 @@
+#!/usr/bin/env python3
+"""Strict validator for the Prometheus text exposition emitted at /metrics.
+
+The admin plane's `/metrics` body (util::MetricsSnapshot::TextFormat) is a
+contract: scrapers parse it with no error recovery, so a malformed line is
+silently dropped data on the monitoring side. This checker enforces the
+contract stricter than real Prometheus does — anything it passes, any
+scraper will ingest:
+
+  syntax        every line is a `# TYPE <name> <kind>` / `# HELP` comment or
+                a `<name>[{labels}] <value>[ <exemplar>]` sample; names match
+                [a-zA-Z_:][a-zA-Z0-9_:]*; label values are quoted with only
+                \\" \\\\ \\n escapes; values parse as numbers.
+
+  type-first    a sample's family must be declared by a preceding TYPE line;
+                each family has exactly one TYPE; all samples of a family
+                are contiguous (no resuming a family after another started).
+
+  no-dupes      no two samples share (name, labelset) — duplicate series are
+                undefined behavior at ingestion.
+
+  naming        counter families end in `_total`; gauge and summary family
+                names do NOT end in a reserved suffix (_total, _sum, _count,
+                _bucket, _info) — those suffixes change how scrapers type
+                the series. (`check_metric_name` exports this rule to
+                lint.py, which applies it to the dotted in-process names at
+                the GetCounter/GetGauge/GetLatency registration sites.)
+
+  summary-shape a summary family's samples are `fam{quantile="q"}` lines
+                with unique q in [0,1], plus exactly one `fam_sum` and one
+                `fam_count`; count and sum are non-negative integers here
+                (latency histograms count microseconds).
+
+  exemplars     an exemplar suffix is ` # {trace_id="<16 lowercase hex>"}
+                <value> <unix-ts>`; the trace id joins against /tracez, so a
+                malformed one breaks the p99-to-trace pivot this plane
+                exists for. Exemplars are only valid on quantile samples.
+
+Usage:
+  promcheck.py <file>      validate a scraped /metrics body ('-' = stdin)
+  promcheck.py --self-test run the embedded good/bad corpus
+
+Exit 0 when clean; each problem prints `line N: [rule] message` and exits 1.
+`tools/check.sh obs` scrapes a live server and runs this over the body.
+"""
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPE_LINE_RE = re.compile(r"^# TYPE (\S+) (\S+)$")
+HELP_LINE_RE = re.compile(r"^# HELP (\S+) ?(.*)$")
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
+RESERVED_SUFFIXES = ("_total", "_sum", "_count", "_bucket", "_info")
+KNOWN_KINDS = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def check_metric_name(name, kind):
+    """Returns an error string (or None) for a metric name of the given kind.
+
+    Works on either exposition names (tcvs_rpc_serve_transact_latency_us)
+    or the dotted in-process names lint.py sees at registration sites
+    (rpc.serve.transact.latency_us): only the suffix matters.
+    """
+    if kind == "counter":
+        if not name.endswith("_total"):
+            return (f'counter "{name}" must end in "_total" '
+                    "(Prometheus counter naming convention)")
+        return None
+    for suffix in RESERVED_SUFFIXES:
+        if name.endswith(suffix):
+            return (f'{kind} "{name}" ends in reserved suffix "{suffix}"; '
+                    "scrapers would mistype the series")
+    return None
+
+
+def _parse_labels(text, errors, lineno):
+    """Parses `key="value",...` (no surrounding braces) into a dict."""
+    labels = {}
+    pos = 0
+    while pos < len(text):
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', text[pos:])
+        if not m:
+            errors.append((lineno, "syntax",
+                           f'bad label syntax at "{text[pos:]}"'))
+            return labels
+        key = m.group(1)
+        pos += m.end()
+        value = []
+        while pos < len(text) and text[pos] != '"':
+            if text[pos] == "\\":
+                if pos + 1 >= len(text) or text[pos + 1] not in '\\"n':
+                    errors.append((lineno, "syntax",
+                                   "bad escape in label value"))
+                    return labels
+                value.append(text[pos:pos + 2])
+                pos += 2
+            else:
+                value.append(text[pos])
+                pos += 1
+        if pos >= len(text):
+            errors.append((lineno, "syntax", "unterminated label value"))
+            return labels
+        pos += 1  # closing quote
+        if key in labels:
+            errors.append((lineno, "syntax", f'duplicate label "{key}"'))
+        labels[key] = "".join(value)
+        if pos < len(text):
+            if text[pos] != ",":
+                errors.append((lineno, "syntax",
+                               f'expected "," between labels at '
+                               f'"{text[pos:]}"'))
+                return labels
+            pos += 1
+    return labels
+
+
+def _parse_number(token):
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def _split_exemplar(rest):
+    """Splits `<value> [# {...} <value> <ts>]` -> (value, exemplar|None)."""
+    hash_pos = rest.find(" # ")
+    if hash_pos < 0:
+        return rest.strip(), None
+    return rest[:hash_pos].strip(), rest[hash_pos + 3:].strip()
+
+
+class _Family:
+    def __init__(self, kind, lineno):
+        self.kind = kind
+        self.lineno = lineno
+        self.quantiles = []
+        self.has_sum = False
+        self.has_count = False
+        self.closed = False  # another family's samples started after ours
+
+
+def check_text(text):
+    """Validates a /metrics body. Returns [(lineno, rule, message), ...]."""
+    errors = []
+    families = {}      # exposition family name -> _Family
+    current = None     # family name whose samples we are inside
+    seen_series = set()
+
+    def family_for_sample(name):
+        """Maps a sample name to its declared family, or None."""
+        if name in families:
+            return name
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                fam = families.get(base)
+                if fam is not None and fam.kind in ("summary", "histogram"):
+                    return base
+        return None
+
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # trailing newline is fine
+    for lineno, line in enumerate(lines, start=1):
+        if line == "":
+            errors.append((lineno, "syntax", "blank line in exposition"))
+            continue
+        if line.startswith("#"):
+            m = TYPE_LINE_RE.match(line)
+            if m:
+                name, kind = m.groups()
+                if not METRIC_NAME_RE.match(name):
+                    errors.append((lineno, "syntax",
+                                   f'bad metric name "{name}"'))
+                    continue
+                if kind not in KNOWN_KINDS:
+                    errors.append((lineno, "syntax",
+                                   f'unknown metric kind "{kind}"'))
+                    continue
+                if name in families:
+                    errors.append((lineno, "type-first",
+                                   f'duplicate TYPE for family "{name}" '
+                                   f"(first at line {families[name].lineno})"))
+                    continue
+                err = check_metric_name(name, kind)
+                if err:
+                    errors.append((lineno, "naming", err))
+                families[name] = _Family(kind, lineno)
+                continue
+            if HELP_LINE_RE.match(line) or line == "# EOF":
+                continue
+            errors.append((lineno, "syntax",
+                           f'comment is neither TYPE nor HELP: "{line}"'))
+            continue
+
+        # Sample line: name[{labels}] value [exemplar].
+        m = re.match(r"^(\S+?)(\{([^}]*)\})? (.*)$", line)
+        if not m:
+            errors.append((lineno, "syntax", f'unparseable sample: "{line}"'))
+            continue
+        name, _, label_text, rest = m.groups()
+        if not METRIC_NAME_RE.match(name):
+            errors.append((lineno, "syntax", f'bad metric name "{name}"'))
+            continue
+        labels = (_parse_labels(label_text, errors, lineno)
+                  if label_text is not None else {})
+        value_token, exemplar = _split_exemplar(rest)
+        if _parse_number(value_token) is None:
+            errors.append((lineno, "syntax",
+                           f'sample value "{value_token}" is not a number'))
+            continue
+
+        fam_name = family_for_sample(name)
+        if fam_name is None:
+            errors.append((lineno, "type-first",
+                           f'sample "{name}" has no preceding TYPE line'))
+            continue
+        fam = families[fam_name]
+        if current != fam_name:
+            if fam.closed:
+                errors.append((lineno, "type-first",
+                               f'family "{fam_name}" resumes after another '
+                               "family's samples; families must be "
+                               "contiguous"))
+            if current is not None and current in families:
+                families[current].closed = True
+            current = fam_name
+
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            errors.append((lineno, "no-dupes",
+                           f'duplicate series "{name}" with identical '
+                           "labels"))
+        seen_series.add(series)
+
+        if fam.kind == "summary":
+            if name == fam_name:
+                q = labels.get("quantile")
+                if q is None or set(labels) != {"quantile"}:
+                    errors.append((lineno, "summary-shape",
+                                   "summary sample must carry exactly the "
+                                   '"quantile" label'))
+                else:
+                    qv = _parse_number(q)
+                    if qv is None or not 0.0 <= qv <= 1.0:
+                        errors.append((lineno, "summary-shape",
+                                       f'quantile "{q}" not in [0, 1]'))
+                    if q in fam.quantiles:
+                        errors.append((lineno, "summary-shape",
+                                       f'duplicate quantile label "{q}"'))
+                    fam.quantiles.append(q)
+            elif name == fam_name + "_sum":
+                fam.has_sum = True
+            elif name == fam_name + "_count":
+                fam.has_count = True
+            if name != fam_name and not re.fullmatch(r"\d+", value_token):
+                errors.append((lineno, "summary-shape",
+                               f'{name} must be a non-negative integer, '
+                               f'got "{value_token}"'))
+        elif labels:
+            errors.append((lineno, "syntax",
+                           f'{fam.kind} sample "{name}" carries labels; '
+                           "this exposition emits them bare"))
+
+        if exemplar is not None:
+            if fam.kind != "summary" or name != fam_name:
+                errors.append((lineno, "exemplars",
+                               "exemplar on a non-quantile sample"))
+                continue
+            em = re.match(r'^\{trace_id="([0-9a-fA-F]*)"\} (\S+) (\S+)$',
+                          exemplar)
+            if not em:
+                errors.append((lineno, "exemplars",
+                               f'bad exemplar syntax: "{exemplar}"'))
+                continue
+            trace_id, ex_value, ex_ts = em.groups()
+            if not TRACE_ID_RE.match(trace_id):
+                errors.append((lineno, "exemplars",
+                               f'trace id "{trace_id}" is not 16 lowercase '
+                               "hex digits; it cannot join /tracez"))
+            if not re.fullmatch(r"\d+", ex_value):
+                errors.append((lineno, "exemplars",
+                               f'exemplar value "{ex_value}" is not a '
+                               "non-negative integer"))
+            ts = _parse_number(ex_ts)
+            if ts is None or ts < 0:
+                errors.append((lineno, "exemplars",
+                               f'exemplar timestamp "{ex_ts}" is not a '
+                               "non-negative number"))
+
+    for name, fam in families.items():
+        if fam.kind == "summary" and fam.quantiles:
+            if not fam.has_sum:
+                errors.append((fam.lineno, "summary-shape",
+                               f'summary "{name}" has no _sum sample'))
+            if not fam.has_count:
+                errors.append((fam.lineno, "summary-shape",
+                               f'summary "{name}" has no _count sample'))
+    return errors
+
+
+GOOD_DOC = """\
+# TYPE tcvs_rpc_serve_transact_requests_total counter
+tcvs_rpc_serve_transact_requests_total 42
+# TYPE tcvs_net_admin_workers gauge
+tcvs_net_admin_workers 2
+# TYPE tcvs_rpc_serve_transact_latency_us summary
+tcvs_rpc_serve_transact_latency_us{quantile="0.5"} 120
+tcvs_rpc_serve_transact_latency_us{quantile="0.9"} 340
+tcvs_rpc_serve_transact_latency_us{quantile="0.99"} 900 # {trace_id="00f1e2d3c4b5a697"} 912 1754650000.000123
+tcvs_rpc_serve_transact_latency_us_sum 48000
+tcvs_rpc_serve_transact_latency_us_count 42
+"""
+
+# Each bad doc is (expected_rule, document).
+BAD_DOCS = [
+    ("naming", "# TYPE tcvs_requests counter\ntcvs_requests 1\n"),
+    ("naming", "# TYPE tcvs_queue_depth_total gauge\n"
+               "tcvs_queue_depth_total 3\n"),
+    ("type-first", "tcvs_orphan_total 5\n"),
+    ("type-first", "# TYPE tcvs_a_total counter\ntcvs_a_total 1\n"
+                   "# TYPE tcvs_b_total counter\ntcvs_b_total 2\n"
+                   "tcvs_a_total 3\n"),
+    ("type-first", "# TYPE tcvs_a_total counter\n"
+                   "# TYPE tcvs_a_total counter\ntcvs_a_total 1\n"),
+    ("no-dupes", "# TYPE tcvs_a_total counter\ntcvs_a_total 1\n"
+                 "tcvs_a_total 2\n"),
+    ("syntax", "# TYPE tcvs_a_total counter\ntcvs_a_total banana\n"),
+    ("syntax", "# TYPE tcvs_a_total counter\n\ntcvs_a_total 1\n"),
+    ("syntax", "# a freeform comment\n"),
+    ("syntax", "# TYPE tcvs bad-name! counter\n"),
+    ("summary-shape", "# TYPE tcvs_lat summary\n"
+                      'tcvs_lat{quantile="0.5"} 1\n'
+                      'tcvs_lat{quantile="0.5"} 2\n'
+                      "tcvs_lat_sum 3\ntcvs_lat_count 2\n"),
+    ("summary-shape", "# TYPE tcvs_lat summary\n"
+                      'tcvs_lat{quantile="1.5"} 1\n'
+                      "tcvs_lat_sum 1\ntcvs_lat_count 1\n"),
+    ("summary-shape", "# TYPE tcvs_lat summary\n"
+                      'tcvs_lat{quantile="0.5"} 1\n'
+                      "tcvs_lat_count 1\n"),
+    ("exemplars", "# TYPE tcvs_a_total counter\n"
+                  'tcvs_a_total 1 # {trace_id="00f1e2d3c4b5a697"} 1 1.0\n'),
+    ("exemplars", "# TYPE tcvs_lat summary\n"
+                  'tcvs_lat{quantile="0.5"} 1 '
+                  '# {trace_id="SHORT"} 1 1.0\n'
+                  "tcvs_lat_sum 1\ntcvs_lat_count 1\n"),
+]
+
+
+def self_test():
+    failures = []
+    errs = check_text(GOOD_DOC)
+    if errs:
+        failures.append(f"good doc flagged: {errs}")
+    for i, (rule, doc) in enumerate(BAD_DOCS):
+        errs = check_text(doc)
+        if not errs:
+            failures.append(f"bad doc #{i} (expect [{rule}]) passed clean")
+        elif not any(r == rule for _, r, _ in errs):
+            failures.append(
+                f"bad doc #{i} expected [{rule}], got {errs}")
+    if failures:
+        for f in failures:
+            print(f"promcheck self-test FAIL: {f}")
+        return 1
+    print(f"promcheck self-test OK ({len(BAD_DOCS)} bad docs rejected)")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    errors = check_text(text)
+    for lineno, rule, message in errors:
+        print(f"line {lineno}: [{rule}] {message}")
+    if errors:
+        print(f"promcheck: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"promcheck: OK ({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,6 +17,15 @@
 //   tcvs --server HOST:PORT stats   # live server metrics (Prometheus text)
 //   tcvs --server HOST:PORT trace   # drain server spans (Chrome trace JSON)
 //   tcvs --server HOST:PORT events [--json]   # security audit-event log
+//   tcvs --server HOST:PORT top [--interval-ms MS] [--frames N]
+//   tcvs top --admin HOST:PORT [--interval-ms MS] [--frames N]
+//
+// `top` diffs two metrics snapshots an interval apart and prints per-RPC-
+// method QPS, latency quantiles, and cost-per-op (hashes, signature
+// verifies, VO bytes, WAL appends, fsync wait). Against the Stats RPC it
+// diffs full histograms, so quantiles are for the INTERVAL; with --admin it
+// scrapes the admin plane's /varz (no RPC port needed — works while the
+// serve pool is saturated), where quantiles are cumulative.
 //
 // Transport flags: --retries N, --backoff-ms MS, --timeout-ms MS tune the
 // retry policy (exponential backoff, jittered) and per-operation deadlines.
@@ -30,17 +39,22 @@
 //
 // Exit codes: 0 success, 1 operation error, 3 SERVER DEVIATION DETECTED.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cvs/cache.h"
 #include "cvs/trusted.h"
+#include "net/http_admin.h"
 #include "rpc/remote.h"
 #include "util/audit.h"
 #include "util/bytes.h"
+#include "util/jsonish.h"
 #include "util/metrics.h"
 
 using namespace tcvs;
@@ -73,7 +87,9 @@ int Usage() {
                "usage: tcvs [--retries N] [--backoff-ms MS] [--timeout-ms MS] "
                "--server H:P --user N --state FILE "
                "checkout|cat|commit|remove ... | state | check FILES... | "
-               "stats | trace | events [--json] | shutdown\n");
+               "stats | trace | events [--json] | "
+               "top [--interval-ms MS] [--frames N] [--admin H:P] | "
+               "shutdown\n");
   return 2;
 }
 
@@ -129,6 +145,128 @@ int ServeDegraded(const std::string& cmd, const std::vector<std::string>& args,
   // Mutations (and audit) need the live server: degrading them would turn
   // read-only mode into a silent write outage.
   return Fail(why);
+}
+
+/// One `tcvs top` observation, from either source: the Stats RPC carries
+/// full histograms (bucket-accurate interval quantiles via DeltaSince);
+/// /varz carries only the cumulative summary stats.
+struct TopSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, util::Histogram> histograms;
+  struct VarzHist {
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+  };
+  std::map<std::string, VarzHist> varz_hists;
+};
+
+Result<TopSnapshot> TopFromStats(rpc::RemoteServer* remote) {
+  TCVS_ASSIGN_OR_RETURN(util::MetricsSnapshot snap, remote->Stats());
+  TopSnapshot out;
+  out.counters = std::move(snap.counters);
+  out.histograms = std::move(snap.histograms);
+  return out;
+}
+
+Result<TopSnapshot> TopFromVarz(const std::string& host, uint16_t port) {
+  TCVS_ASSIGN_OR_RETURN(net::HttpResponse resp,
+                        net::HttpGet(host, port, "/varz"));
+  if (resp.status != 200) {
+    return Status::Unavailable("/varz answered HTTP " +
+                               std::to_string(resp.status));
+  }
+  TCVS_ASSIGN_OR_RETURN(util::JsonValue root, util::ParseJson(resp.body));
+  TopSnapshot out;
+  if (const util::JsonValue* counters = root.Get("counters")) {
+    for (const auto& [name, v] : counters->object()) {
+      if (v.is_number()) out.counters[name] = v.AsU64();
+    }
+  }
+  if (const util::JsonValue* hists = root.Get("histograms")) {
+    for (const auto& [name, h] : hists->object()) {
+      out.varz_hists[name] = {h.GetU64("p50"), h.GetU64("p99")};
+    }
+  }
+  return out;
+}
+
+uint64_t CounterDelta(const TopSnapshot& prev, const TopSnapshot& cur,
+                      const std::string& name) {
+  auto c = cur.counters.find(name);
+  if (c == cur.counters.end()) return 0;
+  auto p = prev.counters.find(name);
+  const uint64_t before = p == prev.counters.end() ? 0 : p->second;
+  return c->second >= before ? c->second - before : 0;
+}
+
+void PrintTopFrame(const TopSnapshot& prev, const TopSnapshot& cur,
+                   double dt_seconds) {
+  static const char* kMethods[] = {"transact",       "get_params", "shutdown",
+                                   "list",           "log_checkpoint",
+                                   "stats",          "trace_dump", "events"};
+  static const char* kCostKeys[] = {"hashes",      "bytes_hashed",
+                                    "sig_verifies", "vo_bytes",
+                                    "wal_appends", "wal_fsync_wait_us"};
+  const bool interval_quantiles = !cur.histograms.empty();
+  std::printf("-- %.1fs interval (%s quantiles) --\n", dt_seconds,
+              interval_quantiles ? "interval" : "cumulative /varz");
+  std::printf("%-15s %8s %8s %8s %8s %8s %8s %8s %8s %9s\n", "METHOD", "QPS",
+              "P50_US", "P99_US", "HSH/OP", "BH/OP", "SIG/OP", "VOB/OP",
+              "WAL/OP", "FSYNC/OP");
+  size_t rows = 0;
+  for (const char* method : kMethods) {
+    const std::string base = std::string("rpc.serve.") + method;
+    const uint64_t ops = CounterDelta(prev, cur, base + ".requests_total");
+    if (ops == 0) continue;
+    ++rows;
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+    if (auto it = cur.histograms.find(base + ".latency_us");
+        it != cur.histograms.end()) {
+      auto before = prev.histograms.find(base + ".latency_us");
+      const util::Histogram delta = before == prev.histograms.end()
+                                        ? it->second
+                                        : it->second.DeltaSince(before->second);
+      p50 = delta.p50();
+      p99 = delta.p99();
+    } else if (auto it = cur.varz_hists.find(base + ".latency_us");
+               it != cur.varz_hists.end()) {
+      p50 = it->second.p50;
+      p99 = it->second.p99;
+    }
+    std::printf("%-15s %8.1f %8llu %8llu", method,
+                static_cast<double>(ops) / dt_seconds,
+                (unsigned long long)p50, (unsigned long long)p99);
+    // Cost-per-op columns; "-" for methods without cost instrumentation
+    // (only execution-bearing RPCs charge the cost accumulator).
+    const bool has_cost = cur.counters.count(base + ".cost.hashes_total") > 0;
+    for (size_t k = 0; k < 6; ++k) {
+      const int width = k == 5 ? 9 : 8;
+      if (!has_cost) {
+        std::printf(" %*s", width, "-");
+        continue;
+      }
+      const uint64_t delta = CounterDelta(
+          prev, cur, base + ".cost." + kCostKeys[k] + "_total");
+      std::printf(" %*.1f", width, static_cast<double>(delta) / ops);
+    }
+    std::printf("\n");
+  }
+  if (rows == 0) std::printf("(no RPCs served in the interval)\n");
+}
+
+int RunTop(const std::function<Result<TopSnapshot>()>& fetch, int interval_ms,
+           int frames) {
+  auto prev = fetch();
+  if (!prev.ok()) return Fail(prev.status());
+  for (int f = 0; f < frames; ++f) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    auto cur = fetch();
+    if (!cur.ok()) return Fail(cur.status());
+    PrintTopFrame(*prev, *cur, static_cast<double>(interval_ms) / 1000.0);
+    prev = std::move(cur);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -198,6 +336,38 @@ int main(int argc, char** argv) {
     host = server_addr.substr(0, colon);
     port = static_cast<uint16_t>(std::atoi(server_addr.c_str() + colon + 1));
   }
+  if (cmd == "top") {
+    int interval_ms = 1000;
+    int frames = 1;
+    std::string admin_addr;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--interval-ms" && i + 1 < args.size()) {
+        interval_ms = std::atoi(args[++i].c_str());
+      } else if (args[i] == "--frames" && i + 1 < args.size()) {
+        frames = std::atoi(args[++i].c_str());
+      } else if (args[i] == "--admin" && i + 1 < args.size()) {
+        admin_addr = args[++i];
+      } else {
+        return Usage();
+      }
+    }
+    if (interval_ms <= 0 || frames <= 0) return Usage();
+    if (!admin_addr.empty()) {
+      size_t colon = admin_addr.rfind(':');
+      if (colon == std::string::npos) return Usage();
+      const std::string admin_host = admin_addr.substr(0, colon);
+      const uint16_t admin_port =
+          static_cast<uint16_t>(std::atoi(admin_addr.c_str() + colon + 1));
+      return RunTop(
+          [&] { return TopFromVarz(admin_host, admin_port); },
+          interval_ms, frames);
+    }
+    auto conn = rpc::RemoteServer::Connect(host, port, remote_options);
+    if (!conn.ok()) return Fail(conn.status());
+    return RunTop([&] { return TopFromStats(conn->get()); }, interval_ms,
+                  frames);
+  }
+
   auto remote = rpc::RemoteServer::Connect(host, port, remote_options);
   if (!remote.ok()) {
     if (rpc::IsRetryableTransport(remote.status())) {

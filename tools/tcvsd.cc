@@ -10,6 +10,7 @@
 //         [--group-commit-window-us US] [--threads N]
 //         [--log-json] [--log-json-interval-ms MS]
 //         [--trace] [--trace-capacity N]
+//         [--admin-port N] [--slow-op-us US]
 //
 // --threads sizes the serve loop's worker pool: N connections are answered
 // concurrently (I/O in parallel, transaction execution serialized under the
@@ -49,6 +50,17 @@
 // sizes the ring and implies --trace. Trace-context propagation across RPC
 // is always on regardless — it costs three integers per request.
 //
+// --admin-port N starts the HTTP observability plane on loopback port N
+// (0 = ephemeral; the bound port is printed): /metrics, /varz, /healthz,
+// /readyz, /statusz, /tracez, /eventsz — see ARCHITECTURE.md
+// "Observability plane". /readyz goes 503 while the WAL cannot take
+// writes, the worker pool is down, or fork evidence has been recorded.
+//
+// --slow-op-us US arms slow-op capture: any served RPC taking longer than
+// US microseconds emits a JSON-lines record on stderr with its method,
+// latency, trace id, span subtree, and per-request cost counters (hashes,
+// bytes hashed, signature verifies, VO bytes, WAL appends/fsync waits).
+//
 // Prints the bound port on stdout (useful with --port 0 for an ephemeral
 // port) and serves until a shutdown RPC arrives.
 
@@ -59,6 +71,7 @@
 #include <thread>
 
 #include "cvs/trusted.h"
+#include "net/http_admin.h"
 #include "net/socket.h"
 #include "rpc/remote.h"
 #include "storage/durable.h"
@@ -152,7 +165,9 @@ int main(int argc, char** argv) {
   int log_json_interval_ms = 1000;
   bool trace = false;
   uint64_t trace_capacity = 0;
+  int admin_port = -1;  // -1 = admin plane off.
   rpc::ServeOptions serve_options;
+  const uint64_t start_us = util::MonotonicMicros();
   // Size the worker pool to the machine, but never below 2: with a single
   // worker there is never a second in-flight commit for group commit to
   // batch with (hardware_concurrency() can also legally return 0).
@@ -185,12 +200,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trace-capacity") == 0 && i + 1 < argc) {
       trace = true;  // Asking for a buffer size implies wanting the buffer.
       trace_capacity = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
+      admin_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--slow-op-us") == 0 && i + 1 < argc) {
+      serve_options.slow_op_us = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: tcvsd [--port N] [--fanout F] [--data-dir DIR] "
                    "[--no-fsync] [--group-commit-window-us US] [--threads N] "
                    "[--log-json] [--log-json-interval-ms MS] [--trace] "
-                   "[--trace-capacity N]\n");
+                   "[--trace-capacity N] [--admin-port N] [--slow-op-us US]\n");
       return 2;
     }
   }
@@ -248,6 +267,67 @@ int main(int argc, char** argv) {
   std::printf("tcvsd listening on 127.0.0.1:%u\n", listener->port());
   std::fflush(stdout);
 
+  // The HTTP observability plane (--admin-port). Readiness is the AND of:
+  // the serve worker pool being up, the WAL (durable mode) taking writes,
+  // and no fork evidence in the audit log — a forked server must stop
+  // looking healthy to load balancers even though it still answers RPCs.
+  std::unique_ptr<net::HttpAdminServer> admin_server;
+  if (admin_port >= 0) {
+    net::HttpAdminServer::Options admin_options;
+    admin_options.port = static_cast<uint16_t>(admin_port);
+    auto admin_or = net::HttpAdminServer::Start(admin_options);
+    if (!admin_or.ok()) {
+      std::fprintf(stderr, "tcvsd: admin plane: %s\n",
+                   admin_or.status().ToString().c_str());
+      return 1;
+    }
+    admin_server = std::move(admin_or).ValueOrDie();
+
+    net::AdminEndpointOptions endpoints;
+    endpoints.start_us = start_us;
+    endpoints.build_info = "tcvsd (" __DATE__ ")";
+    char config[256];
+    std::snprintf(config, sizeof(config),
+                  "port=%u fanout=%zu data_dir=%s fsync=%d "
+                  "group_commit_window_us=%u threads=%d slow_op_us=%llu",
+                  listener->port(), fanout,
+                  data_dir.empty() ? "(memory)" : data_dir.c_str(),
+                  fsync ? 1 : 0, group_commit_window_us,
+                  serve_options.num_threads,
+                  static_cast<unsigned long long>(serve_options.slow_op_us));
+    endpoints.config_summary = config;
+    endpoints.readiness.push_back(net::HealthCheck{
+        "serve.workers", [] {
+          if (util::MetricsRegistry::Instance()
+                  .GetGauge("rpc.serve.workers")
+                  ->value() >= 1) {
+            return Status::OK();
+          }
+          return Status::Unavailable("worker pool not running");
+        }});
+    endpoints.readiness.push_back(net::HealthCheck{
+        "fork.evidence", [] {
+          const uint64_t forks = util::MetricsRegistry::Instance()
+                                     .GetCounter("audit.forks_detected_total")
+                                     ->value();
+          if (forks == 0) return Status::OK();
+          return Status::VerificationFailure(
+              "fork evidence recorded (see /eventsz)");
+        }});
+    if (durable_server != nullptr) {
+      storage::DurableServer* durable = durable_server.get();
+      endpoints.readiness.push_back(net::HealthCheck{
+          "wal", [durable] {
+            if (durable->wal_ok()) return Status::OK();
+            return Status::IOError("WAL not accepting writes");
+          }});
+    }
+    net::RegisterStandardEndpoints(admin_server.get(), std::move(endpoints));
+    std::printf("tcvsd admin listening on 127.0.0.1:%u\n",
+                admin_server->port());
+    std::fflush(stdout);
+  }
+
   std::unique_ptr<JsonLogger> json_logger;
   if (log_json) {
     if (log_json_interval_ms < 1) log_json_interval_ms = 1;
@@ -255,6 +335,7 @@ int main(int argc, char** argv) {
   }
 
   Status st = rpc::Serve(&listener.ValueOrDie(), api, serve_options);
+  if (admin_server != nullptr) admin_server->Stop();
   if (json_logger != nullptr) json_logger->Stop();
   if (!st.ok()) {
     std::fprintf(stderr, "tcvsd: %s\n", st.ToString().c_str());
