@@ -10,6 +10,7 @@
 #include "util/audit.h"
 #include "util/fault.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 
 namespace tcvs {
 namespace net {
@@ -391,6 +392,50 @@ void RegisterStandardEndpoints(HttpAdminServer* server,
       r.body += event.JsonFormat();
       r.body.push_back('\n');
     }
+    return r;
+  });
+
+  server->Handle("/pprofz", [&metrics](const HttpRequest& request) {
+    metrics.GetCounter("http.admin.pprofz.requests_total")->Increment();
+    HttpResponse r;
+    const std::string seconds_s = request.QueryParam("seconds");
+    const std::string hz_s = request.QueryParam("hz");
+    const int seconds =
+        seconds_s.empty() ? 5 : static_cast<int>(std::strtol(seconds_s.c_str(),
+                                                             nullptr, 10));
+    const int hz = hz_s.empty() ? 100
+                                : static_cast<int>(std::strtol(hz_s.c_str(),
+                                                               nullptr, 10));
+    const std::string fmt = request.QueryParam("fmt");
+    if (!fmt.empty() && fmt != "folded" && fmt != "json") {
+      r.status = 400;
+      r.body = "fmt must be 'folded' or 'json'\n";
+      return r;
+    }
+    // Blocks this admin worker for the window; the serving plane and the
+    // other admin worker are unaffected. ProfileWindow clamps hz/seconds.
+    Result<util::CpuProfile> profile = util::ProfileWindow(hz, seconds);
+    if (!profile.ok()) {
+      r.status = 503;
+      r.body = profile.status().ToString() + "\n";
+      return r;
+    }
+    if (fmt == "json") {
+      r.content_type = "application/json";
+      r.body = profile->JsonTopN(50);
+    } else {
+      r.content_type = "text/plain; charset=utf-8";
+      r.body = profile->FoldedFormat();
+    }
+    return r;
+  });
+
+  server->Handle("/lockz", [&metrics](const HttpRequest&) {
+    metrics.GetCounter("http.admin.lockz.requests_total")->Increment();
+    HttpResponse r;
+    r.content_type = "application/json";
+    r.body = util::ContentionJson();
+    r.body.push_back('\n');
     return r;
   });
 

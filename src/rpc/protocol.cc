@@ -37,6 +37,8 @@ Bytes RpcRequest::Serialize() const {
   w.PutU64(trace_id);
   w.PutU64(span_id);
   w.PutU64(parent_span_id);
+  w.PutU32(profile_seconds);
+  w.PutU32(profile_hz);
   return w.Take();
 }
 
@@ -53,8 +55,9 @@ Result<util::Tainted<RpcRequest>> RpcRequest::Deserialize(const Bytes& data) {
     }
     TCVS_ASSIGN_OR_RETURN(type, r.GetU8());
   }
-  // v1 peers predate kTraceDump/kEvents; reject those types from them.
-  const uint8_t max_type = version >= 2 ? 8 : 6;
+  // Older peers predate the newer types; reject what their wire version
+  // could not have named (v1: through kStats, v2: through kEvents).
+  const uint8_t max_type = version >= 3 ? 9 : version == 2 ? 8 : 6;
   if (type < 1 || type > max_type) {
     return Status::InvalidArgument("bad rpc type");
   }
@@ -73,6 +76,10 @@ Result<util::Tainted<RpcRequest>> RpcRequest::Deserialize(const Bytes& data) {
     TCVS_ASSIGN_OR_RETURN(req.trace_id, r.GetU64());
     TCVS_ASSIGN_OR_RETURN(req.span_id, r.GetU64());
     TCVS_ASSIGN_OR_RETURN(req.parent_span_id, r.GetU64());
+  }
+  if (version >= 3) {
+    TCVS_ASSIGN_OR_RETURN(req.profile_seconds, r.GetU32());
+    TCVS_ASSIGN_OR_RETURN(req.profile_hz, r.GetU32());
   }
   return util::Tainted<RpcRequest>(std::move(req));
 }

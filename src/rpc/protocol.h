@@ -41,14 +41,20 @@ enum class RpcType : uint8_t {
   /// Serialized util::AuditLog snapshot of the server process
   /// (`tcvs events`). Read-only, never cached.
   kEvents = 8,
+  /// Collect a windowed CPU profile on the server (util::ProfileWindow) and
+  /// return it in folded/collapsed-stack text (`tcvs profile`). Read-only,
+  /// never cached; blocks for the requested window, so the serve loop
+  /// dispatches it OUTSIDE the execution lock. v3 wire.
+  kProfile = 9,
 };
 
 /// \brief Request wire versioning. v1 frames began directly with the type
 /// byte (1..6). v2 frames start with the kRpcVersionEscape byte — a value
 /// no v1 type ever used — then the version, then the v1 layout, then the
-/// trace-context triple. Deserialize accepts both, so a v2 server still
-/// understands v1 clients.
-inline constexpr uint8_t kRpcWireVersion = 2;
+/// trace-context triple. v3 appends the kProfile parameter pair
+/// (profile_seconds, profile_hz). Deserialize accepts all three, so a v3
+/// server still understands v1/v2 clients.
+inline constexpr uint8_t kRpcWireVersion = 3;
 inline constexpr uint8_t kRpcVersionEscape = 0xFF;
 
 /// \brief One request frame.
@@ -71,6 +77,12 @@ struct RpcRequest {
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
   uint64_t parent_span_id = 0;
+  /// @}
+  /// \name kProfile parameters (v3 wire): window length and sampling
+  /// frequency, clamped server-side to util::kMin/MaxProfileSeconds/Hz.
+  /// @{
+  uint32_t profile_seconds = 0;
+  uint32_t profile_hz = 0;
   /// @}
 
   Bytes Serialize() const;

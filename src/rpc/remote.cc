@@ -1,5 +1,6 @@
 #include "rpc/remote.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -16,6 +17,7 @@
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
+#include "util/profiler.h"
 #include "util/serde.h"
 
 namespace tcvs {
@@ -85,6 +87,8 @@ util::LatencyHistogram* ClientMethodLatency(RpcType type) {
           "rpc.client.trace_dump.latency_us"),
       util::MetricsRegistry::Instance().GetLatency(
           "rpc.client.events.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.client.profile.latency_us"),
   };
   return kLatency[static_cast<size_t>(type) - 1];
 }
@@ -93,7 +97,7 @@ util::LatencyHistogram* ClientMethodLatency(RpcType type) {
 const char* RpcMethodName(RpcType type) {
   static const char* const kNames[] = {
       "transact",  "get_params", "shutdown",   "list",
-      "log_checkpoint", "stats", "trace_dump", "events",
+      "log_checkpoint", "stats", "trace_dump", "events", "profile",
   };
   return kNames[static_cast<size_t>(type) - 1];
 }
@@ -119,6 +123,8 @@ util::LatencyHistogram* ServeMethodLatency(RpcType type) {
           "rpc.serve.trace_dump.latency_us"),
       util::MetricsRegistry::Instance().GetLatency(
           "rpc.serve.events.latency_us"),
+      util::MetricsRegistry::Instance().GetLatency(
+          "rpc.serve.profile.latency_us"),
   };
   return kLatency[static_cast<size_t>(type) - 1];
 }
@@ -134,8 +140,13 @@ struct MethodCostCounters {
   util::Counter* vo_bytes;
   util::Counter* wal_appends;
   util::Counter* wal_fsync_wait_us;
+  util::Counter* queue_us;
+  util::Counter* work_us;
 
-  void Add(const util::CostCounters& cost) const {
+  /// `work_us` is derived by the caller as latency − queue − fsync wait
+  /// (clamped at 0), so per method `queue + work + fsync_wait` sums to the
+  /// recorded latency — the decomposition `tcvs top` and `/varz` report.
+  void Add(const util::CostCounters& cost, uint64_t derived_work_us) const {
     if (cost.hashes != 0) hashes->Increment(cost.hashes);
     if (cost.bytes_hashed != 0) bytes_hashed->Increment(cost.bytes_hashed);
     if (cost.sig_verifies != 0) sig_verifies->Increment(cost.sig_verifies);
@@ -144,6 +155,8 @@ struct MethodCostCounters {
     if (cost.wal_fsync_wait_us != 0) {
       wal_fsync_wait_us->Increment(cost.wal_fsync_wait_us);
     }
+    if (cost.queue_us != 0) queue_us->Increment(cost.queue_us);
+    if (derived_work_us != 0) work_us->Increment(derived_work_us);
   }
 };
 
@@ -156,6 +169,8 @@ const MethodCostCounters* ServeMethodCost(RpcType type) {
       registry.GetCounter("rpc.serve.transact.cost.vo_bytes_total"),
       registry.GetCounter("rpc.serve.transact.cost.wal_appends_total"),
       registry.GetCounter("rpc.serve.transact.cost.wal_fsync_wait_us_total"),
+      registry.GetCounter("rpc.serve.transact.cost.queue_us_total"),
+      registry.GetCounter("rpc.serve.transact.cost.work_us_total"),
   };
   static const MethodCostCounters kList = {
       registry.GetCounter("rpc.serve.list.cost.hashes_total"),
@@ -164,6 +179,8 @@ const MethodCostCounters* ServeMethodCost(RpcType type) {
       registry.GetCounter("rpc.serve.list.cost.vo_bytes_total"),
       registry.GetCounter("rpc.serve.list.cost.wal_appends_total"),
       registry.GetCounter("rpc.serve.list.cost.wal_fsync_wait_us_total"),
+      registry.GetCounter("rpc.serve.list.cost.queue_us_total"),
+      registry.GetCounter("rpc.serve.list.cost.work_us_total"),
   };
   static const MethodCostCounters kLogCheckpoint = {
       registry.GetCounter("rpc.serve.log_checkpoint.cost.hashes_total"),
@@ -173,6 +190,8 @@ const MethodCostCounters* ServeMethodCost(RpcType type) {
       registry.GetCounter("rpc.serve.log_checkpoint.cost.wal_appends_total"),
       registry.GetCounter(
           "rpc.serve.log_checkpoint.cost.wal_fsync_wait_us_total"),
+      registry.GetCounter("rpc.serve.log_checkpoint.cost.queue_us_total"),
+      registry.GetCounter("rpc.serve.log_checkpoint.cost.work_us_total"),
   };
   switch (type) {
     case RpcType::kTransact: return &kTransact;
@@ -201,6 +220,8 @@ util::Counter* ServeMethodRequests(RpcType type) {
           "rpc.serve.trace_dump.requests_total"),
       util::MetricsRegistry::Instance().GetCounter(
           "rpc.serve.events.requests_total"),
+      util::MetricsRegistry::Instance().GetCounter(
+          "rpc.serve.profile.requests_total"),
   };
   return kRequests[static_cast<size_t>(type) - 1];
 }
@@ -424,6 +445,30 @@ Result<util::TraceDump> RemoteServer::TraceDump() {
   return dump;
 }
 
+Result<std::string> RemoteServer::Profile(int seconds, int hz) {
+  RpcRequest req;
+  req.type = RpcType::kProfile;
+  seconds = std::clamp(seconds, util::kMinProfileSeconds,
+                       util::kMaxProfileSeconds);
+  req.profile_seconds = static_cast<uint32_t>(seconds);
+  req.profile_hz = static_cast<uint32_t>(
+      std::clamp(hz, util::kMinProfileHz, util::kMaxProfileHz));
+  // The server blocks for the whole window before replying; widen the frame
+  // deadline so the wait is not misread as a hung server (and retried,
+  // which would just hit "profiler busy").
+  const int saved_io_timeout_ms = options_.io_timeout_ms;
+  if (saved_io_timeout_ms > 0) {
+    options_.io_timeout_ms = saved_io_timeout_ms + seconds * 1000;
+    conn_.set_io_timeout_ms(options_.io_timeout_ms);
+  }
+  auto resp = Call(std::move(req));
+  options_.io_timeout_ms = saved_io_timeout_ms;
+  if (conn_.valid()) conn_.set_io_timeout_ms(saved_io_timeout_ms);
+  TCVS_RETURN_NOT_OK(resp.status());
+  TCVS_RETURN_NOT_OK(resp->ToStatus());
+  return std::string(resp->payload.begin(), resp->payload.end());
+}
+
 Result<std::vector<util::AuditEvent>> RemoteServer::Events() {
   RpcRequest req;
   req.type = RpcType::kEvents;
@@ -535,13 +580,40 @@ class ServeState {
     *trace_id_out = util::CurrentSpanContext().trace_id;
     requests->Increment();
     ServeMethodRequests(req.type)->Increment();
+    if (req.type == RpcType::kProfile) {
+      // Dispatched BEFORE the execution lock: a profile window blocks for
+      // seconds, and holding mu_ across it would stall every other request.
+      // ProfileWindow serializes concurrent windows itself ("profiler busy").
+      RpcResponse resp;
+      auto profile_or = util::ProfileWindow(
+          static_cast<int>(req.profile_hz),
+          static_cast<int>(req.profile_seconds));
+      if (!profile_or.ok()) {
+        resp = RpcResponse::FromStatus(profile_or.status());
+      } else {
+        const std::string folded = profile_or->FoldedFormat();
+        resp.payload.assign(folded.begin(), folded.end());
+      }
+      replies->Increment();
+      return resp.Serialize();
+    }
     // Counter-bearing transactions replay idempotently via the cache;
     // GetParams/LogCheckpoint are naturally idempotent, Shutdown is not a
     // transaction.
     const bool cacheable = req.request_id != 0 &&
                            (req.type == RpcType::kTransact ||
                             req.type == RpcType::kList);
+    // Waiting for the execution lock is queue delay, not work: attribute it
+    // to the request's cost vector so latency decomposes into
+    // queue + work + fsync.
+    const uint64_t lock_start_us = util::MonotonicMicros();
     util::MutexLock lock(&mu_);
+    const uint64_t lock_wait_us = util::MonotonicMicros() - lock_start_us;
+    if (lock_wait_us != 0) {
+      if (auto* cost = util::CurrentCostCounters()) {
+        cost->queue_us += lock_wait_us;
+      }
+    }
     if (cacheable) {
       if (const Bytes* hit = reply_cache_.Find(req.request_id)) {
         // Replay of a request we already executed: return the original
@@ -611,6 +683,8 @@ class ServeState {
         // auditors up to the log's retention bound.
         resp.payload = util::AuditLog::Instance().Serialize();
         break;
+      case RpcType::kProfile:
+        break;  // Unreachable: dispatched before the execution lock above.
     }
     Bytes wire = resp.Serialize();
     if (cacheable) reply_cache_.Insert(req.request_id, wire);
@@ -619,7 +693,10 @@ class ServeState {
   }
 
   /// Accept side: enqueue a connection, blocking while the queue is full.
-  /// False once the server is stopping (the connection is dropped).
+  /// False once the server is stopping (the connection is dropped). The
+  /// enqueue time is stamped so the dequeuing worker can attribute
+  /// accepted-but-unserved wait as queue delay on the connection's first
+  /// request.
   bool PushConnection(net::TcpConnection conn) {
     static util::Counter* const accepted =
         util::MetricsRegistry::Instance().GetCounter(
@@ -631,16 +708,17 @@ class ServeState {
       queue_cv_.WaitFor(&queue_mu_, options_.poll_interval_ms);
     }
     if (stopping()) return false;
-    queue_.push_back(std::move(conn));
+    queue_.push_back({std::move(conn), util::MonotonicMicros()});
     accepted->Increment();
     depth->Set(static_cast<int64_t>(queue_.size()));
     queue_cv_.SignalAll();
     return true;
   }
 
-  /// Worker side: dequeue the next connection. False = stopping, no more
-  /// work (queued-but-unserved connections are simply closed).
-  bool PopConnection(net::TcpConnection* out) {
+  /// Worker side: dequeue the next connection; *queued_us_out gets how long
+  /// it sat accepted-but-unserved. False = stopping, no more work
+  /// (queued-but-unserved connections are simply closed).
+  bool PopConnection(net::TcpConnection* out, uint64_t* queued_us_out) {
     static util::Gauge* const depth =
         util::MetricsRegistry::Instance().GetGauge("rpc.serve.queue_depth");
     util::MutexLock lock(&queue_mu_);
@@ -648,7 +726,8 @@ class ServeState {
       queue_cv_.WaitFor(&queue_mu_, options_.poll_interval_ms);
     }
     if (stopping()) return false;
-    *out = std::move(queue_.front());
+    *out = std::move(queue_.front().conn);
+    *queued_us_out = util::MonotonicMicros() - queue_.front().enqueue_us;
     queue_.pop_front();
     depth->Set(static_cast<int64_t>(queue_.size()));
     queue_cv_.SignalAll();
@@ -674,24 +753,35 @@ class ServeState {
   }
 
  private:
+  /// A connection plus when it entered the dispatch queue (steady clock).
+  struct QueuedConnection {
+    net::TcpConnection conn;
+    uint64_t enqueue_us = 0;
+  };
+
   cvs::ServerApi* const api_ TCVS_PT_GUARDED_BY(mu_);
   const ServeOptions options_;
 
-  util::Mutex mu_;
+  // Named: contended waits show up as lock.rpc.serve.*.contention_us
+  // histograms and in /lockz (see util/profiler.h).
+  util::Mutex mu_{"rpc.serve.execute"};
   ReplyCache reply_cache_ TCVS_GUARDED_BY(mu_);
 
-  util::Mutex queue_mu_;
+  util::Mutex queue_mu_{"rpc.serve.queue"};
   util::CondVar queue_cv_;
-  std::deque<net::TcpConnection> queue_ TCVS_GUARDED_BY(queue_mu_);
+  std::deque<QueuedConnection> queue_ TCVS_GUARDED_BY(queue_mu_);
   std::atomic<bool> stopping_{false};
   Status exit_status_ TCVS_GUARDED_BY(queue_mu_);
 };
 
 /// Answers frames on one connection until the peer disconnects, a fault
-/// point severs it, or the server begins stopping.
+/// point severs it, or the server begins stopping. `queued_us` is how long
+/// the connection sat accepted-but-unserved; it is charged as queue delay
+/// to the FIRST request (the one that actually waited for a worker).
 void ServeConnection(ServeState* state, net::TcpConnection* conn,
-                     const ServeOptions& options) {
+                     const ServeOptions& options, uint64_t queued_us) {
   auto& faults = util::FaultInjector::Instance();
+  bool first_frame = true;
   for (;;) {
     // Wait in bounded slices so a shutdown initiated on another connection
     // is noticed within one poll interval even while this peer is idle.
@@ -721,16 +811,34 @@ void ServeConnection(ServeState* state, net::TcpConnection* conn,
     // the span collector (armed only when slow-op capture is on) keeps the
     // request's own span subtree for the slow-op record.
     util::CostScope cost_scope;
+    // Connection-queue wait precedes the first frame's handling; it is both
+    // charged as queue delay AND folded into that frame's recorded latency,
+    // so the decomposition identity `latency = queue + work + fsync` holds
+    // exactly (the execution-lock wait inside HandleFrame is already within
+    // the handling window).
+    const uint64_t conn_queue_us = first_frame ? queued_us : 0;
+    if (conn_queue_us != 0) {
+      if (auto* cost = util::CurrentCostCounters()) {
+        cost->queue_us += conn_queue_us;
+      }
+    }
+    first_frame = false;
     std::optional<util::ScopedSpanCollector> collector;
     if (options.slow_op_us > 0) collector.emplace();
     const uint64_t start_us = util::MonotonicMicros();
     Bytes wire = state->HandleFrame(*frame_or, &shutdown, &type, &trace_id);
-    const uint64_t elapsed_us = util::MonotonicMicros() - start_us;
+    const uint64_t elapsed_us =
+        util::MonotonicMicros() - start_us + conn_queue_us;
     if (type != static_cast<RpcType>(0)) {
       ServeMethodLatency(type)->RecordWithExemplar(elapsed_us, trace_id,
                                                    start_us);
       if (const MethodCostCounters* method_cost = ServeMethodCost(type)) {
-        method_cost->Add(cost_scope.counters());
+        // Everything not attributed to queueing or fsync waits is work.
+        const util::CostCounters& cost = cost_scope.counters();
+        const uint64_t attributed = cost.queue_us + cost.wal_fsync_wait_us;
+        const uint64_t work_us =
+            elapsed_us > attributed ? elapsed_us - attributed : 0;
+        method_cost->Add(cost, work_us);
       }
       if (options.slow_op_us > 0 && elapsed_us >= options.slow_op_us) {
         static util::Counter* const slow_ops =
@@ -767,9 +875,10 @@ void WorkerLoop(ServeState* state, const ServeOptions& options) {
   static util::Gauge* const busy = util::MetricsRegistry::Instance().GetGauge(
       "rpc.serve.busy_workers");
   net::TcpConnection conn;
-  while (state->PopConnection(&conn)) {
+  uint64_t queued_us = 0;
+  while (state->PopConnection(&conn, &queued_us)) {
     busy->Increment();
-    ServeConnection(state, &conn, options);
+    ServeConnection(state, &conn, options, queued_us);
     busy->Decrement();
     conn.Close();
   }

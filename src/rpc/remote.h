@@ -79,6 +79,14 @@ class RemoteServer : public cvs::ServerApi {
   /// `tcvs events`). Read-only; the server's log is NOT cleared.
   Result<std::vector<util::AuditEvent>> Events();
 
+  /// Collects a `seconds`-long CPU profile on the server at `hz` and returns
+  /// it as collapsed/folded-stack text (powers `tcvs profile`; the non-admin
+  /// path to `/pprofz`). Blocks for the window; the transport deadline is
+  /// widened to cover it. Server-side clamping applies
+  /// (util::kMin/MaxProfileSeconds/Hz); a concurrent window returns
+  /// FailedPrecondition("profiler busy").
+  Result<std::string> Profile(int seconds, int hz);
+
   /// Transport-level retries performed so far (observability / tests).
   uint64_t transport_retries() const { return retries_; }
   /// Reconnects performed after the initial connection (observability).

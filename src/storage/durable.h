@@ -142,7 +142,7 @@ class DurableServer : public cvs::ServerApi {
   /// Serializes WAL staging + apply (and snapshotting) across the server's
   /// worker threads. Leaf lock: nothing else is acquired while held
   /// (gc_mu_ may be held when acquiring mu_, never the reverse).
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{"storage.durable.apply"};
   /// Set once at construction, never reassigned; the pointee is mutated
   /// only under mu_ (UntrustedServer itself is single-threaded).
   std::unique_ptr<cvs::UntrustedServer> server_ TCVS_PT_GUARDED_BY(mu_);
@@ -165,7 +165,7 @@ class DurableServer : public cvs::ServerApi {
 
   /// \name Group-commit coordinator state, guarded by gc_mu_.
   /// @{
-  util::Mutex gc_mu_;
+  util::Mutex gc_mu_{"storage.wal.group_commit"};
   util::CondVar gc_cv_;
   bool gc_leader_active_ TCVS_GUARDED_BY(gc_mu_) = false;
   /// Every seq ≤ gc_durable_seq_ has had its covering flush complete.

@@ -78,6 +78,8 @@ std::string SlowOpRecord::JsonFormat() const {
   AppendU64(&out, cost.wal_appends);
   out += ",\"wal_fsync_wait_us\":";
   AppendU64(&out, cost.wal_fsync_wait_us);
+  out += ",\"queue_us\":";
+  AppendU64(&out, cost.queue_us);
   out += "},\"spans\":[";
   bool first = true;
   for (const TraceDump::Event& e : spans) {
@@ -103,7 +105,9 @@ std::string SlowOpRecord::JsonFormat() const {
 
 Bytes SlowOpRecord::Serialize() const {
   Writer w;
-  w.PutU8(1);  // SlowOpRecord wire version.
+  // SlowOpRecord wire version. v2 added cost.queue_us (queue-delay
+  // attribution); v1 records read back with queue_us = 0.
+  w.PutU8(2);
   w.PutString(method);
   w.PutU64(latency_us);
   w.PutU64(trace_id);
@@ -114,6 +118,7 @@ Bytes SlowOpRecord::Serialize() const {
   w.PutU64(cost.vo_bytes_built);
   w.PutU64(cost.wal_appends);
   w.PutU64(cost.wal_fsync_wait_us);
+  w.PutU64(cost.queue_us);
   w.PutU32(static_cast<uint32_t>(spans.size()));
   for (const TraceDump::Event& e : spans) {
     w.PutString(e.name);
@@ -130,7 +135,7 @@ Bytes SlowOpRecord::Serialize() const {
 Result<SlowOpRecord> SlowOpRecord::Deserialize(const Bytes& data) {
   Reader r(data);
   TCVS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
-  if (version != 1) {
+  if (version < 1 || version > 2) {
     return Status::InvalidArgument("unsupported slow-op record version");
   }
   SlowOpRecord rec;
@@ -144,6 +149,9 @@ Result<SlowOpRecord> SlowOpRecord::Deserialize(const Bytes& data) {
   TCVS_ASSIGN_OR_RETURN(rec.cost.vo_bytes_built, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(rec.cost.wal_appends, r.GetU64());
   TCVS_ASSIGN_OR_RETURN(rec.cost.wal_fsync_wait_us, r.GetU64());
+  if (version >= 2) {
+    TCVS_ASSIGN_OR_RETURN(rec.cost.queue_us, r.GetU64());
+  }
   TCVS_ASSIGN_OR_RETURN(uint32_t n_spans, r.GetU32());
   if (n_spans > ScopedSpanCollector::kMaxSpans) {
     return Status::InvalidArgument("slow-op record with too many spans");

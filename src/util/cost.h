@@ -42,6 +42,11 @@ struct CostCounters {
   /// Microseconds blocked waiting for the covering WAL flush (group-commit
   /// wait included — the durability price this request actually paid).
   uint64_t wal_fsync_wait_us = 0;
+  /// Microseconds spent queued before work started: connection-queue wait
+  /// (accepted but no worker free) plus serve execution-lock wait. With
+  /// `work_us := latency_us − queue_us − wal_fsync_wait_us`, a request's
+  /// served latency decomposes into queue + work + fsync.
+  uint64_t queue_us = 0;
 
   void Add(const CostCounters& other) {
     hashes += other.hashes;
@@ -50,6 +55,7 @@ struct CostCounters {
     vo_bytes_built += other.vo_bytes_built;
     wal_appends += other.wal_appends;
     wal_fsync_wait_us += other.wal_fsync_wait_us;
+    queue_us += other.queue_us;
   }
 
   bool operator==(const CostCounters& other) const {
@@ -57,7 +63,8 @@ struct CostCounters {
            sig_verifies == other.sig_verifies &&
            vo_bytes_built == other.vo_bytes_built &&
            wal_appends == other.wal_appends &&
-           wal_fsync_wait_us == other.wal_fsync_wait_us;
+           wal_fsync_wait_us == other.wal_fsync_wait_us &&
+           queue_us == other.queue_us;
   }
 };
 

@@ -50,6 +50,11 @@ void Histogram::Merge(const Histogram& other) {
 
 Histogram Histogram::DeltaSince(const Histogram& earlier) const {
   Histogram delta;
+  // A total count that moved backwards means the counter was reset between
+  // the two snapshots (server restart between polls): the interval is
+  // unknowable, so report it as empty rather than per-bucket underflow
+  // garbage (the next poll pair is coherent again).
+  if (count_ < earlier.count_) return delta;
   size_t lowest = kBuckets;
   size_t highest = 0;
   for (size_t i = 0; i < kBuckets; ++i) {

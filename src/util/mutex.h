@@ -1,13 +1,42 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "util/thread_annotations.h"
 
 namespace tcvs {
 namespace util {
+
+class Mutex;
+
+/// \name Contention-profiling hooks (defined in util/profiler.cc).
+///
+/// The lock/wait slow paths below call out of line into the profiler so the
+/// uncontended fast path stays a single `try_lock` and the header does not
+/// depend on the metrics layer. The out-of-line functions compute the
+/// callsite PC themselves via `__builtin_return_address(0)`: because the
+/// inline fast paths are expanded into the caller, that PC lands inside the
+/// function that contains the `Lock()` / `Wait()` call — exactly the frame
+/// the contention profile should attribute the wait to.
+namespace profiler_internal {
+/// Global switch (default on; `tcvsd --no-contention-profile` clears it).
+extern std::atomic<bool> g_contention_enabled;
+
+inline bool ContentionEnabled() {
+  return g_contention_enabled.load(std::memory_order_relaxed);
+}
+
+/// MonotonicMicros(), out of line (mutex.h cannot include metrics.h).
+uint64_t ContentionNowUs();
+
+/// Records a finished condition-variable wait against the caller's PC and,
+/// for a named mutex, into its `lock.<name>.contention_us` histogram.
+void RecordCondVarWait(Mutex* mu, uint64_t wait_us);
+}  // namespace profiler_internal
 
 /// \brief The repo's ONLY mutex: std::mutex carrying the thread-safety
 /// capability annotations, so `-Wthread-safety` (clang) can prove every
@@ -19,20 +48,50 @@ namespace util {
 ///
 /// Lock with MutexLock (RAII); Lock()/Unlock() exist for the rare manual
 /// pattern and for CondVar's internal use.
+///
+/// **Contention accounting.** Lock() is a fast-path-free `try_lock`; only a
+/// contended acquisition falls into the out-of-line SlowLock() (defined in
+/// util/profiler.cc), which times the blocking `lock()` and records the
+/// wait in the global per-callsite contention table (`/lockz`,
+/// util::ContentionProfile()). A mutex constructed with a name additionally
+/// records each contended wait into the latency histogram
+/// `lock.<name>.contention_us` (the LatencyHistogram* is resolved lazily and
+/// CAS-cached, so steady state adds one acquire-load to the slow path only).
 class TCVS_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Named mutex: contended waits also feed the `lock.<name>.contention_us`
+  /// histogram. `name` must be a lowercase dotted literal with static
+  /// lifetime (the pointer is stored), e.g. `Mutex mu_{"rpc.serve.execute"}`.
+  explicit Mutex(const char* name) : name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() TCVS_ACQUIRE() { mu_.lock(); }
+  void Lock() TCVS_ACQUIRE() {
+    if (mu_.try_lock()) return;
+    SlowLock();
+  }
   void Unlock() TCVS_RELEASE() { mu_.unlock(); }
 
   /// The wrapped primitive, for CondVar only.
   std::mutex& native() { return mu_; }
 
+  /// The contention-histogram name, or nullptr for an anonymous mutex.
+  const char* name() const { return name_; }
+
  private:
+  friend void profiler_internal::RecordCondVarWait(Mutex* mu,
+                                                   uint64_t wait_us);
+
+  /// Contended acquisition, out of line in util/profiler.cc. Annotated as
+  /// acquiring nothing because the capability bookkeeping happens in Lock().
+  void SlowLock() TCVS_NO_THREAD_SAFETY_ANALYSIS;
+
   std::mutex mu_;
+  const char* name_ = nullptr;
+  /// Lazily resolved LatencyHistogram* for `lock.<name>.contention_us`
+  /// (void* so this header does not depend on metrics.h).
+  std::atomic<void*> contention_hist_{nullptr};
 };
 
 /// \brief RAII lock over a util::Mutex (Abseil idiom). Scoped-capability
@@ -56,6 +115,11 @@ class TCVS_SCOPED_CAPABILITY MutexLock {
 /// so calling it without the lock is a compile error under clang). The
 /// predicate loop stays at the call site — standard condition-variable
 /// discipline.
+///
+/// When contention profiling is on, every wait's duration is recorded
+/// against the waiting callsite in the same per-callsite table as mutex
+/// contention: "where threads wait" covers parked-on-a-condition time
+/// (group-commit followers, idle serve workers), not just lock handoffs.
 class CondVar {
  public:
   CondVar() = default;
@@ -64,18 +128,32 @@ class CondVar {
 
   /// Atomically releases `*mu`, blocks until notified, reacquires.
   void Wait(Mutex* mu) TCVS_REQUIRES(mu) TCVS_NO_THREAD_SAFETY_ANALYSIS {
+    const uint64_t start = profiler_internal::ContentionEnabled()
+                               ? profiler_internal::ContentionNowUs()
+                               : 0;
     std::unique_lock<std::mutex> lock(mu->native(), std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // The caller still owns the mutex, as annotated.
+    if (start != 0) {
+      profiler_internal::RecordCondVarWait(
+          mu, profiler_internal::ContentionNowUs() - start);
+    }
   }
 
   /// Like Wait, but returns false if `timeout_ms` elapsed first.
   bool WaitFor(Mutex* mu, int timeout_ms)
       TCVS_REQUIRES(mu) TCVS_NO_THREAD_SAFETY_ANALYSIS {
+    const uint64_t start = profiler_internal::ContentionEnabled()
+                               ? profiler_internal::ContentionNowUs()
+                               : 0;
     std::unique_lock<std::mutex> lock(mu->native(), std::adopt_lock);
     bool notified = cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms)) ==
                     std::cv_status::no_timeout;
     lock.release();
+    if (start != 0) {
+      profiler_internal::RecordCondVarWait(
+          mu, profiler_internal::ContentionNowUs() - start);
+    }
     return notified;
   }
 
@@ -84,10 +162,17 @@ class CondVar {
   /// ~100 µs batching pause up to 1 ms of added commit latency.
   bool WaitForUs(Mutex* mu, int64_t timeout_us)
       TCVS_REQUIRES(mu) TCVS_NO_THREAD_SAFETY_ANALYSIS {
+    const uint64_t start = profiler_internal::ContentionEnabled()
+                               ? profiler_internal::ContentionNowUs()
+                               : 0;
     std::unique_lock<std::mutex> lock(mu->native(), std::adopt_lock);
     bool notified = cv_.wait_for(lock, std::chrono::microseconds(timeout_us)) ==
                     std::cv_status::no_timeout;
     lock.release();
+    if (start != 0) {
+      profiler_internal::RecordCondVarWait(
+          mu, profiler_internal::ContentionNowUs() - start);
+    }
     return notified;
   }
 

@@ -1,0 +1,597 @@
+#include "util/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <ucontext.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <unordered_map>
+
+#include "util/metrics.h"
+#include "util/mutex.h"
+
+namespace tcvs {
+namespace util {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sample ring.
+//
+// The SIGPROF handler owns slot claiming (one relaxed fetch_add) and the raw
+// PC writes; everything else — symbolization, aggregation, rendering — runs
+// off-signal under g_profiler_mu. A slot's depth is published with release
+// order after its PCs are written, so the drain (which stops capture, lets
+// in-flight handlers settle, then reads with acquire) sees complete frames.
+
+constexpr int kMaxFrames = 48;
+// Fallback frame skip when the interrupted PC can't be matched (see the
+// handler): [0] the handler, [1] the kernel signal trampoline
+// (__restore_rt). The PC match is the primary trim because sanitizer
+// builds interpose extra wrapper frames between the two, and the
+// trampoline symbol is not exported by libc for a name-based defense.
+constexpr int kHandlerFrames = 2;
+constexpr uint32_t kRingSamples = 8192;
+
+struct Sample {
+  std::atomic<int32_t> depth{0};
+  void* pcs[kMaxFrames];
+};
+
+Sample g_ring[kRingSamples];
+std::atomic<uint32_t> g_ring_pos{0};
+std::atomic<uint64_t> g_ring_dropped{0};
+// Gate the handler reads before touching the ring — cleared first on every
+// drain so the ring can be read and reset off-signal.
+std::atomic<bool> g_capturing{false};
+
+// Extra slack for handler/trampoline/sanitizer-wrapper frames ahead of the
+// interrupted PC in the raw backtrace.
+constexpr int kWrapperSlack = 8;
+
+void ProfilerSignalHandler(int /*signo*/, siginfo_t* /*info*/,
+                           void* ucontext) {
+  const int saved_errno = errno;
+  if (g_capturing.load(std::memory_order_relaxed)) {
+    const uint32_t slot = g_ring_pos.fetch_add(1, std::memory_order_relaxed);
+    if (slot < kRingSamples) {
+      Sample& s = g_ring[slot];
+      void* frames[kMaxFrames + kWrapperSlack];
+      // backtrace() is primed off-signal in StartCpuProfiler (the first call
+      // may dlopen libgcc, which is not async-signal-safe; subsequent calls
+      // only walk the stack).
+      const int n = backtrace(frames, kMaxFrames + kWrapperSlack);
+      // Trim the handler's own frames: the unwinder reconstructs the
+      // interrupted PC exactly when it crosses the signal frame, so the
+      // first frame equal to the ucontext PC is where the profiled stack
+      // starts. The number of frames above it varies (sanitizer builds
+      // interpose handler wrappers), so a fixed skip is only the fallback.
+      void* interrupted_pc = nullptr;
+#if defined(__x86_64__)
+      interrupted_pc = reinterpret_cast<void*>(
+          static_cast<ucontext_t*>(ucontext)->uc_mcontext.gregs[REG_RIP]);
+#elif defined(__aarch64__)
+      interrupted_pc = reinterpret_cast<void*>(
+          static_cast<ucontext_t*>(ucontext)->uc_mcontext.pc);
+#else
+      (void)ucontext;
+#endif
+      int start = -1;
+      if (interrupted_pc != nullptr) {
+        for (int i = 0; i < n; ++i) {
+          if (frames[i] == interrupted_pc) {
+            start = i;
+            break;
+          }
+        }
+      }
+      if (start < 0) start = n < kHandlerFrames ? n : kHandlerFrames;
+      int depth = 0;
+      for (int i = start; i < n && depth < kMaxFrames; ++i) {
+        s.pcs[depth++] = frames[i];
+      }
+      s.depth.store(depth, std::memory_order_release);
+    } else {
+      g_ring_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  errno = saved_errno;
+}
+
+// ---------------------------------------------------------------------------
+// Profiler state (all off-signal, guarded by g_profiler_mu).
+
+Mutex g_profiler_mu;
+bool g_profiler_running TCVS_GUARDED_BY(g_profiler_mu) = false;
+int g_profiler_hz TCVS_GUARDED_BY(g_profiler_mu) = 0;
+uint64_t g_profiler_window_start_us TCVS_GUARDED_BY(g_profiler_mu) = 0;
+struct sigaction g_old_sigaction TCVS_GUARDED_BY(g_profiler_mu);
+
+// Serializes blocking ProfileWindow() calls without queueing them.
+std::atomic<bool> g_window_active{false};
+
+int ClampInt(int v, int lo, int hi) { return v < lo ? lo : (v > hi ? hi : v); }
+
+std::string Demangle(const char* name) {
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(name, nullptr, nullptr, &status);
+  if (status == 0 && demangled != nullptr) {
+    std::string out(demangled);
+    std::free(demangled);
+    return out;
+  }
+  std::free(demangled);
+  return name;
+}
+
+/// Best-effort frame name: demangled symbol when the PC resolves (the build
+/// links with ENABLE_EXPORTS so executables export their globals to dladdr),
+/// else `module+0xoff`, else raw hex.
+std::string SymbolizePc(void* pc) {
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    return Demangle(info.dli_sname);
+  }
+  char buf[64];
+  if (dladdr(pc, &info) != 0 && info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    std::snprintf(buf, sizeof(buf), "%.32s+0x%zx", base,
+                  reinterpret_cast<size_t>(pc) -
+                      reinterpret_cast<size_t>(info.dli_fbase));
+  } else {
+    std::snprintf(buf, sizeof(buf), "0x%zx", reinterpret_cast<size_t>(pc));
+  }
+  return buf;
+}
+
+bool IsProfilerInternalFrame(const std::string& symbol) {
+  return symbol.find("ProfilerSignalHandler") != std::string::npos ||
+         symbol.find("__restore_rt") != std::string::npos ||
+         symbol.find("__kernel_rt_sigreturn") != std::string::npos;
+}
+
+/// Reads the settled ring, symbolizes, aggregates into folded stacks, and
+/// resets the ring for the next window. Requires capture disabled and
+/// in-flight handlers settled.
+CpuProfile HarvestRingLocked(int hz) TCVS_REQUIRES(g_profiler_mu) {
+  CpuProfile profile;
+  profile.hz = hz;
+  const uint32_t claimed = g_ring_pos.load(std::memory_order_relaxed);
+  const uint32_t used = claimed < kRingSamples ? claimed : kRingSamples;
+  profile.dropped = g_ring_dropped.load(std::memory_order_relaxed);
+
+  std::unordered_map<void*, std::string> symbols;
+  std::map<std::string, uint64_t> stacks;
+  std::string stack;
+  for (uint32_t i = 0; i < used; ++i) {
+    Sample& s = g_ring[i];
+    const int32_t depth = s.depth.load(std::memory_order_acquire);
+    if (depth <= 0 || depth > kMaxFrames) continue;  // Torn or empty slot.
+    // pcs[] is innermost-first; folded format wants root-first.
+    stack.clear();
+    for (int32_t f = depth - 1; f >= 0; --f) {
+      auto it = symbols.find(s.pcs[f]);
+      if (it == symbols.end()) {
+        it = symbols.emplace(s.pcs[f], SymbolizePc(s.pcs[f])).first;
+      }
+      if (IsProfilerInternalFrame(it->second)) continue;
+      if (!stack.empty()) stack.push_back(';');
+      stack.append(it->second);
+    }
+    if (stack.empty()) continue;
+    ++stacks[stack];
+    ++profile.samples;
+  }
+
+  profile.folded.assign(stacks.begin(), stacks.end());
+  std::stable_sort(profile.folded.begin(), profile.folded.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+
+  // Reset for the next window.
+  for (uint32_t i = 0; i < used; ++i) {
+    g_ring[i].depth.store(0, std::memory_order_relaxed);
+  }
+  g_ring_pos.store(0, std::memory_order_relaxed);
+  g_ring_dropped.store(0, std::memory_order_relaxed);
+
+  static Counter* const samples_total =
+      MetricsRegistry::Instance().GetCounter("profile.samples_total");
+  static Counter* const dropped_total =
+      MetricsRegistry::Instance().GetCounter("profile.dropped_total");
+  samples_total->Increment(profile.samples);
+  dropped_total->Increment(profile.dropped);
+  return profile;
+}
+
+/// Stops SIGPROF delivery and waits out in-flight handlers so the ring can
+/// be read without racing a mid-write slot.
+void QuiesceCaptureLocked() TCVS_REQUIRES(g_profiler_mu) {
+  g_capturing.store(false, std::memory_order_relaxed);
+  // A handler that passed the g_capturing check before the store may still
+  // be writing its slot on another thread; signal handlers finish in
+  // microseconds, so a short settle closes the race window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+}
+
+void ArmTimer(int hz) {
+  itimerval timer{};
+  const long interval_us = 1000000L / hz;
+  timer.it_interval.tv_sec = interval_us / 1000000L;
+  timer.it_interval.tv_usec = interval_us % 1000000L;
+  timer.it_value = timer.it_interval;
+  setitimer(ITIMER_PROF, &timer, nullptr);
+}
+
+void DisarmTimer() {
+  itimerval zero{};
+  setitimer(ITIMER_PROF, &zero, nullptr);
+}
+
+void SleepSeconds(int seconds) {
+  // nanosleep is not restarted by SA_RESTART, so an always-on profiler's
+  // SIGPROF stream would cut sleep_for short; loop on a deadline instead.
+  const uint64_t deadline_us =
+      MonotonicMicros() + static_cast<uint64_t>(seconds) * 1000000ULL;
+  for (;;) {
+    const uint64_t now_us = MonotonicMicros();
+    if (now_us >= deadline_us) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        std::min<uint64_t>(deadline_us - now_us, 50000)));
+  }
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Contention table: fixed open-addressed array of atomic slots, keyed by
+// callsite PC. Lock-free on purpose — the recorders run inside Mutex's own
+// slow path (including the metrics registry's and every histogram's
+// internal mutexes), so taking any lock here would recurse.
+
+struct ContentionSlot {
+  std::atomic<uintptr_t> pc{0};
+  std::atomic<uint64_t> waits{0};
+  std::atomic<uint64_t> total_us{0};
+};
+
+constexpr size_t kContentionSlots = 512;  // Power of two (mask indexing).
+constexpr size_t kContentionProbes = 16;
+ContentionSlot g_contention[kContentionSlots];
+std::atomic<uint64_t> g_contention_dropped{0};
+
+void RecordContentionSite(uintptr_t pc, uint64_t wait_us) {
+  size_t idx = (pc * 0x9E3779B97F4A7C15ULL) >> 32;
+  for (size_t probe = 0; probe < kContentionProbes; ++probe) {
+    ContentionSlot& slot = g_contention[(idx + probe) & (kContentionSlots - 1)];
+    uintptr_t cur = slot.pc.load(std::memory_order_acquire);
+    if (cur == 0) {
+      uintptr_t expected = 0;
+      if (slot.pc.compare_exchange_strong(expected, pc,
+                                          std::memory_order_acq_rel)) {
+        cur = pc;
+      } else {
+        cur = expected;  // Someone else claimed it — maybe with our PC.
+      }
+    }
+    if (cur != pc) continue;
+    slot.waits.fetch_add(1, std::memory_order_relaxed);
+    slot.total_us.fetch_add(wait_us, std::memory_order_relaxed);
+    return;
+  }
+  g_contention_dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Named-mutex histogram record: resolve-and-cache `lock.<name>.contention_us`
+/// in the mutex's atomic slot, then record. Recursion is bounded: the
+/// registry and histogram mutexes inside are anonymous, so a contended
+/// acquisition there records into the lock-free table only.
+void RecordNamedContention(const char* name, std::atomic<void*>* cache,
+                           uint64_t wait_us) {
+  void* hist = cache->load(std::memory_order_acquire);
+  if (hist == nullptr) {
+    LatencyHistogram* resolved = MetricsRegistry::Instance().GetLatency(
+        std::string("lock.") + name + ".contention_us");
+    void* expected = nullptr;
+    if (!cache->compare_exchange_strong(expected, resolved,
+                                        std::memory_order_acq_rel)) {
+      hist = expected;  // Lost the race; both resolutions returned the same
+                        // registry pointer anyway.
+    } else {
+      hist = resolved;
+    }
+  }
+  static_cast<LatencyHistogram*>(hist)->Record(wait_us);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mutex / CondVar slow paths (declared in mutex.h).
+
+namespace profiler_internal {
+
+std::atomic<bool> g_contention_enabled{true};
+
+uint64_t ContentionNowUs() { return MonotonicMicros(); }
+
+void RecordCondVarWait(Mutex* mu, uint64_t wait_us) {
+  RecordContentionSite(
+      reinterpret_cast<uintptr_t>(__builtin_return_address(0)), wait_us);
+  if (mu->name_ != nullptr) {
+    RecordNamedContention(mu->name_, &mu->contention_hist_, wait_us);
+  }
+}
+
+}  // namespace profiler_internal
+
+void Mutex::SlowLock() {
+  if (!profiler_internal::ContentionEnabled()) {
+    mu_.lock();
+    return;
+  }
+  const uint64_t start_us = MonotonicMicros();
+  mu_.lock();
+  const uint64_t wait_us = MonotonicMicros() - start_us;
+  RecordContentionSite(
+      reinterpret_cast<uintptr_t>(__builtin_return_address(0)), wait_us);
+  if (name_ != nullptr) {
+    RecordNamedContention(name_, &contention_hist_, wait_us);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPU profiler.
+
+std::string CpuProfile::FoldedFormat() const {
+  std::string out;
+  for (const auto& [stack, count] : folded) {
+    out.append(stack);
+    out.push_back(' ');
+    out.append(std::to_string(count));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string CpuProfile::JsonTopN(size_t n) const {
+  // Self = leaf (innermost) frame of each stack; inclusive = stacks the
+  // symbol appears anywhere in (deduped per stack).
+  std::map<std::string, uint64_t> self, incl;
+  for (const auto& [stack, count] : folded) {
+    std::vector<std::string> frames;
+    size_t pos = 0;
+    while (pos <= stack.size()) {
+      const size_t semi = stack.find(';', pos);
+      const size_t end = semi == std::string::npos ? stack.size() : semi;
+      frames.push_back(stack.substr(pos, end - pos));
+      if (semi == std::string::npos) break;
+      pos = semi + 1;
+    }
+    if (frames.empty()) continue;
+    self[frames.back()] += count;
+    std::map<std::string, bool> seen;
+    for (const auto& f : frames) {
+      if (!seen.emplace(f, true).second) continue;
+      incl[f] += count;
+    }
+  }
+  std::vector<std::pair<std::string, uint64_t>> top(self.begin(), self.end());
+  std::stable_sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (top.size() > n) top.resize(n);
+
+  std::string out = "{\"hz\":" + std::to_string(hz) +
+                    ",\"duration_s\":" + std::to_string(duration_s) +
+                    ",\"samples\":" + std::to_string(samples) +
+                    ",\"dropped\":" + std::to_string(dropped) + ",\"top\":[";
+  bool first = true;
+  for (const auto& [symbol, count] : top) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"symbol\":\"" + EscapeJson(symbol) +
+           "\",\"self\":" + std::to_string(count) + ",\"self_pct\":" +
+           std::to_string(samples == 0 ? 0.0
+                                       : 100.0 * static_cast<double>(count) /
+                                             static_cast<double>(samples)) +
+           ",\"inclusive\":" + std::to_string(incl[symbol]) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status StartCpuProfiler(int hz) {
+  hz = ClampInt(hz, kMinProfileHz, kMaxProfileHz);
+  MutexLock lock(&g_profiler_mu);
+  if (g_profiler_running) {
+    return Status::FailedPrecondition("cpu profiler already running");
+  }
+  // Prime backtrace() off-signal: its first call may dlopen the unwinder
+  // library, which must never happen inside the handler.
+  void* prime[4];
+  (void)backtrace(prime, 4);
+
+  g_ring_pos.store(0, std::memory_order_relaxed);
+  g_ring_dropped.store(0, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < kRingSamples; ++i) {
+    g_ring[i].depth.store(0, std::memory_order_relaxed);
+  }
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = ProfilerSignalHandler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, &g_old_sigaction) != 0) {
+    return Status::Internal(std::string("sigaction(SIGPROF): ") +
+                            std::strerror(errno));
+  }
+  g_profiler_hz = hz;
+  g_profiler_window_start_us = MonotonicMicros();
+  g_capturing.store(true, std::memory_order_relaxed);
+  ArmTimer(hz);
+  g_profiler_running = true;
+  return Status::OK();
+}
+
+bool CpuProfilerRunning() {
+  MutexLock lock(&g_profiler_mu);
+  return g_profiler_running;
+}
+
+Result<CpuProfile> StopCpuProfiler() {
+  MutexLock lock(&g_profiler_mu);
+  if (!g_profiler_running) {
+    return Status::FailedPrecondition("cpu profiler not running");
+  }
+  DisarmTimer();
+  QuiesceCaptureLocked();
+  sigaction(SIGPROF, &g_old_sigaction, nullptr);
+  CpuProfile profile = HarvestRingLocked(g_profiler_hz);
+  profile.duration_s =
+      static_cast<double>(MonotonicMicros() - g_profiler_window_start_us) /
+      1e6;
+  g_profiler_running = false;
+  return profile;
+}
+
+Result<CpuProfile> DrainCpuProfile() {
+  MutexLock lock(&g_profiler_mu);
+  if (!g_profiler_running) {
+    return Status::FailedPrecondition("cpu profiler not running");
+  }
+  QuiesceCaptureLocked();
+  CpuProfile profile = HarvestRingLocked(g_profiler_hz);
+  const uint64_t now_us = MonotonicMicros();
+  profile.duration_s =
+      static_cast<double>(now_us - g_profiler_window_start_us) / 1e6;
+  g_profiler_window_start_us = now_us;
+  g_capturing.store(true, std::memory_order_relaxed);
+  return profile;
+}
+
+Result<CpuProfile> ProfileWindow(int hz, int seconds) {
+  hz = ClampInt(hz, kMinProfileHz, kMaxProfileHz);
+  seconds = ClampInt(seconds, kMinProfileSeconds, kMaxProfileSeconds);
+  if (g_window_active.exchange(true)) {
+    return Status::FailedPrecondition("profiler busy");
+  }
+  struct WindowGuard {
+    ~WindowGuard() { g_window_active.store(false); }
+  } guard;
+
+  static Counter* const windows_total =
+      MetricsRegistry::Instance().GetCounter("profile.windows_total");
+  windows_total->Increment();
+
+  if (CpuProfilerRunning()) {
+    // Ride the always-on profiler: discard what accumulated before the
+    // window, sleep it out, and return exactly the window's samples.
+    auto discard = DrainCpuProfile();
+    if (!discard.ok()) return discard.status();
+    SleepSeconds(seconds);
+    return DrainCpuProfile();
+  }
+  TCVS_RETURN_NOT_OK(StartCpuProfiler(hz));
+  SleepSeconds(seconds);
+  return StopCpuProfiler();
+}
+
+// ---------------------------------------------------------------------------
+// Contention profile rendering.
+
+void SetContentionProfilingEnabled(bool enabled) {
+  profiler_internal::g_contention_enabled.store(enabled,
+                                                std::memory_order_relaxed);
+}
+
+bool ContentionProfilingEnabled() {
+  return profiler_internal::ContentionEnabled();
+}
+
+std::vector<ContentionSite> ContentionProfile() {
+  std::vector<ContentionSite> sites;
+  for (size_t i = 0; i < kContentionSlots; ++i) {
+    const uintptr_t pc = g_contention[i].pc.load(std::memory_order_acquire);
+    if (pc == 0) continue;
+    ContentionSite site;
+    site.pc = pc;
+    site.waits = g_contention[i].waits.load(std::memory_order_relaxed);
+    site.total_us = g_contention[i].total_us.load(std::memory_order_relaxed);
+    if (site.waits == 0) continue;  // Claimed but not yet recorded.
+    site.symbol = SymbolizePc(reinterpret_cast<void*>(pc));
+    sites.push_back(std::move(site));
+  }
+  std::stable_sort(sites.begin(), sites.end(),
+                   [](const ContentionSite& a, const ContentionSite& b) {
+                     return a.total_us > b.total_us;
+                   });
+  return sites;
+}
+
+std::string ContentionJson() {
+  std::vector<ContentionSite> sites = ContentionProfile();
+  std::string out = "{\"sites\":[";
+  bool first = true;
+  for (const ContentionSite& site : sites) {
+    if (!first) out.push_back(',');
+    first = false;
+    char pc_hex[32];
+    std::snprintf(pc_hex, sizeof(pc_hex), "0x%zx",
+                  static_cast<size_t>(site.pc));
+    out += std::string("{\"pc\":\"") + pc_hex + "\",\"symbol\":\"" +
+           EscapeJson(site.symbol) +
+           "\",\"waits\":" + std::to_string(site.waits) +
+           ",\"total_us\":" + std::to_string(site.total_us) + "}";
+  }
+  out += "],\"dropped\":" +
+         std::to_string(g_contention_dropped.load(std::memory_order_relaxed)) +
+         "}";
+  return out;
+}
+
+void ResetContentionForTesting() {
+  for (size_t i = 0; i < kContentionSlots; ++i) {
+    g_contention[i].pc.store(0, std::memory_order_relaxed);
+    g_contention[i].waits.store(0, std::memory_order_relaxed);
+    g_contention[i].total_us.store(0, std::memory_order_relaxed);
+  }
+  g_contention_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace util
+}  // namespace tcvs

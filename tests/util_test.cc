@@ -340,6 +340,32 @@ TEST(HistogramTest, MergeEqualsCombinedRecording) {
   }
 }
 
+TEST(HistogramTest, DeltaSinceYieldsIntervalView) {
+  util::Histogram earlier, later;
+  for (int i = 0; i < 100; ++i) earlier.Record(10);
+  later = earlier;
+  for (int i = 0; i < 50; ++i) later.Record(1000);
+  util::Histogram delta = later.DeltaSince(earlier);
+  EXPECT_EQ(delta.count(), 50u);
+  // Only the interval's mass: the 10s from before the snapshot are gone.
+  EXPECT_GT(delta.p50(), 500u);
+}
+
+TEST(HistogramTest, DeltaSinceCounterResetYieldsEmptyDelta) {
+  // A restarted process re-registers the metric at zero, so a poller's
+  // "later" snapshot can have FEWER samples than its "earlier" one. The
+  // delta must come back empty — not bucket-underflow garbage quantiles.
+  util::Histogram earlier;
+  for (int i = 0; i < 100; ++i) earlier.Record(500);
+  util::Histogram restarted;  // Fresh after restart.
+  restarted.Record(7);        // A few post-restart samples, count < earlier.
+  util::Histogram delta = restarted.DeltaSince(earlier);
+  EXPECT_EQ(delta.count(), 0u);
+  EXPECT_EQ(delta.sum(), 0u);
+  EXPECT_EQ(delta.p50(), 0u);
+  EXPECT_EQ(delta.p99(), 0u);
+}
+
 TEST(HistogramTest, HugeValuesClampToLastBucket) {
   util::Histogram h;
   h.Record(~0ull);

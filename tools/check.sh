@@ -25,6 +25,14 @@
 #                 `tcvs top` must render per-method rows from /varz, and
 #                 bench_admin_scrape must hold its committed baseline
 #                 (scrape-overhead gate) via tools/bench_compare.py
+#   5c. prof      profiling-plane smoke: live tcvsd with --profile-hz armed
+#                 under concurrent commit load; /pprofz must yield a parsed
+#                 folded profile naming the SHA-256 hash path, /lockz must
+#                 show recorded waits, the per-method queue/work/fsync
+#                 decomposition must sum to the latency histogram within
+#                 10%, `tcvs profile` must round-trip the kProfile RPC, and
+#                 bench_profiler_overhead must hold its committed <=3%
+#                 baseline
 #   6. bench      bench-output smoke: the fast table benches must emit valid
 #                 schema_version-1 JSON into $TCVS_BENCH_JSON_DIR, a
 #                 self-comparison with tools/bench_compare.py must pass, and
@@ -481,6 +489,158 @@ stage_obs() {
   run_stage obs obs_smoke
 }
 
+# Profiling-plane smoke: boot tcvsd with the always-on sampling profiler and
+# drive concurrent verified commits THROUGH a /pprofz window — ITIMER_PROF
+# counts CPU time, so the load must burn daemon CPU *during* the window or
+# there is nothing to sample. Then hold the plane's whole contract at once:
+# the folded profile parses and names the SHA-256 hash path, /lockz shows
+# recorded waits including the serve loop's locks, the per-method
+# queue/work/fsync decomposition sums to the latency histogram within 10%,
+# `tcvs profile` round-trips the kProfile RPC, and bench_profiler_overhead
+# holds its committed <=3% baseline.
+prof_smoke() {
+  local tmp port="" aport="" daemon rc=1
+  tmp=$(mktemp -d) || return 1
+  mkdir -p "$tmp/data"
+  # High sampling rate for the smoke (the overhead budget is pinned at
+  # 100 Hz by the bench; here we want enough samples from a short window).
+  ./build/tools/tcvsd --port 0 --admin-port 0 --data-dir "$tmp/data" \
+      --group-commit-window-us 200 --profile-hz 997 \
+      > "$tmp/tcvsd.out" 2> "$tmp/tcvsd.err" &
+  daemon=$!
+  while :; do  # Single-pass; break is the error exit.
+    for _ in $(seq 1 100); do
+      port=$(sed -n 's/^tcvsd listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+             "$tmp/tcvsd.out")
+      aport=$(sed -n 's/^tcvsd admin listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+              "$tmp/tcvsd.out")
+      [ -n "$port" ] && [ -n "$aport" ] && break
+      kill -0 "$daemon" 2>/dev/null || break
+      sleep 0.2
+    done
+    if [ -z "$port" ] || [ -z "$aport" ]; then
+      echo "prof: tcvsd never reported its ports" >&2
+      cat "$tmp/tcvsd.out" "$tmp/tcvsd.err" >&2
+      break
+    fi
+    # Chunky payloads so each commit hashes real bytes server-side; four
+    # concurrent committers so the serve execution lock actually contends.
+    local payload u
+    payload=$(head -c 65536 /dev/zero | tr '\0' 'x')
+    local pids=()
+    for u in 1 2 3 4; do
+      ( rev=0
+        for i in $(seq 1 250); do
+          ./build/tools/tcvs --server "127.0.0.1:$port" --user "$u" \
+              --state "$tmp/state$u" commit "load/f$u" "$rev" "$payload" \
+              > /dev/null 2>&1 || exit 1
+          rev=$((rev + 1))
+        done ) &
+      pids+=($!)
+    done
+    sleep 1  # Let the committers ramp before opening the window.
+    python3 - "$aport" "$tmp" <<'PYEOF' || { wait "${pids[@]}" 2>/dev/null; break; }
+import json, re, sys, urllib.request
+aport, tmp = sys.argv[1], sys.argv[2]
+def get(path, timeout=45):
+    with urllib.request.urlopen(f"http://127.0.0.1:{aport}{path}",
+                                timeout=timeout) as r:
+        return r.read().decode()
+# A 3 s window riding the always-on profiler, with the load running inside.
+folded = get("/pprofz?seconds=3&fmt=folded")
+open(f"{tmp}/folded.txt", "w").write(folded)
+lines = [l for l in folded.splitlines() if l]
+assert lines, "profile window captured no samples (was the load running?)"
+for l in lines:
+    assert re.fullmatch(r".+ \d+", l), f"bad folded line: {l!r}"
+total = sum(int(l.rsplit(" ", 1)[1]) for l in lines)
+assert total >= 5, f"too few samples across the window: {total}"
+hot = [l for l in lines
+       if "Sha256" in l or "Winternitz" in l or "Verify" in l or "Sign" in l]
+assert hot, "no SHA-256/signature frames in the profile:\n" + "\n".join(
+    lines[:40])
+# JSON rendering of a second, shorter window.
+top = json.loads(get("/pprofz?seconds=1&fmt=json"))
+assert top["hz"] > 0 and "top" in top, top.keys()
+# /lockz: the contention profile records waits — the serve loop's named
+# locks must show up in /varz as lock.* histograms with recorded counts.
+lockz = json.loads(get("/lockz"))
+assert "sites" in lockz and "dropped" in lockz, lockz.keys()
+waited = [s for s in lockz["sites"] if s["total_us"] > 0]
+assert waited, "no wait sites in /lockz under concurrent load"
+varz = json.loads(get("/varz"))
+hists = varz["histograms"]
+execute = hists.get("lock.rpc.serve.execute.contention_us", {})
+assert execute.get("count", 0) > 0, \
+    "serve execution lock shows no contention under 4 concurrent clients"
+assert hists.get("lock.rpc.serve.queue.contention_us", {}).get(
+    "count", 0) > 0, "worker queue waits not recorded"
+# Queue-delay attribution: per-method queue + work + fsync must equal the
+# served latency histogram's sum within 10% (clamping is the only slack).
+c = varz["counters"]
+lat = hists["rpc.serve.transact.latency_us"]
+parts = (c.get("rpc.serve.transact.cost.queue_us_total", 0)
+         + c.get("rpc.serve.transact.cost.work_us_total", 0)
+         + c.get("rpc.serve.transact.cost.wal_fsync_wait_us_total", 0))
+assert lat["sum"] > 0, "no transact latency recorded"
+drift = abs(parts - lat["sum"]) / lat["sum"]
+assert drift <= 0.10, (
+    f"queue+work+fsync={parts} vs latency sum={lat['sum']}: "
+    f"{100 * drift:.1f}% apart")
+print(f"prof: {total} samples, {len(hot)} hot hash/sig stacks, "
+      f"{len(waited)} wait sites, decomposition within {100 * drift:.2f}%")
+PYEOF
+    # The kProfile RPC end to end, while the committers are still running.
+    ./build/tools/tcvs --server "127.0.0.1:$port" profile --seconds 1 \
+        --hz 100 > "$tmp/rpc_folded.txt" 2> /dev/null || {
+      echo "prof: tcvs profile failed" >&2
+      wait "${pids[@]}" 2>/dev/null
+      break
+    }
+    local pid load_failed=0
+    for pid in "${pids[@]}"; do
+      wait "$pid" || load_failed=1
+    done
+    if [ "$load_failed" != 0 ]; then
+      echo "prof: a load client failed" >&2
+      break
+    fi
+    ./build/tools/tcvs --server "127.0.0.1:$port" shutdown > /dev/null || break
+    wait "$daemon" || break
+    daemon=""
+    # Overhead gate: the bench's ops/sec + MB/s columns must hold against
+    # the committed baseline, and the measured 100 Hz delta stays <= 3%.
+    mkdir -p "$tmp/bench"
+    TCVS_BENCH_JSON_DIR="$tmp/bench" ./build/bench/bench_profiler_overhead \
+        > /dev/null || break
+    python3 tools/bench_compare.py bench/baselines "$tmp/bench" \
+        --threshold 75 || break
+    python3 - "$tmp/bench/BENCH_bench_profiler_overhead.json" <<'PYEOF' || break
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for table in doc["tables"]:
+    d = dict(zip(table["headers"], table["rows"][-1]))
+    delta = float(d["delta_pct"])
+    assert delta <= 3.0, f"{table['title']}: profiler overhead {delta}% > 3%"
+print("prof: overhead within the 3% budget")
+PYEOF
+    rc=0
+    break
+  done
+  [ -n "${daemon:-}" ] && kill "$daemon" 2>/dev/null
+  rm -rf "$tmp"
+  return $rc
+}
+
+stage_prof() {
+  run_stage prof cmake --preset default
+  [ "${RESULT[prof]}" = FAIL ] && return
+  run_stage prof cmake --build --preset default -j "$JOBS" \
+      --target tcvs tcvsd bench_profiler_overhead
+  [ "${RESULT[prof]}" = FAIL ] && return
+  run_stage prof prof_smoke
+}
+
 # Seeded Byzantine campaign smoke: a short randomized campaign must exit 0
 # (every invariant held: n·k detection bound, digest-pair fork evidence,
 # no false alarms on the honest arm) and the same seed run twice must
@@ -536,7 +696,7 @@ stage_stats() {
 }
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats obs bench perf soak lint taint)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(default asan tsan tidy stats obs prof bench perf soak lint taint)
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     default) stage_default ;;
@@ -545,12 +705,13 @@ for stage in "${STAGES[@]}"; do
     tidy)    stage_tidy ;;
     stats)   stage_stats ;;
     obs)     stage_obs ;;
+    prof)    stage_prof ;;
     bench)   stage_bench ;;
     perf)    stage_perf ;;
     soak)    stage_soak ;;
     lint)    stage_lint ;;
     taint)   stage_taint ;;
-    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats obs bench perf soak lint taint)" >&2
+    *) echo "check.sh: unknown stage '$stage' (default asan tsan tidy stats obs prof bench perf soak lint taint)" >&2
        exit 2 ;;
   esac
 done

@@ -50,6 +50,19 @@ Rules (each violation prints `file:line: [rule] message`; exit 1 if any):
                  operators can't discover, and one without its counter is
                  invisible in its own /metrics.
 
+  profiling-metric
+                 the profiling plane owns two reserved metric prefixes:
+                 `lock.*` names must be contention histograms shaped
+                 `lock.<mutex-name>.contention_us`, and `profile.*` names
+                 must be counters shaped `profile.<name>_total`. Because the
+                 lock histograms are minted at runtime from the
+                 `util::Mutex{"..."}` construction literal (a computed name
+                 the metric-name rule can't see), the mutex-name literal
+                 itself is checked at the construction site: lowercase
+                 dotted, at least two components — a malformed name would
+                 mint a malformed series in /metrics with no literal
+                 registration site to flag.
+
   rpc-method-metrics
                  every RpcType enumerator in src/rpc/protocol.h must have a
                  per-method client latency metric
@@ -158,7 +171,18 @@ METRIC_NAME_OK_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 METRIC_DYNAMIC_ALLOWED = {
     Path("src/util/metrics.h"),   # declarations + the TCVS_SPAN macro body
     Path("src/util/metrics.cc"),  # get-or-create definitions
+    # Mints `lock.<name>.contention_us` from the Mutex construction literal;
+    # that literal's shape is enforced by the profiling-metric rule instead.
+    Path("src/util/profiler.cc"),
 }
+
+# Reserved profiling-plane prefixes (see the profiling-metric rule).
+LOCK_METRIC_RE = re.compile(r"lock\.(?:[a-z0-9_]+\.)+contention_us")
+PROFILE_METRIC_RE = re.compile(r"profile\.[a-z0-9_]+_total")
+# A named util::Mutex: `Mutex mu_{"rpc.serve.execute"}` or `Mutex mu("...")`.
+# The literal becomes the `lock.<name>.contention_us` histogram name.
+NAMED_MUTEX_RE = re.compile(r"\bMutex\s+\w+\s*[{(]\s*\"((?:[^\"\\]|\\.)*)\"")
+MUTEX_NAME_OK_RE = re.compile(r"[a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+")
 
 
 # Seeded-bad snippets for `taint_check.py --self-test`; never compiled and
@@ -282,6 +306,15 @@ def main():
                        "unowned `new`; use std::make_unique (or mark an "
                        "intentional leak with lint:allow-new)")
 
+            mutex_name = NAMED_MUTEX_RE.search(code)
+            if (mutex_name
+                    and not MUTEX_NAME_OK_RE.fullmatch(mutex_name.group(1))):
+                report(path, lineno, "profiling-metric",
+                       f'mutex name "{mutex_name.group(1)}" must be lowercase '
+                       "dotted with at least two components (e.g. "
+                       '"rpc.serve.execute"); it is minted verbatim into the '
+                       "lock.<name>.contention_us histogram")
+
             if in_production:
                 m = FAULT_CALL_LITERAL_RE.search(code)
                 if m:
@@ -321,6 +354,18 @@ def main():
             err = check_metric_name(name, kind[m.group(1)])
             if err:
                 report(path, lineno, "promformat", err)
+            if (name.startswith("lock.")
+                    and not LOCK_METRIC_RE.fullmatch(name)):
+                report(path, lineno, "profiling-metric",
+                       f'"{name}": the lock.* prefix is reserved for '
+                       "contention histograms named "
+                       "lock.<mutex-name>.contention_us")
+            if (name.startswith("profile.")
+                    and not (m.group(1) == "GetCounter"
+                             and PROFILE_METRIC_RE.fullmatch(name))):
+                report(path, lineno, "profiling-metric",
+                       f'"{name}": the profile.* prefix is reserved for '
+                       "profiling-plane counters named profile.<name>_total")
 
         # Fault-spec strings may sit in comments (doc examples) — check the
         # raw text, not the comment-stripped one: a typo'd example misleads

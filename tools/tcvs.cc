@@ -19,13 +19,19 @@
 //   tcvs --server HOST:PORT events [--json]   # security audit-event log
 //   tcvs --server HOST:PORT top [--interval-ms MS] [--frames N]
 //   tcvs top --admin HOST:PORT [--interval-ms MS] [--frames N]
+//   tcvs --server HOST:PORT profile [--seconds N] [--hz N]
 //
 // `top` diffs two metrics snapshots an interval apart and prints per-RPC-
-// method QPS, latency quantiles, and cost-per-op (hashes, signature
-// verifies, VO bytes, WAL appends, fsync wait). Against the Stats RPC it
-// diffs full histograms, so quantiles are for the INTERVAL; with --admin it
-// scrapes the admin plane's /varz (no RPC port needed — works while the
-// serve pool is saturated), where quantiles are cumulative.
+// method QPS, latency quantiles, the queue/work/fsync latency decomposition
+// (QUEUE/OP + WORK/OP + FSYNC/OP ≈ the latency mean), and cost-per-op
+// (hashes, signature verifies, VO bytes, WAL appends). Against the Stats
+// RPC it diffs full histograms, so quantiles are for the INTERVAL; with
+// --admin it scrapes the admin plane's /varz (no RPC port needed — works
+// while the serve pool is saturated), where quantiles are cumulative.
+//
+// `profile` collects a CPU profile window on the SERVER (sampling profiler,
+// SIGPROF) and prints folded/collapsed stacks to stdout — pipe through
+// flamegraph.pl. Blocks for the window.
 //
 // Transport flags: --retries N, --backoff-ms MS, --timeout-ms MS tune the
 // retry policy (exponential backoff, jittered) and per-operation deadlines.
@@ -39,6 +45,7 @@
 //
 // Exit codes: 0 success, 1 operation error, 3 SERVER DEVIATION DETECTED.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -89,6 +96,7 @@ int Usage() {
                "checkout|cat|commit|remove ... | state | check FILES... | "
                "stats | trace | events [--json] | "
                "top [--interval-ms MS] [--frames N] [--admin H:P] | "
+               "profile [--seconds N] [--hz N] | "
                "shutdown\n");
   return 2;
 }
@@ -203,16 +211,33 @@ void PrintTopFrame(const TopSnapshot& prev, const TopSnapshot& cur,
                    double dt_seconds) {
   static const char* kMethods[] = {"transact",       "get_params", "shutdown",
                                    "list",           "log_checkpoint",
-                                   "stats",          "trace_dump", "events"};
-  static const char* kCostKeys[] = {"hashes",      "bytes_hashed",
+                                   "stats",          "trace_dump", "events",
+                                   "profile"};
+  // QUEUE/WORK/FSYNC first — they decompose the latency column (queue +
+  // work + fsync = latency per request) — then the per-op work counters.
+  static const char* kCostKeys[] = {"queue_us",     "work_us",
+                                    "wal_fsync_wait_us",
+                                    "hashes",       "bytes_hashed",
                                     "sig_verifies", "vo_bytes",
-                                    "wal_appends", "wal_fsync_wait_us"};
+                                    "wal_appends"};
+  static const char* kCostHeaders[] = {"QUEUE/OP", "WORK/OP", "FSYNC/OP",
+                                       "HSH/OP",   "BH/OP",   "SIG/OP",
+                                       "VOB/OP",   "WAL/OP"};
+  constexpr size_t kNumCost = sizeof(kCostKeys) / sizeof(kCostKeys[0]);
   const bool interval_quantiles = !cur.histograms.empty();
+  // Pad the METHOD column to the longest method name so the columns never
+  // jitter when a long-named method (log_checkpoint) joins mid-session.
+  static const int kMethodWidth = [] {
+    size_t w = 0;
+    for (const char* m : kMethods) w = std::max(w, std::strlen(m));
+    return static_cast<int>(w);
+  }();
   std::printf("-- %.1fs interval (%s quantiles) --\n", dt_seconds,
               interval_quantiles ? "interval" : "cumulative /varz");
-  std::printf("%-15s %8s %8s %8s %8s %8s %8s %8s %8s %9s\n", "METHOD", "QPS",
-              "P50_US", "P99_US", "HSH/OP", "BH/OP", "SIG/OP", "VOB/OP",
-              "WAL/OP", "FSYNC/OP");
+  std::printf("%-*s %8s %8s %8s", kMethodWidth, "METHOD", "QPS", "P50_US",
+              "P99_US");
+  for (const char* header : kCostHeaders) std::printf(" %9s", header);
+  std::printf("\n");
   size_t rows = 0;
   for (const char* method : kMethods) {
     const std::string base = std::string("rpc.serve.") + method;
@@ -234,21 +259,20 @@ void PrintTopFrame(const TopSnapshot& prev, const TopSnapshot& cur,
       p50 = it->second.p50;
       p99 = it->second.p99;
     }
-    std::printf("%-15s %8.1f %8llu %8llu", method,
+    std::printf("%-*s %8.1f %8llu %8llu", kMethodWidth, method,
                 static_cast<double>(ops) / dt_seconds,
                 (unsigned long long)p50, (unsigned long long)p99);
     // Cost-per-op columns; "-" for methods without cost instrumentation
     // (only execution-bearing RPCs charge the cost accumulator).
     const bool has_cost = cur.counters.count(base + ".cost.hashes_total") > 0;
-    for (size_t k = 0; k < 6; ++k) {
-      const int width = k == 5 ? 9 : 8;
+    for (size_t k = 0; k < kNumCost; ++k) {
       if (!has_cost) {
-        std::printf(" %*s", width, "-");
+        std::printf(" %9s", "-");
         continue;
       }
       const uint64_t delta = CounterDelta(
           prev, cur, base + ".cost." + kCostKeys[k] + "_total");
-      std::printf(" %*.1f", width, static_cast<double>(delta) / ops);
+      std::printf(" %9.1f", static_cast<double>(delta) / ops);
     }
     std::printf("\n");
   }
@@ -397,6 +421,26 @@ int main(int argc, char** argv) {
     std::string json = dump->ChromeTraceJson();
     std::fwrite(json.data(), 1, json.size(), stdout);
     std::fputc('\n', stdout);
+    return 0;
+  }
+
+  if (cmd == "profile") {
+    int seconds = 5;
+    int hz = 100;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--seconds" && i + 1 < args.size()) {
+        seconds = std::atoi(args[++i].c_str());
+      } else if (args[i] == "--hz" && i + 1 < args.size()) {
+        hz = std::atoi(args[++i].c_str());
+      } else {
+        return Usage();
+      }
+    }
+    std::fprintf(stderr, "tcvs: profiling server for %ds at %d Hz...\n",
+                 seconds, hz);
+    auto folded = (*remote)->Profile(seconds, hz);
+    if (!folded.ok()) return Fail(folded.status());
+    std::fwrite(folded->data(), 1, folded->size(), stdout);
     return 0;
   }
 

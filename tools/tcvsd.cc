@@ -11,6 +11,7 @@
 //         [--log-json] [--log-json-interval-ms MS]
 //         [--trace] [--trace-capacity N]
 //         [--admin-port N] [--slow-op-us US]
+//         [--profile-hz HZ] [--no-contention-profile]
 //
 // --threads sizes the serve loop's worker pool: N connections are answered
 // concurrently (I/O in parallel, transaction execution serialized under the
@@ -59,7 +60,19 @@
 // --slow-op-us US arms slow-op capture: any served RPC taking longer than
 // US microseconds emits a JSON-lines record on stderr with its method,
 // latency, trace id, span subtree, and per-request cost counters (hashes,
-// bytes hashed, signature verifies, VO bytes, WAL appends/fsync waits).
+// bytes hashed, signature verifies, VO bytes, WAL appends/fsync waits,
+// queue delay).
+//
+// --profile-hz HZ arms the always-on sampling CPU profiler at HZ samples
+// per second of process CPU time (SIGPROF; see ARCHITECTURE.md "Profiling
+// plane"). /pprofz and `tcvs profile` windows then ride the running
+// profiler instead of starting their own. Overhead budget: <= 3% at 100 Hz
+// (bench_profiler_overhead pins it).
+//
+// Lock-contention accounting (per-callsite wait sites in /lockz plus
+// lock.<name>.contention_us histograms) is on by default and costs one
+// uncontended try_lock on the fast path; --no-contention-profile turns it
+// off.
 //
 // Prints the bound port on stdout (useful with --port 0 for an ephemeral
 // port) and serves until a shutdown RPC arrives.
@@ -79,6 +92,7 @@
 #include "util/fault.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
+#include "util/profiler.h"
 
 using namespace tcvs;
 
@@ -166,6 +180,8 @@ int main(int argc, char** argv) {
   bool trace = false;
   uint64_t trace_capacity = 0;
   int admin_port = -1;  // -1 = admin plane off.
+  int profile_hz = 0;   // 0 = always-on profiler off (windows still work).
+  bool contention_profile = true;
   rpc::ServeOptions serve_options;
   const uint64_t start_us = util::MonotonicMicros();
   // Size the worker pool to the machine, but never below 2: with a single
@@ -204,12 +220,19 @@ int main(int argc, char** argv) {
       admin_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--slow-op-us") == 0 && i + 1 < argc) {
       serve_options.slow_op_us = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--profile-hz") == 0 && i + 1 < argc) {
+      profile_hz = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--contention-profile") == 0) {
+      contention_profile = true;
+    } else if (std::strcmp(argv[i], "--no-contention-profile") == 0) {
+      contention_profile = false;
     } else {
       std::fprintf(stderr,
                    "usage: tcvsd [--port N] [--fanout F] [--data-dir DIR] "
                    "[--no-fsync] [--group-commit-window-us US] [--threads N] "
                    "[--log-json] [--log-json-interval-ms MS] [--trace] "
-                   "[--trace-capacity N] [--admin-port N] [--slow-op-us US]\n");
+                   "[--trace-capacity N] [--admin-port N] [--slow-op-us US] "
+                   "[--profile-hz HZ] [--no-contention-profile]\n");
       return 2;
     }
   }
@@ -224,6 +247,17 @@ int main(int argc, char** argv) {
     if (trace_capacity != 0) {
       util::MetricsRegistry::Instance().set_trace_capacity(
           static_cast<size_t>(trace_capacity));
+    }
+  }
+
+  // The profiling plane: contention accounting default-on, the sampling
+  // CPU profiler only when asked (it owns SIGPROF + ITIMER_PROF).
+  util::SetContentionProfilingEnabled(contention_profile);
+  if (profile_hz != 0) {
+    if (Status st = util::StartCpuProfiler(profile_hz); !st.ok()) {
+      std::fprintf(stderr, "tcvsd: --profile-hz: %s\n",
+                   st.ToString().c_str());
+      return 2;
     }
   }
 
@@ -289,12 +323,14 @@ int main(int argc, char** argv) {
     char config[256];
     std::snprintf(config, sizeof(config),
                   "port=%u fanout=%zu data_dir=%s fsync=%d "
-                  "group_commit_window_us=%u threads=%d slow_op_us=%llu",
+                  "group_commit_window_us=%u threads=%d slow_op_us=%llu "
+                  "profile_hz=%d contention_profile=%d",
                   listener->port(), fanout,
                   data_dir.empty() ? "(memory)" : data_dir.c_str(),
                   fsync ? 1 : 0, group_commit_window_us,
                   serve_options.num_threads,
-                  static_cast<unsigned long long>(serve_options.slow_op_us));
+                  static_cast<unsigned long long>(serve_options.slow_op_us),
+                  profile_hz, contention_profile ? 1 : 0);
     endpoints.config_summary = config;
     endpoints.readiness.push_back(net::HealthCheck{
         "serve.workers", [] {
